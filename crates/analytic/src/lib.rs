@@ -1,0 +1,283 @@
+//! Closed-form performance model of the request-distribution mechanisms —
+//! the analysis behind Figures 5 and 6 of *Efficient Support for P-HTTP in
+//! Cluster-Based Web Servers* (Aron et al., USENIX 1999).
+//!
+//! The paper's §5 predicts cluster bandwidth as a function of the average
+//! response size under a **pessimal policy assumption**: every request after
+//! the first on a persistent connection must be served by a back-end other
+//! than the connection-handling node. This isolates the mechanisms' inherent
+//! trade-off — a per-request *handoff* overhead (multiple handoff) versus a
+//! per-byte *forwarding* overhead (back-end forwarding) — and gives an upper
+//! bound on how much the mechanism choice can matter.
+//!
+//! The model counts CPU microseconds only (the paper's testbed network was
+//! assumed not to be the bottleneck) and assumes all content is served from
+//! memory: the mechanisms differ in CPU cost, not disk behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use phttp_analytic::{AnalyticModel, MechanismKind};
+//!
+//! let model = AnalyticModel::apache(4);
+//! let small = 2 * 1024;
+//! let large = 64 * 1024;
+//! // Back-end forwarding wins on small responses...
+//! assert!(
+//!     model.bandwidth_mbps(MechanismKind::BackendForwarding, small)
+//!         > model.bandwidth_mbps(MechanismKind::MultipleHandoff, small)
+//! );
+//! // ...and multiple handoff wins on large ones.
+//! assert!(
+//!     model.bandwidth_mbps(MechanismKind::MultipleHandoff, large)
+//!         > model.bandwidth_mbps(MechanismKind::BackendForwarding, large)
+//! );
+//! // The crossover falls in between.
+//! let cross = model.crossover_bytes().unwrap();
+//! assert!(small < cross && cross < large);
+//! ```
+
+use phttp_core::costmodel::{MechanismCosts, ServerCosts};
+use serde::{Deserialize, Serialize};
+
+/// The two mechanisms the paper's analysis compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// TCP multiple handoff: per-reassignment CPU cost, direct transmit.
+    MultipleHandoff,
+    /// Back-end forwarding: lateral fetch, response crosses the conn node.
+    BackendForwarding,
+}
+
+/// The analytic model: cluster shape plus cost profiles.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AnalyticModel {
+    /// Back-end server software costs.
+    pub server: ServerCosts,
+    /// Mechanism costs.
+    pub mech: MechanismCosts,
+    /// Number of back-end nodes (the paper's figures use 4).
+    pub nodes: usize,
+    /// Average number of requests per persistent connection. The paper notes
+    /// the results are "nearly independent" of this; 8 is a web-like default.
+    pub requests_per_conn: u64,
+}
+
+impl AnalyticModel {
+    /// The paper's Figure 5 configuration: 4 nodes, Apache costs.
+    pub fn apache(nodes: usize) -> Self {
+        AnalyticModel {
+            server: ServerCosts::apache(),
+            mech: MechanismCosts::apache(),
+            nodes,
+            requests_per_conn: 8,
+        }
+    }
+
+    /// The paper's Figure 6 configuration: 4 nodes, Flash costs.
+    pub fn flash(nodes: usize) -> Self {
+        AnalyticModel {
+            server: ServerCosts::flash(),
+            mech: MechanismCosts::flash(),
+            nodes,
+            requests_per_conn: 8,
+        }
+    }
+
+    /// Total back-end CPU microseconds consumed by one connection whose
+    /// every response is `bytes` long, under the pessimal assumption.
+    pub fn backend_us_per_conn(&self, kind: MechanismKind, bytes: u64) -> u64 {
+        let s = &self.server;
+        let m = &self.mech;
+        let k = self.requests_per_conn;
+        // Connection setup at the handling node: handoff + establish, and
+        // teardown at close.
+        let conn_fixed = m.be_handoff_us + s.conn_establish_us + s.conn_teardown_us;
+        // First request: served at the connection node.
+        let first = s.per_request_us + s.xmit_us(bytes);
+        // Requests 2..k: always moved (pessimal).
+        let moved = match kind {
+            MechanismKind::MultipleHandoff => {
+                // Migration work on both back-ends, then normal service.
+                m.be_migrate_out_us + m.be_migrate_in_us + s.per_request_us + s.xmit_us(bytes)
+            }
+            MechanismKind::BackendForwarding => {
+                // Remote node serves; conn node issues the lateral request
+                // and re-sends the response to the client.
+                s.per_request_us + s.xmit_us(bytes) + m.fwd_us(bytes)
+            }
+        };
+        conn_fixed + first + moved * (k - 1)
+    }
+
+    /// Front-end CPU microseconds per connection.
+    pub fn frontend_us_per_conn(&self, kind: MechanismKind, _bytes: u64) -> u64 {
+        let m = &self.mech;
+        let k = self.requests_per_conn;
+        let per_moved = match kind {
+            MechanismKind::MultipleHandoff => m.fe_req_us + m.fe_migrate_us,
+            MechanismKind::BackendForwarding => m.fe_req_us,
+        };
+        m.fe_conn_us + per_moved * (k - 1)
+    }
+
+    /// Sustainable connection rate (connections/second): the binding
+    /// resource among the N back-end CPUs and the front-end CPU.
+    pub fn conn_rate(&self, kind: MechanismKind, bytes: u64) -> f64 {
+        let be = self.backend_us_per_conn(kind, bytes) as f64;
+        let fe = self.frontend_us_per_conn(kind, bytes) as f64;
+        let be_rate = self.nodes as f64 * 1e6 / be;
+        let fe_rate = 1e6 / fe;
+        be_rate.min(fe_rate)
+    }
+
+    /// Request throughput, requests/second.
+    pub fn throughput_rps(&self, kind: MechanismKind, bytes: u64) -> f64 {
+        self.conn_rate(kind, bytes) * self.requests_per_conn as f64
+    }
+
+    /// Delivered bandwidth in megabits per second — the paper's y-axis.
+    pub fn bandwidth_mbps(&self, kind: MechanismKind, bytes: u64) -> f64 {
+        self.throughput_rps(kind, bytes) * bytes as f64 * 8.0 / 1e6
+    }
+
+    /// Response size at which the two mechanisms' bandwidths cross, found by
+    /// bisection over [64 B, 1 MB]. Returns `None` if there is no crossover
+    /// in that range (one mechanism dominates everywhere).
+    pub fn crossover_bytes(&self) -> Option<u64> {
+        let f = |z: u64| {
+            self.bandwidth_mbps(MechanismKind::BackendForwarding, z)
+                - self.bandwidth_mbps(MechanismKind::MultipleHandoff, z)
+        };
+        let (mut lo, mut hi) = (64u64, 1 << 20);
+        let (flo, fhi) = (f(lo), f(hi));
+        if flo.signum() == fhi.signum() {
+            return None;
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if f(mid).signum() == flo.signum() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Generates one figure row per size: `(bytes, BEforward Mb/s,
+    /// multiHandoff Mb/s)`, for sizes from `from` to `to` in `steps` even
+    /// steps — the series plotted in Figures 5 and 6.
+    pub fn series(&self, from: u64, to: u64, steps: usize) -> Vec<(u64, f64, f64)> {
+        assert!(steps >= 2 && to > from);
+        (0..steps)
+            .map(|i| {
+                let z = from + (to - from) * i as u64 / (steps as u64 - 1);
+                (
+                    z,
+                    self.bandwidth_mbps(MechanismKind::BackendForwarding, z),
+                    self.bandwidth_mbps(MechanismKind::MultipleHandoff, z),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_in_web_range_for_apache() {
+        let m = AnalyticModel::apache(4);
+        let cross = m.crossover_bytes().expect("crossover must exist");
+        // DESIGN.md calibration: ≈13 KB for Apache.
+        let kb = cross as f64 / 1024.0;
+        assert!((10.0..=16.0).contains(&kb), "Apache crossover {kb:.1} KB");
+    }
+
+    #[test]
+    fn flash_crossover_is_smaller() {
+        let a = AnalyticModel::apache(4).crossover_bytes().unwrap();
+        let f = AnalyticModel::flash(4).crossover_bytes().unwrap();
+        assert!(f < a, "Flash crossover {f} must be below Apache's {a}");
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_in_size_for_both() {
+        // Larger files amortize fixed costs: bandwidth rises with size.
+        let m = AnalyticModel::apache(4);
+        for kind in [
+            MechanismKind::MultipleHandoff,
+            MechanismKind::BackendForwarding,
+        ] {
+            let mut last = 0.0;
+            for z in (1..=20).map(|i| i * 5 * 1024) {
+                let bw = m.bandwidth_mbps(kind, z as u64);
+                assert!(bw > last, "bandwidth must rise with size");
+                last = bw;
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_falls_with_size() {
+        let m = AnalyticModel::apache(4);
+        assert!(
+            m.throughput_rps(MechanismKind::BackendForwarding, 1024)
+                > m.throughput_rps(MechanismKind::BackendForwarding, 100 * 1024)
+        );
+    }
+
+    #[test]
+    fn flash_outperforms_apache_at_every_size() {
+        let a = AnalyticModel::apache(4);
+        let f = AnalyticModel::flash(4);
+        for z in [1024u64, 8 * 1024, 64 * 1024] {
+            assert!(
+                f.bandwidth_mbps(MechanismKind::MultipleHandoff, z)
+                    > a.bandwidth_mbps(MechanismKind::MultipleHandoff, z)
+            );
+        }
+    }
+
+    #[test]
+    fn nearly_independent_of_requests_per_conn() {
+        // The paper: "These results are nearly independent of the average
+        // number of requests received on a persistent connection."
+        let mut short = AnalyticModel::apache(4);
+        short.requests_per_conn = 4;
+        let mut long = AnalyticModel::apache(4);
+        long.requests_per_conn = 32;
+        let (a, b) = (
+            short.crossover_bytes().unwrap() as f64,
+            long.crossover_bytes().unwrap() as f64,
+        );
+        assert!(
+            (a - b).abs() / a < 0.15,
+            "crossover moved too much with k: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn series_covers_requested_range() {
+        let m = AnalyticModel::flash(4);
+        let s = m.series(1024, 100 * 1024, 25);
+        assert_eq!(s.len(), 25);
+        assert_eq!(s[0].0, 1024);
+        assert_eq!(s[24].0, 100 * 1024);
+        assert!(s.iter().all(|&(_, bw_f, bw_m)| bw_f > 0.0 && bw_m > 0.0));
+    }
+
+    #[test]
+    fn scaling_nodes_scales_backend_bound_bandwidth() {
+        let m4 = AnalyticModel::apache(4);
+        let m8 = AnalyticModel::apache(8);
+        let z = 16 * 1024;
+        let r = m8.bandwidth_mbps(MechanismKind::MultipleHandoff, z)
+            / m4.bandwidth_mbps(MechanismKind::MultipleHandoff, z);
+        // Back-end bound at this size: doubling nodes ~doubles bandwidth
+        // (until the front-end binds).
+        assert!(r > 1.8, "scaling ratio {r:.2}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the analytic model: the qualitative structure
+//! of §5 must hold across the whole (sane) parameter space, not just the
+//! Apache/Flash presets.
+
+use proptest::prelude::*;
+
+use phttp_analytic::{AnalyticModel, MechanismKind};
+use phttp_core::costmodel::{MechanismCosts, ServerCosts};
+
+fn arb_model() -> impl Strategy<Value = AnalyticModel> {
+    (
+        20u64..400, // conn establish/teardown
+        20u64..800, // per-request
+        5u64..80,   // xmit per 512
+        50u64..500, // migrate parts
+        20u64..200, // lateral
+        5u64..60,   // fwd per 512
+        2usize..12, // nodes
+        2u64..32,   // requests per conn
+    )
+        .prop_map(|(conn, req, xmit, mig, lat, fwd, nodes, k)| AnalyticModel {
+            server: ServerCosts {
+                conn_establish_us: conn,
+                conn_teardown_us: conn,
+                per_request_us: req,
+                xmit_per_512_us: xmit,
+            },
+            mech: MechanismCosts {
+                fe_conn_us: 120,
+                fe_req_us: 60,
+                fe_migrate_us: mig / 2,
+                fe_relay_per_512_us: 20,
+                be_handoff_us: 150,
+                be_migrate_out_us: mig,
+                be_migrate_in_us: mig,
+                be_lateral_req_us: lat,
+                be_fwd_per_512_us: fwd,
+            },
+            nodes,
+            requests_per_conn: k,
+        })
+}
+
+proptest! {
+    /// Throughput falls and bandwidth rises with response size, for both
+    /// mechanisms, under any parameterization.
+    #[test]
+    fn monotonicity(model in arb_model()) {
+        for kind in [MechanismKind::MultipleHandoff, MechanismKind::BackendForwarding] {
+            let mut last_tput = f64::INFINITY;
+            let mut last_bw = 0.0;
+            for z in [1u64, 4, 16, 64, 256].map(|k| k * 1024) {
+                let tput = model.throughput_rps(kind, z);
+                let bw = model.bandwidth_mbps(kind, z);
+                prop_assert!(tput > 0.0 && tput.is_finite());
+                prop_assert!(tput <= last_tput);
+                prop_assert!(bw >= last_bw);
+                last_tput = tput;
+                last_bw = bw;
+            }
+        }
+    }
+
+    /// If a crossover exists, the ordering flips exactly there: back-end
+    /// forwarding wins strictly below, multiple handoff at-or-above.
+    #[test]
+    fn crossover_separates_the_orderings(model in arb_model()) {
+        if let Some(cross) = model.crossover_bytes() {
+            let below = cross.saturating_sub(cross / 4).max(64);
+            let above = cross + cross / 4;
+            let diff_below = model.bandwidth_mbps(MechanismKind::BackendForwarding, below)
+                - model.bandwidth_mbps(MechanismKind::MultipleHandoff, below);
+            let diff_above = model.bandwidth_mbps(MechanismKind::BackendForwarding, above)
+                - model.bandwidth_mbps(MechanismKind::MultipleHandoff, above);
+            prop_assert!(diff_below.signum() != diff_above.signum()
+                || diff_below.abs() < 1e-9 || diff_above.abs() < 1e-9,
+                "no flip around crossover {cross}: {diff_below} vs {diff_above}");
+        }
+    }
+
+    /// More back-ends never reduce throughput (the front-end can only cap it).
+    #[test]
+    fn nodes_help_or_cap(model in arb_model(), z in 1u64..64) {
+        let z = z * 1024;
+        let mut bigger = model;
+        bigger.nodes = model.nodes + 2;
+        for kind in [MechanismKind::MultipleHandoff, MechanismKind::BackendForwarding] {
+            prop_assert!(bigger.throughput_rps(kind, z) >= model.throughput_rps(kind, z) * 0.999);
+        }
+    }
+
+    /// Cheaper migration can only help multiple handoff.
+    #[test]
+    fn migration_cost_hurts_multihandoff(model in arb_model(), z in 1u64..64) {
+        let z = z * 1024;
+        let mut cheap = model;
+        cheap.mech.be_migrate_out_us /= 2;
+        cheap.mech.be_migrate_in_us /= 2;
+        prop_assert!(
+            cheap.throughput_rps(MechanismKind::MultipleHandoff, z)
+                >= model.throughput_rps(MechanismKind::MultipleHandoff, z)
+        );
+        // And back-end forwarding is unaffected by migration pricing.
+        let a = cheap.throughput_rps(MechanismKind::BackendForwarding, z);
+        let b = model.throughput_rps(MechanismKind::BackendForwarding, z);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+}

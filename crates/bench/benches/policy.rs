@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the policy layer: dispatcher decision
+//! latency per policy, and mapping-table operations. These are the paper's
+//! front-end hot path — the dispatcher runs once per connection plus once
+//! per subsequent request.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phttp_core::{
+    ConnId, Dispatcher, ForwardSemantics, LardParams, MappingTable, NodeId, PolicyKind,
+};
+use phttp_trace::TargetId;
+
+fn bench_open_close(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatcher_open_close");
+    for (name, policy) in [
+        ("wrr", PolicyKind::Wrr),
+        ("lard", PolicyKind::Lard),
+        ("ext_lard", PolicyKind::ExtLard),
+    ] {
+        g.bench_function(name, |b| {
+            let mut d = Dispatcher::new(
+                policy,
+                ForwardSemantics::LateralFetch,
+                8,
+                LardParams::default(),
+            );
+            let mut i = 0u64;
+            b.iter(|| {
+                let conn = ConnId(i);
+                let target = TargetId((i % 4096) as u32);
+                let node = d.open_connection(conn, black_box(target));
+                d.close_connection(conn);
+                i += 1;
+                black_box(node)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_subsequent_assignment(c: &mut Criterion) {
+    c.bench_function("ext_lard_assign_subsequent", |b| {
+        let mut d = Dispatcher::new(
+            PolicyKind::ExtLard,
+            ForwardSemantics::LateralFetch,
+            8,
+            LardParams::default(),
+        );
+        // Busy disks so the cost-metric path (not the fast local path) runs.
+        for n in 0..8 {
+            d.report_disk_queue(NodeId(n), 50);
+        }
+        let conn = ConnId(0);
+        d.open_connection(conn, TargetId(0));
+        // Pre-map targets across nodes.
+        for t in 0..4096u32 {
+            let probe = ConnId(1_000_000 + t as u64);
+            d.open_connection(probe, TargetId(t));
+            d.close_connection(probe);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            d.begin_batch(conn, 4);
+            for k in 0..4 {
+                let t = TargetId((i.wrapping_mul(97).wrapping_add(k)) % 4096);
+                black_box(d.assign_request(conn, t));
+            }
+            i += 1;
+        });
+    });
+}
+
+fn bench_mapping_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping_table");
+    g.bench_function("assign_exclusive", |b| {
+        let mut m = MappingTable::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            m.assign_exclusive(TargetId(i % 65_536), NodeId((i % 7) as usize));
+            i += 1;
+        });
+    });
+    g.bench_function("lookup_hit", |b| {
+        let mut m = MappingTable::new();
+        for t in 0..65_536u32 {
+            m.assign_exclusive(TargetId(t), NodeId((t % 7) as usize));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let hit = m.is_mapped(TargetId(i % 65_536), NodeId((i % 7) as usize));
+            i += 1;
+            black_box(hit)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_open_close,
+    bench_subsequent_assignment,
+    bench_mapping_table
+);
+criterion_main!(benches);

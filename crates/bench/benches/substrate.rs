@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the simulation substrate: event queue,
+//! FIFO resources, and the LRU cache — the inner loops of every simulated
+//! run (a full Figure 7 sweep schedules tens of millions of events).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phttp_simcore::{EventQueue, FifoResource, LruCache, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                // Scatter times to exercise heap reordering.
+                q.push(
+                    SimTime::from_micros(i.wrapping_mul(2654435761) % 100_000),
+                    i,
+                );
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_fifo_resource(c: &mut Criterion) {
+    c.bench_function("fifo_resource_schedule", |b| {
+        let mut r = FifoResource::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 13;
+            black_box(r.schedule(SimTime::from_micros(t), SimDuration::from_micros(100)))
+        });
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_cache");
+    g.bench_function("hit", |b| {
+        let mut cache: LruCache<u32> = LruCache::new(1 << 24);
+        for t in 0..1024u32 {
+            cache.insert(t, 8 * 1024);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let hit = cache.touch(i % 1024);
+            i += 1;
+            black_box(hit)
+        });
+    });
+    g.bench_function("insert_evict", |b| {
+        // Budget of 128 entries: every insert evicts.
+        let mut cache: LruCache<u32> = LruCache::new(128 * 8 * 1024);
+        let mut i = 0u32;
+        b.iter(|| {
+            cache.insert(i, 8 * 1024);
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_fifo_resource, bench_lru);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the workload pipeline: synthetic trace
+//! generation, P-HTTP reconstruction, and a full small simulation run
+//! (end-to-end cost of one figure data point).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phttp_sim::{build_workload, SimConfig, Simulator};
+use phttp_trace::{generate, reconstruct, SessionConfig, SynthConfig};
+
+fn bench_generate(c: &mut Criterion) {
+    c.bench_function("trace/generate_small", |b| {
+        b.iter(|| black_box(generate(&SynthConfig::small())));
+    });
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let trace = generate(&SynthConfig::small());
+    c.bench_function("trace/reconstruct_phttp", |b| {
+        b.iter(|| black_box(reconstruct(&trace, SessionConfig::default())));
+    });
+}
+
+fn bench_sim_point(c: &mut Criterion) {
+    let trace = generate(&SynthConfig::small());
+    let cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 4);
+    let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("one_fig7_data_point_small", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 4);
+            cfg.cache_bytes = 2 * 1024 * 1024;
+            black_box(Simulator::new(cfg, &trace, &workload).run().requests)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_reconstruct, bench_sim_point);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 3: throughput and delay of one back-end node as a function of
+//! load (active connections) — the curves that motivate `L_idle` and
+//! `L_overload` in the LARD cost metrics.
+//!
+//! Sweeps the closed-loop concurrency on a single-node cluster and reports
+//! throughput and mean latency at each load point. The shape claims are the
+//! figure's qualitative content: throughput saturates, and delay grows
+//! steeply once the node is past saturation.
+
+use phttp_bench::{paper_cache_bytes, paper_trace, FigOpts, FigTable, ShapeCheck};
+use phttp_sim::{build_workload, SimConfig, Simulator};
+use phttp_trace::SessionConfig;
+
+fn main() {
+    let opts = FigOpts::from_env();
+    let trace = paper_trace(true); // one node: the small trace suffices
+    let loads: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+    let mut tput = Vec::new();
+    let mut delay = Vec::new();
+    for &w in &loads {
+        let mut cfg = SimConfig::paper_config("simple-LARD", 1);
+        cfg.cache_bytes = paper_cache_bytes(true);
+        cfg.window_per_node = w;
+        let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+        let r = Simulator::new(cfg, &trace, &workload).run();
+        tput.push(r.throughput_rps);
+        delay.push(r.mean_latency_ms);
+    }
+
+    let mut table = FigTable::new(
+        "Figure 3: single back-end throughput and delay vs. load",
+        "metric",
+        loads.iter().map(|w| w.to_string()).collect(),
+    );
+    table.row("throughput (req/s)", tput.clone());
+    table.row("mean delay (ms)", delay.clone());
+    table.print(&opts);
+
+    let mut check = ShapeCheck::new();
+    let peak = tput.iter().cloned().fold(0.0, f64::max);
+    check.claim(
+        "throughput saturates: the last load point stays within 10% of peak",
+        *tput.last().unwrap() > peak * 0.9,
+    );
+    check.claim(
+        "throughput rises before saturation (load 8 > load 1)",
+        tput[3] > tput[0] * 1.2,
+    );
+    check.claim(
+        "delay at the highest load is many times the unloaded delay",
+        *delay.last().unwrap() > delay[0] * 5.0,
+    );
+    let mid = tput[loads.len() / 2];
+    check.claim(
+        "the knee falls inside the swept range (mid-load within 30% of peak)",
+        mid > peak * 0.7,
+    );
+    check.finish(&opts);
+}

@@ -1,0 +1,11 @@
+//! Figure 5: analytic bandwidth of a 4-node Apache cluster vs. average
+//! response size, multiple handoff vs. back-end forwarding, under the
+//! pessimal every-request-moves assumption.
+
+use phttp_analytic::AnalyticModel;
+use phttp_bench::{run_analytic_figure, FigOpts};
+
+fn main() {
+    let opts = FigOpts::from_env();
+    run_analytic_figure("Figure 5 (Apache)", AnalyticModel::apache(4), &opts);
+}

@@ -1,0 +1,23 @@
+//! Figure 6: analytic bandwidth of a 4-node Flash cluster vs. average
+//! response size — the Figure 5 analysis under the faster server's cost
+//! profile. The crossover must sit to the *left* of Apache's: a faster
+//! server makes per-byte forwarding relatively more expensive.
+
+use phttp_analytic::AnalyticModel;
+use phttp_bench::{run_analytic_figure, FigOpts, ShapeCheck};
+
+fn main() {
+    let opts = FigOpts::from_env();
+    let model = AnalyticModel::flash(4);
+    run_analytic_figure("Figure 6 (Flash)", model, &opts);
+
+    // The figure-specific claim: Flash's crossover is left of Apache's.
+    let mut check = ShapeCheck::new();
+    let apache = AnalyticModel::apache(4).crossover_bytes();
+    let flash = model.crossover_bytes();
+    check.claim(
+        "Flash crossover is smaller than Apache's",
+        matches!((apache, flash), (Some(a), Some(f)) if f < a),
+    );
+    check.finish(&opts);
+}

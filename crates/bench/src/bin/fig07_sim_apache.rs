@@ -1,0 +1,9 @@
+//! Figure 7: simulated cluster throughput vs. cluster size with the Apache
+//! cost model, for all seven of the paper's mechanism/policy configurations.
+
+use phttp_bench::{run_sim_figure, FigOpts};
+
+fn main() {
+    let opts = FigOpts::from_env();
+    run_sim_figure("Figure 7 (Apache)", false, &opts);
+}

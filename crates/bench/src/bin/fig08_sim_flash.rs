@@ -1,0 +1,11 @@
+//! Figure 8: simulated cluster throughput vs. cluster size with the Flash
+//! cost model. Same configurations as Figure 7; the faster server shows a
+//! larger penalty for naive P-HTTP support (locality loss costs relatively
+//! more when CPU work per request is smaller).
+
+use phttp_bench::{run_sim_figure, FigOpts};
+
+fn main() {
+    let opts = FigOpts::from_env();
+    run_sim_figure("Figure 8 (Flash)", true, &opts);
+}

@@ -1,0 +1,53 @@
+//! The §8 in-text result: front-end CPU utilization vs. cluster size for
+//! the prototype configuration (`BEforward-extLARD-PHTTP`), and the
+//! extrapolated number of back-ends one front-end CPU can support.
+
+use phttp_bench::{paper_trace, run_sim, FigOpts, FigTable, ShapeCheck};
+
+fn main() {
+    let opts = FigOpts::from_env();
+    let trace = paper_trace(opts.quick);
+    let nodes: Vec<usize> = if opts.quick {
+        vec![2, 4, 6]
+    } else {
+        vec![2, 4, 6, 8, 10, 12]
+    };
+
+    let mut fe_util = Vec::new();
+    let mut tput = Vec::new();
+    for &n in &nodes {
+        let r = run_sim("BEforward-extLARD-PHTTP", n, &trace, opts.quick, false);
+        fe_util.push(r.fe_utilization * 100.0);
+        tput.push(r.throughput_rps);
+    }
+
+    let mut table = FigTable::new(
+        "Front-end CPU utilization vs. cluster size (BEforward-extLARD-PHTTP)",
+        "metric",
+        nodes.iter().map(|n| n.to_string()).collect(),
+    );
+    table.row("fe utilization (%)", fe_util.clone());
+    table.row("throughput (req/s)", tput.clone());
+    table.print(&opts);
+
+    // Linear extrapolation of utilization per node, from the largest run.
+    let last = nodes.len() - 1;
+    let per_node = fe_util[last] / nodes[last] as f64;
+    let supported = (100.0 / per_node).floor();
+    println!("one front-end CPU supports ≈ {supported} back-ends of equal speed\n");
+
+    let mut check = ShapeCheck::new();
+    check.claim(
+        "front-end utilization grows with cluster size",
+        fe_util[last] > fe_util[0],
+    );
+    check.claim(
+        "the front-end is nowhere the bottleneck in the measured range",
+        fe_util.iter().all(|&u| u < 95.0),
+    );
+    check.claim(
+        "one front-end CPU supports a two-digit number of back-ends",
+        supported >= 10.0,
+    );
+    check.finish(&opts);
+}

@@ -1,0 +1,112 @@
+//! Minimal argument parsing (std-only): `--key value`, `--flag`, and
+//! positional arguments, with typed accessors and unknown-option errors.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse failure description.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments. `flag_names` lists options that take no value;
+    /// everything else starting with `--` consumes the next token.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        flag_names: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if flag_names.contains(&name) {
+                    out.flags.push(name.to_owned());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                    out.options.insert(name.to_owned(), value);
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The n-th positional argument.
+    pub fn pos(&self, n: usize) -> Option<&str> {
+        self.positional.get(n).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    #[cfg(test)]
+    pub fn num_pos(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Whether a no-value flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str, flags: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from), flags)
+    }
+
+    #[test]
+    fn positional_and_options_mix() {
+        let a = parse("sim run --nodes 6 --flash --cache-mb 16", &["flash"]).unwrap();
+        assert_eq!(a.pos(0), Some("sim"));
+        assert_eq!(a.pos(1), Some("run"));
+        assert_eq!(a.num_pos(), 2);
+        assert_eq!(a.get_or("nodes", 1usize).unwrap(), 6);
+        assert_eq!(a.get_or("cache-mb", 0u64).unwrap(), 16);
+        assert!(a.flag("flash"));
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = parse("x", &[]).unwrap();
+        assert_eq!(a.get_or("nodes", 4usize).unwrap(), 4);
+        assert!(parse("--nodes", &[]).is_err());
+        let a = parse("--nodes six", &[]).unwrap();
+        assert!(a.get_or::<usize>("nodes", 1).is_err());
+    }
+}

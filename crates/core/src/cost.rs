@@ -1,0 +1,192 @@
+//! The LARD cost metrics (Figure 4 of the paper).
+//!
+//! LARD balances locality against load with three costs, all measured in
+//! *load units* — "the delay experienced by a request for a cached target at
+//! an otherwise unloaded server":
+//!
+//! ```text
+//! cost_balancing(t, s)   = 0                  if load(s) <  L_idle
+//!                          ∞                  if load(s) >= L_overload
+//!                          load(s) - L_idle   otherwise
+//! cost_locality(t, s)    = 0 if t is mapped to s, else MissCost
+//! cost_replacement(t, s) = 0 if load(s) < L_idle or t is mapped to s,
+//!                          else MissCost
+//! ```
+//!
+//! A request is assigned to the node minimizing the aggregate (sum) cost.
+//!
+//! The paper notes this formulation is provably equivalent to the original
+//! ASPLOS '98 LARD when `L_idle = T_low` and `MissCost = T_high − T_low`;
+//! the defaults below encode ASPLOS's `T_low = 25`, `T_high = 65` (the
+//! scanned copy of the paper lost its numeric literals — see DESIGN.md §6.6).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the LARD policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LardParams {
+    /// Load below which a node counts as potentially under-utilized.
+    pub l_idle: f64,
+    /// Load at which queueing delay becomes unacceptable (infinite cost).
+    pub l_overload: f64,
+    /// Cost of a cache miss, in load units.
+    pub miss_cost: f64,
+    /// Extended LARD's "low disk utilization" bound: strictly fewer queued
+    /// disk events than this counts as low.
+    pub disk_queue_low: usize,
+    /// Charge remote nodes 1/N load for the duration of a pipelined batch
+    /// (the paper's accounting). Disabling this is an ablation knob: remote
+    /// fetches then run unaccounted, so the balancing metric goes blind to
+    /// forwarding load.
+    pub batch_load_accounting: bool,
+    /// Restrict forwarding candidates to nodes that cache the target (the
+    /// paper's rule). Disabling considers every node — an ablation that
+    /// shows why the restriction matters (forwarding to a non-caching node
+    /// trades a local disk read for a remote one plus forwarding overhead).
+    pub restrict_candidates: bool,
+}
+
+impl Default for LardParams {
+    fn default() -> Self {
+        LardParams {
+            l_idle: 25.0,
+            l_overload: 130.0,
+            miss_cost: 40.0,
+            disk_queue_low: 1,
+            batch_load_accounting: true,
+            restrict_candidates: true,
+        }
+    }
+}
+
+impl LardParams {
+    /// Validates the parameter set, returning a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        // NaN fails every comparison, so each bound is written to reject it.
+        if self.l_idle.is_nan() || self.l_idle < 0.0 {
+            return Err(format!("l_idle must be >= 0, got {}", self.l_idle));
+        }
+        if self.l_overload.is_nan() || self.l_overload <= self.l_idle {
+            return Err(format!(
+                "l_overload ({}) must exceed l_idle ({})",
+                self.l_overload, self.l_idle
+            ));
+        }
+        if self.miss_cost.is_nan() || self.miss_cost < 0.0 {
+            return Err(format!("miss_cost must be >= 0, got {}", self.miss_cost));
+        }
+        Ok(())
+    }
+}
+
+/// `cost_balancing`: queueing delay behind already-assigned work.
+pub fn cost_balancing(load: f64, p: &LardParams) -> f64 {
+    if load < p.l_idle {
+        0.0
+    } else if load >= p.l_overload {
+        f64::INFINITY
+    } else {
+        load - p.l_idle
+    }
+}
+
+/// `cost_locality`: delay from the presence or absence of the target in the
+/// node's cache (as believed by the front-end's mapping table).
+pub fn cost_locality(mapped: bool, p: &LardParams) -> f64 {
+    if mapped {
+        0.0
+    } else {
+        p.miss_cost
+    }
+}
+
+/// `cost_replacement`: potential future cost of evicting another target to
+/// make room for this one.
+pub fn cost_replacement(load: f64, mapped: bool, p: &LardParams) -> f64 {
+    if load < p.l_idle || mapped {
+        0.0
+    } else {
+        p.miss_cost
+    }
+}
+
+/// Aggregate cost of sending a request for a (possibly mapped) target to a
+/// node at the given load: the sum of the three metrics.
+pub fn aggregate_cost(load: f64, mapped: bool, p: &LardParams) -> f64 {
+    cost_balancing(load, p) + cost_locality(mapped, p) + cost_replacement(load, mapped, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> LardParams {
+        LardParams::default()
+    }
+
+    #[test]
+    fn balancing_piecewise() {
+        let p = p();
+        assert_eq!(cost_balancing(0.0, &p), 0.0);
+        assert_eq!(cost_balancing(24.999, &p), 0.0);
+        assert_eq!(cost_balancing(25.0, &p), 0.0); // == l_idle: "otherwise" branch, 25-25
+        assert_eq!(cost_balancing(65.0, &p), 40.0);
+        assert!(cost_balancing(130.0, &p).is_infinite());
+        assert!(cost_balancing(500.0, &p).is_infinite());
+    }
+
+    #[test]
+    fn locality_is_miss_cost_when_unmapped() {
+        let p = p();
+        assert_eq!(cost_locality(true, &p), 0.0);
+        assert_eq!(cost_locality(false, &p), 40.0);
+    }
+
+    #[test]
+    fn replacement_zero_when_idle_or_mapped() {
+        let p = p();
+        assert_eq!(cost_replacement(10.0, false, &p), 0.0); // idle
+        assert_eq!(cost_replacement(80.0, true, &p), 0.0); // mapped
+        assert_eq!(cost_replacement(80.0, false, &p), 40.0); // busy + unmapped
+    }
+
+    #[test]
+    fn aggregate_reproduces_asplos_thresholds() {
+        // Equivalence check (paper footnote): with L_idle = T_low = 25 and
+        // MissCost = T_high − T_low = 40, a mapped node keeps winning over an
+        // idle unmapped node until its load reaches T_high = 65.
+        let p = p();
+        let idle_unmapped = aggregate_cost(0.0, false, &p); // = 40
+        assert_eq!(idle_unmapped, 40.0);
+        assert!(aggregate_cost(64.9, true, &p) < idle_unmapped);
+        assert!(aggregate_cost(65.1, true, &p) > idle_unmapped);
+    }
+
+    #[test]
+    fn overload_always_loses() {
+        let p = p();
+        // Even a mapped overloaded node loses to an unmapped busy node.
+        assert!(aggregate_cost(130.0, true, &p) > aggregate_cost(129.0, false, &p));
+    }
+
+    #[test]
+    fn validate_catches_bad_params() {
+        assert!(LardParams::default().validate().is_ok());
+        let bad = LardParams {
+            l_overload: 10.0,
+            ..LardParams::default()
+        };
+        assert!(bad.validate().is_err());
+        let neg = LardParams {
+            miss_cost: -1.0,
+            ..LardParams::default()
+        };
+        assert!(neg.validate().is_err());
+        let neg_idle = LardParams {
+            l_idle: -5.0,
+            ..LardParams::default()
+        };
+        assert!(neg_idle.validate().is_err());
+    }
+}

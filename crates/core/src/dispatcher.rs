@@ -1,0 +1,632 @@
+//! The front-end dispatcher: policy decisions plus load bookkeeping.
+//!
+//! This is the component the paper implements "in a dispatcher module at the
+//! front-end" — the same logic drives the trace-driven simulator
+//! (`phttp-sim`) and the live prototype (`phttp-proto`).
+//!
+//! ## Decision procedure
+//!
+//! * **New connection** (first request): WRR picks the least-loaded node;
+//!   LARD and extended LARD pick the node minimizing the aggregate cost of
+//!   [`crate::cost`], then update the mapping table.
+//! * **Subsequent request on a persistent connection**:
+//!   * WRR and basic LARD always serve on the connection-handling node —
+//!     their mechanisms distribute at TCP-connection granularity.
+//!   * Extended LARD applies the paper's §4.2 rules: serve locally if the
+//!     target is mapped to the connection node *or* the node's disk
+//!     utilization is low (caching the target in the latter case); otherwise
+//!     evaluate the cost metrics over the connection node plus the nodes
+//!     that cache the target, and forward/migrate to the argmin.
+//!
+//! ## Load accounting
+//!
+//! One load unit per active connection, charged to the connection-handling
+//! node. Under back-end forwarding, a remote node serving a request out of a
+//! pipelined batch of `N` requests is charged `1/N` load for the duration of
+//! the batch — the front-end "assumes that all previous requests have
+//! finished once a new batch of requests arrives on the same connection", so
+//! starting a new batch clears the fractional charges of the previous one.
+//! Under multiple-handoff semantics a remote assignment *migrates* the whole
+//! load unit instead.
+
+use std::collections::HashMap;
+
+use phttp_trace::TargetId;
+
+use crate::cost::{aggregate_cost, LardParams};
+use crate::mapping::MappingTable;
+use crate::types::{Assignment, ConnId, NodeId};
+
+/// Which distribution policy the dispatcher runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Weighted round-robin: pure load-based, content-blind (the baseline
+    /// used by the commercial front-ends the paper cites).
+    Wrr,
+    /// Basic LARD (ASPLOS '98), distributing at connection granularity.
+    Lard,
+    /// Extended LARD (this paper), distributing at request granularity.
+    ExtLard,
+}
+
+impl PolicyKind {
+    /// Short name used in figure legends, matching the paper's labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Wrr => "WRR",
+            PolicyKind::Lard => "LARD",
+            PolicyKind::ExtLard => "extLARD",
+        }
+    }
+}
+
+/// What a [`Assignment::Remote`] decision means mechanically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardSemantics {
+    /// Back-end forwarding: the connection stays put; the connection node
+    /// fetches the response laterally. Remote nodes get 1/N batch load.
+    LateralFetch,
+    /// Multiple handoff: the connection (and its load unit) migrates to the
+    /// remote node, which becomes the new connection-handling node.
+    Migrate,
+}
+
+/// Per-connection dispatcher state.
+#[derive(Debug, Clone)]
+struct ConnState {
+    node: NodeId,
+    /// Size of the current pipelined batch (the paper's `N`).
+    batch_n: usize,
+    /// Fractional loads charged to remote nodes for the current batch.
+    frac: Vec<(NodeId, f64)>,
+}
+
+/// The front-end dispatcher. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    policy: PolicyKind,
+    semantics: ForwardSemantics,
+    params: LardParams,
+    mapping: MappingTable,
+    loads: Vec<f64>,
+    disk_q: Vec<usize>,
+    conns: HashMap<ConnId, ConnState>,
+    rr_cursor: usize,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher for `num_nodes` back-ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0` or the parameters fail validation.
+    pub fn new(
+        policy: PolicyKind,
+        semantics: ForwardSemantics,
+        num_nodes: usize,
+        params: LardParams,
+    ) -> Self {
+        assert!(num_nodes > 0, "cluster needs at least one back-end");
+        if let Err(e) = params.validate() {
+            panic!("invalid LARD parameters: {e}");
+        }
+        Dispatcher {
+            policy,
+            semantics,
+            params,
+            mapping: MappingTable::new(),
+            loads: vec![0.0; num_nodes],
+            disk_q: vec![0; num_nodes],
+            conns: HashMap::new(),
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of back-end nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Current per-node load estimates (connections + fractional fetches).
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// The policy this dispatcher runs.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Read access to the mapping table (for metrics/diagnostics).
+    pub fn mapping(&self) -> &MappingTable {
+        &self.mapping
+    }
+
+    /// Number of connections currently tracked.
+    pub fn active_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Records a back-end's disk queue depth (conveyed over the control
+    /// session in the prototype; read directly in the simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn report_disk_queue(&mut self, node: NodeId, depth: usize) {
+        self.disk_q[node.0] = depth;
+    }
+
+    /// Handles the first request of a new connection: picks the
+    /// connection-handling node, charges it one load unit, and registers the
+    /// connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is already registered.
+    pub fn open_connection(&mut self, conn: ConnId, first_target: TargetId) -> NodeId {
+        let node = match self.policy {
+            PolicyKind::Wrr => self.pick_least_loaded(),
+            PolicyKind::Lard | PolicyKind::ExtLard => self.lard_pick(first_target),
+        };
+        self.loads[node.0] += 1.0;
+        let prev = self.conns.insert(
+            conn,
+            ConnState {
+                node,
+                batch_n: 1,
+                frac: Vec::new(),
+            },
+        );
+        assert!(prev.is_none(), "connection {conn} opened twice");
+        node
+    }
+
+    /// Signals that a new pipelined batch of `n` requests is starting on
+    /// `conn`. Clears the fractional remote loads of the previous batch (the
+    /// front-end's estimate that the previous batch has been fully served).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown or `n == 0`.
+    pub fn begin_batch(&mut self, conn: ConnId, n: usize) {
+        assert!(n > 0, "batch must contain at least one request");
+        let state = self
+            .conns
+            .get_mut(&conn)
+            .expect("begin_batch: unknown connection");
+        for (node, f) in state.frac.drain(..) {
+            self.loads[node.0] -= f;
+        }
+        state.batch_n = n;
+    }
+
+    /// Assigns one request of the current batch.
+    ///
+    /// Returns [`Assignment::Local`] to serve on the connection-handling node
+    /// or [`Assignment::Remote`] per the configured [`ForwardSemantics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown.
+    pub fn assign_request(&mut self, conn: ConnId, target: TargetId) -> Assignment {
+        let state = self
+            .conns
+            .get(&conn)
+            .expect("assign_request: unknown connection");
+        let conn_node = state.node;
+        let batch_n = state.batch_n;
+
+        match self.policy {
+            // Connection-granularity policies never move a request.
+            PolicyKind::Wrr | PolicyKind::Lard => Assignment::Local,
+            PolicyKind::ExtLard => {
+                let decision = self.ext_lard_decide(conn_node, target);
+                match decision {
+                    Assignment::Local => Assignment::Local,
+                    Assignment::Remote(remote) => {
+                        match self.semantics {
+                            ForwardSemantics::LateralFetch => {
+                                if self.params.batch_load_accounting {
+                                    // 1/N load on the remote node for the batch.
+                                    let f = 1.0 / batch_n as f64;
+                                    self.loads[remote.0] += f;
+                                    self.conns
+                                        .get_mut(&conn)
+                                        .expect("connection vanished")
+                                        .frac
+                                        .push((remote, f));
+                                }
+                            }
+                            ForwardSemantics::Migrate => {
+                                // The connection itself moves.
+                                self.loads[conn_node.0] -= 1.0;
+                                self.loads[remote.0] += 1.0;
+                                self.conns.get_mut(&conn).expect("connection vanished").node =
+                                    remote;
+                            }
+                        }
+                        Assignment::Remote(remote)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the node currently handling `conn` (it can change under
+    /// [`ForwardSemantics::Migrate`]).
+    pub fn connection_node(&self, conn: ConnId) -> Option<NodeId> {
+        self.conns.get(&conn).map(|s| s.node)
+    }
+
+    /// Closes a connection: removes its load unit and any outstanding
+    /// fractional remote loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown.
+    pub fn close_connection(&mut self, conn: ConnId) {
+        let state = self
+            .conns
+            .remove(&conn)
+            .expect("close_connection: unknown connection");
+        self.loads[state.node.0] -= 1.0;
+        for (node, f) in state.frac {
+            self.loads[node.0] -= f;
+        }
+    }
+
+    /// WRR pick: least-loaded node, breaking ties round-robin so equal-load
+    /// nodes share work (this is the "weighted" in weighted round-robin:
+    /// weights are the inverse of current load).
+    fn pick_least_loaded(&mut self) -> NodeId {
+        let n = self.loads.len();
+        let mut best = NodeId(self.rr_cursor % n);
+        for i in 0..n {
+            let cand = NodeId((self.rr_cursor + i) % n);
+            if self.loads[cand.0] < self.loads[best.0] {
+                best = cand;
+            }
+        }
+        self.rr_cursor = (best.0 + 1) % n;
+        best
+    }
+
+    /// Basic-LARD pick over all nodes; updates the mapping table.
+    fn lard_pick(&mut self, target: TargetId) -> NodeId {
+        let mut best = NodeId(0);
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for i in 0..self.loads.len() {
+            let node = NodeId(i);
+            let mapped = self.mapping.is_mapped(target, node);
+            let cost = aggregate_cost(self.loads[i], mapped, &self.params);
+            // Tie-break on load, then on index, for determinism.
+            let key = (cost, self.loads[i]);
+            if key < best_key {
+                best_key = key;
+                best = node;
+            }
+        }
+        if !self.mapping.is_mapped(target, best) {
+            match self.policy {
+                // Basic LARD partitions: a move re-homes the target.
+                PolicyKind::Lard => self.mapping.assign_exclusive(target, best),
+                // Extended LARD tolerates replication (its caching heuristic
+                // prunes it); a first-request assignment still re-homes, as
+                // in basic LARD, keeping the two equivalent on HTTP/1.0.
+                PolicyKind::ExtLard => self.mapping.assign_exclusive(target, best),
+                PolicyKind::Wrr => unreachable!("WRR does not use lard_pick"),
+            }
+        }
+        best
+    }
+
+    /// Extended-LARD decision for a subsequent request (paper §4.2).
+    fn ext_lard_decide(&mut self, conn_node: NodeId, target: TargetId) -> Assignment {
+        // Rule 1: cached at the connection node -> serve locally.
+        if self.mapping.is_mapped(target, conn_node) {
+            return Assignment::Local;
+        }
+        // Rule 1b: low disk utilization -> read from local disk, avoiding
+        // forwarding overhead, and cache it (add a replica mapping).
+        if self.disk_q[conn_node.0] < self.params.disk_queue_low {
+            self.mapping.add_replica(target, conn_node);
+            return Assignment::Local;
+        }
+        // First-ever fetch of this target: no node caches it, so the
+        // connection node reads it from disk. "Mappings ... are updated each
+        // time a target is fetched from a backend node" — recording the
+        // first mapping is not replication, so the anti-thrashing heuristic
+        // does not apply. Without this, targets that only ever appear as
+        // subsequent requests (embedded objects) would never converge onto a
+        // home node.
+        if !self.mapping.is_known(target) {
+            self.mapping.add_replica(target, conn_node);
+            return Assignment::Local;
+        }
+        // Rule 2: evaluate cost metrics over the connection node and the
+        // nodes currently caching the target (or, under the ablation knob,
+        // every node).
+        let mut best = conn_node;
+        let mut best_key = (
+            aggregate_cost(
+                self.loads[conn_node.0],
+                false, // not mapped to conn node (rule 1 would have fired)
+                &self.params,
+            ),
+            self.loads[conn_node.0],
+        );
+        let candidates: Vec<NodeId> = if self.params.restrict_candidates {
+            self.mapping.nodes(target).to_vec()
+        } else {
+            (0..self.loads.len()).map(NodeId).collect()
+        };
+        for cand in candidates {
+            if cand == conn_node {
+                continue;
+            }
+            let mapped = self.mapping.is_mapped(target, cand);
+            let cost = aggregate_cost(self.loads[cand.0], mapped, &self.params);
+            let key = (cost, self.loads[cand.0]);
+            if key < best_key {
+                best_key = key;
+                best = cand;
+            }
+        }
+        if best == conn_node {
+            // Serving locally from disk under high disk utilization: the
+            // anti-thrashing heuristic says do NOT cache (no mapping added).
+            Assignment::Local
+        } else {
+            // The serving node will end up caching the target (it reads it
+            // from its disk if it no longer has it); record that.
+            self.mapping.add_replica(target, best);
+            Assignment::Remote(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TargetId {
+        TargetId(i)
+    }
+
+    fn ext_dispatcher(nodes: usize) -> Dispatcher {
+        Dispatcher::new(
+            PolicyKind::ExtLard,
+            ForwardSemantics::LateralFetch,
+            nodes,
+            LardParams::default(),
+        )
+    }
+
+    #[test]
+    fn wrr_spreads_connections_evenly() {
+        let mut d = Dispatcher::new(
+            PolicyKind::Wrr,
+            ForwardSemantics::LateralFetch,
+            4,
+            LardParams::default(),
+        );
+        let mut counts = [0usize; 4];
+        for i in 0..400 {
+            let n = d.open_connection(ConnId(i), t(i as u32));
+            counts[n.0] += 1;
+        }
+        assert_eq!(counts, [100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn wrr_prefers_less_loaded_after_closures() {
+        let mut d = Dispatcher::new(
+            PolicyKind::Wrr,
+            ForwardSemantics::LateralFetch,
+            2,
+            LardParams::default(),
+        );
+        let n0 = d.open_connection(ConnId(0), t(0));
+        let _n1 = d.open_connection(ConnId(1), t(1));
+        d.close_connection(ConnId(0));
+        // Node n0 is now empty; the next connection must go there.
+        let n2 = d.open_connection(ConnId(2), t(2));
+        assert_eq!(n2, n0);
+    }
+
+    #[test]
+    fn lard_is_sticky_for_a_mapped_target() {
+        let mut d = Dispatcher::new(
+            PolicyKind::Lard,
+            ForwardSemantics::LateralFetch,
+            4,
+            LardParams::default(),
+        );
+        let first = d.open_connection(ConnId(0), t(7));
+        for i in 1..20 {
+            let n = d.open_connection(ConnId(i), t(7));
+            assert_eq!(n, first, "lightly loaded mapped node must keep its target");
+        }
+    }
+
+    #[test]
+    fn lard_moves_target_off_overloaded_node() {
+        // With the defaults (l_idle = 25, miss_cost = 40), a mapped node at
+        // load L wins over an idle unmapped node while L - 25 < 40, i.e.
+        // through the 65th connection; the 66th (seeing load 65, a cost tie
+        // broken toward the lower-loaded node) must move the target —
+        // exactly ASPLOS LARD's T_high = 65 threshold.
+        let mut d = Dispatcher::new(
+            PolicyKind::Lard,
+            ForwardSemantics::LateralFetch,
+            2,
+            LardParams::default(),
+        );
+        let first = d.open_connection(ConnId(0), t(1));
+        for i in 1..65 {
+            assert_eq!(d.open_connection(ConnId(i), t(1)), first);
+        }
+        assert!((d.loads()[first.0] - 65.0).abs() < 1e-9);
+        let n = d.open_connection(ConnId(65), t(1));
+        assert_ne!(n, first, "node at T_high must shed the target");
+        // And the mapping moved with it.
+        assert!(d.mapping().is_mapped(t(1), n));
+        assert!(!d.mapping().is_mapped(t(1), first));
+    }
+
+    #[test]
+    fn lard_subsequent_requests_stay_local() {
+        let mut d = Dispatcher::new(
+            PolicyKind::Lard,
+            ForwardSemantics::LateralFetch,
+            4,
+            LardParams::default(),
+        );
+        let node = d.open_connection(ConnId(0), t(0));
+        d.begin_batch(ConnId(0), 3);
+        for target in [t(1), t(2), t(3)] {
+            assert_eq!(d.assign_request(ConnId(0), target), Assignment::Local);
+        }
+        assert_eq!(d.connection_node(ConnId(0)), Some(node));
+    }
+
+    #[test]
+    fn ext_lard_serves_locally_when_disk_idle_and_caches() {
+        let mut d = ext_dispatcher(2);
+        let node = d.open_connection(ConnId(0), t(0));
+        d.begin_batch(ConnId(0), 1);
+        // Disk queue is 0 (< threshold): local service plus replica mapping.
+        assert_eq!(d.assign_request(ConnId(0), t(42)), Assignment::Local);
+        assert!(d.mapping().is_mapped(t(42), node));
+    }
+
+    #[test]
+    fn ext_lard_forwards_to_caching_node_when_disk_busy() {
+        let mut d = ext_dispatcher(2);
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        let other = NodeId(1 - conn_node.0);
+        // The other node caches target 9.
+        let mut d2 = d.clone();
+        d2.report_disk_queue(conn_node, 50); // busy disk
+        d2.mapping_mut_for_tests().add_replica(t(9), other);
+        d2.begin_batch(ConnId(0), 1);
+        let a = d2.assign_request(ConnId(0), t(9));
+        assert_eq!(a, Assignment::Remote(other));
+        // Remote fetch charges 1/N = 1 load unit to the remote node.
+        assert!((d2.loads()[other.0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ext_lard_first_fetch_creates_mapping_even_with_busy_disk() {
+        let mut d = ext_dispatcher(2);
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        d.report_disk_queue(conn_node, 50);
+        d.begin_batch(ConnId(0), 1);
+        // No node caches target 5 yet: serve locally from disk. This first
+        // fetch records the mapping (it is not replication), so the target
+        // converges onto a home node.
+        assert_eq!(d.assign_request(ConnId(0), t(5)), Assignment::Local);
+        assert!(d.mapping().is_mapped(t(5), conn_node));
+    }
+
+    #[test]
+    fn ext_lard_busy_disk_no_replication_when_mapped_elsewhere() {
+        let mut d = ext_dispatcher(2);
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        let other = NodeId(1 - conn_node.0);
+        d.report_disk_queue(conn_node, 50);
+        // Target 9 is cached on the other node, but that node is overloaded:
+        // the cost metrics keep the request local — and the anti-thrashing
+        // heuristic must NOT add a local replica mapping.
+        d.mapping_mut_for_tests().add_replica(t(9), other);
+        d.set_load_for_tests(other, 200.0); // past l_overload: infinite cost
+        d.begin_batch(ConnId(0), 1);
+        assert_eq!(d.assign_request(ConnId(0), t(9)), Assignment::Local);
+        assert!(!d.mapping().is_mapped(t(9), conn_node));
+    }
+
+    #[test]
+    fn batch_fractions_are_cleared_on_next_batch() {
+        let mut d = ext_dispatcher(2);
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        let other = NodeId(1 - conn_node.0);
+        d.report_disk_queue(conn_node, 50);
+        d.mapping_mut_for_tests().add_replica(t(1), other);
+        d.mapping_mut_for_tests().add_replica(t(2), other);
+
+        d.begin_batch(ConnId(0), 2);
+        assert!(d.assign_request(ConnId(0), t(1)).is_remote());
+        assert!(d.assign_request(ConnId(0), t(2)).is_remote());
+        // Two requests at 1/2 load each.
+        assert!((d.loads()[other.0] - 1.0).abs() < 1e-9);
+
+        // The next batch clears the previous fractional charges.
+        d.begin_batch(ConnId(0), 1);
+        assert!(d.loads()[other.0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_clears_connection_and_fractions() {
+        let mut d = ext_dispatcher(2);
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        let other = NodeId(1 - conn_node.0);
+        d.report_disk_queue(conn_node, 50);
+        d.mapping_mut_for_tests().add_replica(t(1), other);
+        d.begin_batch(ConnId(0), 1);
+        let _ = d.assign_request(ConnId(0), t(1));
+        d.close_connection(ConnId(0));
+        assert!(d.loads().iter().all(|&l| l.abs() < 1e-9));
+        assert_eq!(d.active_connections(), 0);
+    }
+
+    #[test]
+    fn migrate_semantics_moves_the_load_unit() {
+        let mut d = Dispatcher::new(
+            PolicyKind::ExtLard,
+            ForwardSemantics::Migrate,
+            2,
+            LardParams::default(),
+        );
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        let other = NodeId(1 - conn_node.0);
+        d.report_disk_queue(conn_node, 50);
+        d.mapping_mut_for_tests().add_replica(t(1), other);
+        d.begin_batch(ConnId(0), 1);
+        let a = d.assign_request(ConnId(0), t(1));
+        assert_eq!(a, Assignment::Remote(other));
+        // The whole connection moved.
+        assert_eq!(d.connection_node(ConnId(0)), Some(other));
+        assert!((d.loads()[other.0] - 1.0).abs() < 1e-9);
+        assert!(d.loads()[conn_node.0].abs() < 1e-9);
+        d.close_connection(ConnId(0));
+        assert!(d.loads().iter().all(|&l| l.abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "opened twice")]
+    fn double_open_panics() {
+        let mut d = ext_dispatcher(2);
+        d.open_connection(ConnId(0), t(0));
+        d.open_connection(ConnId(0), t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown connection")]
+    fn assign_on_unknown_connection_panics() {
+        let mut d = ext_dispatcher(2);
+        let _ = d.assign_request(ConnId(99), t(0));
+    }
+
+    impl Dispatcher {
+        /// Test-only access to mutate the mapping table directly.
+        fn mapping_mut_for_tests(&mut self) -> &mut MappingTable {
+            &mut self.mapping
+        }
+
+        /// Test-only override of a node's load estimate.
+        fn set_load_for_tests(&mut self, node: NodeId, load: f64) {
+            self.loads[node.0] = load;
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Content-based request distribution for cluster-based Web servers.
+//!
+//! This crate is the primary contribution of the reproduced paper —
+//! *Efficient Support for P-HTTP in Cluster-Based Web Servers* (Aron,
+//! Druschel, Zwaenepoel; USENIX 1999) — as a reusable library:
+//!
+//! * the LARD **cost metrics** ([`cost`], the paper's Figure 4);
+//! * the front-end **mapping table** ([`mapping`]) that partitions (and,
+//!   under extended LARD, selectively replicates) the working set;
+//! * the **dispatcher** ([`dispatcher`]) implementing weighted round-robin,
+//!   basic LARD, and the paper's extended LARD for HTTP/1.1 persistent
+//!   connections, including the 1/N pipelined-batch load accounting;
+//! * the **mechanism** taxonomy ([`mechanism`]): relaying front-end, TCP
+//!   single/multiple handoff, back-end forwarding, and the zero-cost ideal.
+//!
+//! The same dispatcher drives both the trace-driven simulator (`phttp-sim`)
+//! and the live loopback prototype (`phttp-proto`), mirroring the paper
+//! where one dispatcher design is studied in simulation and implemented in
+//! a FreeBSD kernel module.
+//!
+//! # Examples
+//!
+//! ```
+//! use phttp_core::{ConnId, Dispatcher, ForwardSemantics, LardParams, PolicyKind};
+//! use phttp_trace::TargetId;
+//!
+//! // A 4-node cluster running extended LARD with back-end forwarding.
+//! let mut d = Dispatcher::new(
+//!     PolicyKind::ExtLard,
+//!     ForwardSemantics::LateralFetch,
+//!     4,
+//!     LardParams::default(),
+//! );
+//! // First request of a persistent connection chooses the handling node...
+//! let node = d.open_connection(ConnId(1), TargetId(10));
+//! // ...and a later pipelined batch of two requests is assigned per-request.
+//! d.begin_batch(ConnId(1), 2);
+//! let a = d.assign_request(ConnId(1), TargetId(11));
+//! let b = d.assign_request(ConnId(1), TargetId(12));
+//! assert_eq!(a.serving_node(node), node); // disk idle: served locally
+//! assert_eq!(b.serving_node(node), node);
+//! d.close_connection(ConnId(1));
+//! assert!(d.loads().iter().all(|&l| l == 0.0));
+//! ```
+
+pub mod cost;
+pub mod costmodel;
+pub mod dispatcher;
+pub mod mapping;
+pub mod mechanism;
+pub mod types;
+
+pub use cost::{aggregate_cost, cost_balancing, cost_locality, cost_replacement, LardParams};
+pub use costmodel::{MechanismCosts, ServerCosts};
+pub use dispatcher::{Dispatcher, ForwardSemantics, PolicyKind};
+pub use mapping::MappingTable;
+pub use mechanism::Mechanism;
+pub use types::{Assignment, ConnId, NodeId};

@@ -1,0 +1,164 @@
+//! The front-end's target-to-node mapping table.
+//!
+//! LARD "maintains mappings between targets and back-end nodes such that a
+//! target is considered to be cached on its associated back-end nodes". The
+//! table is the front-end's *belief* about cache contents — the real caches
+//! (simulated LRU or prototype file cache) may disagree after evictions,
+//! which is part of the behaviour being studied.
+//!
+//! Basic LARD keeps at most one node per target (it partitions the working
+//! set). Extended LARD can *replicate*: serving a target locally on a
+//! lightly-loaded connection-handling node adds that node to the target's
+//! set (the paper's point 3 trade-off: replication reduces forwarding but
+//! shrinks the aggregate effective cache).
+
+use std::collections::HashMap;
+
+use phttp_trace::TargetId;
+
+use crate::types::NodeId;
+
+/// Target → set-of-nodes mapping with small inline sets.
+#[derive(Debug, Clone, Default)]
+pub struct MappingTable {
+    map: HashMap<TargetId, Vec<NodeId>>,
+}
+
+impl MappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if `target` is mapped to `node`.
+    pub fn is_mapped(&self, target: TargetId, node: NodeId) -> bool {
+        self.map
+            .get(&target)
+            .is_some_and(|nodes| nodes.contains(&node))
+    }
+
+    /// Returns the nodes believed to cache `target` (possibly empty).
+    pub fn nodes(&self, target: TargetId) -> &[NodeId] {
+        self.map.get(&target).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns `true` if the target has any mapping.
+    pub fn is_known(&self, target: TargetId) -> bool {
+        self.map.get(&target).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Replaces the target's mapping with exactly `node` (basic-LARD move:
+    /// the working-set partition assigns each target to one node).
+    pub fn assign_exclusive(&mut self, target: TargetId, node: NodeId) {
+        let entry = self.map.entry(target).or_default();
+        entry.clear();
+        entry.push(node);
+    }
+
+    /// Adds `node` to the target's set if absent (extended-LARD replication).
+    pub fn add_replica(&mut self, target: TargetId, node: NodeId) {
+        let entry = self.map.entry(target).or_default();
+        if !entry.contains(&node) {
+            entry.push(node);
+        }
+    }
+
+    /// Removes `node` from the target's set (e.g. on node failure).
+    pub fn remove_replica(&mut self, target: TargetId, node: NodeId) {
+        if let Some(entry) = self.map.get_mut(&target) {
+            entry.retain(|&n| n != node);
+            if entry.is_empty() {
+                self.map.remove(&target);
+            }
+        }
+    }
+
+    /// Drops every mapping that references `node` (node decommissioning).
+    pub fn evict_node(&mut self, node: NodeId) {
+        self.map.retain(|_, nodes| {
+            nodes.retain(|&n| n != node);
+            !nodes.is_empty()
+        });
+    }
+
+    /// Number of targets with at least one mapping.
+    pub fn num_targets(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of (target, node) pairs — `>= num_targets()`; the excess
+    /// measures replication.
+    pub fn num_replicas(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Mean replicas per mapped target (1.0 = pure partitioning).
+    pub fn replication_factor(&self) -> f64 {
+        if self.map.is_empty() {
+            return 0.0;
+        }
+        self.num_replicas() as f64 / self.num_targets() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TargetId {
+        TargetId(i)
+    }
+
+    #[test]
+    fn exclusive_assignment_replaces() {
+        let mut m = MappingTable::new();
+        m.assign_exclusive(t(1), NodeId(0));
+        assert!(m.is_mapped(t(1), NodeId(0)));
+        m.assign_exclusive(t(1), NodeId(2));
+        assert!(!m.is_mapped(t(1), NodeId(0)));
+        assert!(m.is_mapped(t(1), NodeId(2)));
+        assert_eq!(m.nodes(t(1)), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn replicas_accumulate_without_duplicates() {
+        let mut m = MappingTable::new();
+        m.add_replica(t(5), NodeId(0));
+        m.add_replica(t(5), NodeId(1));
+        m.add_replica(t(5), NodeId(1));
+        assert_eq!(m.nodes(t(5)).len(), 2);
+        assert_eq!(m.num_replicas(), 2);
+        assert_eq!(m.num_targets(), 1);
+        assert!((m.replication_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_replica_cleans_up() {
+        let mut m = MappingTable::new();
+        m.add_replica(t(1), NodeId(0));
+        m.remove_replica(t(1), NodeId(0));
+        assert!(!m.is_known(t(1)));
+        assert_eq!(m.num_targets(), 0);
+        // Removing from an unknown target is a no-op.
+        m.remove_replica(t(9), NodeId(3));
+    }
+
+    #[test]
+    fn evict_node_strips_all_mappings() {
+        let mut m = MappingTable::new();
+        m.add_replica(t(1), NodeId(0));
+        m.add_replica(t(1), NodeId(1));
+        m.add_replica(t(2), NodeId(0));
+        m.evict_node(NodeId(0));
+        assert_eq!(m.nodes(t(1)), &[NodeId(1)]);
+        assert!(!m.is_known(t(2)));
+    }
+
+    #[test]
+    fn unknown_target_reports_empty() {
+        let m = MappingTable::new();
+        assert!(!m.is_mapped(t(3), NodeId(0)));
+        assert!(m.nodes(t(3)).is_empty());
+        assert_eq!(m.replication_factor(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Common identifier types for the policy layer.
+
+use std::fmt;
+
+/// Index of a back-end node within the cluster (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "be{}", self.0)
+    }
+}
+
+/// Front-end-assigned identifier of a client connection.
+///
+/// The host system (simulator or prototype front-end) allocates these; the
+/// dispatcher only uses them as keys for per-connection policy state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Where a request arriving on an already-handed-off connection is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Served by the connection-handling node itself.
+    Local,
+    /// Served by another node. Under back-end forwarding the connection
+    /// node fetches laterally; under multiple handoff the connection
+    /// migrates (the dispatcher has already re-homed its state).
+    Remote(NodeId),
+}
+
+impl Assignment {
+    /// Returns the serving node, given the connection-handling node.
+    pub fn serving_node(self, conn_node: NodeId) -> NodeId {
+        match self {
+            Assignment::Local => conn_node,
+            Assignment::Remote(n) => n,
+        }
+    }
+
+    /// Returns `true` if the request is served off the connection node.
+    pub fn is_remote(self) -> bool {
+        matches!(self, Assignment::Remote(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_serving_node() {
+        assert_eq!(Assignment::Local.serving_node(NodeId(3)), NodeId(3));
+        assert_eq!(
+            Assignment::Remote(NodeId(1)).serving_node(NodeId(3)),
+            NodeId(1)
+        );
+        assert!(!Assignment::Local.is_remote());
+        assert!(Assignment::Remote(NodeId(0)).is_remote());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(2).to_string(), "be2");
+        assert_eq!(ConnId(7).to_string(), "conn7");
+    }
+}

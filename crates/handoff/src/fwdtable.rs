@@ -1,0 +1,251 @@
+//! The front-end's packet-forwarding table (the "forwarding module" of
+//! §7.1/Figure 10).
+//!
+//! After a handoff, every packet the client sends still arrives at the
+//! front-end (the cluster is one virtual server); the forwarding module
+//! routes it to the connection-handling back-end "in an efficient manner",
+//! and sends a *copy* of request-bearing packets up to the dispatcher so it
+//! can assign subsequent requests. During a migration the route is in
+//! flux: packets are buffered rather than dropped or misdelivered, which is
+//! the paper's "keep the TCP pipeline from draining" requirement.
+
+use std::collections::HashMap;
+
+use phttp_core::NodeId;
+
+/// A client endpoint (the connection key the kernel module hashes on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientKey {
+    /// Client IPv4 address.
+    pub ip: u32,
+    /// Client TCP port.
+    pub port: u16,
+}
+
+/// Where an incoming client packet goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Forward to the connection-handling back-end; `copy_to_dispatcher`
+    /// is set for request-bearing packets (the dispatcher needs them to
+    /// assign subsequent requests).
+    Forward {
+        /// The owning back-end.
+        node: NodeId,
+        /// Whether a copy goes up to the dispatcher.
+        copy_to_dispatcher: bool,
+    },
+    /// The connection is mid-migration: the packet was queued.
+    Buffered,
+    /// No route: not a handed-off connection (e.g. a brand-new SYN, which
+    /// the listener path handles instead).
+    Unrouted,
+}
+
+#[derive(Debug)]
+enum Entry {
+    Active(NodeId),
+    /// Migration in flight: buffered packet payloads, in arrival order.
+    Migrating(Vec<Vec<u8>>),
+}
+
+/// The forwarding table.
+#[derive(Debug, Default)]
+pub struct ForwardingTable {
+    routes: HashMap<ClientKey, Entry>,
+    forwarded: u64,
+    buffered: u64,
+}
+
+impl ForwardingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a route after a successful handoff.
+    pub fn install(&mut self, key: ClientKey, node: NodeId) {
+        self.routes.insert(key, Entry::Active(node));
+    }
+
+    /// Removes a route (connection closed). Returns any packets still
+    /// buffered by an interrupted migration.
+    pub fn remove(&mut self, key: ClientKey) -> Vec<Vec<u8>> {
+        match self.routes.remove(&key) {
+            Some(Entry::Migrating(buf)) => buf,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Marks a connection as migrating: subsequent packets buffer until
+    /// [`ForwardingTable::complete_migration`].
+    ///
+    /// Returns `false` if the key has no active route.
+    pub fn begin_migration(&mut self, key: ClientKey) -> bool {
+        match self.routes.get_mut(&key) {
+            Some(e @ Entry::Active(_)) => {
+                *e = Entry::Migrating(Vec::new());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Completes a migration: installs the new owner and returns the
+    /// packets buffered while the route was in flux, in arrival order, so
+    /// the caller can forward them to the new owner.
+    pub fn complete_migration(&mut self, key: ClientKey, node: NodeId) -> Vec<Vec<u8>> {
+        match self.routes.insert(key, Entry::Active(node)) {
+            Some(Entry::Migrating(buf)) => buf,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Aborts a migration, restoring the old owner; returns buffered
+    /// packets for forwarding to that owner.
+    pub fn abort_migration(&mut self, key: ClientKey, old: NodeId) -> Vec<Vec<u8>> {
+        self.complete_migration(key, old)
+    }
+
+    /// Routes one client packet. `is_request` marks packets carrying
+    /// request bytes (vs. pure ACKs).
+    pub fn route(&mut self, key: ClientKey, payload: &[u8], is_request: bool) -> RouteDecision {
+        match self.routes.get_mut(&key) {
+            Some(Entry::Active(node)) => {
+                self.forwarded += 1;
+                RouteDecision::Forward {
+                    node: *node,
+                    copy_to_dispatcher: is_request,
+                }
+            }
+            Some(Entry::Migrating(buf)) => {
+                buf.push(payload.to_vec());
+                self.buffered += 1;
+                RouteDecision::Buffered
+            }
+            None => RouteDecision::Unrouted,
+        }
+    }
+
+    /// Current owner of a route, if active.
+    pub fn owner(&self, key: ClientKey) -> Option<NodeId> {
+        match self.routes.get(&key) {
+            Some(Entry::Active(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Number of installed routes (active + migrating).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Returns `true` if no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets buffered during migrations so far.
+    pub fn buffered(&self) -> u64 {
+        self.buffered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u16) -> ClientKey {
+        ClientKey {
+            ip: 0x0A000001,
+            port: n,
+        }
+    }
+
+    #[test]
+    fn install_route_and_forward() {
+        let mut t = ForwardingTable::new();
+        t.install(key(1), NodeId(2));
+        let d = t.route(key(1), b"ack", false);
+        assert_eq!(
+            d,
+            RouteDecision::Forward {
+                node: NodeId(2),
+                copy_to_dispatcher: false
+            }
+        );
+        let d = t.route(key(1), b"GET /", true);
+        assert_eq!(
+            d,
+            RouteDecision::Forward {
+                node: NodeId(2),
+                copy_to_dispatcher: true
+            }
+        );
+        assert_eq!(t.forwarded(), 2);
+    }
+
+    #[test]
+    fn unknown_key_is_unrouted() {
+        let mut t = ForwardingTable::new();
+        assert_eq!(t.route(key(9), b"x", false), RouteDecision::Unrouted);
+    }
+
+    #[test]
+    fn migration_buffers_and_replays_in_order() {
+        let mut t = ForwardingTable::new();
+        t.install(key(1), NodeId(0));
+        assert!(t.begin_migration(key(1)));
+        assert_eq!(t.route(key(1), b"p1", true), RouteDecision::Buffered);
+        assert_eq!(t.route(key(1), b"p2", false), RouteDecision::Buffered);
+        let replay = t.complete_migration(key(1), NodeId(3));
+        assert_eq!(replay, vec![b"p1".to_vec(), b"p2".to_vec()]);
+        assert_eq!(t.owner(key(1)), Some(NodeId(3)));
+        // After completion, packets flow to the new owner.
+        assert_eq!(
+            t.route(key(1), b"p3", false),
+            RouteDecision::Forward {
+                node: NodeId(3),
+                copy_to_dispatcher: false
+            }
+        );
+    }
+
+    #[test]
+    fn abort_restores_old_owner_with_replay() {
+        let mut t = ForwardingTable::new();
+        t.install(key(1), NodeId(0));
+        t.begin_migration(key(1));
+        t.route(key(1), b"p", false);
+        let replay = t.abort_migration(key(1), NodeId(0));
+        assert_eq!(replay.len(), 1);
+        assert_eq!(t.owner(key(1)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn cannot_migrate_nonexistent_or_migrating_route() {
+        let mut t = ForwardingTable::new();
+        assert!(!t.begin_migration(key(1)));
+        t.install(key(1), NodeId(0));
+        assert!(t.begin_migration(key(1)));
+        assert!(
+            !t.begin_migration(key(1)),
+            "double migration must be refused"
+        );
+    }
+
+    #[test]
+    fn remove_returns_stranded_buffer() {
+        let mut t = ForwardingTable::new();
+        t.install(key(1), NodeId(0));
+        t.begin_migration(key(1));
+        t.route(key(1), b"stranded", false);
+        let buf = t.remove(key(1));
+        assert_eq!(buf, vec![b"stranded".to_vec()]);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! The TCP handoff control protocol of the paper's §7, as a reusable,
+//! sans-io protocol implementation.
+//!
+//! The paper realizes handoff inside FreeBSD loadable kernel modules; this
+//! crate reproduces the *protocol* those modules speak, independent of any
+//! kernel:
+//!
+//! * [`messages`] — the control-session message set (handoff request/ack,
+//!   tagged requests, migration for the §7.2 multiple-handoff extension,
+//!   close notifications, disk-queue reports) and the TCP state a handoff
+//!   transfers;
+//! * [`wire`] — a compact, versioned, length-prefixed binary encoding with
+//!   an incremental frame decoder;
+//! * [`fwdtable`] — the front-end's packet-forwarding table, including the
+//!   buffer-during-migration behaviour that keeps the TCP pipeline from
+//!   draining;
+//! * [`machine`] — sans-io front-end and back-end state machines that
+//!   consume events and emit [`machine::Action`]s for the host to execute.
+//!
+//! The live prototype (`phttp-proto`) realizes the same decision flow with
+//! in-process shortcuts (DESIGN.md §6.2/§6.4); this crate is the faithful
+//! wire-level rendering for hosts that need real distribution — and it is
+//! where a kernel (or `TCP_REPAIR`-based) transport would plug in.
+//!
+//! # Examples
+//!
+//! ```
+//! use phttp_core::{ConnId, NodeId};
+//! use phttp_handoff::fwdtable::ClientKey;
+//! use phttp_handoff::machine::{Action, BeHandoff, FeHandoff};
+//! use phttp_handoff::messages::TcpHandoffState;
+//!
+//! let mut fe = FeHandoff::new();
+//! let mut be = BeHandoff::new(NodeId(0), 0);
+//! let tcp = TcpHandoffState {
+//!     client_ip: 0x0A00_0001, client_port: 40000, local_port: 80,
+//!     snd_nxt: 1, rcv_nxt: 1, snd_wnd: 65535, mss: 1460,
+//! };
+//! let conn = ConnId(1);
+//! let client = ClientKey { ip: tcp.client_ip, port: tcp.client_port };
+//! // FE hands the connection (and the first request) to back-end 0...
+//! let actions = fe.start_handoff(conn, client, NodeId(0), tcp, b"GET / HTTP/1.1\r\n\r\n".to_vec());
+//! let Action::SendCtrl { msg, .. } = &actions[0] else { unreachable!() };
+//! // ...the back-end accepts...
+//! let ack = be.on_ctrl(msg.clone()).unwrap();
+//! fe.on_ctrl(NodeId(0), ack).unwrap();
+//! // ...and client packets now route to it.
+//! let acts = fe.on_client_packet(client, b"GET /next HTTP/1.1\r\n\r\n", true);
+//! assert!(matches!(acts[0], Action::ForwardPackets { to: NodeId(0), .. }));
+//! ```
+
+pub mod fwdtable;
+pub mod machine;
+pub mod messages;
+pub mod wire;
+
+pub use fwdtable::{ClientKey, ForwardingTable, RouteDecision};
+pub use machine::{Action, BeHandoff, FeHandoff};
+pub use messages::{CtrlMsg, TcpHandoffState};
+pub use wire::{FrameDecoder, WireError};

@@ -1,0 +1,561 @@
+//! Front-end and back-end handoff state machines.
+//!
+//! These are sans-io: they consume control messages and emit
+//! [`Action`]s; the host (kernel module, or our prototype/simulator) owns
+//! sockets and timers. That makes every protocol path unit-testable,
+//! including the migration races the paper warns about ("one of the main
+//! challenges in this design is to prevent the TCP pipeline from draining
+//! during the process of a handoff", §7.2).
+
+use std::collections::HashMap;
+
+use phttp_core::{ConnId, NodeId};
+
+use crate::fwdtable::{ClientKey, ForwardingTable, RouteDecision};
+use crate::messages::{CtrlMsg, TcpHandoffState};
+
+/// What the host must do after feeding an event into a state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send a control message to back-end `to`.
+    SendCtrl {
+        /// Destination back-end.
+        to: NodeId,
+        /// The message.
+        msg: CtrlMsg,
+    },
+    /// Forward raw client bytes to back-end `to` (data path).
+    ForwardPackets {
+        /// Destination back-end.
+        to: NodeId,
+        /// Packet payloads, in order.
+        packets: Vec<Vec<u8>>,
+    },
+    /// Hand these request bytes to the dispatcher for assignment.
+    DeliverToDispatcher {
+        /// Connection the bytes belong to.
+        conn: ConnId,
+        /// Raw request bytes.
+        data: Vec<u8>,
+    },
+    /// Tell the dispatcher the connection is gone (load bookkeeping).
+    ConnectionClosed {
+        /// The closed connection.
+        conn: ConnId,
+    },
+}
+
+/// Per-connection front-end phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FePhase {
+    /// Handoff requested, waiting for the ack.
+    AwaitingHandoff(NodeId),
+    /// Established at a back-end.
+    Established(NodeId),
+    /// Migrating from old to new.
+    Migrating { from: NodeId, to: NodeId },
+}
+
+/// The front-end handoff module: connection phases plus the forwarding table.
+#[derive(Debug, Default)]
+pub struct FeHandoff {
+    conns: HashMap<ConnId, (ClientKey, FePhase)>,
+    keys: HashMap<ClientKey, ConnId>,
+    table: ForwardingTable,
+}
+
+/// Errors from misuse of the front-end machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeError {
+    /// The connection id is unknown.
+    UnknownConn(ConnId),
+    /// The message does not fit the connection's current phase.
+    BadPhase(ConnId),
+}
+
+impl FeHandoff {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the forwarding table.
+    pub fn table(&self) -> &ForwardingTable {
+        &self.table
+    }
+
+    /// Starts handing `conn` (from `client`) to `backend`: emits the
+    /// handoff request carrying the TCP state and the first request bytes.
+    pub fn start_handoff(
+        &mut self,
+        conn: ConnId,
+        client: ClientKey,
+        backend: NodeId,
+        tcp: TcpHandoffState,
+        first_request: Vec<u8>,
+    ) -> Vec<Action> {
+        self.conns
+            .insert(conn, (client, FePhase::AwaitingHandoff(backend)));
+        self.keys.insert(client, conn);
+        vec![Action::SendCtrl {
+            to: backend,
+            msg: CtrlMsg::HandoffRequest {
+                conn,
+                tcp,
+                first_request,
+            },
+        }]
+    }
+
+    /// Starts migrating an established connection to `to` (multiple
+    /// handoff). Client packets buffer in the forwarding table until the
+    /// new owner acks.
+    pub fn start_migration(
+        &mut self,
+        conn: ConnId,
+        to: NodeId,
+        tcp: TcpHandoffState,
+    ) -> Result<Vec<Action>, FeError> {
+        let (client, phase) = self
+            .conns
+            .get_mut(&conn)
+            .ok_or(FeError::UnknownConn(conn))?;
+        let FePhase::Established(from) = *phase else {
+            return Err(FeError::BadPhase(conn));
+        };
+        *phase = FePhase::Migrating { from, to };
+        self.table.begin_migration(*client);
+        Ok(vec![Action::SendCtrl {
+            to,
+            msg: CtrlMsg::MigrateRequest { conn, tcp },
+        }])
+    }
+
+    /// Feeds a control message received from back-end `from`.
+    pub fn on_ctrl(&mut self, from: NodeId, msg: CtrlMsg) -> Result<Vec<Action>, FeError> {
+        match msg {
+            CtrlMsg::HandoffAck { conn, accepted } => {
+                let (client, phase) = self
+                    .conns
+                    .get_mut(&conn)
+                    .ok_or(FeError::UnknownConn(conn))?;
+                let FePhase::AwaitingHandoff(backend) = *phase else {
+                    return Err(FeError::BadPhase(conn));
+                };
+                if accepted {
+                    *phase = FePhase::Established(backend);
+                    self.table.install(*client, backend);
+                    Ok(Vec::new())
+                } else {
+                    // Refused: the dispatcher must pick another node; the
+                    // connection is dropped at this layer.
+                    let client = *client;
+                    self.conns.remove(&conn);
+                    self.keys.remove(&client);
+                    Ok(vec![Action::ConnectionClosed { conn }])
+                }
+            }
+            CtrlMsg::MigrateAck { conn, accepted } => {
+                let (client, phase) = self
+                    .conns
+                    .get_mut(&conn)
+                    .ok_or(FeError::UnknownConn(conn))?;
+                let FePhase::Migrating { from: old, to } = *phase else {
+                    return Err(FeError::BadPhase(conn));
+                };
+                let client = *client;
+                let mut actions = Vec::new();
+                if accepted {
+                    self.conns.insert(conn, (client, FePhase::Established(to)));
+                    let replay = self.table.complete_migration(client, to);
+                    if !replay.is_empty() {
+                        actions.push(Action::ForwardPackets {
+                            to,
+                            packets: replay,
+                        });
+                    }
+                } else {
+                    self.conns.insert(conn, (client, FePhase::Established(old)));
+                    let replay = self.table.abort_migration(client, old);
+                    if !replay.is_empty() {
+                        actions.push(Action::ForwardPackets {
+                            to: old,
+                            packets: replay,
+                        });
+                    }
+                }
+                Ok(actions)
+            }
+            CtrlMsg::ConnClosed { conn } => {
+                let (client, _) = self.conns.remove(&conn).ok_or(FeError::UnknownConn(conn))?;
+                self.keys.remove(&client);
+                self.table.remove(client);
+                Ok(vec![Action::ConnectionClosed { conn }])
+            }
+            CtrlMsg::DiskQueueReport { .. } => {
+                // Routed to the dispatcher by the host; nothing to do here.
+                let _ = from;
+                Ok(Vec::new())
+            }
+            // Back-ends never send these.
+            CtrlMsg::HandoffRequest { conn, .. }
+            | CtrlMsg::TaggedRequest { conn, .. }
+            | CtrlMsg::MigrateRequest { conn, .. } => Err(FeError::BadPhase(conn)),
+        }
+    }
+
+    /// Routes one incoming client packet per the forwarding table; request
+    /// packets additionally surface to the dispatcher (§7.3: "the
+    /// forwarding module sends a copy of all request packets to the
+    /// dispatcher once the connection has been handed off").
+    pub fn on_client_packet(
+        &mut self,
+        client: ClientKey,
+        payload: &[u8],
+        is_request: bool,
+    ) -> Vec<Action> {
+        match self.table.route(client, payload, is_request) {
+            RouteDecision::Forward {
+                node,
+                copy_to_dispatcher,
+            } => {
+                let mut actions = vec![Action::ForwardPackets {
+                    to: node,
+                    packets: vec![payload.to_vec()],
+                }];
+                if copy_to_dispatcher {
+                    if let Some(&conn) = self.keys.get(&client) {
+                        actions.push(Action::DeliverToDispatcher {
+                            conn,
+                            data: payload.to_vec(),
+                        });
+                    }
+                }
+                actions
+            }
+            RouteDecision::Buffered | RouteDecision::Unrouted => Vec::new(),
+        }
+    }
+
+    /// Emits the dispatcher's assignment as a tagged request on the control
+    /// session to the connection-handling node.
+    pub fn send_tagged(&self, conn: ConnId, data: Vec<u8>) -> Result<Vec<Action>, FeError> {
+        let (_, phase) = self.conns.get(&conn).ok_or(FeError::UnknownConn(conn))?;
+        let node = match *phase {
+            FePhase::Established(n) => n,
+            FePhase::AwaitingHandoff(n) => n,
+            // Mid-migration the tagged request follows to the new owner.
+            FePhase::Migrating { to, .. } => to,
+        };
+        Ok(vec![Action::SendCtrl {
+            to: node,
+            msg: CtrlMsg::TaggedRequest { conn, data },
+        }])
+    }
+
+    /// Number of tracked connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Returns `true` if no connections are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+}
+
+/// The back-end side: owned connections and their pending tagged requests.
+#[derive(Debug)]
+pub struct BeHandoff {
+    /// This node's id (used in acks the host sends).
+    pub node: NodeId,
+    /// Maximum connections this node accepts (0 = unlimited).
+    pub capacity: usize,
+    conns: HashMap<ConnId, TcpHandoffState>,
+    /// Tagged requests awaiting delivery to the server process, per conn.
+    pending: HashMap<ConnId, Vec<Vec<u8>>>,
+}
+
+impl BeHandoff {
+    /// Creates a back-end module.
+    pub fn new(node: NodeId, capacity: usize) -> Self {
+        BeHandoff {
+            node,
+            capacity,
+            conns: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Handles a control message from the front-end; returns the reply (if
+    /// any) that the host must send back.
+    pub fn on_ctrl(&mut self, msg: CtrlMsg) -> Option<CtrlMsg> {
+        match msg {
+            CtrlMsg::HandoffRequest {
+                conn,
+                tcp,
+                first_request,
+            } => {
+                let accepted = self.capacity == 0 || self.conns.len() < self.capacity;
+                if accepted {
+                    self.conns.insert(conn, tcp);
+                    self.pending.entry(conn).or_default().push(first_request);
+                }
+                Some(CtrlMsg::HandoffAck { conn, accepted })
+            }
+            CtrlMsg::MigrateRequest { conn, tcp } => {
+                let accepted = self.capacity == 0 || self.conns.len() < self.capacity;
+                if accepted {
+                    self.conns.insert(conn, tcp);
+                }
+                Some(CtrlMsg::MigrateAck { conn, accepted })
+            }
+            CtrlMsg::TaggedRequest { conn, data } => {
+                if self.conns.contains_key(&conn) {
+                    self.pending.entry(conn).or_default().push(data);
+                }
+                None
+            }
+            // Front-ends never send the remaining types to a back-end.
+            _ => None,
+        }
+    }
+
+    /// The server process consumed the pending requests for `conn`.
+    pub fn take_pending(&mut self, conn: ConnId) -> Vec<Vec<u8>> {
+        self.pending.remove(&conn).unwrap_or_default()
+    }
+
+    /// The connection finished (or migrated away): drop local state and
+    /// produce the close notification for the front-end (on finish).
+    pub fn release(&mut self, conn: ConnId, notify_frontend: bool) -> Option<CtrlMsg> {
+        self.conns.remove(&conn);
+        self.pending.remove(&conn);
+        notify_frontend.then_some(CtrlMsg::ConnClosed { conn })
+    }
+
+    /// Number of owned connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Returns `true` if this node owns no connections.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp() -> TcpHandoffState {
+        TcpHandoffState {
+            client_ip: 1,
+            client_port: 4242,
+            local_port: 80,
+            snd_nxt: 100,
+            rcv_nxt: 200,
+            snd_wnd: 8192,
+            mss: 1460,
+        }
+    }
+
+    fn client() -> ClientKey {
+        ClientKey { ip: 1, port: 4242 }
+    }
+
+    #[test]
+    fn full_handoff_cycle() {
+        let mut fe = FeHandoff::new();
+        let mut be = BeHandoff::new(NodeId(1), 0);
+        let conn = ConnId(1);
+
+        let actions = fe.start_handoff(conn, client(), NodeId(1), tcp(), b"GET /".to_vec());
+        let Action::SendCtrl { to, msg } = &actions[0] else {
+            panic!()
+        };
+        assert_eq!(*to, NodeId(1));
+
+        let ack = be.on_ctrl(msg.clone()).expect("ack");
+        assert_eq!(be.take_pending(conn), vec![b"GET /".to_vec()]);
+
+        assert!(fe.on_ctrl(NodeId(1), ack).unwrap().is_empty());
+        // Route installed: client packets now flow to the back-end.
+        let acts = fe.on_client_packet(client(), b"GET /2", true);
+        assert!(matches!(&acts[0], Action::ForwardPackets { to, .. } if *to == NodeId(1)));
+        assert!(matches!(&acts[1], Action::DeliverToDispatcher { .. }));
+
+        // Close unwinds everything.
+        let close = be.release(conn, true).expect("close msg");
+        let acts = fe.on_ctrl(NodeId(1), close).unwrap();
+        assert_eq!(acts, vec![Action::ConnectionClosed { conn }]);
+        assert!(fe.is_empty());
+        assert!(fe.table().is_empty());
+        assert!(be.is_empty());
+    }
+
+    #[test]
+    fn refused_handoff_reports_closed() {
+        let mut fe = FeHandoff::new();
+        let mut be = BeHandoff::new(NodeId(0), 1);
+        // Fill the back-end to capacity.
+        be.on_ctrl(CtrlMsg::HandoffRequest {
+            conn: ConnId(9),
+            tcp: tcp(),
+            first_request: Vec::new(),
+        });
+        let conn = ConnId(1);
+        let actions = fe.start_handoff(conn, client(), NodeId(0), tcp(), Vec::new());
+        let Action::SendCtrl { msg, .. } = &actions[0] else {
+            panic!()
+        };
+        let ack = be.on_ctrl(msg.clone()).unwrap();
+        assert_eq!(
+            ack,
+            CtrlMsg::HandoffAck {
+                conn,
+                accepted: false
+            }
+        );
+        let acts = fe.on_ctrl(NodeId(0), ack).unwrap();
+        assert_eq!(acts, vec![Action::ConnectionClosed { conn }]);
+        assert!(fe.is_empty());
+    }
+
+    #[test]
+    fn migration_replays_buffered_packets_to_new_owner() {
+        let mut fe = FeHandoff::new();
+        let conn = ConnId(1);
+        fe.start_handoff(conn, client(), NodeId(0), tcp(), Vec::new());
+        fe.on_ctrl(
+            NodeId(0),
+            CtrlMsg::HandoffAck {
+                conn,
+                accepted: true,
+            },
+        )
+        .unwrap();
+
+        let acts = fe.start_migration(conn, NodeId(2), tcp()).unwrap();
+        assert!(matches!(&acts[0], Action::SendCtrl { to, .. } if *to == NodeId(2)));
+        // Packets during migration buffer (no loss, no misdelivery).
+        assert!(fe.on_client_packet(client(), b"p1", false).is_empty());
+        assert!(fe.on_client_packet(client(), b"p2", true).is_empty());
+
+        let acts = fe
+            .on_ctrl(
+                NodeId(2),
+                CtrlMsg::MigrateAck {
+                    conn,
+                    accepted: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            acts,
+            vec![Action::ForwardPackets {
+                to: NodeId(2),
+                packets: vec![b"p1".to_vec(), b"p2".to_vec()],
+            }]
+        );
+        // Subsequent packets flow directly to the new owner.
+        let acts = fe.on_client_packet(client(), b"p3", false);
+        assert!(matches!(&acts[0], Action::ForwardPackets { to, .. } if *to == NodeId(2)));
+    }
+
+    #[test]
+    fn refused_migration_falls_back_to_old_owner() {
+        let mut fe = FeHandoff::new();
+        let conn = ConnId(1);
+        fe.start_handoff(conn, client(), NodeId(0), tcp(), Vec::new());
+        fe.on_ctrl(
+            NodeId(0),
+            CtrlMsg::HandoffAck {
+                conn,
+                accepted: true,
+            },
+        )
+        .unwrap();
+        fe.start_migration(conn, NodeId(2), tcp()).unwrap();
+        fe.on_client_packet(client(), b"p", false);
+        let acts = fe
+            .on_ctrl(
+                NodeId(2),
+                CtrlMsg::MigrateAck {
+                    conn,
+                    accepted: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            acts,
+            vec![Action::ForwardPackets {
+                to: NodeId(0),
+                packets: vec![b"p".to_vec()]
+            }]
+        );
+        // Old owner still serves the connection.
+        let acts = fe.on_client_packet(client(), b"q", false);
+        assert!(matches!(&acts[0], Action::ForwardPackets { to, .. } if *to == NodeId(0)));
+    }
+
+    #[test]
+    fn tagged_requests_follow_the_connection() {
+        let mut fe = FeHandoff::new();
+        let conn = ConnId(1);
+        fe.start_handoff(conn, client(), NodeId(0), tcp(), Vec::new());
+        fe.on_ctrl(
+            NodeId(0),
+            CtrlMsg::HandoffAck {
+                conn,
+                accepted: true,
+            },
+        )
+        .unwrap();
+        let acts = fe.send_tagged(conn, b"GET /be_2/x".to_vec()).unwrap();
+        assert!(matches!(&acts[0], Action::SendCtrl { to, .. } if *to == NodeId(0)));
+        // Mid-migration, tags go to the prospective new owner.
+        fe.start_migration(conn, NodeId(2), tcp()).unwrap();
+        let acts = fe.send_tagged(conn, b"GET /y".to_vec()).unwrap();
+        assert!(matches!(&acts[0], Action::SendCtrl { to, .. } if *to == NodeId(2)));
+    }
+
+    #[test]
+    fn protocol_misuse_is_rejected() {
+        let mut fe = FeHandoff::new();
+        assert_eq!(
+            fe.on_ctrl(NodeId(0), CtrlMsg::ConnClosed { conn: ConnId(9) }),
+            Err(FeError::UnknownConn(ConnId(9)))
+        );
+        let conn = ConnId(1);
+        fe.start_handoff(conn, client(), NodeId(0), tcp(), Vec::new());
+        // Migrating before establishment is a phase error.
+        assert_eq!(
+            fe.start_migration(conn, NodeId(1), tcp()),
+            Err(FeError::BadPhase(conn))
+        );
+        // A back-end-bound message arriving at the front-end is an error.
+        assert!(fe
+            .on_ctrl(
+                NodeId(0),
+                CtrlMsg::TaggedRequest {
+                    conn,
+                    data: Vec::new()
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn backend_ignores_tags_for_unknown_connections() {
+        let mut be = BeHandoff::new(NodeId(0), 0);
+        assert!(be
+            .on_ctrl(CtrlMsg::TaggedRequest {
+                conn: ConnId(5),
+                data: b"x".to_vec()
+            })
+            .is_none());
+        assert!(be.take_pending(ConnId(5)).is_empty());
+    }
+}

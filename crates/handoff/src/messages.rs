@@ -1,0 +1,116 @@
+//! Control-protocol message types.
+
+use phttp_core::ConnId;
+
+/// The TCP state a handoff transfers: enough for the receiving kernel to
+/// reconstruct the connection endpoint and keep sequence numbers flowing
+/// (the receiving node then masquerades as the front-end — "all packets
+/// from the connection handling node appear to be coming from the
+/// front-end", §7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHandoffState {
+    /// Client IPv4 address.
+    pub client_ip: u32,
+    /// Client TCP port.
+    pub client_port: u16,
+    /// The front-end's (server-side) port the client connected to.
+    pub local_port: u16,
+    /// Next sequence number to send.
+    pub snd_nxt: u32,
+    /// Next sequence number expected from the client.
+    pub rcv_nxt: u32,
+    /// Current send window.
+    pub snd_wnd: u16,
+    /// Negotiated maximum segment size.
+    pub mss: u16,
+}
+
+/// Messages on the front-end/back-end control sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Front-end → back-end: take over this client connection. Carries the
+    /// TCP state and the already-read first request bytes (the dispatcher
+    /// consumed them to make the content-based decision).
+    HandoffRequest {
+        /// Connection being handed off.
+        conn: ConnId,
+        /// Transferred TCP endpoint state.
+        tcp: TcpHandoffState,
+        /// Raw bytes of the first request.
+        first_request: Vec<u8>,
+    },
+    /// Back-end → front-end: handoff outcome. On `accepted`, the front-end
+    /// installs the forwarding route for the client's packets.
+    HandoffAck {
+        /// Connection the ack refers to.
+        conn: ConnId,
+        /// Whether the back-end took the connection.
+        accepted: bool,
+    },
+    /// Front-end → back-end: a dispatcher-assigned (possibly tagged)
+    /// subsequent request, delivered reliably over the control session and
+    /// placed directly into the server's socket buffer (§7.3, Figure 10).
+    TaggedRequest {
+        /// Connection the request belongs to.
+        conn: ConnId,
+        /// Raw request bytes (URI possibly rewritten with a `/be_k/` tag).
+        data: Vec<u8>,
+    },
+    /// Front-end → back-end: migrate this connection *in* (multiple
+    /// handoff, §7.2's sketched extension).
+    MigrateRequest {
+        /// Connection being migrated.
+        conn: ConnId,
+        /// TCP state as transferred from the previous owner.
+        tcp: TcpHandoffState,
+    },
+    /// Back-end → front-end: migration outcome; on `accepted` the
+    /// front-end re-points the forwarding route.
+    MigrateAck {
+        /// Connection the ack refers to.
+        conn: ConnId,
+        /// Whether the new back-end took the connection.
+        accepted: bool,
+    },
+    /// Back-end → front-end: the client connection finished; the forwarding
+    /// route can be removed and the dispatcher's load updated.
+    ConnClosed {
+        /// Connection that closed.
+        conn: ConnId,
+    },
+    /// Back-end → front-end: periodic disk queue depth (what extended
+    /// LARD's disk-utilization heuristic reads, §7.1).
+    DiskQueueReport {
+        /// Number of queued disk events.
+        depth: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_state_is_plain_data() {
+        let a = TcpHandoffState {
+            client_ip: 1,
+            client_port: 2,
+            local_port: 3,
+            snd_nxt: 4,
+            rcv_nxt: 5,
+            snd_wnd: 6,
+            mss: 7,
+        };
+        let b = a;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn messages_compare_structurally() {
+        let m1 = CtrlMsg::ConnClosed { conn: ConnId(1) };
+        let m2 = CtrlMsg::ConnClosed { conn: ConnId(1) };
+        let m3 = CtrlMsg::ConnClosed { conn: ConnId(2) };
+        assert_eq!(m1, m2);
+        assert_ne!(m1, m3);
+    }
+}

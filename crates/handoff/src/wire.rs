@@ -1,0 +1,393 @@
+//! Wire format of the handoff control protocol.
+//!
+//! The paper's front-end and back-end handoff modules communicate over
+//! per-back-end *control sessions* ("the TCP single handoff protocol ...
+//! runs over the standard TCP/IP to provide a control session between the
+//! front-end and the back-end machine", §7.1). This module defines the
+//! messages and a compact, versioned, length-prefixed binary encoding —
+//! what the loadable kernel modules would put on those sessions.
+//!
+//! Framing: every message is `[len: u32][version: u8][type: u8][payload]`
+//! with all integers big-endian. `len` counts everything after itself.
+
+use std::fmt;
+
+use crate::messages::{CtrlMsg, TcpHandoffState};
+
+/// Protocol version byte; bump on incompatible changes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on one control message (tagged requests carry HTTP heads,
+/// which the HTTP layer bounds at 16 KB).
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Decode failure reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does (need more bytes).
+    Truncated,
+    /// The version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Unknown message type byte.
+    BadType(u8),
+    /// Frame length field exceeds [`MAX_FRAME`] or is impossibly small.
+    BadLength(u32),
+    /// Payload structure does not match the message type.
+    Malformed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadType(t) => write!(f, "unknown message type {t}"),
+            WireError::BadLength(l) => write!(f, "bad frame length {l}"),
+            WireError::Malformed => write!(f, "malformed payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const T_HANDOFF_REQ: u8 = 1;
+const T_HANDOFF_ACK: u8 = 2;
+const T_TAGGED_REQ: u8 = 3;
+const T_MIGRATE_REQ: u8 = 4;
+const T_MIGRATE_ACK: u8 = 5;
+const T_CONN_CLOSED: u8 = 6;
+const T_DISK_REPORT: u8 = 7;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_tcp(out: &mut Vec<u8>, t: &TcpHandoffState) {
+    put_u32(out, t.client_ip);
+    put_u16(out, t.client_port);
+    put_u16(out, t.local_port);
+    put_u32(out, t.snd_nxt);
+    put_u32(out, t.rcv_nxt);
+    put_u16(out, t.snd_wnd);
+    put_u16(out, t.mss);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Malformed);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn tcp(&mut self) -> Result<TcpHandoffState, WireError> {
+        Ok(TcpHandoffState {
+            client_ip: self.u32()?,
+            client_port: self.u16()?,
+            local_port: self.u16()?,
+            snd_nxt: self.u32()?,
+            rcv_nxt: self.u32()?,
+            snd_wnd: self.u16()?,
+            mss: self.u16()?,
+        })
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed)
+        }
+    }
+}
+
+/// Encodes one message, appending the frame to `out`.
+pub fn encode(msg: &CtrlMsg, out: &mut Vec<u8>) {
+    let start = out.len();
+    put_u32(out, 0); // length placeholder
+    out.push(WIRE_VERSION);
+    match msg {
+        CtrlMsg::HandoffRequest {
+            conn,
+            tcp,
+            first_request,
+        } => {
+            out.push(T_HANDOFF_REQ);
+            put_u64(out, conn.0);
+            put_tcp(out, tcp);
+            put_u32(out, first_request.len() as u32);
+            out.extend_from_slice(first_request);
+        }
+        CtrlMsg::HandoffAck { conn, accepted } => {
+            out.push(T_HANDOFF_ACK);
+            put_u64(out, conn.0);
+            out.push(u8::from(*accepted));
+        }
+        CtrlMsg::TaggedRequest { conn, data } => {
+            out.push(T_TAGGED_REQ);
+            put_u64(out, conn.0);
+            put_u32(out, data.len() as u32);
+            out.extend_from_slice(data);
+        }
+        CtrlMsg::MigrateRequest { conn, tcp } => {
+            out.push(T_MIGRATE_REQ);
+            put_u64(out, conn.0);
+            put_tcp(out, tcp);
+        }
+        CtrlMsg::MigrateAck { conn, accepted } => {
+            out.push(T_MIGRATE_ACK);
+            put_u64(out, conn.0);
+            out.push(u8::from(*accepted));
+        }
+        CtrlMsg::ConnClosed { conn } => {
+            out.push(T_CONN_CLOSED);
+            put_u64(out, conn.0);
+        }
+        CtrlMsg::DiskQueueReport { depth } => {
+            out.push(T_DISK_REPORT);
+            put_u32(out, *depth);
+        }
+    }
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_be_bytes());
+}
+
+/// Decodes one message from the front of `buf`.
+///
+/// Returns the message and the number of bytes consumed, or
+/// [`WireError::Truncated`] if the frame is incomplete (feed more bytes).
+pub fn decode(buf: &[u8]) -> Result<(CtrlMsg, usize), WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().unwrap());
+    if len < 2 || len as usize > MAX_FRAME {
+        return Err(WireError::BadLength(len));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let frame = &buf[4..total];
+    if frame[0] != WIRE_VERSION {
+        return Err(WireError::BadVersion(frame[0]));
+    }
+    let ty = frame[1];
+    let mut r = Reader {
+        buf: &frame[2..],
+        pos: 0,
+    };
+    let msg = match ty {
+        T_HANDOFF_REQ => {
+            let conn = phttp_core::ConnId(r.u64()?);
+            let tcp = r.tcp()?;
+            let n = r.u32()? as usize;
+            let first_request = r.take(n)?.to_vec();
+            CtrlMsg::HandoffRequest {
+                conn,
+                tcp,
+                first_request,
+            }
+        }
+        T_HANDOFF_ACK => CtrlMsg::HandoffAck {
+            conn: phttp_core::ConnId(r.u64()?),
+            accepted: r.take(1)?[0] != 0,
+        },
+        T_TAGGED_REQ => {
+            let conn = phttp_core::ConnId(r.u64()?);
+            let n = r.u32()? as usize;
+            CtrlMsg::TaggedRequest {
+                conn,
+                data: r.take(n)?.to_vec(),
+            }
+        }
+        T_MIGRATE_REQ => CtrlMsg::MigrateRequest {
+            conn: phttp_core::ConnId(r.u64()?),
+            tcp: r.tcp()?,
+        },
+        T_MIGRATE_ACK => CtrlMsg::MigrateAck {
+            conn: phttp_core::ConnId(r.u64()?),
+            accepted: r.take(1)?[0] != 0,
+        },
+        T_CONN_CLOSED => CtrlMsg::ConnClosed {
+            conn: phttp_core::ConnId(r.u64()?),
+        },
+        T_DISK_REPORT => CtrlMsg::DiskQueueReport { depth: r.u32()? },
+        other => return Err(WireError::BadType(other)),
+    };
+    r.done()?;
+    Ok((msg, total))
+}
+
+/// Incremental decoder over a byte stream (the control session socket).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw socket bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Extracts the next complete message, if any.
+    // Pull semantics like `Iterator::next`, but fallible and non-blocking,
+    // so the trait does not fit.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<CtrlMsg>, WireError> {
+        match decode(&self.buf) {
+            Ok((msg, used)) => {
+                self.buf.drain(..used);
+                Ok(Some(msg))
+            }
+            Err(WireError::Truncated) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phttp_core::ConnId;
+
+    fn sample_tcp() -> TcpHandoffState {
+        TcpHandoffState {
+            client_ip: 0x0A00_0001,
+            client_port: 51234,
+            local_port: 80,
+            snd_nxt: 0xDEAD_BEEF,
+            rcv_nxt: 0x1234_5678,
+            snd_wnd: 65_000,
+            mss: 1460,
+        }
+    }
+
+    fn all_messages() -> Vec<CtrlMsg> {
+        vec![
+            CtrlMsg::HandoffRequest {
+                conn: ConnId(7),
+                tcp: sample_tcp(),
+                first_request: b"GET /x HTTP/1.1\r\n\r\n".to_vec(),
+            },
+            CtrlMsg::HandoffAck {
+                conn: ConnId(7),
+                accepted: true,
+            },
+            CtrlMsg::TaggedRequest {
+                conn: ConnId(7),
+                data: b"GET /be_2/x HTTP/1.1\r\n\r\n".to_vec(),
+            },
+            CtrlMsg::MigrateRequest {
+                conn: ConnId(7),
+                tcp: sample_tcp(),
+            },
+            CtrlMsg::MigrateAck {
+                conn: ConnId(7),
+                accepted: false,
+            },
+            CtrlMsg::ConnClosed { conn: ConnId(7) },
+            CtrlMsg::DiskQueueReport { depth: 42 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message_type() {
+        for msg in all_messages() {
+            let mut wire = Vec::new();
+            encode(&msg, &mut wire);
+            let (back, used) = decode(&wire).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(used, wire.len());
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_handles_fragmentation() {
+        let mut wire = Vec::new();
+        for msg in all_messages() {
+            encode(&msg, &mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(3) {
+            dec.feed(chunk);
+            while let Some(m) = dec.next().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, all_messages());
+    }
+
+    #[test]
+    fn truncated_frames_wait_for_more() {
+        let mut wire = Vec::new();
+        encode(&CtrlMsg::ConnClosed { conn: ConnId(1) }, &mut wire);
+        for cut in 0..wire.len() {
+            assert_eq!(decode(&wire[..cut]), Err(WireError::Truncated), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_type_are_rejected() {
+        let mut wire = Vec::new();
+        encode(&CtrlMsg::ConnClosed { conn: ConnId(1) }, &mut wire);
+        let mut bad_ver = wire.clone();
+        bad_ver[4] = 99;
+        assert_eq!(decode(&bad_ver), Err(WireError::BadVersion(99)));
+        let mut bad_type = wire.clone();
+        bad_type[5] = 200;
+        assert_eq!(decode(&bad_type), Err(WireError::BadType(200)));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut wire = vec![0xFF, 0xFF, 0xFF, 0xFF];
+        wire.extend_from_slice(&[WIRE_VERSION, T_CONN_CLOSED]);
+        assert!(matches!(decode(&wire), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_is_malformed() {
+        let mut wire = Vec::new();
+        encode(&CtrlMsg::ConnClosed { conn: ConnId(1) }, &mut wire);
+        // Grow the payload without updating the type's expected size.
+        let len = wire.len() - 4 + 1;
+        wire.push(0xAB);
+        wire[..4].copy_from_slice(&(len as u32).to_be_bytes());
+        assert_eq!(decode(&wire), Err(WireError::Malformed));
+    }
+}

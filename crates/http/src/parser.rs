@@ -1,0 +1,348 @@
+//! Incremental HTTP parsers for streamed (and pipelined) input.
+//!
+//! Both parsers follow the same push model: [`RequestParser::feed`] bytes as
+//! they arrive from the socket, then drain complete messages with `next()`.
+//! Pipelined messages in a single read are returned one by one; partial
+//! messages stay buffered until completed by a later feed. This is exactly
+//! what the prototype's back-end needs to support HTTP/1.1 request
+//! pipelining ("fully supported by the handoff protocol", paper §7.2).
+
+use bytes::{Buf, Bytes, BytesMut};
+
+use crate::message::{Headers, Request, Response, Version};
+
+/// Why parsing failed. The connection should be dropped on any of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The start line was not of the expected shape.
+    BadStartLine(String),
+    /// A header line had no colon.
+    BadHeader(String),
+    /// The version token was not HTTP/1.x.
+    BadVersion(String),
+    /// `Content-Length` was present but unparseable.
+    BadContentLength(String),
+    /// Message head exceeded the size bound.
+    HeadTooLarge,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadStartLine(l) => write!(f, "malformed start line: {l:?}"),
+            ParseError::BadHeader(l) => write!(f, "malformed header line: {l:?}"),
+            ParseError::BadVersion(v) => write!(f, "unsupported HTTP version: {v:?}"),
+            ParseError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
+            ParseError::HeadTooLarge => write!(f, "message head exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Upper bound on head (start line + headers) size; DoS guard.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Finds `\r\n\r\n`; returns the index just past it.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Splits one header block (excluding the blank line) into lines.
+fn parse_headers(block: &str) -> Result<Headers, ParseError> {
+    let mut headers = Headers::new();
+    for line in block.split("\r\n").filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::BadHeader(line.to_owned()))?;
+        headers.push(name.trim(), value.trim());
+    }
+    Ok(headers)
+}
+
+fn content_length(headers: &Headers) -> Result<usize, ParseError> {
+    match headers.get("Content-Length") {
+        None => Ok(0),
+        Some(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::BadContentLength(v.to_owned())),
+    }
+}
+
+/// Incremental request parser.
+///
+/// # Examples
+///
+/// ```
+/// use phttp_http::RequestParser;
+///
+/// let mut p = RequestParser::new();
+/// // Two pipelined requests arriving in one segment, plus a partial third.
+/// p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nGET /c HT");
+/// assert_eq!(p.next().unwrap().unwrap().uri, "/a");
+/// assert_eq!(p.next().unwrap().unwrap().uri, "/b");
+/// assert!(p.next().unwrap().is_none()); // /c is incomplete
+/// p.feed(b"TP/1.1\r\n\r\n");
+/// assert_eq!(p.next().unwrap().unwrap().uri, "/c");
+/// ```
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: BytesMut,
+}
+
+impl RequestParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw socket bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to extract the next complete request.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    // Named like `Iterator::next` on purpose: same pull semantics, but
+    // fallible and non-blocking, so the trait does not fit.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Request>, ParseError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD {
+                return Err(ParseError::HeadTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_end > MAX_HEAD {
+            return Err(ParseError::HeadTooLarge);
+        }
+        // Parse the head without consuming, in case the body is incomplete.
+        let head = std::str::from_utf8(&self.buf[..head_end - 4])
+            .map_err(|_| ParseError::BadStartLine("non-utf8 head".into()))?;
+        let (start, rest) = head.split_once("\r\n").unwrap_or((head, ""));
+        let mut parts = start.split(' ');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| ParseError::BadStartLine(start.to_owned()))?
+            .to_owned();
+        let uri = parts
+            .next()
+            .ok_or_else(|| ParseError::BadStartLine(start.to_owned()))?
+            .to_owned();
+        let version_tok = parts.next().unwrap_or("HTTP/1.0");
+        if parts.next().is_some() {
+            return Err(ParseError::BadStartLine(start.to_owned()));
+        }
+        let version = Version::parse(version_tok)
+            .ok_or_else(|| ParseError::BadVersion(version_tok.into()))?;
+        let headers = parse_headers(rest)?;
+        let body_len = content_length(&headers)?;
+        if self.buf.len() < head_end + body_len {
+            return Ok(None); // body incomplete
+        }
+        self.buf.advance(head_end);
+        let body: Bytes = self.buf.split_to(body_len).freeze();
+        Ok(Some(Request {
+            method,
+            uri,
+            version,
+            headers,
+            body,
+        }))
+    }
+
+    /// Drains every complete request currently buffered.
+    pub fn drain(&mut self) -> Result<Vec<Request>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+/// Incremental response parser (client side).
+#[derive(Debug, Default)]
+pub struct ResponseParser {
+    buf: BytesMut,
+}
+
+impl ResponseParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw socket bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to extract the next complete response.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    // See `RequestParser::next` for the naming rationale.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Response>, ParseError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD {
+                return Err(ParseError::HeadTooLarge);
+            }
+            return Ok(None);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end - 4])
+            .map_err(|_| ParseError::BadStartLine("non-utf8 head".into()))?;
+        let (start, rest) = head.split_once("\r\n").unwrap_or((head, ""));
+        let mut parts = start.splitn(3, ' ');
+        let version_tok = parts
+            .next()
+            .ok_or_else(|| ParseError::BadStartLine(start.to_owned()))?;
+        let version = Version::parse(version_tok)
+            .ok_or_else(|| ParseError::BadVersion(version_tok.into()))?;
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseError::BadStartLine(start.to_owned()))?;
+        let reason = parts.next().unwrap_or("").to_owned();
+        let headers = parse_headers(rest)?;
+        let body_len = content_length(&headers)?;
+        if self.buf.len() < head_end + body_len {
+            return Ok(None);
+        }
+        self.buf.advance(head_end);
+        let body = self.buf.split_to(body_len).freeze();
+        Ok(Some(Response {
+            version,
+            status,
+            reason,
+            headers,
+            body,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_get() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /x.html HTTP/1.0\r\nHost: h\r\n\r\n");
+        let r = p.next().unwrap().unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.uri, "/x.html");
+        assert_eq!(r.version, Version::Http10);
+        assert_eq!(r.headers.get("host"), Some("h"));
+        assert!(p.next().unwrap().is_none());
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_by_byte_feeding() {
+        let wire = b"GET /slow HTTP/1.1\r\nA: b\r\n\r\n";
+        let mut p = RequestParser::new();
+        for (i, &b) in wire.iter().enumerate() {
+            p.feed(&[b]);
+            let r = p.next().unwrap();
+            if i + 1 < wire.len() {
+                assert!(r.is_none(), "complete too early at byte {i}");
+            } else {
+                assert_eq!(r.unwrap().uri, "/slow");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_drain_in_order() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\nGET /3 HTTP/1.1\r\n\r\n");
+        let reqs = p.drain().unwrap();
+        let uris: Vec<&str> = reqs.iter().map(|r| r.uri.as_str()).collect();
+        assert_eq!(uris, vec!["/1", "/2", "/3"]);
+    }
+
+    #[test]
+    fn request_with_body() {
+        let mut p = RequestParser::new();
+        p.feed(b"POST /f HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel");
+        assert!(p.next().unwrap().is_none()); // body incomplete
+        p.feed(b"lo");
+        let r = p.next().unwrap().unwrap();
+        assert_eq!(&r.body[..], b"hello");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        let mut p = RequestParser::new();
+        p.feed(b"NONSENSE\r\n\r\n");
+        assert!(matches!(p.next(), Err(ParseError::BadStartLine(_))));
+
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/9.9\r\n\r\n");
+        assert!(matches!(p.next(), Err(ParseError::BadVersion(_))));
+
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n");
+        assert!(matches!(p.next(), Err(ParseError::BadHeader(_))));
+
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n");
+        assert!(matches!(p.next(), Err(ParseError::BadContentLength(_))));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\n");
+        let filler = format!("X-Pad: {}\r\n", "a".repeat(1024));
+        for _ in 0..20 {
+            p.feed(filler.as_bytes());
+        }
+        assert!(matches!(p.next(), Err(ParseError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok(Version::Http11, Bytes::from(vec![7u8; 2048]));
+        let wire = resp.to_bytes();
+        let mut p = ResponseParser::new();
+        // Split the wire bytes into three chunks.
+        p.feed(&wire[..10]);
+        assert!(p.next().unwrap().is_none());
+        p.feed(&wire[10..500]);
+        assert!(p.next().unwrap().is_none());
+        p.feed(&wire[500..]);
+        let parsed = p.next().unwrap().unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body.len(), 2048);
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn pipelined_responses() {
+        let a = Response::ok(Version::Http11, Bytes::from_static(b"aaaa"));
+        let b = Response::not_found(Version::Http11);
+        let mut wire = BytesMut::new();
+        a.encode(&mut wire);
+        b.encode(&mut wire);
+        let mut p = ResponseParser::new();
+        p.feed(&wire);
+        assert_eq!(p.next().unwrap().unwrap().status, 200);
+        assert_eq!(p.next().unwrap().unwrap().status, 404);
+        assert!(p.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests: encode/parse round-trips under arbitrary
+//! fragmentation — the invariant the prototype's socket loops rely on.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+
+use phttp_http::{Request, RequestParser, Response, ResponseParser, Version};
+
+fn arb_uri() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("/[a-z0-9_./-]{0,40}").unwrap()
+}
+
+fn arb_version() -> impl Strategy<Value = Version> {
+    prop_oneof![Just(Version::Http10), Just(Version::Http11)]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        arb_uri(),
+        arb_version(),
+        proptest::collection::vec(("[A-Za-z-]{1,12}", "[ -~&&[^:]]{0,24}"), 0..5),
+    )
+        .prop_map(|(uri, version, headers)| {
+            let mut r = Request::get(uri, version);
+            for (k, v) in headers {
+                r.headers.push(k, v.trim().to_owned());
+            }
+            r
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        arb_version(),
+        proptest::collection::vec(any::<u8>(), 0..2048),
+    )
+        .prop_map(|(version, body)| Response::ok(version, Bytes::from(body)))
+}
+
+proptest! {
+    /// Any encoded request parses back to itself, regardless of how the
+    /// bytes are fragmented on the wire.
+    #[test]
+    fn request_roundtrip_under_fragmentation(req in arb_request(), cuts in proptest::collection::vec(1usize..64, 0..8)) {
+        let wire = req.to_bytes();
+        let mut p = RequestParser::new();
+        let mut offset = 0;
+        for cut in cuts {
+            let end = (offset + cut).min(wire.len());
+            p.feed(&wire[offset..end]);
+            offset = end;
+        }
+        p.feed(&wire[offset..]);
+        let parsed = p.next().unwrap().expect("complete request must parse");
+        prop_assert_eq!(parsed.method, req.method);
+        prop_assert_eq!(parsed.uri, req.uri);
+        prop_assert_eq!(parsed.version, req.version);
+        // Compare the ordered header lists: per-name lookup is ambiguous
+        // when the generator produces duplicate header names.
+        let got: Vec<(&str, &str)> = parsed.headers.iter().collect();
+        let want: Vec<(&str, &str)> = req.headers.iter().collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(p.next().unwrap().is_none());
+        prop_assert_eq!(p.buffered(), 0);
+    }
+
+    /// Pipelines of requests come back in order and complete.
+    #[test]
+    fn pipelined_requests_roundtrip(reqs in proptest::collection::vec(arb_request(), 1..8)) {
+        let mut wire = BytesMut::new();
+        for r in &reqs {
+            r.encode(&mut wire);
+        }
+        let mut p = RequestParser::new();
+        p.feed(&wire);
+        let parsed = p.drain().unwrap();
+        prop_assert_eq!(parsed.len(), reqs.len());
+        for (a, b) in parsed.iter().zip(&reqs) {
+            prop_assert_eq!(&a.uri, &b.uri);
+        }
+    }
+
+    /// Responses round-trip including arbitrary binary bodies.
+    #[test]
+    fn response_roundtrip(resp in arb_response(), split in 0usize..64) {
+        let wire = resp.to_bytes();
+        let cut = split.min(wire.len());
+        let mut p = ResponseParser::new();
+        p.feed(&wire[..cut]);
+        p.feed(&wire[cut..]);
+        let parsed = p.next().unwrap().expect("complete response must parse");
+        prop_assert_eq!(parsed, resp);
+    }
+
+    /// Tag then untag recovers the original URI for any path-shaped input.
+    #[test]
+    fn tag_untag_inverse(uri in arb_uri(), node in 0usize..16) {
+        prop_assume!(uri.starts_with('/'));
+        let mut r = Request::get(uri.clone(), Version::Http11);
+        let seg = format!("be_{node}");
+        r.tag(&seg);
+        let (parsed_seg, rest) = Request::untag(&r.uri).expect("tagged uri must untag");
+        prop_assert_eq!(parsed_seg, seg.as_str());
+        prop_assert_eq!(rest, uri.as_str());
+    }
+
+    /// The parser never panics on arbitrary garbage — it errors or waits.
+    #[test]
+    fn parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut p = RequestParser::new();
+        p.feed(&data);
+        let _ = p.next();
+        let mut rp = ResponseParser::new();
+        rp.feed(&data);
+        let _ = rp.next();
+    }
+}

@@ -1,0 +1,259 @@
+//! Event-driven client load generator — the prototype analogue of the
+//! paper's client software: "an event-driven program that simulates multiple
+//! HTTP clients", each making "requests as fast as the server cluster can
+//! handle them" (closed loop, no think time).
+//!
+//! A pool of client threads plays the connections of a
+//! [`ConnectionTrace`]: P-HTTP mode sends each pipelined batch in one
+//! write and reads the batch's responses before the next batch; HTTP/1.0
+//! mode opens a fresh connection per request. Every response is verified
+//! against the content store (length plus byte pattern).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use phttp_http::{Request, ResponseParser, Version};
+use phttp_trace::ConnectionTrace;
+
+use crate::store::ContentStore;
+
+/// Which protocol the clients speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientProtocol {
+    /// One request per TCP connection (`HTTP/1.0`).
+    Http10,
+    /// Persistent connections with pipelined batches (`HTTP/1.1`).
+    PHttp,
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Protocol mode.
+    pub protocol: ClientProtocol,
+    /// Verify every response body against the store.
+    pub verify: bool,
+    /// Per-socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 16,
+            protocol: ClientProtocol::PHttp,
+            verify: true,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Result of a load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Responses received and (if enabled) verified.
+    pub requests: u64,
+    /// Connections completed.
+    pub connections: u64,
+    /// Response verification failures plus transport errors.
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Payload bytes received.
+    pub bytes: u64,
+}
+
+impl LoadReport {
+    /// Requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Plays `workload` against the cluster and reports throughput.
+///
+/// Connections are claimed by client threads from a shared cursor, so the
+/// admission order follows the workload order regardless of thread count.
+/// Multiple front-end addresses are used round-robin (per connection) to
+/// spread TCP 4-tuple pressure, emulating multiple client machines.
+pub fn run_load(
+    addrs: &[SocketAddr],
+    store: &Arc<ContentStore>,
+    workload: &ConnectionTrace,
+    cfg: &LoadConfig,
+) -> LoadReport {
+    assert!(!addrs.is_empty(), "need at least one front-end address");
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let requests = Arc::new(AtomicU64::new(0));
+    let connections = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let bytes = Arc::new(AtomicU64::new(0));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.clients.max(1) {
+            let cursor = cursor.clone();
+            let requests = requests.clone();
+            let connections = connections.clone();
+            let errors = errors.clone();
+            let bytes = bytes.clone();
+            let store = store.clone();
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(conn) = workload.connections.get(i) else {
+                    break;
+                };
+                let addr = addrs[i % addrs.len()];
+                match play_connection(addr, &store, conn, cfg) {
+                    Ok((reqs, errs, by)) => {
+                        requests.fetch_add(reqs, Ordering::Relaxed);
+                        errors.fetch_add(errs, Ordering::Relaxed);
+                        bytes.fetch_add(by, Ordering::Relaxed);
+                        connections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        errors.fetch_add(conn.num_requests() as u64, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    LoadReport {
+        requests: requests.load(Ordering::Relaxed),
+        connections: connections.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        bytes: bytes.load(Ordering::Relaxed),
+    }
+}
+
+/// Plays one trace connection; returns `(requests_ok, errors, bytes)`.
+fn play_connection(
+    addr: SocketAddr,
+    store: &ContentStore,
+    conn: &phttp_trace::Connection,
+    cfg: &LoadConfig,
+) -> std::io::Result<(u64, u64, u64)> {
+    match cfg.protocol {
+        ClientProtocol::PHttp => play_phttp(addr, store, conn, cfg),
+        ClientProtocol::Http10 => {
+            let mut ok = 0;
+            let mut errs = 0;
+            let mut by = 0;
+            for target in conn.targets() {
+                let mut stream = connect(addr, cfg)?;
+                let req = Request::get(ContentStore::uri(target), Version::Http10);
+                stream.write_all(&req.to_bytes())?;
+                match read_responses(&mut stream, 1, cfg)? {
+                    mut resp if resp.len() == 1 => {
+                        let body = resp.remove(0);
+                        by += body.len() as u64;
+                        if !cfg.verify || store.verify(target, &body) {
+                            ok += 1;
+                        } else {
+                            errs += 1;
+                        }
+                    }
+                    _ => errs += 1,
+                }
+            }
+            Ok((ok, errs, by))
+        }
+    }
+}
+
+fn play_phttp(
+    addr: SocketAddr,
+    store: &ContentStore,
+    conn: &phttp_trace::Connection,
+    cfg: &LoadConfig,
+) -> std::io::Result<(u64, u64, u64)> {
+    let mut stream = connect(addr, cfg)?;
+    let mut ok = 0;
+    let mut errs = 0;
+    let mut by = 0;
+    for batch in &conn.batches {
+        // Pipeline the whole batch in a single write.
+        let mut wire = BytesMut::new();
+        for &target in &batch.targets {
+            Request::get(ContentStore::uri(target), Version::Http11).encode(&mut wire);
+        }
+        stream.write_all(&wire)?;
+        let bodies = read_responses(&mut stream, batch.targets.len(), cfg)?;
+        if bodies.len() != batch.targets.len() {
+            errs += (batch.targets.len() - bodies.len()) as u64;
+        }
+        for (&target, body) in batch.targets.iter().zip(&bodies) {
+            by += body.len() as u64;
+            if !cfg.verify || store.verify(target, body) {
+                ok += 1;
+            } else {
+                errs += 1;
+            }
+        }
+    }
+    Ok((ok, errs, by))
+}
+
+/// Connects with retries: HTTP/1.0 mode opens one connection per request,
+/// which at load-generator rates can transiently exhaust ephemeral ports
+/// (TIME_WAIT); brief backoff rides it out, as a real browser's retry would.
+fn connect(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(1);
+    let mut last_err = None;
+    for _ in 0..8 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(cfg.read_timeout))?;
+                return Ok(stream);
+            }
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+/// Reads exactly `n` responses (in order) and returns their bodies.
+fn read_responses(
+    stream: &mut TcpStream,
+    n: usize,
+    _cfg: &LoadConfig,
+) -> std::io::Result<Vec<bytes::Bytes>> {
+    let mut parser = ResponseParser::new();
+    let mut out = Vec::with_capacity(n);
+    let mut buf = [0u8; 32 * 1024];
+    while out.len() < n {
+        match parser
+            .next()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        {
+            Some(resp) => {
+                out.push(resp.body);
+                continue;
+            }
+            None => {
+                let read = stream.read(&mut buf)?;
+                if read == 0 {
+                    break;
+                }
+                parser.feed(&buf[..read]);
+            }
+        }
+    }
+    Ok(out)
+}

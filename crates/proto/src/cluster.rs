@@ -1,0 +1,473 @@
+//! Cluster assembly: peer servers, the front-end acceptor, and the
+//! connection handlers — the runnable analogue of the paper's §7 testbed.
+//!
+//! ## Data path
+//!
+//! 1. A client connects to the front-end address; the acceptor spawns a
+//!    handler thread which reads the first request (content-based
+//!    distribution requires it) and asks the policy for a node — the
+//!    *handoff*. From then on the thread acts as that back-end's connection
+//!    handler: client bytes flow to it directly, responses flow back
+//!    directly, and the front-end only sees per-request control traffic —
+//!    the same division of labour as the paper's kernel handoff
+//!    (DESIGN.md §6.2/§6.4).
+//! 2. Subsequent pipelined batches are read off the socket; each request is
+//!    reported to the dispatcher, which answers `Local` or `Remote(k)`. A
+//!    remote assignment is realized by *tagging* the request URI
+//!    (`/be_<k>/t/<id>`, §7.3 verbatim) and fetching laterally from node
+//!    `k`'s peer server over a persistent connection (the NFS stand-in).
+//! 3. Peer servers serve `/t/<id>` from their own cache/disk, so a lateral
+//!    fetch exercises the remote node's cache exactly as NFS reads hit the
+//!    remote buffer cache in the paper.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use phttp_core::{Assignment, LardParams, Mechanism, NodeId, PolicyKind};
+use phttp_http::{Request, RequestParser, Response};
+use phttp_trace::Trace;
+
+use crate::frontend::{ConnGuard, FrontEnd};
+use crate::node::{DiskEmu, NodeState, NodeStatsSnapshot};
+use crate::store::ContentStore;
+
+/// Prototype cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ProtoConfig {
+    /// Number of back-end nodes.
+    pub nodes: usize,
+    /// Request-distribution policy.
+    pub policy: PolicyKind,
+    /// Request-distribution mechanism: back-end forwarding (the paper's §7
+    /// implementation) or multiple handoff (our extension — the paper
+    /// sketches the design in §7.2; in-process stream transfer makes the
+    /// migration trivial to realize).
+    pub mechanism: Mechanism,
+    /// Emulated cost of one connection migration (the kernel handoff
+    /// protocol exchange the in-process transfer does not pay).
+    pub migration_delay: Duration,
+    /// Per-node cache budget, bytes.
+    pub cache_bytes: u64,
+    /// Disk emulation parameters.
+    pub disk: DiskEmu,
+    /// LARD parameters.
+    pub lard: LardParams,
+    /// Socket read timeout (bounds handler lifetime after client death).
+    pub read_timeout: Duration,
+    /// Size of the pre-spawned client-connection worker pool. Must exceed
+    /// the expected number of concurrent client connections; excess
+    /// connections wait in the accept queue. Pre-spawning avoids paying a
+    /// thread spawn per HTTP/1.0 connection, which would otherwise dominate
+    /// the very overhead P-HTTP is being compared against.
+    pub workers: usize,
+    /// Number of loopback addresses the front-end listens on
+    /// (`127.0.0.1..127.0.0.k`). HTTP/1.0 load opens one TCP connection per
+    /// request; on a single loopback address pair the 4-tuple space (and
+    /// TIME_WAIT) throttles connection rates far below what the paper's
+    /// multi-machine testbed sustained. Multiple destination addresses
+    /// multiply the tuple space — the single-host stand-in for multiple
+    /// client machines. All listeners feed the same dispatcher.
+    pub fe_listeners: usize,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        ProtoConfig {
+            nodes: 2,
+            policy: PolicyKind::ExtLard,
+            mechanism: Mechanism::BackendForwarding,
+            migration_delay: Duration::from_micros(300),
+            cache_bytes: 2 * 1024 * 1024,
+            disk: DiskEmu::default(),
+            lard: LardParams::default(),
+            read_timeout: Duration::from_secs(10),
+            workers: 128,
+            fe_listeners: 4,
+        }
+    }
+}
+
+/// A running cluster.
+pub struct Cluster {
+    fe_addrs: Vec<SocketAddr>,
+    frontend: Arc<FrontEnd>,
+    store: Arc<ContentStore>,
+    stop: Arc<AtomicBool>,
+    accept_threads: Vec<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+    /// Feeds accepted client connections to the worker pool. `None` after
+    /// shutdown begins so workers see a closed channel and exit.
+    work_tx: Option<crossbeam::channel::Sender<TcpStream>>,
+    peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    listeners: Vec<SocketAddr>,
+}
+
+impl Cluster {
+    /// Builds and starts a cluster serving the trace's corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes == 0` or sockets cannot be bound on loopback.
+    pub fn start(config: ProtoConfig, trace: &Trace) -> Cluster {
+        assert!(config.nodes > 0, "cluster needs at least one back-end");
+        assert!(config.workers > 0, "worker pool must not be empty");
+        let store = Arc::new(ContentStore::from_trace(trace));
+        let stop = Arc::new(AtomicBool::new(false));
+        let peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        // Bind every peer listener first so all addresses are known.
+        let peer_listeners: Vec<TcpListener> = (0..config.nodes)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind peer listener"))
+            .collect();
+        let peer_addrs: Vec<SocketAddr> = peer_listeners
+            .iter()
+            .map(|l| l.local_addr().expect("peer addr"))
+            .collect();
+
+        let nodes: Vec<Arc<NodeState>> = (0..config.nodes)
+            .map(|i| {
+                Arc::new(NodeState::new(
+                    NodeId(i),
+                    config.cache_bytes,
+                    config.disk,
+                    store.clone(),
+                    peer_addrs.clone(),
+                ))
+            })
+            .collect();
+
+        let frontend = Arc::new(FrontEnd::new(
+            config.policy,
+            config.mechanism,
+            config.lard,
+            nodes.clone(),
+        ));
+
+        let mut accept_threads = Vec::new();
+        let mut listeners = peer_addrs.clone();
+
+        // Peer servers: serve lateral fetches against their node's state.
+        // Peer connections are few (bounded by the pooled lateral links) and
+        // long-lived, so a thread per connection is fine here.
+        for (listener, node) in peer_listeners.into_iter().zip(nodes.iter()) {
+            let node = node.clone();
+            let stop = stop.clone();
+            let threads = peer_threads.clone();
+            let timeout = config.read_timeout;
+            accept_threads.push(std::thread::spawn(move || {
+                for incoming in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { break };
+                    let node = node.clone();
+                    let handle = std::thread::spawn(move || {
+                        let _ = serve_peer_connection(stream, &node, timeout);
+                    });
+                    threads.lock().push(handle);
+                }
+            }));
+        }
+
+        // Client-connection worker pool: pre-spawned handlers pull accepted
+        // streams off a channel, so accepting a connection costs a channel
+        // send rather than a thread spawn.
+        let (work_tx, work_rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let mut worker_threads = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let rx = work_rx.clone();
+            let frontend = frontend.clone();
+            let store = store.clone();
+            let timeout = config.read_timeout;
+            let migration_delay = config.migration_delay;
+            worker_threads.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    let _ = handle_client_connection(
+                        stream,
+                        &frontend,
+                        &store,
+                        timeout,
+                        migration_delay,
+                    );
+                }
+            }));
+        }
+
+        // Front-end acceptors: one listener per loopback alias, all feeding
+        // the shared worker pool.
+        let mut fe_addrs = Vec::new();
+        for i in 0..config.fe_listeners.max(1) {
+            // 127.0.0.(1+i): the whole 127/8 block is local on Linux; fall
+            // back to 127.0.0.1 where aliases are unavailable.
+            let host = format!("127.0.0.{}:0", 1 + i as u8);
+            let fe_listener = TcpListener::bind(&host)
+                .or_else(|_| TcpListener::bind("127.0.0.1:0"))
+                .expect("bind front-end listener");
+            let fe_addr = fe_listener.local_addr().expect("front-end addr");
+            listeners.push(fe_addr);
+            fe_addrs.push(fe_addr);
+            let stop = stop.clone();
+            let tx = work_tx.clone();
+            accept_threads.push(std::thread::spawn(move || {
+                for incoming in fe_listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { break };
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+
+        Cluster {
+            fe_addrs,
+            frontend,
+            store,
+            stop,
+            accept_threads,
+            worker_threads,
+            work_tx: Some(work_tx),
+            peer_threads,
+            listeners,
+        }
+    }
+
+    /// The primary address clients connect to.
+    pub fn frontend_addr(&self) -> SocketAddr {
+        self.fe_addrs[0]
+    }
+
+    /// Every front-end address (one per loopback alias); spread high
+    /// connection-rate load across all of them.
+    pub fn frontend_addrs(&self) -> &[SocketAddr] {
+        &self.fe_addrs
+    }
+
+    /// The shared front-end (diagnostics).
+    pub fn frontend(&self) -> &FrontEnd {
+        &self.frontend
+    }
+
+    /// The content store (for building verifying clients).
+    pub fn store(&self) -> &Arc<ContentStore> {
+        &self.store
+    }
+
+    /// Per-node statistics snapshot.
+    pub fn node_stats(&self) -> Vec<NodeStatsSnapshot> {
+        self.frontend
+            .nodes()
+            .iter()
+            .map(|n| n.stats.snapshot())
+            .collect()
+    }
+
+    /// Stops the cluster: closes the listeners and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake every blocked accept with a throwaway connection.
+        for addr in &self.listeners {
+            let _ = TcpStream::connect(addr);
+        }
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Closing the channel drains the pool: workers finish their current
+        // connection and exit on the closed channel.
+        drop(self.work_tx.take());
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.peer_threads.lock());
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Reads at least one request (blocking), then drains whatever else has
+/// already arrived — the handler's estimate of a pipelined batch, matching
+/// the front-end's packet-arrival batch estimate in the paper.
+fn read_batch(stream: &mut TcpStream, parser: &mut RequestParser) -> std::io::Result<Vec<Request>> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let batch = parser
+            .drain()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if !batch.is_empty() {
+            return Ok(batch);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(Vec::new()); // clean EOF
+        }
+        parser.feed(&buf[..n]);
+    }
+}
+
+/// Serves one client connection end to end. See the module docs for the
+/// protocol walk-through.
+fn handle_client_connection(
+    mut stream: TcpStream,
+    fe: &FrontEnd,
+    store: &ContentStore,
+    timeout: Duration,
+    migration_delay: Duration,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut parser = RequestParser::new();
+
+    // First request: required before the policy can choose a node.
+    let mut first_batch = read_batch(&mut stream, &mut parser)?;
+    if first_batch.is_empty() {
+        return Ok(());
+    }
+    let first = first_batch.remove(0);
+    let Some(first_target) = store.lookup(&first.uri) else {
+        let resp = Response::not_found(first.version);
+        stream.write_all(&resp.to_bytes())?;
+        return Ok(());
+    };
+
+    let conn = fe.alloc_conn();
+    let node_id = fe.open_connection(conn, first_target);
+    let _guard = ConnGuard::new(fe, conn);
+    let mut node = fe.nodes()[node_id.0].clone();
+
+    // Handoff complete: this thread is now the back-end connection handler.
+    let keep = serve_one(&mut stream, &node, &first, Assignment::Local)?;
+    if !keep {
+        return Ok(());
+    }
+    // Any pipelined requests that arrived with the first one form the rest
+    // of batch 0 in trace terms; treat them as a batch of their own.
+    let mut pending = first_batch;
+    loop {
+        let batch = if pending.is_empty() {
+            match read_batch(&mut stream, &mut parser) {
+                Ok(b) => b,
+                // A read timeout is the idle-close path.
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            std::mem::take(&mut pending)
+        };
+        if batch.is_empty() {
+            break; // client closed
+        }
+        fe.begin_batch(conn, batch.len());
+        for req in &batch {
+            let Some(target) = store.lookup(&req.uri) else {
+                let resp = Response::not_found(req.version);
+                stream.write_all(&resp.to_bytes())?;
+                continue;
+            };
+            let mut assignment = fe.assign(conn, target);
+            if let Assignment::Remote(k) = assignment {
+                // Under migrate semantics the dispatcher has re-homed the
+                // connection: this thread now acts as back-end `k` (the
+                // in-process analogue of handing the TCP state over), after
+                // paying the emulated protocol cost.
+                if fe.connection_node(conn) == Some(k) {
+                    std::thread::sleep(migration_delay);
+                    node = fe.nodes()[k.0].clone();
+                    node.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
+                    assignment = Assignment::Local;
+                }
+            }
+            let keep = serve_one(&mut stream, &node, req, assignment)?;
+            if !keep {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serves a single request on the connection-handling node per the
+/// assignment; returns whether the connection persists.
+fn serve_one(
+    stream: &mut TcpStream,
+    node: &NodeState,
+    req: &Request,
+    assignment: Assignment,
+) -> std::io::Result<bool> {
+    let body = match assignment {
+        Assignment::Local => {
+            let target = node
+                .store
+                .lookup(&req.uri)
+                .expect("caller verified the target");
+            node.serve_local(target)
+        }
+        Assignment::Remote(k) => {
+            // Tag the request the way the paper's dispatcher does, then act
+            // on the tag: fetch laterally from node k.
+            let mut tagged = req.clone();
+            tagged.tag(&format!("be_{}", k.0));
+            let (_seg, rest) = Request::untag(&tagged.uri).expect("just tagged");
+            let target = node.store.lookup(rest).expect("caller verified the target");
+            match node.lateral_fetch(k, target) {
+                Ok(body) => body,
+                // Fall back to local disk if the peer path fails: the
+                // paper's prototype would surface an NFS error; degrading
+                // to local service keeps the cluster available.
+                Err(_) => node.serve_local(target),
+            }
+        }
+    };
+    let resp = Response::ok(req.version, body);
+    stream.write_all(&resp.to_bytes())?;
+    Ok(req.keep_alive())
+}
+
+/// Serves lateral fetches on a peer connection until EOF.
+fn serve_peer_connection(
+    mut stream: TcpStream,
+    node: &NodeState,
+    timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut parser = RequestParser::new();
+    loop {
+        let batch = match read_batch(&mut stream, &mut parser) {
+            Ok(b) => b,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for req in batch {
+            let resp = match node.store.lookup(&req.uri) {
+                // Serving for a peer exercises THIS node's cache and disk.
+                Some(target) => {
+                    node.stats.lateral_in.fetch_add(1, Ordering::Relaxed);
+                    Response::ok(req.version, node.serve_local(target))
+                }
+                None => Response::not_found(req.version),
+            };
+            stream.write_all(&resp.to_bytes())?;
+        }
+    }
+}

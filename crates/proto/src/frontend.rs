@@ -1,0 +1,209 @@
+//! The front-end: policy decisions plus connection lifecycle, shared by the
+//! acceptor and every connection-handler thread.
+//!
+//! This wraps [`phttp_core::Dispatcher`] (the same policy engine the
+//! simulator runs) behind a mutex, feeds it the back-ends' disk-queue
+//! depths (the control-session traffic of the paper's §7.1), and makes the
+//! lifecycle calls idempotent so connection handlers can use plain
+//! drop-guards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use phttp_core::{
+    Assignment, ConnId, Dispatcher, ForwardSemantics, LardParams, Mechanism, NodeId, PolicyKind,
+};
+use phttp_trace::TargetId;
+
+use crate::node::NodeState;
+
+/// The shared front-end.
+pub struct FrontEnd {
+    dispatcher: Mutex<Dispatcher>,
+    nodes: Vec<Arc<NodeState>>,
+    next_conn: AtomicU64,
+}
+
+impl FrontEnd {
+    /// Creates a front-end over the given back-ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the mechanism is back-end forwarding (the paper's §7
+    /// implementation choice) or multiple handoff (our extension, natural
+    /// with in-process stream transfer).
+    pub fn new(
+        policy: PolicyKind,
+        mechanism: Mechanism,
+        params: LardParams,
+        nodes: Vec<Arc<NodeState>>,
+    ) -> Self {
+        let semantics = match mechanism {
+            Mechanism::BackendForwarding | Mechanism::SingleHandoff => {
+                ForwardSemantics::LateralFetch
+            }
+            Mechanism::MultipleHandoff => ForwardSemantics::Migrate,
+            other => panic!("prototype does not implement the {other} mechanism"),
+        };
+        let dispatcher = Dispatcher::new(policy, semantics, nodes.len(), params);
+        FrontEnd {
+            dispatcher: Mutex::new(dispatcher),
+            nodes,
+            next_conn: AtomicU64::new(0),
+        }
+    }
+
+    /// The back-end nodes.
+    pub fn nodes(&self) -> &[Arc<NodeState>] {
+        &self.nodes
+    }
+
+    /// Allocates a fresh connection id.
+    pub fn alloc_conn(&self) -> ConnId {
+        ConnId(self.next_conn.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Policy decision for a new connection's first request.
+    pub fn open_connection(&self, conn: ConnId, first: TargetId) -> NodeId {
+        let mut d = self.dispatcher.lock();
+        self.report_disks(&mut d);
+        d.open_connection(conn, first)
+    }
+
+    /// Marks the start of a pipelined batch of `n` requests.
+    pub fn begin_batch(&self, conn: ConnId, n: usize) {
+        self.dispatcher.lock().begin_batch(conn, n.max(1));
+    }
+
+    /// Policy decision for a subsequent request on a persistent connection.
+    pub fn assign(&self, conn: ConnId, target: TargetId) -> Assignment {
+        let mut d = self.dispatcher.lock();
+        self.report_disks(&mut d);
+        d.assign_request(conn, target)
+    }
+
+    /// The node currently handling `conn` (changes under multiple handoff).
+    pub fn connection_node(&self, conn: ConnId) -> Option<NodeId> {
+        self.dispatcher.lock().connection_node(conn)
+    }
+
+    /// Closes a connection; safe to call more than once.
+    pub fn close_connection(&self, conn: ConnId) {
+        let mut d = self.dispatcher.lock();
+        if d.connection_node(conn).is_some() {
+            d.close_connection(conn);
+        }
+    }
+
+    /// Current load estimates (diagnostics).
+    pub fn loads(&self) -> Vec<f64> {
+        self.dispatcher.lock().loads().to_vec()
+    }
+
+    /// Number of currently tracked connections.
+    pub fn active_connections(&self) -> usize {
+        self.dispatcher.lock().active_connections()
+    }
+
+    /// Mapping replication factor (diagnostics).
+    pub fn replication_factor(&self) -> f64 {
+        self.dispatcher.lock().mapping().replication_factor()
+    }
+
+    fn report_disks(&self, d: &mut Dispatcher) {
+        for node in &self.nodes {
+            d.report_disk_queue(node.id, node.disk_queue_len());
+        }
+    }
+}
+
+/// Drop-guard ensuring a connection is closed exactly once even if the
+/// handler thread unwinds.
+pub struct ConnGuard<'a> {
+    fe: &'a FrontEnd,
+    conn: ConnId,
+}
+
+impl<'a> ConnGuard<'a> {
+    /// Registers the guard.
+    pub fn new(fe: &'a FrontEnd, conn: ConnId) -> Self {
+        ConnGuard { fe, conn }
+    }
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.fe.close_connection(self.conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::DiskEmu;
+    use crate::store::ContentStore;
+
+    fn fe(policy: PolicyKind, n: usize) -> FrontEnd {
+        let store = Arc::new(ContentStore::from_sizes(vec![1024; 16]));
+        let nodes = (0..n)
+            .map(|i| {
+                Arc::new(NodeState::new(
+                    NodeId(i),
+                    1 << 20,
+                    DiskEmu::default(),
+                    store.clone(),
+                    Vec::new(),
+                ))
+            })
+            .collect();
+        FrontEnd::new(
+            policy,
+            Mechanism::BackendForwarding,
+            LardParams::default(),
+            nodes,
+        )
+    }
+
+    #[test]
+    fn conn_ids_are_unique() {
+        let fe = fe(PolicyKind::Wrr, 2);
+        let a = fe.alloc_conn();
+        let b = fe.alloc_conn();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lifecycle_is_idempotent() {
+        let fe = fe(PolicyKind::Lard, 2);
+        let c = fe.alloc_conn();
+        fe.open_connection(c, TargetId(1));
+        assert_eq!(fe.active_connections(), 1);
+        fe.close_connection(c);
+        fe.close_connection(c); // second close is a no-op
+        assert_eq!(fe.active_connections(), 0);
+        assert!(fe.loads().iter().all(|&l| l.abs() < 1e-9));
+    }
+
+    #[test]
+    fn guard_closes_on_drop() {
+        let fe = fe(PolicyKind::ExtLard, 2);
+        let c = fe.alloc_conn();
+        fe.open_connection(c, TargetId(0));
+        {
+            let _g = ConnGuard::new(&fe, c);
+        }
+        assert_eq!(fe.active_connections(), 0);
+    }
+
+    #[test]
+    fn lard_sticks_to_mapped_node() {
+        let fe = fe(PolicyKind::Lard, 4);
+        let c1 = fe.alloc_conn();
+        let n1 = fe.open_connection(c1, TargetId(3));
+        fe.close_connection(c1);
+        let c2 = fe.alloc_conn();
+        let n2 = fe.open_connection(c2, TargetId(3));
+        assert_eq!(n1, n2);
+    }
+}

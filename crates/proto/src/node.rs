@@ -1,0 +1,292 @@
+//! Back-end node state: file cache, emulated disk, peer connections, stats.
+//!
+//! Each node owns a byte-budget LRU cache (standing in for FreeBSD's unified
+//! buffer cache), an emulated disk (a mutex-serialized sleep, preserving the
+//! one-disk-per-node queueing behaviour the extended-LARD heuristic observes),
+//! and a pool of persistent lateral TCP connections to its peers (standing in
+//! for the paper's NFS cross-mounts — DESIGN.md §6.3). Remotely fetched
+//! content is never inserted into the fetching node's cache, mirroring the
+//! paper's disabled NFS client caching.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use phttp_core::NodeId;
+use phttp_http::{Request, ResponseParser, Version};
+use phttp_simcore::lru::LruCache;
+use phttp_trace::TargetId;
+
+use crate::store::ContentStore;
+
+/// Emulated disk timing.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskEmu {
+    /// Fixed positioning delay per read.
+    pub seek: Duration,
+    /// Transfer rate in bytes/second.
+    pub bytes_per_sec: f64,
+}
+
+impl Default for DiskEmu {
+    fn default() -> Self {
+        // Scaled down ~5x from the 1998-era disk the simulator models, so
+        // prototype experiments finish quickly while misses still dominate
+        // cache hits by orders of magnitude.
+        DiskEmu {
+            seek: Duration::from_micros(2_000),
+            bytes_per_sec: 60.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl DiskEmu {
+    /// Read latency for `bytes`.
+    pub fn read_time(&self, bytes: u64) -> Duration {
+        self.seek + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+}
+
+/// Per-node counters (all monotonic).
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Requests served by this node (local + lateral service).
+    pub served: AtomicU64,
+    /// Cache hits among served requests.
+    pub hits: AtomicU64,
+    /// Lateral fetches issued by this node (as connection handler).
+    pub lateral_out: AtomicU64,
+    /// Lateral requests served by this node (as peer).
+    pub lateral_in: AtomicU64,
+    /// Connections migrated onto this node (multiple handoff).
+    pub migrations_in: AtomicU64,
+    /// Response payload bytes produced by this node.
+    pub bytes: AtomicU64,
+}
+
+/// Snapshot of [`NodeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    /// Requests served by this node.
+    pub served: u64,
+    /// Cache hits among them.
+    pub hits: u64,
+    /// Lateral fetches issued.
+    pub lateral_out: u64,
+    /// Lateral requests served for peers.
+    pub lateral_in: u64,
+    /// Connections migrated onto this node.
+    pub migrations_in: u64,
+    /// Payload bytes produced.
+    pub bytes: u64,
+}
+
+impl NodeStats {
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> NodeStatsSnapshot {
+        NodeStatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            lateral_out: self.lateral_out.load(Ordering::Relaxed),
+            lateral_in: self.lateral_in.load(Ordering::Relaxed),
+            migrations_in: self.migrations_in.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared state of one back-end node.
+pub struct NodeState {
+    /// This node's index.
+    pub id: NodeId,
+    /// Main-memory file cache.
+    pub cache: Mutex<LruCache<TargetId>>,
+    /// Serializes disk reads (one spindle per node).
+    disk: Mutex<()>,
+    /// Number of requests queued on or holding the disk.
+    disk_queue: AtomicUsize,
+    /// Disk timing model.
+    pub disk_emu: DiskEmu,
+    /// The document corpus.
+    pub store: std::sync::Arc<ContentStore>,
+    /// Peer lateral-fetch addresses, indexed by node id.
+    pub peer_addrs: Vec<SocketAddr>,
+    /// Idle persistent lateral connections, per peer.
+    peer_pool: Vec<Mutex<Vec<TcpStream>>>,
+    /// Counters.
+    pub stats: NodeStats,
+}
+
+impl NodeState {
+    /// Creates a node.
+    pub fn new(
+        id: NodeId,
+        cache_bytes: u64,
+        disk_emu: DiskEmu,
+        store: std::sync::Arc<ContentStore>,
+        peer_addrs: Vec<SocketAddr>,
+    ) -> Self {
+        let peer_pool = (0..peer_addrs.len())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        NodeState {
+            id,
+            cache: Mutex::new(LruCache::new(cache_bytes)),
+            disk: Mutex::new(()),
+            disk_queue: AtomicUsize::new(0),
+            disk_emu,
+            store,
+            peer_addrs,
+            peer_pool,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Current number of queued disk events (the observable the extended
+    /// LARD policy reads over the control session).
+    pub fn disk_queue_len(&self) -> usize {
+        self.disk_queue.load(Ordering::Relaxed)
+    }
+
+    /// Serves `target` from this node: cache probe, disk on miss (inserting
+    /// into the cache afterwards — the OS caches what it reads), body
+    /// generation. Returns the response body.
+    pub fn serve_local(&self, target: TargetId) -> Bytes {
+        let size = self.store.size(target);
+        let hit = self.cache.lock().touch(target);
+        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(size, Ordering::Relaxed);
+        if hit {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.disk_queue.fetch_add(1, Ordering::Relaxed);
+            {
+                let _spindle = self.disk.lock();
+                std::thread::sleep(self.disk_emu.read_time(size));
+            }
+            self.disk_queue.fetch_sub(1, Ordering::Relaxed);
+            self.cache.lock().insert(target, size);
+        }
+        self.store.body(target)
+    }
+
+    /// Fetches `target` from peer `remote` over a persistent lateral
+    /// connection (the NFS stand-in). The result is NOT cached locally.
+    pub fn lateral_fetch(&self, remote: NodeId, target: TargetId) -> std::io::Result<Bytes> {
+        self.stats.lateral_out.fetch_add(1, Ordering::Relaxed);
+        let mut stream = self.take_peer_conn(remote)?;
+        let req = Request::get(ContentStore::uri(target), Version::Http11);
+        stream.write_all(&req.to_bytes())?;
+
+        let mut parser = ResponseParser::new();
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(resp) = parser
+                .next()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            {
+                if resp.status != 200 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        format!("lateral fetch returned {}", resp.status),
+                    ));
+                }
+                if resp.keep_alive() {
+                    self.return_peer_conn(remote, stream);
+                }
+                return Ok(resp.body);
+            }
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed during lateral fetch",
+                ));
+            }
+            parser.feed(&buf[..n]);
+        }
+    }
+
+    fn take_peer_conn(&self, remote: NodeId) -> std::io::Result<TcpStream> {
+        if let Some(s) = self.peer_pool[remote.0].lock().pop() {
+            return Ok(s);
+        }
+        let s = TcpStream::connect(self.peer_addrs[remote.0])?;
+        s.set_nodelay(true)?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(s)
+    }
+
+    fn return_peer_conn(&self, remote: NodeId, stream: TcpStream) {
+        let mut pool = self.peer_pool[remote.0].lock();
+        if pool.len() < 8 {
+            pool.push(stream);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn node() -> NodeState {
+        let store = Arc::new(ContentStore::from_sizes(vec![1000, 2000, 3000]));
+        NodeState::new(
+            NodeId(0),
+            4096,
+            DiskEmu {
+                seek: Duration::from_micros(100),
+                bytes_per_sec: 1e9,
+            },
+            store,
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn serve_local_miss_then_hit() {
+        let n = node();
+        let t = TargetId(1);
+        let b1 = n.serve_local(t);
+        assert_eq!(b1.len(), 2000);
+        let s = n.stats.snapshot();
+        assert_eq!(s.served, 1);
+        assert_eq!(s.hits, 0);
+        let _b2 = n.serve_local(t);
+        let s = n.stats.snapshot();
+        assert_eq!(s.served, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.bytes, 4000);
+    }
+
+    #[test]
+    fn cache_budget_evicts() {
+        let n = node(); // 4096-byte cache
+        n.serve_local(TargetId(0)); // 1000
+        n.serve_local(TargetId(1)); // 2000
+        n.serve_local(TargetId(2)); // 3000 -> evicts 0 (and 1)
+        assert!(!n.cache.lock().contains(TargetId(0)));
+        assert!(n.cache.lock().contains(TargetId(2)));
+    }
+
+    #[test]
+    fn disk_queue_returns_to_zero() {
+        let n = node();
+        n.serve_local(TargetId(0));
+        assert_eq!(n.disk_queue_len(), 0);
+    }
+
+    #[test]
+    fn disk_read_time_model() {
+        let d = DiskEmu {
+            seek: Duration::from_millis(2),
+            bytes_per_sec: 1_000_000.0,
+        };
+        let t = d.read_time(500_000);
+        assert_eq!(t, Duration::from_millis(2) + Duration::from_millis(500));
+    }
+}

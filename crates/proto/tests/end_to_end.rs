@@ -1,0 +1,267 @@
+//! End-to-end tests of the live loopback cluster: byte-exact responses,
+//! policy-visible distribution behaviour, and clean shutdown.
+
+use std::time::Duration;
+
+use phttp_core::PolicyKind;
+use phttp_proto::{run_load, ClientProtocol, Cluster, DiskEmu, LoadConfig, ProtoConfig};
+use phttp_trace::{generate, http10_connections, reconstruct, SessionConfig, SynthConfig};
+
+fn tiny_trace() -> phttp_trace::Trace {
+    let mut synth = SynthConfig::small();
+    synth.num_page_views = 150;
+    synth.num_pages = 60;
+    generate(&synth)
+}
+
+fn fast_disk() -> DiskEmu {
+    DiskEmu {
+        seek: Duration::from_micros(300),
+        bytes_per_sec: 200.0 * 1024.0 * 1024.0,
+    }
+}
+
+fn config(policy: PolicyKind, nodes: usize) -> ProtoConfig {
+    ProtoConfig {
+        nodes,
+        policy,
+        cache_bytes: 1024 * 1024,
+        disk: fast_disk(),
+        read_timeout: Duration::from_secs(5),
+        ..ProtoConfig::default()
+    }
+}
+
+#[test]
+fn phttp_serves_every_request_byte_exact() {
+    let trace = tiny_trace();
+    let workload = reconstruct(&trace, SessionConfig::default());
+    let cluster = Cluster::start(config(PolicyKind::ExtLard, 3), &trace);
+    let report = run_load(
+        cluster.frontend_addrs(),
+        cluster.store(),
+        &workload,
+        &LoadConfig {
+            clients: 8,
+            protocol: ClientProtocol::PHttp,
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(report.errors, 0, "verification failures");
+    assert_eq!(report.requests as usize, trace.len());
+    assert_eq!(report.connections as usize, workload.connections.len());
+    // The cluster served everything the clients received. A lateral fetch
+    // that times out under load falls back to local service, which can
+    // legitimately count a request twice — allow a whisker of slack.
+    let served: u64 = cluster.node_stats().iter().map(|s| s.served).sum();
+    assert!(served >= trace.len() as u64);
+    assert!(served <= trace.len() as u64 + 8, "served={served}");
+    // All policy connection state was torn down.
+    assert_eq!(cluster.frontend().active_connections(), 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn http10_mode_works_on_every_policy() {
+    let trace = tiny_trace();
+    let workload = http10_connections(&trace);
+    for policy in [PolicyKind::Wrr, PolicyKind::Lard] {
+        let cluster = Cluster::start(config(policy, 2), &trace);
+        let report = run_load(
+            cluster.frontend_addrs(),
+            cluster.store(),
+            &workload,
+            &LoadConfig {
+                clients: 8,
+                protocol: ClientProtocol::Http10,
+                ..LoadConfig::default()
+            },
+        );
+        assert_eq!(report.errors, 0, "{policy:?}");
+        assert_eq!(report.requests as usize, trace.len(), "{policy:?}");
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn wrr_spreads_but_lard_concentrates_targets() {
+    let trace = tiny_trace();
+    let workload = http10_connections(&trace);
+
+    // WRR: every node should see a similar number of requests.
+    let cluster = Cluster::start(config(PolicyKind::Wrr, 3), &trace);
+    let _ = run_load(
+        cluster.frontend_addrs(),
+        cluster.store(),
+        &workload,
+        &LoadConfig {
+            clients: 6,
+            protocol: ClientProtocol::Http10,
+            ..LoadConfig::default()
+        },
+    );
+    let wrr_stats = cluster.node_stats();
+    cluster.shutdown();
+    let served: Vec<u64> = wrr_stats.iter().map(|s| s.served).collect();
+    let max = *served.iter().max().unwrap() as f64;
+    let min = *served.iter().min().unwrap() as f64;
+    assert!(min / max > 0.5, "WRR petered out unevenly: {served:?}");
+
+    // LARD: better aggregate hit rate than WRR on the same workload (cache
+    // aggregation), since per-node caches are much smaller than the corpus.
+    let cluster = Cluster::start(config(PolicyKind::Lard, 3), &trace);
+    let _ = run_load(
+        cluster.frontend_addrs(),
+        cluster.store(),
+        &workload,
+        &LoadConfig {
+            clients: 6,
+            protocol: ClientProtocol::Http10,
+            ..LoadConfig::default()
+        },
+    );
+    let lard_stats = cluster.node_stats();
+    cluster.shutdown();
+    let hit = |st: &[phttp_proto::NodeStatsSnapshot]| {
+        let h: u64 = st.iter().map(|s| s.hits).sum();
+        let r: u64 = st.iter().map(|s| s.served).sum();
+        h as f64 / r as f64
+    };
+    assert!(
+        hit(&lard_stats) > hit(&wrr_stats),
+        "LARD hit rate {:.3} must beat WRR {:.3}",
+        hit(&lard_stats),
+        hit(&wrr_stats)
+    );
+}
+
+#[test]
+fn ext_lard_uses_lateral_fetches_under_pressure() {
+    let trace = tiny_trace();
+    let workload = reconstruct(&trace, SessionConfig::default());
+    // Slow disk so queues build and the policy prefers forwarding.
+    let mut cfg = config(PolicyKind::ExtLard, 3);
+    cfg.disk = DiskEmu {
+        seek: Duration::from_millis(2),
+        bytes_per_sec: 40.0 * 1024.0 * 1024.0,
+    };
+    cfg.cache_bytes = 512 * 1024;
+    let cluster = Cluster::start(cfg, &trace);
+    let report = run_load(
+        cluster.frontend_addrs(),
+        cluster.store(),
+        &workload,
+        &LoadConfig {
+            clients: 12,
+            protocol: ClientProtocol::PHttp,
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(report.errors, 0);
+    let stats = cluster.node_stats();
+    let lateral: u64 = stats.iter().map(|s| s.lateral_out).sum();
+    let lateral_in: u64 = stats.iter().map(|s| s.lateral_in).sum();
+    assert!(lateral > 0, "extended LARD never forwarded");
+    assert_eq!(lateral, lateral_in, "every lateral fetch has a server side");
+    cluster.shutdown();
+}
+
+#[test]
+fn single_node_cluster_works() {
+    let trace = tiny_trace();
+    let workload = reconstruct(&trace, SessionConfig::default());
+    let cluster = Cluster::start(config(PolicyKind::ExtLard, 1), &trace);
+    let report = run_load(
+        cluster.frontend_addrs(),
+        cluster.store(),
+        &workload,
+        &LoadConfig {
+            clients: 4,
+            protocol: ClientProtocol::PHttp,
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(report.errors, 0);
+    let stats = cluster.node_stats();
+    assert_eq!(stats[0].lateral_out, 0, "nowhere to forward with one node");
+    cluster.shutdown();
+}
+
+#[test]
+fn unknown_uri_gets_404_without_breaking_connection() {
+    use std::io::{Read, Write};
+    let trace = tiny_trace();
+    let cluster = Cluster::start(config(PolicyKind::ExtLard, 2), &trace);
+    let mut stream = std::net::TcpStream::connect(cluster.frontend_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // A valid first request (handoff needs a real target), then a bogus one.
+    stream.write_all(b"GET /t/0 HTTP/1.1\r\n\r\n").unwrap();
+    let mut parser = phttp_http::ResponseParser::new();
+    let mut buf = [0u8; 8192];
+    let mut responses = Vec::new();
+    while responses.is_empty() {
+        let n = stream.read(&mut buf).unwrap();
+        parser.feed(&buf[..n]);
+        while let Some(r) = parser.next().unwrap() {
+            responses.push(r.status);
+        }
+    }
+    stream
+        .write_all(b"GET /no/such/thing HTTP/1.1\r\n\r\nGET /t/1 HTTP/1.1\r\n\r\n")
+        .unwrap();
+    while responses.len() < 3 {
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "server closed early");
+        parser.feed(&buf[..n]);
+        while let Some(r) = parser.next().unwrap() {
+            responses.push(r.status);
+        }
+    }
+    assert_eq!(responses, vec![200, 404, 200]);
+    cluster.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_with_no_traffic() {
+    let trace = tiny_trace();
+    let cluster = Cluster::start(config(PolicyKind::Wrr, 2), &trace);
+    cluster.shutdown();
+}
+
+#[test]
+fn multiple_handoff_migrates_and_serves_correctly() {
+    use phttp_core::Mechanism;
+    let trace = tiny_trace();
+    let workload = reconstruct(&trace, SessionConfig::default());
+    let mut cfg = config(PolicyKind::ExtLard, 3);
+    cfg.mechanism = Mechanism::MultipleHandoff;
+    // Busy disks push the policy toward moving requests.
+    cfg.disk = DiskEmu {
+        seek: Duration::from_millis(2),
+        bytes_per_sec: 40.0 * 1024.0 * 1024.0,
+    };
+    cfg.cache_bytes = 512 * 1024;
+    let cluster = Cluster::start(cfg, &trace);
+    let report = run_load(
+        cluster.frontend_addrs(),
+        cluster.store(),
+        &workload,
+        &LoadConfig {
+            clients: 12,
+            protocol: ClientProtocol::PHttp,
+            ..LoadConfig::default()
+        },
+    );
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.requests as usize, trace.len());
+    let stats = cluster.node_stats();
+    let migrations: u64 = stats.iter().map(|s| s.migrations_in).sum();
+    let laterals: u64 = stats.iter().map(|s| s.lateral_out).sum();
+    assert!(migrations > 0, "multiple handoff never migrated");
+    assert_eq!(laterals, 0, "migration mechanism must not fetch laterally");
+    // Policy state fully unwound despite mid-connection re-homing.
+    assert_eq!(cluster.frontend().active_connections(), 0);
+    cluster.shutdown();
+}

@@ -1,0 +1,244 @@
+//! Simulation configuration: cluster shape, mechanism/policy combination,
+//! and workload mode.
+
+use phttp_core::{LardParams, Mechanism, PolicyKind};
+use serde::{Deserialize, Serialize};
+
+use crate::costs::{DiskParams, MechanismCosts, ServerCosts};
+
+/// Whether the clients speak HTTP/1.0 or HTTP/1.1 (P-HTTP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolMode {
+    /// One request per TCP connection.
+    Http10,
+    /// Persistent connections with pipelined batches (reconstructed from
+    /// the trace by the 15 s / 1 s heuristics).
+    PHttp,
+}
+
+impl ProtocolMode {
+    /// Suffix used in the paper's configuration labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolMode::Http10 => "",
+            ProtocolMode::PHttp => "-PHTTP",
+        }
+    }
+}
+
+/// Full configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of back-end nodes.
+    pub nodes: usize,
+    /// Request-distribution policy.
+    pub policy: PolicyKind,
+    /// Request-distribution mechanism.
+    pub mechanism: Mechanism,
+    /// Client protocol mode.
+    pub protocol: ProtocolMode,
+    /// Back-end server software cost profile.
+    pub server: ServerCosts,
+    /// Mechanism cost profile.
+    pub mech_costs: MechanismCosts,
+    /// Disk model.
+    pub disk: DiskParams,
+    /// Per-node main-memory cache budget in bytes.
+    pub cache_bytes: u64,
+    /// LARD policy parameters.
+    pub lard: LardParams,
+    /// Closed-loop concurrency window per node: the simulator keeps
+    /// `window_per_node * nodes` connections in flight (the paper matched
+    /// the arrival rate to the aggregate server throughput).
+    pub window_per_node: usize,
+    /// Speed multiplier for the front-end CPU (>1 models an SMP front-end;
+    /// the paper suggests SMP front-ends for larger clusters).
+    pub fe_speedup: f64,
+}
+
+impl SimConfig {
+    /// A named paper configuration on the Apache cost profile.
+    ///
+    /// `label` must be one of the figure-legend names:
+    /// `WRR`, `WRR-PHTTP`, `simple-LARD`, `simple-LARD-PHTTP`,
+    /// `multiHandoff-extLARD-PHTTP`, `BEforward-extLARD-PHTTP`,
+    /// `zeroCost-extLARD-PHTTP`, `relay-LARD-PHTTP`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown label.
+    pub fn paper_config(label: &str, nodes: usize) -> SimConfig {
+        let base = SimConfig {
+            nodes,
+            policy: PolicyKind::Lard,
+            mechanism: Mechanism::SingleHandoff,
+            protocol: ProtocolMode::Http10,
+            server: ServerCosts::apache(),
+            mech_costs: MechanismCosts::apache(),
+            disk: DiskParams::default(),
+            cache_bytes: 16 * 1024 * 1024,
+            lard: LardParams::default(),
+            window_per_node: 40,
+            fe_speedup: 1.0,
+        };
+        match label {
+            "WRR" => SimConfig {
+                policy: PolicyKind::Wrr,
+                ..base
+            },
+            "WRR-PHTTP" => SimConfig {
+                policy: PolicyKind::Wrr,
+                protocol: ProtocolMode::PHttp,
+                ..base
+            },
+            "simple-LARD" => base,
+            "simple-LARD-PHTTP" => SimConfig {
+                protocol: ProtocolMode::PHttp,
+                ..base
+            },
+            "multiHandoff-extLARD-PHTTP" => SimConfig {
+                policy: PolicyKind::ExtLard,
+                mechanism: Mechanism::MultipleHandoff,
+                protocol: ProtocolMode::PHttp,
+                ..base
+            },
+            "BEforward-extLARD-PHTTP" => SimConfig {
+                policy: PolicyKind::ExtLard,
+                mechanism: Mechanism::BackendForwarding,
+                protocol: ProtocolMode::PHttp,
+                ..base
+            },
+            "zeroCost-extLARD-PHTTP" => SimConfig {
+                policy: PolicyKind::ExtLard,
+                mechanism: Mechanism::ZeroCost,
+                protocol: ProtocolMode::PHttp,
+                ..base
+            },
+            "relay-LARD-PHTTP" => SimConfig {
+                policy: PolicyKind::Lard,
+                mechanism: Mechanism::RelayingFrontend,
+                protocol: ProtocolMode::PHttp,
+                ..base
+            },
+            other => panic!("unknown paper configuration label: {other}"),
+        }
+    }
+
+    /// Switches the server and mechanism cost profiles to Flash.
+    pub fn with_flash(mut self) -> SimConfig {
+        self.server = ServerCosts::flash();
+        self.mech_costs = MechanismCosts::flash();
+        self
+    }
+
+    /// Total closed-loop window.
+    pub fn window(&self) -> usize {
+        self.window_per_node * self.nodes
+    }
+
+    /// Validates the mechanism/policy combination.
+    ///
+    /// Single handoff cannot move requests off the connection node, so it is
+    /// incompatible with the extended-LARD policy (which exists to do
+    /// exactly that); the relaying front-end re-assigns every request and is
+    /// driven per-request, which the dispatcher models as per-request
+    /// connections, so extended LARD's connection state is meaningless there.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.policy == PolicyKind::ExtLard && self.mechanism == Mechanism::SingleHandoff {
+            return Err("extended LARD requires a request-granularity mechanism \
+                 (multiple handoff, back-end forwarding, or zero-cost)"
+                .into());
+        }
+        if self.mechanism == Mechanism::RelayingFrontend && self.policy == PolicyKind::ExtLard {
+            return Err("the relaying front-end is driven per-request; use LARD or WRR".into());
+        }
+        if self.window_per_node == 0 {
+            return Err("window_per_node must be positive".into());
+        }
+        if self.fe_speedup <= 0.0 {
+            return Err("fe_speedup must be positive".into());
+        }
+        self.lard.validate()
+    }
+
+    /// The paper-style label of this configuration.
+    pub fn label(&self) -> String {
+        let mech = match (self.mechanism, self.policy) {
+            (Mechanism::SingleHandoff, PolicyKind::Wrr) => "WRR".to_string(),
+            (Mechanism::SingleHandoff, PolicyKind::Lard) => "simple-LARD".to_string(),
+            (m, p) => format!("{}-{}", m.label(), p.label()),
+        };
+        format!("{mech}{}", self.protocol.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_valid() {
+        for label in [
+            "WRR",
+            "WRR-PHTTP",
+            "simple-LARD",
+            "simple-LARD-PHTTP",
+            "multiHandoff-extLARD-PHTTP",
+            "BEforward-extLARD-PHTTP",
+            "zeroCost-extLARD-PHTTP",
+            "relay-LARD-PHTTP",
+        ] {
+            let cfg = SimConfig::paper_config(label, 4);
+            cfg.validate().unwrap_or_else(|e| panic!("{label}: {e}"));
+            let flash = cfg.with_flash();
+            flash.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        assert_eq!(SimConfig::paper_config("WRR", 2).label(), "WRR");
+        assert_eq!(
+            SimConfig::paper_config("BEforward-extLARD-PHTTP", 2).label(),
+            "BEforward-extLARD-PHTTP"
+        );
+        assert_eq!(
+            SimConfig::paper_config("simple-LARD-PHTTP", 2).label(),
+            "simple-LARD-PHTTP"
+        );
+        assert_eq!(
+            SimConfig::paper_config("zeroCost-extLARD-PHTTP", 2).label(),
+            "zeroCost-extLARD-PHTTP"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown paper configuration")]
+    fn unknown_label_panics() {
+        let _ = SimConfig::paper_config("nonsense", 2);
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        let mut cfg = SimConfig::paper_config("simple-LARD", 2);
+        cfg.policy = PolicyKind::ExtLard; // ext-LARD over single handoff
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_config("relay-LARD-PHTTP", 2);
+        cfg.policy = PolicyKind::ExtLard;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::paper_config("WRR", 2);
+        cfg.nodes = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn window_scales_with_nodes() {
+        let cfg = SimConfig::paper_config("WRR", 4);
+        assert_eq!(cfg.window(), 4 * cfg.window_per_node);
+    }
+}

@@ -1,0 +1,73 @@
+//! Cost models for the simulated cluster.
+//!
+//! The CPU cost profiles (Apache/Flash server costs and mechanism costs)
+//! live in [`phttp_core::costmodel`] so the simulator, the analytic model
+//! and the benchmark harness share one source of truth; this module
+//! re-exports them, adds [`SimDuration`] adapters, and defines the disk
+//! service model (which only the simulator needs).
+
+use phttp_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+pub use phttp_core::costmodel::{chunks, MechanismCosts, ServerCosts};
+
+/// [`SimDuration`] adapters for the shared cost model.
+pub trait CostTimes {
+    /// Transmit time for `bytes` of response data.
+    fn xmit_time(&self, bytes: u64) -> SimDuration;
+}
+
+impl CostTimes for ServerCosts {
+    fn xmit_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros(self.xmit_us(bytes))
+    }
+}
+
+/// Disk service model: fixed positioning cost plus linear transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Average positioning (seek + rotational) cost per read.
+    pub seek_us: u64,
+    /// Sequential transfer rate, bytes per second.
+    pub transfer_bytes_per_sec: f64,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams {
+            seek_us: 10_000,
+            transfer_bytes_per_sec: 15.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl DiskParams {
+    /// Service time for reading `bytes` from disk.
+    pub fn read_time(&self, bytes: u64) -> SimDuration {
+        let transfer = bytes as f64 / self.transfer_bytes_per_sec;
+        SimDuration::from_micros(self.seek_us) + SimDuration::from_secs_f64(transfer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xmit_time_matches_us_model() {
+        let c = ServerCosts::apache();
+        assert_eq!(c.xmit_time(8 * 1024).as_micros(), c.xmit_us(8 * 1024));
+    }
+
+    #[test]
+    fn disk_read_time_scales_with_size() {
+        let d = DiskParams::default();
+        let small = d.read_time(1024);
+        let large = d.read_time(1024 * 1024);
+        assert!(small.as_micros() >= 10_000);
+        assert!(large > small);
+        // 1 MiB at 15 MiB/s ≈ 66.7 ms plus 10 ms seek.
+        let expect_ms = 1.0 / 15.0 * 1000.0 + 10.0;
+        assert!((large.as_secs_f64() * 1e3 - expect_ms).abs() < 1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the simulator over randomized workloads and
+//! configurations: conservation, determinism, and metric sanity must hold
+//! for *every* input, not just the paper's.
+
+use proptest::prelude::*;
+
+use phttp_sim::{build_workload, SimConfig, Simulator};
+use phttp_simcore::SimTime;
+use phttp_trace::{ClientId, Request, SessionConfig, TargetId, Trace};
+
+/// Strategy: a small random trace (corpus of 12 targets, up to 120 requests).
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec((0u64..30_000_000, 0u32..8, 0u32..12), 1..120),
+        proptest::collection::vec(100u64..200_000, 12),
+    )
+        .prop_map(|(reqs, sizes)| {
+            let requests = reqs
+                .into_iter()
+                .map(|(t, c, g)| Request {
+                    time: SimTime::from_micros(t),
+                    client: ClientId(c),
+                    target: TargetId(g),
+                })
+                .collect();
+            Trace::new(requests, sizes)
+        })
+}
+
+fn arb_label() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("WRR"),
+        Just("WRR-PHTTP"),
+        Just("simple-LARD"),
+        Just("simple-LARD-PHTTP"),
+        Just("multiHandoff-extLARD-PHTTP"),
+        Just("BEforward-extLARD-PHTTP"),
+        Just("zeroCost-extLARD-PHTTP"),
+        Just("relay-LARD-PHTTP"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every admitted request completes exactly once, for every mechanism,
+    /// policy, cluster size, and workload.
+    #[test]
+    fn conservation(trace in arb_trace(), label in arb_label(), nodes in 1usize..6) {
+        let mut cfg = SimConfig::paper_config(label, nodes);
+        cfg.cache_bytes = 256 * 1024;
+        let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+        let r = Simulator::new(cfg, &trace, &workload).run();
+        prop_assert_eq!(r.requests, trace.len() as u64, "{}", label);
+        // Per-node serving counts add up to the total.
+        let served: u64 = r.per_node.iter().map(|n| n.requests).sum();
+        prop_assert_eq!(served, r.requests);
+        // Bytes delivered equal the trace's response bytes.
+        prop_assert_eq!(r.bytes_delivered, trace.total_response_bytes());
+    }
+
+    /// Reports are internally consistent: rates, utilizations and hit rates
+    /// stay in range whatever the input.
+    #[test]
+    fn metric_sanity(trace in arb_trace(), label in arb_label(), nodes in 1usize..5) {
+        let mut cfg = SimConfig::paper_config(label, nodes);
+        cfg.cache_bytes = 256 * 1024;
+        let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+        let r = Simulator::new(cfg, &trace, &workload).run();
+        prop_assert!((0.0..=1.0).contains(&r.cache_hit_rate));
+        prop_assert!((0.0..=1.0).contains(&r.fe_utilization));
+        prop_assert!(r.throughput_rps >= 0.0);
+        prop_assert!(r.mean_latency_ms >= 0.0);
+        for n in &r.per_node {
+            prop_assert!((0.0..=1.0).contains(&n.cpu_utilization));
+            prop_assert!((0.0..=1.0).contains(&n.disk_utilization));
+            prop_assert!(n.cache_hits <= n.requests);
+        }
+        // Mechanism exclusivity: forwarding and migration never both occur.
+        prop_assert!(r.forwarded_requests == 0 || r.migrations == 0);
+    }
+
+    /// Bit-for-bit determinism over arbitrary inputs.
+    #[test]
+    fn determinism(trace in arb_trace(), label in arb_label(), nodes in 1usize..4) {
+        let run = || {
+            let mut cfg = SimConfig::paper_config(label, nodes);
+            cfg.cache_bytes = 256 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.finished_at, b.finished_at);
+        prop_assert_eq!(a.forwarded_requests, b.forwarded_requests);
+        prop_assert_eq!(a.migrations, b.migrations);
+        prop_assert_eq!(a.bytes_delivered, b.bytes_delivered);
+    }
+
+    /// Single handoff mechanisms never move requests: all work is served at
+    /// connection-handling nodes.
+    #[test]
+    fn connection_granularity_policies_never_move(trace in arb_trace(), nodes in 1usize..5) {
+        for label in ["WRR-PHTTP", "simple-LARD-PHTTP"] {
+            let mut cfg = SimConfig::paper_config(label, nodes);
+            cfg.cache_bytes = 256 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            let r = Simulator::new(cfg, &trace, &workload).run();
+            prop_assert_eq!(r.forwarded_requests, 0);
+            prop_assert_eq!(r.migrations, 0);
+        }
+    }
+
+    /// With one node there is nowhere to move anything, for any mechanism.
+    #[test]
+    fn single_node_never_moves(trace in arb_trace(), label in arb_label()) {
+        let mut cfg = SimConfig::paper_config(label, 1);
+        cfg.cache_bytes = 256 * 1024;
+        let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+        let r = Simulator::new(cfg, &trace, &workload).run();
+        prop_assert_eq!(r.forwarded_requests + r.migrations, 0);
+    }
+}

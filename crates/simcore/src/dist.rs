@@ -1,0 +1,261 @@
+//! Random-variate samplers used by the synthetic workload generator.
+//!
+//! Only the distributions the reproduction actually needs are implemented:
+//! Zipf (target popularity), log-normal body with a Pareto tail (response
+//! sizes — the standard web-workload model from Arlitt & Williamson and
+//! SURGE), and exponential (inter-arrival gaps). All samplers draw from a
+//! caller-supplied [`rand::Rng`] so every consumer stays deterministic under
+//! a fixed seed.
+
+use rand::Rng;
+
+/// Zipf-distributed ranks over `1..=n` with exponent `s`.
+///
+/// Sampling uses a precomputed cumulative table and binary search: O(n) memory
+/// once, O(log n) per sample, exact for any `s >= 0`. Web-server popularity is
+/// classically Zipf-like with `s ≈ 1` (Arlitt & Williamson, SIGMETRICS '96 —
+/// cited by the paper as reference [3]).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Returns the number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if there is exactly one rank (degenerate distribution).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0-based; rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Returns the probability mass of 0-based rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Samples a standard normal variate via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal sampler parameterized by the mean/σ of the underlying normal.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (of ln X).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a sampler; `sigma` must be non-negative and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite parameters or negative `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Samples one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// Returns the distribution mean `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto sampler (`x >= scale`, shape `alpha`), for heavy response-size tails.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Minimum value (scale parameter).
+    pub scale: f64,
+    /// Tail index; smaller is heavier. Web file sizes: `alpha ≈ 1.1-1.5`.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0` and `alpha > 0`.
+    pub fn new(scale: f64, alpha: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite());
+        assert!(alpha > 0.0 && alpha.is_finite());
+        Pareto { scale, alpha }
+    }
+
+    /// Samples one variate by inverse-CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // in (0, 1]
+        self.scale / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Exponential sampler with the given mean, for inter-arrival gaps.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    /// Mean of the distribution (1/λ).
+    pub mean: f64,
+}
+
+impl Exp {
+    /// Creates a sampler with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and finite.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite());
+        Exp { mean }
+    }
+
+    /// Samples one variate by inverse-CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -self.mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500]);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 0.9);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(50), 0.0);
+        assert_eq!(z.len(), 50);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn lognormal_mean_close_to_analytic() {
+        let d = LogNormal::new(8.0, 1.0);
+        let mut r = rng();
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let emp = sum / n as f64;
+        let want = d.mean();
+        assert!(
+            (emp - want).abs() / want < 0.05,
+            "empirical {emp} vs analytic {want}"
+        );
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(1024.0, 1.3);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 1024.0);
+        }
+    }
+
+    #[test]
+    fn exp_mean_close_to_analytic() {
+        let d = Exp::new(250.0);
+        let mut r = rng();
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - 250.0).abs() / 250.0 < 0.03, "mean {emp}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_under_seed() {
+        let z = Zipf::new(100, 1.0);
+        let a: Vec<usize> = {
+            let mut r = rng();
+            (0..32).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = rng();
+            (0..32).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,53 @@
+//! Discrete-event simulation engine for the P-HTTP cluster reproduction.
+//!
+//! This crate is the bottom-most substrate of the workspace: integer
+//! microsecond virtual time, a future-event list with FIFO tie-breaking,
+//! analytic FIFO single-server resources (the CPUs and disks of the cluster
+//! model), the random-variate samplers the synthetic workload needs, and
+//! streaming statistics. It knows nothing about HTTP or clusters;
+//! `phttp-sim` builds the paper's simulator on top of it.
+//!
+//! Everything is deterministic: given the same seed and inputs, a simulation
+//! produces bit-identical outputs on every platform, which the integration
+//! tests assert.
+//!
+//! # Examples
+//!
+//! A tiny M/D/1-style queue driven by the engine:
+//!
+//! ```
+//! use phttp_simcore::{EventQueue, FifoResource, SimDuration, SimTime};
+//!
+//! let mut events = EventQueue::new();
+//! let mut server = FifoResource::new();
+//! // Three jobs arrive at t = 0us, 50us, 60us; each needs 100us of service.
+//! for t in [0u64, 50, 60] {
+//!     events.push(SimTime::from_micros(t), ());
+//! }
+//! let mut completions = Vec::new();
+//! while let Some((now, ())) = events.pop() {
+//!     completions.push(server.schedule(now, SimDuration::from_micros(100)));
+//! }
+//! assert_eq!(
+//!     completions,
+//!     vec![
+//!         SimTime::from_micros(100),
+//!         SimTime::from_micros(200),
+//!         SimTime::from_micros(300),
+//!     ]
+//! );
+//! ```
+
+pub mod dist;
+pub mod lru;
+pub mod queue;
+pub mod resource;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Exp, LogNormal, Pareto, Zipf};
+pub use lru::LruCache;
+pub use queue::EventQueue;
+pub use resource::FifoResource;
+pub use stats::{Accumulator, Histogram, TimeWeighted};
+pub use time::{SimDuration, SimTime};

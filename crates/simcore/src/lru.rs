@@ -1,0 +1,290 @@
+//! Byte-budget LRU cache modeling a node's main-memory file cache.
+//!
+//! The paper's back-ends rely on FreeBSD's unified buffer cache; both the
+//! simulator (`phttp-sim`) and the live prototype (`phttp-proto`) model it
+//! as a strict LRU over whole entries with a byte budget. Entries are whole
+//! documents — the workload is static files, which the OS caches in full.
+//!
+//! Implementation: hash map + intrusive doubly-linked list over a slab, so
+//! `touch`/`insert`/evict are O(1) and the structure handles millions of
+//! operations per run.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry<K> {
+    target: K,
+    size: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// A strict-LRU cache of keyed entries with a byte budget.
+#[derive(Debug, Clone)]
+pub struct LruCache<K> {
+    budget: u64,
+    used: u64,
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    evictions: u64,
+}
+
+impl<K: Copy + Eq + Hash> LruCache<K> {
+    /// Creates a cache holding at most `budget_bytes` of content.
+    pub fn new(budget_bytes: u64) -> Self {
+        LruCache {
+            budget: budget_bytes,
+            used: 0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Returns the bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Returns the number of cached targets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total number of evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Returns `true` if the target is cached, and if so marks it most
+    /// recently used (a cache hit).
+    pub fn touch(&mut self, target: K) -> bool {
+        if let Some(&idx) = self.map.get(&target) {
+            self.unlink(idx);
+            self.push_front(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if the target is cached without updating recency.
+    pub fn contains(&self, target: K) -> bool {
+        self.map.contains_key(&target)
+    }
+
+    /// Inserts a target of the given size, evicting LRU entries as needed.
+    ///
+    /// A target larger than the whole budget is not cached at all (the OS
+    /// cannot hold it resident either). Re-inserting an existing target
+    /// refreshes its recency and updates its size.
+    pub fn insert(&mut self, target: K, size: u64) {
+        if let Some(&idx) = self.map.get(&target) {
+            // Size update (static content rarely changes, but stay safe).
+            let old = self.slab[idx].size;
+            self.used = self.used - old + size;
+            self.slab[idx].size = size;
+            self.unlink(idx);
+            self.push_front(idx);
+            self.shrink_to_budget(Some(target));
+            return;
+        }
+        if size > self.budget {
+            return;
+        }
+        self.used += size;
+        let idx = self.alloc(Entry {
+            target,
+            size,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(target, idx);
+        self.push_front(idx);
+        self.shrink_to_budget(Some(target));
+    }
+
+    /// Removes a target if present; returns whether it was cached.
+    pub fn remove(&mut self, target: K) -> bool {
+        if let Some(idx) = self.map.remove(&target) {
+            self.used -= self.slab[idx].size;
+            self.unlink(idx);
+            self.free.push(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evicts least-recently-used entries until within budget, never
+    /// evicting `keep` (the entry just inserted).
+    fn shrink_to_budget(&mut self, keep: Option<K>) {
+        while self.used > self.budget {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL, "over budget with empty cache");
+            let victim = self.slab[tail].target;
+            if Some(victim) == keep {
+                // Only the just-inserted oversized entry remains; drop it.
+                self.remove(victim);
+                break;
+            }
+            self.remove(victim);
+            self.evictions += 1;
+        }
+    }
+
+    fn alloc(&mut self, e: Entry<K>) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = e;
+            idx
+        } else {
+            self.slab.push(e);
+            self.slab.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> u32 {
+        i
+    }
+
+    #[test]
+    fn insert_then_touch_hits() {
+        let mut c = LruCache::new(1000);
+        c.insert(t(1), 100);
+        assert!(c.touch(t(1)));
+        assert!(!c.touch(t(2)));
+        assert_eq!(c.used(), 100);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = LruCache::new(300);
+        c.insert(t(1), 100);
+        c.insert(t(2), 100);
+        c.insert(t(3), 100);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.touch(t(1)));
+        c.insert(t(4), 100); // must evict 2
+        assert!(c.contains(t(1)));
+        assert!(!c.contains(t(2)));
+        assert!(c.contains(t(3)));
+        assert!(c.contains(t(4)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn never_exceeds_budget() {
+        let mut c = LruCache::new(250);
+        for i in 0..100 {
+            c.insert(t(i), 40);
+            assert!(c.used() <= 250, "used {} over budget", c.used());
+        }
+        assert_eq!(c.len(), 6); // 6 * 40 = 240 <= 250
+    }
+
+    #[test]
+    fn oversized_target_is_not_cached() {
+        let mut c = LruCache::new(100);
+        c.insert(t(1), 50);
+        c.insert(t(2), 500);
+        assert!(!c.contains(t(2)));
+        assert!(c.contains(t(1)), "oversized insert must not nuke the cache");
+        assert_eq!(c.used(), 50);
+    }
+
+    #[test]
+    fn reinsert_updates_size_and_recency() {
+        let mut c = LruCache::new(300);
+        c.insert(t(1), 100);
+        c.insert(t(2), 100);
+        c.insert(t(1), 150); // refresh + grow
+        assert_eq!(c.used(), 250);
+        c.insert(t(3), 100); // evicts t(2), the LRU
+        assert!(!c.contains(t(2)));
+        assert!(c.contains(t(1)));
+    }
+
+    #[test]
+    fn remove_returns_presence() {
+        let mut c = LruCache::new(300);
+        c.insert(t(1), 100);
+        assert!(c.remove(t(1)));
+        assert!(!c.remove(t(1)));
+        assert_eq!(c.used(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slab_reuse_after_removals() {
+        let mut c = LruCache::new(1_000);
+        for round in 0..10 {
+            for i in 0..10 {
+                c.insert(t(round * 10 + i), 100);
+            }
+        }
+        // Budget fits 10 entries; the slab must not have grown to 100.
+        assert!(c.slab.len() <= 20, "slab leaked: {}", c.slab.len());
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let mut c = LruCache::new(0);
+        c.insert(t(1), 1);
+        assert!(c.is_empty());
+        assert!(!c.touch(t(1)));
+    }
+}

@@ -1,0 +1,189 @@
+//! FIFO single-server resources (CPU, disk).
+//!
+//! The cluster model in the paper charges every processing step to either a
+//! back-end's CPU, its disk, or the front-end's CPU, each of which serves one
+//! job at a time in arrival order. [`FifoResource`] computes completion times
+//! analytically (no per-slice events needed) while still exposing the two
+//! observables the policies and metrics need:
+//!
+//! * the **queue depth** at a given instant — extended LARD's disk-utilization
+//!   heuristic is defined as "fewer than k queued disk events";
+//! * the **cumulative busy time** — utilization reporting (the paper quotes
+//!   front-end CPU utilization to argue one front-end scales to ~10 back-ends).
+
+use std::collections::VecDeque;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A work-conserving single server with a FIFO queue.
+///
+/// Jobs are submitted with [`FifoResource::schedule`], which returns the
+/// completion time: `max(now, previous completion) + demand`.
+///
+/// # Examples
+///
+/// ```
+/// use phttp_simcore::{FifoResource, SimDuration, SimTime};
+///
+/// let mut cpu = FifoResource::new();
+/// let t0 = SimTime::ZERO;
+/// let d = SimDuration::from_micros(100);
+/// let c1 = cpu.schedule(t0, d);
+/// let c2 = cpu.schedule(t0, d); // queues behind the first job
+/// assert_eq!(c1, SimTime::from_micros(100));
+/// assert_eq!(c2, SimTime::from_micros(200));
+/// assert_eq!(cpu.queue_len(SimTime::from_micros(50)), 2);
+/// assert_eq!(cpu.queue_len(SimTime::from_micros(150)), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FifoResource {
+    /// Completion times of jobs not yet known to have finished, non-decreasing.
+    completions: VecDeque<SimTime>,
+    /// Instant the server becomes free (equals the last completion time).
+    free_at: SimTime,
+    /// Total service time ever scheduled.
+    busy: SimDuration,
+    /// Number of jobs ever scheduled.
+    jobs: u64,
+}
+
+impl FifoResource {
+    /// Creates an idle resource at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a job of length `demand` at time `now`; returns its completion time.
+    ///
+    /// Monotonicity of `now` across calls is *not* required: a job submitted
+    /// with an earlier `now` than a previous call still queues behind all
+    /// previously scheduled work, which is exactly the behaviour of a real
+    /// FIFO device fed by an event loop that processes events in time order.
+    pub fn schedule(&mut self, now: SimTime, demand: SimDuration) -> SimTime {
+        let start = self.free_at.max(now);
+        let done = start + demand;
+        self.free_at = done;
+        self.busy += demand;
+        self.jobs += 1;
+        self.completions.push_back(done);
+        done
+    }
+
+    /// Returns the number of jobs still queued or in service at `now`.
+    ///
+    /// This is the paper's "queued disk events" observable. Jobs whose
+    /// completion time is `<= now` are retired from the internal deque.
+    pub fn queue_len(&mut self, now: SimTime) -> usize {
+        while let Some(&front) = self.completions.front() {
+            if front <= now {
+                self.completions.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.completions.len()
+    }
+
+    /// Returns the instant the server becomes free of all queued work.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Returns `true` if the server has no work at `now`.
+    pub fn is_idle(&mut self, now: SimTime) -> bool {
+        self.queue_len(now) == 0
+    }
+
+    /// Returns the total service time scheduled so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Returns the number of jobs scheduled so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Returns utilization over `[SimTime::ZERO, horizon]`.
+    ///
+    /// If scheduled work extends past `horizon`, the excess is excluded, so
+    /// the result is always in `[0, 1]` for a resource that started idle.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let busy = self.busy.as_micros() as f64;
+        let over = self.free_at.as_micros().saturating_sub(horizon.as_micros()) as f64;
+        ((busy - over).max(0.0) / horizon.as_micros() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    fn dur(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.schedule(us(1000), dur(50)), us(1050));
+    }
+
+    #[test]
+    fn busy_server_queues() {
+        let mut r = FifoResource::new();
+        r.schedule(us(0), dur(100));
+        assert_eq!(r.schedule(us(10), dur(100)), us(200));
+        assert_eq!(r.schedule(us(20), dur(100)), us(300));
+    }
+
+    #[test]
+    fn gap_leaves_server_idle() {
+        let mut r = FifoResource::new();
+        r.schedule(us(0), dur(10));
+        // Arrives long after the first job finished: starts at its own `now`.
+        assert_eq!(r.schedule(us(1000), dur(10)), us(1010));
+        // The idle gap does not count as busy time.
+        assert_eq!(r.busy_time(), dur(20));
+    }
+
+    #[test]
+    fn queue_len_retires_completed_jobs() {
+        let mut r = FifoResource::new();
+        r.schedule(us(0), dur(100)); // completes at 100
+        r.schedule(us(0), dur(100)); // completes at 200
+        r.schedule(us(0), dur(100)); // completes at 300
+        assert_eq!(r.queue_len(us(0)), 3);
+        assert_eq!(r.queue_len(us(100)), 2);
+        assert_eq!(r.queue_len(us(250)), 1);
+        assert_eq!(r.queue_len(us(300)), 0);
+        assert!(r.is_idle(us(301)));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut r = FifoResource::new();
+        r.schedule(us(0), dur(500));
+        assert!((r.utilization(us(1000)) - 0.5).abs() < 1e-9);
+        // Work scheduled past the horizon is clipped.
+        r.schedule(us(900), dur(500));
+        let u = r.utilization(us(1000));
+        assert!(u <= 1.0 && u > 0.5, "u = {u}");
+        assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn zero_demand_job_completes_instantly() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.schedule(us(42), SimDuration::ZERO), us(42));
+        assert_eq!(r.queue_len(us(42)), 0);
+        assert_eq!(r.jobs(), 1);
+    }
+}

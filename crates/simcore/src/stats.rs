@@ -1,0 +1,327 @@
+//! Streaming statistics for simulation outputs.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use phttp_simcore::Accumulator;
+///
+/// let mut a = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     a.add(x);
+/// }
+/// assert_eq!(a.count(), 3);
+/// assert!((a.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0)
+        )
+    }
+}
+
+/// Time-weighted average of a step function (e.g. queue length, load).
+///
+/// Call [`TimeWeighted::update`] with each change point; the value is assumed
+/// to hold from the previous update until the new one.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_t: SimTime,
+    last_v: f64,
+    weighted_sum: f64,
+    start: SimTime,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `t0` with initial value `v0`.
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            last_t: t0,
+            last_v: v0,
+            weighted_sum: 0.0,
+            start: t0,
+            peak: v0,
+        }
+    }
+
+    /// Records that the tracked quantity changed to `v` at time `t`.
+    ///
+    /// Out-of-order updates (t earlier than the last change) are clamped to
+    /// the last change point, contributing zero weight.
+    pub fn update(&mut self, t: SimTime, v: f64) {
+        let t = t.max(self.last_t);
+        let dt = t.duration_since(self.last_t).as_micros() as f64;
+        self.weighted_sum += self.last_v * dt;
+        self.last_t = t;
+        self.last_v = v;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Returns the time-weighted mean over `[t0, t]`.
+    pub fn mean_until(&self, t: SimTime) -> f64 {
+        let t = t.max(self.last_t);
+        let total = t.duration_since(self.start).as_micros() as f64;
+        if total == 0.0 {
+            return self.last_v;
+        }
+        let tail = t.duration_since(self.last_t).as_micros() as f64;
+        (self.weighted_sum + self.last_v * tail) / total
+    }
+
+    /// Returns the largest value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Returns the current value.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+}
+
+/// Fixed-boundary histogram over `f64` observations, with overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bucket bounds.
+    ///
+    /// An observation `x` lands in the first bucket whose bound is `>= x`;
+    /// values above every bound land in a final overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            total: 0,
+        }
+    }
+
+    /// Creates 2^k-spaced bounds from `lo` doubling up to at least `hi`.
+    pub fn exponential(lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo);
+        let mut bounds = vec![lo];
+        let mut b = lo;
+        while b < hi {
+            b *= 2.0;
+            bounds.push(b);
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        let i = self.bounds.partition_point(|&b| b < x);
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `(upper_bound, count)` pairs; the last entry has bound `+inf`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Approximate quantile: upper bound of the bucket containing quantile `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (bound, count) in self.buckets() {
+            acc += count;
+            if acc >= target {
+                return Some(bound);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_moments() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.add(x);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert!((a.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(a.min(), Some(2.0));
+        assert_eq!(a.max(), Some(9.0));
+        assert!((a.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_empty_is_safe() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+    }
+
+    #[test]
+    fn time_weighted_step_function() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime::from_micros(10), 4.0); // 0 for [0,10)
+        tw.update(SimTime::from_micros(30), 2.0); // 4 for [10,30)
+        let mean = tw.mean_until(SimTime::from_micros(40)); // 2 for [30,40)
+                                                            // (0*10 + 4*20 + 2*10) / 40 = 100/40 = 2.5
+        assert!((mean - 2.5).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4.0);
+        assert_eq!(tw.current(), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_out_of_order_update_is_clamped() {
+        let mut tw = TimeWeighted::new(SimTime::from_micros(100), 1.0);
+        tw.update(SimTime::from_micros(50), 9.0); // clamped, zero weight
+        let mean = tw.mean_until(SimTime::from_micros(200));
+        // 1.0 held for zero time, then 9.0 for [100,200).
+        assert!((mean - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing_and_quantiles() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for x in [0.5, 0.7, 5.0, 50.0, 5000.0] {
+            h.add(x);
+        }
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets[0], (1.0, 2));
+        assert_eq!(buckets[1], (10.0, 1));
+        assert_eq!(buckets[2], (100.0, 1));
+        assert_eq!(buckets[3].1, 1);
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+        assert_eq!(Histogram::new(vec![1.0]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_exponential_covers_range() {
+        let h = Histogram::exponential(1.0, 1000.0);
+        let last = h.buckets().map(|(b, _)| b).fold(0.0, f64::max);
+        assert!(last.is_infinite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![10.0, 1.0]);
+    }
+}

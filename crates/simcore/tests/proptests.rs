@@ -1,0 +1,96 @@
+//! Property-based tests for the simulation engine invariants.
+
+use proptest::prelude::*;
+
+use phttp_simcore::{EventQueue, FifoResource, SimDuration, SimTime, Zipf};
+
+proptest! {
+    /// Pop order is a non-decreasing total order over arbitrary pushes.
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    /// Events at identical times come out in insertion order (stability).
+    #[test]
+    fn event_queue_is_fifo_for_ties(groups in proptest::collection::vec((0u64..100, 1usize..8), 1..50)) {
+        let mut q = EventQueue::new();
+        let mut idx = 0usize;
+        for &(t, k) in &groups {
+            for _ in 0..k {
+                q.push(SimTime::from_micros(t), idx);
+                idx += 1;
+            }
+        }
+        // Group pops by time; within each time, payloads must be ascending
+        // in insertion order *per original time bucket*.
+        let mut per_time: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        while let Some((t, v)) = q.pop() {
+            per_time.entry(t.as_micros()).or_default().push(v);
+        }
+        for vals in per_time.values() {
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(vals, &sorted);
+        }
+    }
+
+    /// A FIFO server never completes a job before its submission, never
+    /// reorders completions, and conserves total busy time.
+    #[test]
+    fn fifo_resource_invariants(jobs in proptest::collection::vec((0u64..10_000, 0u64..500), 1..100)) {
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(t, _)| t); // event loops submit in time order
+        let mut r = FifoResource::new();
+        let mut last_done = SimTime::ZERO;
+        let mut total = 0u64;
+        for &(t, d) in &jobs {
+            let done = r.schedule(SimTime::from_micros(t), SimDuration::from_micros(d));
+            prop_assert!(done >= SimTime::from_micros(t + d));
+            prop_assert!(done >= last_done);
+            last_done = done;
+            total += d;
+        }
+        prop_assert_eq!(r.busy_time().as_micros(), total);
+        prop_assert_eq!(r.jobs(), jobs.len() as u64);
+        // After the last completion the queue must drain completely.
+        prop_assert_eq!(r.queue_len(last_done), 0);
+    }
+
+    /// Utilization is always within [0, 1].
+    #[test]
+    fn utilization_bounded(jobs in proptest::collection::vec((0u64..1_000, 0u64..1_000), 0..50), horizon in 1u64..10_000) {
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(t, _)| t);
+        let mut r = FifoResource::new();
+        for &(t, d) in &jobs {
+            r.schedule(SimTime::from_micros(t), SimDuration::from_micros(d));
+        }
+        let u = r.utilization(SimTime::from_micros(horizon));
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {} out of range", u);
+    }
+
+    /// Zipf sampling always returns a valid rank and pmf sums to one.
+    #[test]
+    fn zipf_sound(n in 1usize..500, s in 0.0f64..2.5, seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let z = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+}

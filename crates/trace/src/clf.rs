@@ -1,0 +1,505 @@
+//! Common Log Format (CLF) parsing, so real server logs can drive the
+//! simulator and the prototype exactly as the Rice traces drove the paper's.
+//!
+//! A CLF line looks like:
+//!
+//! ```text
+//! ricevm1.rice.edu - - [12/Mar/1998:09:15:36 -0600] "GET /~fac/pic.gif HTTP/1.0" 200 2326
+//! ```
+//!
+//! Combined Log Format lines (with trailing quoted referer and user-agent
+//! fields) are accepted too; the extra fields are ignored.
+//!
+//! The parser interns client hosts and request targets into dense
+//! [`ClientId`]/[`TargetId`] spaces, takes a target's size to be the largest
+//! byte count observed for it (entries logged `-`, e.g. 304 responses, do not
+//! shrink it), and normalizes time stamps so the earliest request is at
+//! simulated time zero while preserving all gaps — which is all the
+//! reconstruction heuristic needs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use phttp_simcore::SimTime;
+
+use crate::record::{ClientId, Request, TargetId, Trace};
+
+/// Why a log line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClfError {
+    /// The line does not have the seven CLF fields.
+    Malformed,
+    /// The `[date]` field failed to parse.
+    BadDate,
+    /// The request field is not `"METHOD URI VERSION"`.
+    BadRequest,
+    /// The method is not GET (HEAD/POST/... are outside the paper's scope).
+    NotGet,
+    /// The status code is not a success (2xx) or not-modified (304).
+    Unsuccessful,
+}
+
+impl fmt::Display for ClfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClfError::Malformed => "malformed CLF line",
+            ClfError::BadDate => "unparseable date field",
+            ClfError::BadRequest => "unparseable request field",
+            ClfError::NotGet => "non-GET method",
+            ClfError::Unsuccessful => "unsuccessful status code",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ClfError {}
+
+/// One successfully parsed log entry, before interning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClfEntry {
+    /// Client host or IP, verbatim.
+    pub host: String,
+    /// Seconds since the Unix epoch (UTC).
+    pub epoch_secs: i64,
+    /// Request URI (path + query), verbatim.
+    pub uri: String,
+    /// HTTP status code.
+    pub status: u16,
+    /// Response bytes, if logged.
+    pub bytes: Option<u64>,
+}
+
+/// Parses a single CLF line.
+///
+/// # Examples
+///
+/// ```
+/// use phttp_trace::clf::parse_line;
+///
+/// let e = parse_line(
+///     r#"host.example - - [12/Mar/1998:09:15:36 -0600] "GET /pic.gif HTTP/1.0" 200 2326"#,
+/// )
+/// .unwrap();
+/// assert_eq!(e.uri, "/pic.gif");
+/// assert_eq!(e.bytes, Some(2326));
+/// ```
+pub fn parse_line(line: &str) -> Result<ClfEntry, ClfError> {
+    let line = line.trim();
+    // host ident authuser
+    let mut rest = line;
+    let host = take_token(&mut rest).ok_or(ClfError::Malformed)?.to_owned();
+    let _ident = take_token(&mut rest).ok_or(ClfError::Malformed)?;
+    let _user = take_token(&mut rest).ok_or(ClfError::Malformed)?;
+
+    // [date]
+    let rest2 = rest.trim_start();
+    let date_start = rest2.strip_prefix('[').ok_or(ClfError::Malformed)?;
+    let date_end = date_start.find(']').ok_or(ClfError::Malformed)?;
+    let date_str = &date_start[..date_end];
+    let epoch_secs = parse_clf_date(date_str).ok_or(ClfError::BadDate)?;
+    let rest3 = date_start[date_end + 1..].trim_start();
+
+    // "request" — find the FIRST closing quote: Combined Log Format lines
+    // carry further quoted fields (referer, user-agent) after the status
+    // and byte count, and request URIs cannot contain a raw quote (it must
+    // be percent-encoded).
+    let req_start = rest3.strip_prefix('"').ok_or(ClfError::Malformed)?;
+    let req_end = req_start.find('"').ok_or(ClfError::Malformed)?;
+    let req_str = &req_start[..req_end];
+    let mut parts = req_str.split_ascii_whitespace();
+    let method = parts.next().ok_or(ClfError::BadRequest)?;
+    let uri = parts.next().ok_or(ClfError::BadRequest)?.to_owned();
+    // The protocol version is optional in HTTP/0.9-era logs.
+    if method != "GET" {
+        return Err(ClfError::NotGet);
+    }
+
+    // status bytes
+    let tail = req_start[req_end + 1..].trim_start();
+    let mut tail_parts = tail.split_ascii_whitespace();
+    let status: u16 = tail_parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ClfError::Malformed)?;
+    let bytes_field = tail_parts.next().ok_or(ClfError::Malformed)?;
+    let bytes = bytes_field.parse::<u64>().ok();
+
+    if !(200..300).contains(&status) && status != 304 {
+        return Err(ClfError::Unsuccessful);
+    }
+
+    Ok(ClfEntry {
+        host,
+        epoch_secs,
+        uri,
+        status,
+        bytes,
+    })
+}
+
+fn take_token<'a>(rest: &mut &'a str) -> Option<&'a str> {
+    let s = rest.trim_start();
+    if s.is_empty() {
+        return None;
+    }
+    let end = s.find(char::is_whitespace).unwrap_or(s.len());
+    let (tok, r) = s.split_at(end);
+    *rest = r;
+    Some(tok)
+}
+
+/// Parses `dd/Mon/yyyy:HH:MM:SS +hhmm` into seconds since the Unix epoch.
+fn parse_clf_date(s: &str) -> Option<i64> {
+    // Split "12/Mar/1998:09:15:36 -0600".
+    let (dt, tz) = s.split_once(' ')?;
+    let mut it = dt.splitn(3, '/');
+    let day: i64 = it.next()?.parse().ok()?;
+    let month = month_number(it.next()?)?;
+    let rest = it.next()?;
+    let mut it2 = rest.splitn(4, ':');
+    let year: i64 = it2.next()?.parse().ok()?;
+    let hh: i64 = it2.next()?.parse().ok()?;
+    let mm: i64 = it2.next()?.parse().ok()?;
+    let ss: i64 = it2.next()?.parse().ok()?;
+    if !(1..=31).contains(&day) || hh > 23 || mm > 59 || ss > 60 {
+        return None;
+    }
+
+    let days = days_from_civil(year, month, day);
+    let mut secs = days * 86_400 + hh * 3_600 + mm * 60 + ss;
+
+    // Time zone: ±hhmm. The logged time is local; subtract the offset to get UTC.
+    let tz = tz.trim();
+    if tz.len() == 5 {
+        let sign = match tz.as_bytes()[0] {
+            b'+' => 1,
+            b'-' => -1,
+            _ => return None,
+        };
+        let oh: i64 = tz[1..3].parse().ok()?;
+        let om: i64 = tz[3..5].parse().ok()?;
+        secs -= sign * (oh * 3_600 + om * 60);
+    } else {
+        return None;
+    }
+    Some(secs)
+}
+
+fn month_number(m: &str) -> Option<i64> {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    MONTHS
+        .iter()
+        .position(|&x| x.eq_ignore_ascii_case(m))
+        .map(|i| i as i64 + 1)
+}
+
+/// Days from the Unix epoch for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Summary of a log-parsing run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Lines accepted into the trace.
+    pub accepted: usize,
+    /// Lines skipped, by cause. Indexed via [`ClfError`] discriminants in
+    /// `skipped()` order: malformed, bad date, bad request, non-GET, unsuccessful.
+    pub skipped_malformed: usize,
+    /// Lines whose date field failed to parse.
+    pub skipped_bad_date: usize,
+    /// Lines whose request field failed to parse.
+    pub skipped_bad_request: usize,
+    /// Lines with a non-GET method.
+    pub skipped_not_get: usize,
+    /// Lines with an unsuccessful status.
+    pub skipped_unsuccessful: usize,
+}
+
+impl ParseStats {
+    /// Total skipped lines.
+    pub fn skipped(&self) -> usize {
+        self.skipped_malformed
+            + self.skipped_bad_date
+            + self.skipped_bad_request
+            + self.skipped_not_get
+            + self.skipped_unsuccessful
+    }
+
+    fn record(&mut self, e: &ClfError) {
+        match e {
+            ClfError::Malformed => self.skipped_malformed += 1,
+            ClfError::BadDate => self.skipped_bad_date += 1,
+            ClfError::BadRequest => self.skipped_bad_request += 1,
+            ClfError::NotGet => self.skipped_not_get += 1,
+            ClfError::Unsuccessful => self.skipped_unsuccessful += 1,
+        }
+    }
+}
+
+/// Builds a [`Trace`] from an iterator of CLF lines (e.g. file lines).
+///
+/// Client hosts and URIs are interned; target sizes take the maximum logged
+/// byte count per URI; time stamps are normalized so the earliest accepted
+/// entry is simulated time zero. Unusable lines are skipped and counted.
+pub fn parse_log<I, S>(lines: I) -> (Trace, ParseStats)
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut stats = ParseStats::default();
+    let mut clients: HashMap<String, ClientId> = HashMap::new();
+    let mut targets: HashMap<String, TargetId> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut raw: Vec<(i64, ClientId, TargetId)> = Vec::new();
+
+    for line in lines {
+        let line = line.as_ref();
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(e) => {
+                stats.accepted += 1;
+                let next_client = ClientId(clients.len() as u32);
+                let client = *clients.entry(e.host).or_insert(next_client);
+                let target = match targets.get(&e.uri) {
+                    Some(&t) => t,
+                    None => {
+                        let t = TargetId(sizes.len() as u32);
+                        targets.insert(e.uri.clone(), t);
+                        names.push(e.uri);
+                        sizes.push(0);
+                        t
+                    }
+                };
+                if let Some(b) = e.bytes {
+                    let slot = &mut sizes[target.0 as usize];
+                    *slot = (*slot).max(b);
+                }
+                raw.push((e.epoch_secs, client, target));
+            }
+            Err(err) => stats.record(&err),
+        }
+    }
+
+    let t0 = raw.iter().map(|&(t, _, _)| t).min().unwrap_or(0);
+    let requests = raw
+        .into_iter()
+        .map(|(t, client, target)| Request {
+            time: SimTime::from_micros(((t - t0).max(0) as u64) * 1_000_000),
+            client,
+            target,
+        })
+        .collect();
+    (Trace::with_names(requests, sizes, names), stats)
+}
+
+/// Renders one trace request as a CLF line (the parser's inverse).
+///
+/// Times are rendered at 1-second resolution relative to an arbitrary epoch
+/// base, exactly the fidelity real logs give the reconstruction heuristics.
+/// Useful for exporting synthetic traces to tools that consume server logs,
+/// and for round-trip testing.
+pub fn format_entry(trace: &Trace, r: &Request, epoch_base: i64) -> String {
+    let epoch = epoch_base + (r.time.as_micros() / 1_000_000) as i64;
+    let days = epoch.div_euclid(86_400);
+    let secs = epoch.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    let uri = trace
+        .name_of(r.target)
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("/t/{}", r.target.0));
+    format!(
+        "client{}.example - - [{:02}/{}/{}:{:02}:{:02}:{:02} +0000] \"GET {} HTTP/1.0\" 200 {}",
+        r.client.0,
+        d,
+        month_name(m),
+        y,
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60,
+        uri,
+        trace.size_of(r.target),
+    )
+}
+
+/// Renders an entire trace as CLF lines in time order.
+pub fn format_log(trace: &Trace, epoch_base: i64) -> Vec<String> {
+    trace
+        .requests()
+        .iter()
+        .map(|r| format_entry(trace, r, epoch_base))
+        .collect()
+}
+
+/// Civil date from days since the Unix epoch (inverse of `days_from_civil`,
+/// Howard Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn month_name(m: i64) -> &'static str {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    MONTHS[(m - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str =
+        r#"cs.rice.edu - - [12/Mar/1998:09:15:36 -0600] "GET /pic.gif HTTP/1.0" 200 2326"#;
+
+    #[test]
+    fn parses_canonical_line() {
+        let e = parse_line(GOOD).unwrap();
+        assert_eq!(e.host, "cs.rice.edu");
+        assert_eq!(e.uri, "/pic.gif");
+        assert_eq!(e.status, 200);
+        assert_eq!(e.bytes, Some(2326));
+    }
+
+    #[test]
+    fn date_epoch_is_correct() {
+        // 1998-03-12 09:15:36 -0600 == 1998-03-12 15:15:36 UTC == 889715736.
+        let e = parse_line(GOOD).unwrap();
+        assert_eq!(e.epoch_secs, 889_715_736);
+    }
+
+    #[test]
+    fn days_from_civil_known_values() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+    }
+
+    #[test]
+    fn rejects_post_and_errors() {
+        let post = GOOD.replace("GET", "POST");
+        assert_eq!(parse_line(&post), Err(ClfError::NotGet));
+        let err404 = GOOD.replace(" 200 ", " 404 ");
+        assert_eq!(parse_line(&err404), Err(ClfError::Unsuccessful));
+        assert_eq!(parse_line("garbage"), Err(ClfError::Malformed));
+    }
+
+    #[test]
+    fn parses_combined_log_format() {
+        // Trailing referer/user-agent fields (Combined Log Format) must not
+        // confuse the request-field scanner.
+        let line = r#"h - - [12/Mar/1998:09:15:36 -0600] "GET /pic.gif HTTP/1.0" 200 2326 "http://ref.example/a" "Mozilla/4.08 [en] (X11; I; FreeBSD)""#;
+        let e = parse_line(line).unwrap();
+        assert_eq!(e.uri, "/pic.gif");
+        assert_eq!(e.status, 200);
+        assert_eq!(e.bytes, Some(2326));
+    }
+
+    #[test]
+    fn combined_format_with_quotes_in_user_agent() {
+        let line = r#"h - - [12/Mar/1998:09:15:36 -0600] "GET /x HTTP/1.1" 200 10 "-" "weird "agent" string""#;
+        let e = parse_line(line).unwrap();
+        assert_eq!(e.uri, "/x");
+        assert_eq!(e.bytes, Some(10));
+    }
+
+    #[test]
+    fn accepts_304_with_dash_bytes() {
+        let line = r#"h - - [12/Mar/1998:09:15:36 -0600] "GET /pic.gif HTTP/1.0" 304 -"#;
+        let e = parse_line(line).unwrap();
+        assert_eq!(e.status, 304);
+        assert_eq!(e.bytes, None);
+    }
+
+    #[test]
+    fn positive_timezone_offset() {
+        let line = r#"h - - [12/Mar/1998:09:15:36 +0100] "GET /x HTTP/1.0" 200 10"#;
+        let e = parse_line(line).unwrap();
+        // 09:15:36 +0100 == 08:15:36 UTC.
+        assert_eq!(e.epoch_secs % 86_400, 8 * 3_600 + 15 * 60 + 36);
+    }
+
+    #[test]
+    fn parse_log_interns_and_normalizes() {
+        let lines = [
+            r#"a - - [12/Mar/1998:00:00:10 +0000] "GET /x HTTP/1.0" 200 100"#,
+            r#"b - - [12/Mar/1998:00:00:05 +0000] "GET /y HTTP/1.0" 200 300"#,
+            r#"a - - [12/Mar/1998:00:00:20 +0000] "GET /x HTTP/1.0" 200 150"#,
+            r#"junk"#,
+        ];
+        let (trace, stats) = parse_log(lines);
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.skipped(), 1);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.num_targets(), 2);
+        // Size takes the max across entries.
+        let x = trace
+            .requests()
+            .iter()
+            .find(|r| trace.name_of(r.target) == Some("/x"))
+            .unwrap()
+            .target;
+        assert_eq!(trace.size_of(x), 150);
+        // Earliest request (b's) is normalized to time zero.
+        assert_eq!(trace.start_time(), SimTime::ZERO);
+        assert_eq!(trace.end_time(), SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn civil_from_days_inverts_days_from_civil() {
+        for &(y, m, d) in &[(1970, 1, 1), (1998, 3, 12), (2000, 2, 29), (2026, 12, 31)] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn format_then_parse_round_trips() {
+        let reqs = vec![
+            Request {
+                time: SimTime::from_secs(0),
+                client: ClientId(3),
+                target: TargetId(0),
+            },
+            Request {
+                time: SimTime::from_secs(90),
+                client: ClientId(1),
+                target: TargetId(1),
+            },
+        ];
+        let trace = Trace::new(reqs, vec![1234, 999]);
+        let lines = format_log(&trace, 889_660_800); // 1998-03-12 00:00 UTC
+        let (parsed, stats) = parse_log(&lines);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.total_response_bytes(), 1234 + 999);
+        assert_eq!(parsed.end_time(), SimTime::from_secs(90));
+    }
+
+    #[test]
+    fn empty_log_is_empty_trace() {
+        let (trace, stats) = parse_log(Vec::<String>::new());
+        assert!(trace.is_empty());
+        assert_eq!(stats.accepted, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Web-server workload substrate for the P-HTTP cluster reproduction.
+//!
+//! The paper drives every experiment from request traces (Rice University
+//! server logs). This crate provides the full workload pipeline:
+//!
+//! * [`record`] — trace records, the target corpus, and workload statistics
+//!   (working set, cache-coverage curve, mean response size);
+//! * [`clf`] — Common Log Format parsing, so real logs can be used verbatim;
+//! * [`synth`] — a deterministic synthetic generator with Rice-like
+//!   structure, used because the original trace is not public;
+//! * [`specweb`] — a SPECweb96-like class-mix generator (a second workload
+//!   family without page structure, for sensitivity studies);
+//! * [`phttp`] — the paper's §6 heuristics that reconstruct HTTP/1.1
+//!   persistent connections (15 s idle rule) and pipelined batches (1 s
+//!   rule) from per-request logs.
+
+pub mod clf;
+pub mod phttp;
+pub mod record;
+pub mod specweb;
+pub mod synth;
+
+pub use phttp::{
+    http10_connections, reconstruct, Batch, Connection, ConnectionTrace, SessionConfig,
+};
+pub use record::{ClientId, Request, TargetId, Trace};
+pub use specweb::{generate_specweb, SpecWebConfig};
+pub use synth::{generate, SynthConfig};

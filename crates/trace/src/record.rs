@@ -1,0 +1,358 @@
+//! Trace records: the unit of workload the whole reproduction consumes.
+//!
+//! A trace is a time-ordered sequence of HTTP GET requests, each identifying
+//! the requesting client, the requested *target* (the paper's term for a URL
+//! plus applicable arguments) and its response size. The paper drove both its
+//! simulator and its prototype from two months of Rice University
+//! departmental-server logs; this crate reads real logs in Common Log Format
+//! and synthesizes Rice-like traces when real logs are unavailable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use phttp_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a Web document (URL + arguments). Dense indices into the corpus.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TargetId(pub u32);
+
+/// Identifies a client host.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One logged HTTP request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time stamp.
+    pub time: SimTime,
+    /// Requesting client host.
+    pub client: ClientId,
+    /// Requested document.
+    pub target: TargetId,
+}
+
+/// A complete workload: time-ordered requests plus the target corpus.
+///
+/// The corpus maps every [`TargetId`] to its response size in bytes; a target
+/// has a single fixed size (static content, per the paper's scope).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    requests: Vec<Request>,
+    /// `sizes[t.0 as usize]` is the response size of target `t` in bytes.
+    sizes: Vec<u64>,
+    /// Optional human-readable names (URLs), parallel to `sizes`. May be empty.
+    names: Vec<String>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting requests by time (stable, preserving log order
+    /// for equal stamps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request references a target outside the corpus.
+    pub fn new(mut requests: Vec<Request>, sizes: Vec<u64>) -> Self {
+        for r in &requests {
+            assert!(
+                (r.target.0 as usize) < sizes.len(),
+                "request references unknown target {}",
+                r.target
+            );
+        }
+        requests.sort_by_key(|r| r.time);
+        Trace {
+            requests,
+            sizes,
+            names: Vec::new(),
+        }
+    }
+
+    /// Builds a trace with URL names parallel to the size table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len() != sizes.len()` or a request references an
+    /// unknown target.
+    pub fn with_names(requests: Vec<Request>, sizes: Vec<u64>, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), sizes.len(), "names/sizes length mismatch");
+        let mut t = Trace::new(requests, sizes);
+        t.names = names;
+        t
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` if the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests, in non-decreasing time order.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of targets in the corpus (including never-requested ones).
+    pub fn num_targets(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Response size of `target` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not in the corpus.
+    pub fn size_of(&self, target: TargetId) -> u64 {
+        self.sizes[target.0 as usize]
+    }
+
+    /// URL of `target`, if names were recorded.
+    pub fn name_of(&self, target: TargetId) -> Option<&str> {
+        self.names.get(target.0 as usize).map(String::as_str)
+    }
+
+    /// Total bytes across the corpus (the paper's "data set ... covering N GB").
+    pub fn corpus_bytes(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Total bytes across distinct *requested* targets (the working set).
+    pub fn working_set_bytes(&self) -> u64 {
+        let mut seen = vec![false; self.sizes.len()];
+        let mut total = 0;
+        for r in &self.requests {
+            let i = r.target.0 as usize;
+            if !seen[i] {
+                seen[i] = true;
+                total += self.sizes[i];
+            }
+        }
+        total
+    }
+
+    /// Number of distinct targets requested at least once.
+    pub fn distinct_targets(&self) -> usize {
+        let mut seen = vec![false; self.sizes.len()];
+        let mut n = 0;
+        for r in &self.requests {
+            let i = r.target.0 as usize;
+            if !seen[i] {
+                seen[i] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Total response bytes that serving the whole trace transfers.
+    pub fn total_response_bytes(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|r| self.sizes[r.target.0 as usize])
+            .sum()
+    }
+
+    /// Mean response size over requests (not over targets), in bytes.
+    ///
+    /// The paper leans on this statistic: back-end forwarding is competitive
+    /// because "the average content size in today's Web traffic" is small.
+    pub fn mean_response_bytes(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.total_response_bytes() as f64 / self.requests.len() as f64
+    }
+
+    /// The time stamp of the first request, or zero for an empty trace.
+    pub fn start_time(&self) -> SimTime {
+        self.requests
+            .first()
+            .map(|r| r.time)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The time stamp of the last request, or zero for an empty trace.
+    pub fn end_time(&self) -> SimTime {
+        self.requests
+            .last()
+            .map(|r| r.time)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Cache-coverage curve: minimum cache bytes needed to cover each of the
+    /// given request-fractions, assuming the cache holds the most-requested
+    /// targets (the paper's "needs N MB of memory to cover P% of all
+    /// requests" statistic).
+    ///
+    /// `fractions` entries must be in `(0, 1]`. Returns one byte count per
+    /// fraction, in the same order.
+    pub fn coverage_curve(&self, fractions: &[f64]) -> Vec<u64> {
+        let mut counts: BTreeMap<TargetId, u64> = BTreeMap::new();
+        for r in &self.requests {
+            *counts.entry(r.target).or_insert(0) += 1;
+        }
+        // Most-requested first; break count ties by smaller size first (a
+        // cache aiming at request coverage prefers cheap popular targets).
+        let mut by_pop: Vec<(TargetId, u64)> = counts.into_iter().collect();
+        by_pop.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(self.size_of(a.0).cmp(&self.size_of(b.0)))
+                .then(a.0.cmp(&b.0))
+        });
+        let total = self.requests.len() as f64;
+        let mut out = Vec::with_capacity(fractions.len());
+        for &f in fractions {
+            assert!(f > 0.0 && f <= 1.0, "fraction {f} out of (0, 1]");
+            let need = (f * total).ceil() as u64;
+            let mut covered = 0u64;
+            let mut bytes = 0u64;
+            for &(t, c) in &by_pop {
+                if covered >= need {
+                    break;
+                }
+                covered += c;
+                bytes += self.size_of(t);
+            }
+            out.push(bytes);
+        }
+        out
+    }
+
+    /// Returns a sub-trace with only the first `n` requests (corpus shared).
+    pub fn prefix(&self, n: usize) -> Trace {
+        Trace {
+            requests: self.requests[..n.min(self.requests.len())].to_vec(),
+            sizes: self.sizes.clone(),
+            names: self.names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn simple_trace() -> Trace {
+        let reqs = vec![
+            Request {
+                time: t(30),
+                client: ClientId(0),
+                target: TargetId(2),
+            },
+            Request {
+                time: t(10),
+                client: ClientId(1),
+                target: TargetId(0),
+            },
+            Request {
+                time: t(20),
+                client: ClientId(0),
+                target: TargetId(0),
+            },
+        ];
+        Trace::new(reqs, vec![100, 200, 300])
+    }
+
+    #[test]
+    fn requests_are_sorted_by_time() {
+        let tr = simple_trace();
+        let times: Vec<u64> = tr.requests().iter().map(|r| r.time.as_micros()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert_eq!(tr.start_time(), t(10));
+        assert_eq!(tr.end_time(), t(30));
+    }
+
+    #[test]
+    fn corpus_and_working_set_accounting() {
+        let tr = simple_trace();
+        assert_eq!(tr.corpus_bytes(), 600);
+        // Targets 0 and 2 requested: 100 + 300.
+        assert_eq!(tr.working_set_bytes(), 400);
+        assert_eq!(tr.distinct_targets(), 2);
+        assert_eq!(tr.total_response_bytes(), 100 + 100 + 300);
+        assert!((tr.mean_response_bytes() - 500.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown target")]
+    fn rejects_out_of_corpus_target() {
+        let reqs = vec![Request {
+            time: t(0),
+            client: ClientId(0),
+            target: TargetId(9),
+        }];
+        let _ = Trace::new(reqs, vec![10]);
+    }
+
+    #[test]
+    fn coverage_curve_monotone_and_exact() {
+        // Target 0 requested 3x (100 B), target 1 once (200 B).
+        let reqs = vec![
+            Request {
+                time: t(0),
+                client: ClientId(0),
+                target: TargetId(0),
+            },
+            Request {
+                time: t(1),
+                client: ClientId(0),
+                target: TargetId(0),
+            },
+            Request {
+                time: t(2),
+                client: ClientId(0),
+                target: TargetId(0),
+            },
+            Request {
+                time: t(3),
+                client: ClientId(0),
+                target: TargetId(1),
+            },
+        ];
+        let tr = Trace::new(reqs, vec![100, 200]);
+        let cov = tr.coverage_curve(&[0.5, 0.75, 1.0]);
+        // 50% of 4 = 2 requests -> target 0 alone (100 B) covers 3.
+        assert_eq!(cov, vec![100, 100, 300]);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let tr = Trace::new(Vec::new(), vec![1, 2]);
+        assert!(tr.is_empty());
+        assert_eq!(tr.mean_response_bytes(), 0.0);
+        assert_eq!(tr.working_set_bytes(), 0);
+        assert_eq!(tr.start_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let tr = simple_trace();
+        assert_eq!(tr.prefix(2).len(), 2);
+        assert_eq!(tr.prefix(99).len(), 3);
+        assert_eq!(tr.prefix(2).num_targets(), 3);
+    }
+}

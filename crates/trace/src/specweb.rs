@@ -1,0 +1,195 @@
+//! SPECweb96-like synthetic workload.
+//!
+//! The paper notes that "synthetic workload generators like SURGE and
+//! SPECweb do not generate workloads representative of HTTP/1.1
+//! connections" — they model per-request file-class mixes, not
+//! persistent-connection structure. This module implements that classic
+//! class-based model anyway, as a *second* workload family for sensitivity
+//! studies: it exercises the cluster with a very different size
+//! distribution (the SPECweb96 four-class mix) and deliberately has *no*
+//! page structure, so P-HTTP connections reconstructed from it degenerate
+//! toward single-request connections — a useful contrast to the Rice-like
+//! generator in [`crate::synth`].
+//!
+//! SPECweb96's access mix: four file classes — 0-1 KB (35%), 1-10 KB (50%),
+//! 10-100 KB (14%), 100 KB-1 MB (1%) — with files within a class accessed
+//! by a Zipf-like rule over per-class directories.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use phttp_simcore::{Exp, SimDuration, SimTime, Zipf};
+
+use crate::record::{ClientId, Request, TargetId, Trace};
+
+/// The four SPECweb96 file classes: (min bytes, max bytes, access weight).
+pub const CLASSES: [(u64, u64, f64); 4] = [
+    (102, 1_024, 0.35),
+    (1_025, 10_240, 0.50),
+    (10_241, 102_400, 0.14),
+    (102_401, 1_048_576, 0.01),
+];
+
+/// Parameters of the SPECweb-like generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpecWebConfig {
+    /// RNG seed; equal seeds yield identical traces.
+    pub seed: u64,
+    /// Number of files per class.
+    pub files_per_class: usize,
+    /// Total requests to generate.
+    pub num_requests: usize,
+    /// Number of client hosts.
+    pub num_clients: usize,
+    /// Zipf exponent over files within a class.
+    pub zipf_exponent: f64,
+    /// Mean inter-request gap per the whole workload, seconds.
+    pub inter_request_gap_s: f64,
+}
+
+impl Default for SpecWebConfig {
+    fn default() -> Self {
+        SpecWebConfig {
+            seed: 1996,
+            files_per_class: 2_500,
+            num_requests: 150_000,
+            num_clients: 1_000,
+            zipf_exponent: 1.0,
+            inter_request_gap_s: 0.01,
+        }
+    }
+}
+
+impl SpecWebConfig {
+    /// Scaled-down variant for tests and CI.
+    pub fn small() -> Self {
+        SpecWebConfig {
+            files_per_class: 300,
+            num_requests: 12_000,
+            num_clients: 200,
+            ..SpecWebConfig::default()
+        }
+    }
+}
+
+/// Generates a SPECweb96-like trace.
+///
+/// # Examples
+///
+/// ```
+/// use phttp_trace::specweb::{generate_specweb, SpecWebConfig};
+///
+/// let trace = generate_specweb(&SpecWebConfig::small());
+/// assert_eq!(trace.len(), SpecWebConfig::small().num_requests);
+/// ```
+pub fn generate_specweb(cfg: &SpecWebConfig) -> Trace {
+    assert!(cfg.files_per_class > 0 && cfg.num_requests > 0 && cfg.num_clients > 0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Corpus: four classes of `files_per_class` files, sizes log-uniform
+    // within the class bounds (SPECweb96 used fixed per-directory sizes;
+    // log-uniform matches its spirit without its directory bookkeeping).
+    let mut sizes = Vec::with_capacity(cfg.files_per_class * CLASSES.len());
+    for &(lo, hi, _) in &CLASSES {
+        for _ in 0..cfg.files_per_class {
+            let u: f64 = rng.gen();
+            let s = (lo as f64).ln() + u * ((hi as f64).ln() - (lo as f64).ln());
+            sizes.push(s.exp().round() as u64);
+        }
+    }
+
+    let class_cdf: Vec<f64> = CLASSES
+        .iter()
+        .scan(0.0, |acc, &(_, _, w)| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let within = Zipf::new(cfg.files_per_class, cfg.zipf_exponent);
+    let gap = Exp::new(cfg.inter_request_gap_s);
+
+    let mut requests = Vec::with_capacity(cfg.num_requests);
+    let mut t = 0.0f64;
+    for _ in 0..cfg.num_requests {
+        t += gap.sample(&mut rng);
+        let u: f64 = rng.gen();
+        let class = class_cdf.partition_point(|&c| c < u).min(CLASSES.len() - 1);
+        let file = within.sample(&mut rng);
+        requests.push(Request {
+            time: SimTime::ZERO + SimDuration::from_secs_f64(t),
+            client: ClientId(rng.gen_range(0..cfg.num_clients as u32)),
+            target: TargetId((class * cfg.files_per_class + file) as u32),
+        });
+    }
+    Trace::new(requests, sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = generate_specweb(&SpecWebConfig::small());
+        let b = generate_specweb(&SpecWebConfig::small());
+        assert_eq!(a.requests(), b.requests());
+        assert_eq!(a.len(), SpecWebConfig::small().num_requests);
+        assert_eq!(
+            a.num_targets(),
+            SpecWebConfig::small().files_per_class * CLASSES.len()
+        );
+    }
+
+    #[test]
+    fn class_mix_matches_weights() {
+        let cfg = SpecWebConfig::small();
+        let trace = generate_specweb(&cfg);
+        let mut per_class = [0usize; 4];
+        for r in trace.requests() {
+            per_class[r.target.0 as usize / cfg.files_per_class] += 1;
+        }
+        let total = trace.len() as f64;
+        for (i, &(_, _, w)) in CLASSES.iter().enumerate() {
+            let got = per_class[i] as f64 / total;
+            assert!(
+                (got - w).abs() < 0.03,
+                "class {i}: got {got:.3}, want {w:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_respect_class_bounds() {
+        let cfg = SpecWebConfig::small();
+        let trace = generate_specweb(&cfg);
+        for (i, &(lo, hi, _)) in CLASSES.iter().enumerate() {
+            for f in 0..cfg.files_per_class {
+                let t = TargetId((i * cfg.files_per_class + f) as u32);
+                let s = trace.size_of(t);
+                assert!(
+                    s >= lo && s <= hi + 1,
+                    "class {i} file size {s} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_size_is_specweb_like() {
+        // SPECweb96's mix has a mean transfer around 14-15 KB.
+        let trace = generate_specweb(&SpecWebConfig::default());
+        let kb = trace.mean_response_bytes() / 1024.0;
+        assert!((4.0..30.0).contains(&kb), "mean {kb:.1} KB");
+    }
+
+    #[test]
+    fn no_page_structure_means_short_connections() {
+        // Random per-request clients: reconstruction should yield far fewer
+        // requests per connection than the Rice-like generator.
+        let trace = generate_specweb(&SpecWebConfig::small());
+        let conns = crate::phttp::reconstruct(&trace, crate::phttp::SessionConfig::default());
+        assert!(conns.mean_requests_per_connection() < 100.0);
+        assert!(!conns.connections.is_empty());
+    }
+}

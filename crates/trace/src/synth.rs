@@ -1,0 +1,368 @@
+//! Synthetic Rice-like trace generation.
+//!
+//! The paper's workload is two months of Rice University departmental-server
+//! logs, which are not publicly available. This generator produces traces
+//! with the structural properties the paper's results depend on (DESIGN.md
+//! §6.1):
+//!
+//! * **Zipf-like page popularity** (Arlitt & Williamson invariants, the
+//!   paper's reference [3]);
+//! * **small mean response size** — heavy-tailed sizes with a mean around
+//!   10 KB, the regime in which the paper argues back-end forwarding is
+//!   competitive;
+//! * **page structure**: a container document followed by its embedded
+//!   objects from the same client within the pipelining window, so P-HTTP
+//!   reconstruction produces realistic connections and batches;
+//! * **a working set** larger than one node's cache and smaller than a
+//!   mid-size cluster's aggregate cache — the regime where LARD's cache
+//!   aggregation matters.
+//!
+//! Generation is fully deterministic under [`SynthConfig::seed`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use phttp_simcore::{Exp, LogNormal, Pareto, SimDuration, SimTime, Zipf};
+
+use crate::record::{ClientId, Request, TargetId, Trace};
+
+/// Parameters of the synthetic workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// RNG seed; equal seeds yield identical traces.
+    pub seed: u64,
+    /// Number of container (HTML) documents.
+    pub num_pages: usize,
+    /// Mean number of embedded objects per page (geometric, so pages vary).
+    pub embeds_per_page_mean: f64,
+    /// Number of distinct client hosts.
+    pub num_clients: usize,
+    /// Total page views to emit.
+    pub num_page_views: usize,
+    /// Zipf exponent of page popularity (≈1.0 for web workloads).
+    pub zipf_exponent: f64,
+    /// Log-normal `mu` for HTML sizes (ln bytes).
+    pub html_mu: f64,
+    /// Log-normal `sigma` for HTML sizes.
+    pub html_sigma: f64,
+    /// Log-normal `mu` for embedded-object sizes (ln bytes).
+    pub embed_mu: f64,
+    /// Log-normal `sigma` for embedded-object sizes.
+    pub embed_sigma: f64,
+    /// Fraction of targets drawn from the Pareto tail instead.
+    pub tail_fraction: f64,
+    /// Pareto scale (minimum size) of the tail, bytes.
+    pub tail_scale: f64,
+    /// Pareto shape of the tail; smaller = heavier.
+    pub tail_alpha: f64,
+    /// Upper clamp on any target size, bytes. A Pareto tail with
+    /// `alpha < 2` has infinite variance; real servers also have a largest
+    /// file. Keeps small corpora from being dominated by one monster file.
+    pub max_target_bytes: u64,
+    /// Mean page views per client session (geometric).
+    pub views_per_session_mean: f64,
+    /// Mean think time between page views in a session, seconds. Around the
+    /// 15 s idle-close threshold so reconstructed connections vary between
+    /// one and several page views.
+    pub think_time_mean_s: f64,
+    /// Delay between receiving the container page and the first embedded
+    /// request (parse time), seconds.
+    pub parse_delay_s: f64,
+    /// Mean spacing between embedded-object requests, seconds (well under
+    /// the 1 s batch window so embeds pipeline into one batch).
+    pub embed_gap_mean_s: f64,
+    /// Session arrival rate across all clients, sessions/second.
+    pub session_rate_per_s: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 1999,
+            num_pages: 2_000,
+            embeds_per_page_mean: 4.0,
+            num_clients: 2_000,
+            num_page_views: 40_000,
+            zipf_exponent: 1.0,
+            html_mu: 8.7, // median ≈ 6 KB
+            html_sigma: 0.7,
+            embed_mu: 8.0, // median ≈ 3 KB
+            embed_sigma: 1.0,
+            tail_fraction: 0.02,
+            tail_scale: 30_000.0,
+            tail_alpha: 1.2,
+            max_target_bytes: 1024 * 1024,
+            views_per_session_mean: 4.0,
+            // Most inter-view dwell times exceed the 15 s idle-close
+            // threshold (human page-reading time), so a typical persistent
+            // connection carries one page view and a meaningful minority
+            // span several views — the paper-era connection shape.
+            think_time_mean_s: 60.0,
+            parse_delay_s: 0.25,
+            embed_gap_mean_s: 0.05,
+            // With 2000 clients, one client's *sessions* are typically far
+            // apart, so distinct sessions rarely merge into one connection.
+            session_rate_per_s: 15.0,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A scaled-down configuration for unit tests and CI (fast to generate
+    /// and simulate, same structure).
+    pub fn small() -> Self {
+        SynthConfig {
+            seed: 7,
+            num_pages: 200,
+            num_clients: 300,
+            num_page_views: 6_000,
+            session_rate_per_s: 8.0,
+            max_target_bytes: 256 * 1024,
+            ..SynthConfig::default()
+        }
+    }
+}
+
+/// The generated corpus structure: which targets make up each page.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// `pages[i]` lists the embedded-object targets of page `i`; the page's
+    /// own HTML target is `TargetId(i)`.
+    pub pages: Vec<Vec<TargetId>>,
+    /// Size of every target in bytes, indexed by `TargetId`.
+    pub sizes: Vec<u64>,
+}
+
+impl Corpus {
+    /// Builds the corpus deterministically from the configuration.
+    pub fn build(cfg: &SynthConfig, rng: &mut SmallRng) -> Corpus {
+        assert!(cfg.num_pages > 0, "need at least one page");
+        let html_dist = LogNormal::new(cfg.html_mu, cfg.html_sigma);
+        let embed_dist = LogNormal::new(cfg.embed_mu, cfg.embed_sigma);
+        let tail = Pareto::new(cfg.tail_scale, cfg.tail_alpha);
+
+        let mut sizes: Vec<u64> = Vec::new();
+        // Page HTML targets occupy ids 0..num_pages.
+        for _ in 0..cfg.num_pages {
+            sizes.push(sample_size(
+                &html_dist,
+                &tail,
+                cfg.tail_fraction,
+                cfg.max_target_bytes,
+                rng,
+            ));
+        }
+        // Embedded objects get ids after the pages.
+        let mut pages = Vec::with_capacity(cfg.num_pages);
+        for _ in 0..cfg.num_pages {
+            let k = geometric(cfg.embeds_per_page_mean, rng);
+            let mut embeds = Vec::with_capacity(k);
+            for _ in 0..k {
+                let id = TargetId(sizes.len() as u32);
+                sizes.push(sample_size(
+                    &embed_dist,
+                    &tail,
+                    cfg.tail_fraction,
+                    cfg.max_target_bytes,
+                    rng,
+                ));
+                embeds.push(id);
+            }
+            pages.push(embeds);
+        }
+        Corpus { pages, sizes }
+    }
+
+    /// Number of targets (pages + embedded objects).
+    pub fn num_targets(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total corpus bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+}
+
+/// Draws a size from the body/tail mixture, clamped to `[64, max]` bytes.
+fn sample_size(
+    body: &LogNormal,
+    tail: &Pareto,
+    tail_frac: f64,
+    max: u64,
+    rng: &mut SmallRng,
+) -> u64 {
+    let x = if rng.gen::<f64>() < tail_frac {
+        tail.sample(rng)
+    } else {
+        body.sample(rng)
+    };
+    (x.round() as u64).clamp(64, max.max(64))
+}
+
+/// Geometric sample with the given mean, at least 1.
+fn geometric(mean: f64, rng: &mut SmallRng) -> usize {
+    debug_assert!(mean >= 1.0);
+    // P(stop) chosen so the expected count is `mean`.
+    let p = 1.0 / mean;
+    let mut n = 1;
+    while rng.gen::<f64>() > p && n < 64 {
+        n += 1;
+    }
+    n
+}
+
+/// Generates a synthetic trace.
+///
+/// # Examples
+///
+/// ```
+/// use phttp_trace::synth::{generate, SynthConfig};
+///
+/// let trace = generate(&SynthConfig::small());
+/// assert!(!trace.is_empty());
+/// // Regenerating with the same config is bit-identical.
+/// let again = generate(&SynthConfig::small());
+/// assert_eq!(trace.requests(), again.requests());
+/// ```
+pub fn generate(cfg: &SynthConfig) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let corpus = Corpus::build(cfg, &mut rng);
+    let popularity = Zipf::new(cfg.num_pages, cfg.zipf_exponent);
+    let session_gap = Exp::new(1.0 / cfg.session_rate_per_s);
+    let think = Exp::new(cfg.think_time_mean_s);
+    let embed_gap = Exp::new(cfg.embed_gap_mean_s);
+
+    let mut requests: Vec<Request> = Vec::new();
+    let mut session_start = 0.0f64;
+    let mut views_emitted = 0usize;
+
+    while views_emitted < cfg.num_page_views {
+        session_start += session_gap.sample(&mut rng);
+        let client = ClientId(rng.gen_range(0..cfg.num_clients as u32));
+        let views =
+            geometric(cfg.views_per_session_mean, &mut rng).min(cfg.num_page_views - views_emitted);
+        let mut t = session_start;
+        for _ in 0..views {
+            let page = popularity.sample(&mut rng);
+            requests.push(Request {
+                time: SimTime::ZERO + SimDuration::from_secs_f64(t),
+                client,
+                target: TargetId(page as u32),
+            });
+            let mut obj_t = t + cfg.parse_delay_s;
+            for &embed in &corpus.pages[page] {
+                obj_t += embed_gap.sample(&mut rng);
+                requests.push(Request {
+                    time: SimTime::ZERO + SimDuration::from_secs_f64(obj_t),
+                    client,
+                    target: embed,
+                });
+            }
+            views_emitted += 1;
+            t = obj_t + think.sample(&mut rng);
+        }
+    }
+
+    Trace::new(requests, corpus.sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phttp::{reconstruct, SessionConfig};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&SynthConfig::small());
+        let b = generate(&SynthConfig::small());
+        assert_eq!(a.requests(), b.requests());
+        let mut cfg = SynthConfig::small();
+        cfg.seed = 8;
+        let c = generate(&cfg);
+        assert_ne!(a.requests(), c.requests());
+    }
+
+    #[test]
+    fn mean_response_size_is_web_like() {
+        let trace = generate(&SynthConfig::default());
+        let mean_kb = trace.mean_response_bytes() / 1024.0;
+        // The paper's anchor: today's average content size is under ~13 KB.
+        assert!(
+            (2.0..=14.0).contains(&mean_kb),
+            "mean response size {mean_kb:.1} KB out of the web-like range"
+        );
+    }
+
+    #[test]
+    fn working_set_exceeds_single_node_cache() {
+        let trace = generate(&SynthConfig::default());
+        let ws_mb = trace.working_set_bytes() as f64 / (1024.0 * 1024.0);
+        // DESIGN.md: default node cache is 32 MB; the working set must not
+        // fit one node but must fit a handful of nodes.
+        assert!(ws_mb > 40.0, "working set only {ws_mb:.1} MB");
+        assert!(ws_mb < 400.0, "working set too large: {ws_mb:.1} MB");
+    }
+
+    #[test]
+    fn page_views_produce_pipelined_batches() {
+        let trace = generate(&SynthConfig::small());
+        let conns = reconstruct(&trace, SessionConfig::default());
+        assert!(!conns.connections.is_empty());
+        // With ~5 embeds per page there must be several requests per
+        // connection on average.
+        let rpc = conns.mean_requests_per_connection();
+        assert!(rpc > 2.0, "requests/connection {rpc:.2} too low");
+        // Some connection must contain a multi-request batch (pipelining).
+        let has_pipelining = conns
+            .connections
+            .iter()
+            .any(|c| c.batches.iter().any(|b| b.len() > 1));
+        assert!(has_pipelining);
+    }
+
+    #[test]
+    fn all_requests_reference_valid_targets() {
+        let trace = generate(&SynthConfig::small());
+        for r in trace.requests() {
+            assert!((r.target.0 as usize) < trace.num_targets());
+            let _ = trace.size_of(r.target);
+        }
+    }
+
+    #[test]
+    fn corpus_structure_is_consistent() {
+        let cfg = SynthConfig::small();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let corpus = Corpus::build(&cfg, &mut rng);
+        assert_eq!(corpus.pages.len(), cfg.num_pages);
+        // Every embed id points past the page range and into the size table.
+        for embeds in &corpus.pages {
+            for e in embeds {
+                assert!((e.0 as usize) >= cfg.num_pages);
+                assert!((e.0 as usize) < corpus.num_targets());
+            }
+        }
+        assert!(corpus.total_bytes() > 0);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let trace = generate(&SynthConfig::default());
+        let mut counts = vec![0u64; trace.num_targets()];
+        for r in trace.requests() {
+            counts[r.target.0 as usize] += 1;
+        }
+        let mut sorted: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = sorted.iter().sum();
+        let top10pct: u64 = sorted.iter().take(sorted.len() / 10).sum();
+        // Zipf-ish: the top decile of targets draws most of the traffic.
+        assert!(
+            top10pct as f64 / total as f64 > 0.5,
+            "top decile only {:.2} of requests",
+            top10pct as f64 / total as f64
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for workload invariants.
+
+use proptest::prelude::*;
+
+use phttp_simcore::{SimDuration, SimTime};
+use phttp_trace::{
+    http10_connections, reconstruct, ClientId, Request, SessionConfig, TargetId, Trace,
+};
+
+/// Strategy: an arbitrary small trace over a few clients and targets.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u64..200_000_000, 0u32..6, 0u32..20), 0..250).prop_map(|tuples| {
+        let reqs = tuples
+            .into_iter()
+            .map(|(t, c, g)| Request {
+                time: SimTime::from_micros(t),
+                client: ClientId(c),
+                target: TargetId(g),
+            })
+            .collect();
+        Trace::new(reqs, (0..20).map(|i| 100 + i * 37).collect())
+    })
+}
+
+proptest! {
+    /// Reconstruction conserves requests: every logged request appears in
+    /// exactly one batch of exactly one connection.
+    #[test]
+    fn reconstruction_conserves_requests(trace in arb_trace()) {
+        let ct = reconstruct(&trace, SessionConfig::default());
+        prop_assert_eq!(ct.num_requests(), trace.len());
+    }
+
+    /// Within a connection, no two successive requests are separated by the
+    /// idle-close interval or more, and requests stay in time order.
+    #[test]
+    fn no_intra_connection_gap_reaches_idle_close(trace in arb_trace()) {
+        let cfg = SessionConfig::default();
+        let ct = reconstruct(&trace, cfg);
+        for conn in &ct.connections {
+            let times: Vec<SimTime> = conn
+                .batches
+                .iter()
+                .flat_map(|b| std::iter::repeat(b.time).take(b.targets.len()))
+                .collect();
+            // Batch start stamps are non-decreasing.
+            for w in times.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    /// Splitting at every >= idle_close gap means merging adjacent
+    /// connections of one client always exposes such a gap.
+    #[test]
+    fn adjacent_connections_of_a_client_are_separated(trace in arb_trace()) {
+        let cfg = SessionConfig::default();
+        let ct = reconstruct(&trace, cfg);
+        let mut per_client: std::collections::HashMap<ClientId, Vec<&phttp_trace::Connection>> =
+            Default::default();
+        for c in &ct.connections {
+            per_client.entry(c.client).or_default().push(c);
+        }
+        for conns in per_client.values() {
+            for w in conns.windows(2) {
+                // The next connection starts at least idle_close after the
+                // previous connection's *last* request.
+                let prev_last = w[0].batches.last().unwrap().time;
+                let next_first = w[1].start_time();
+                prop_assert!(
+                    next_first.duration_since(prev_last) >= cfg.idle_close,
+                    "client connection split without an idle gap"
+                );
+            }
+        }
+    }
+
+    /// The first batch of every connection holds exactly one request.
+    #[test]
+    fn first_batch_is_singleton(trace in arb_trace()) {
+        let ct = reconstruct(&trace, SessionConfig::default());
+        for conn in &ct.connections {
+            prop_assert_eq!(conn.batches[0].targets.len(), 1);
+            for b in &conn.batches {
+                prop_assert!(!b.is_empty());
+            }
+        }
+    }
+
+    /// HTTP/1.0 mode yields exactly one connection per request.
+    #[test]
+    fn http10_is_one_to_one(trace in arb_trace()) {
+        let ct = http10_connections(&trace);
+        prop_assert_eq!(ct.connections.len(), trace.len());
+        prop_assert_eq!(ct.num_requests(), trace.len());
+    }
+
+    /// A degenerate zero-window config produces one batch per request but
+    /// still conserves them all.
+    #[test]
+    fn zero_windows_still_conserve(trace in arb_trace()) {
+        let cfg = SessionConfig {
+            idle_close: SimDuration::from_micros(1),
+            batch_window: SimDuration::from_micros(1),
+        };
+        let ct = reconstruct(&trace, cfg);
+        prop_assert_eq!(ct.num_requests(), trace.len());
+    }
+
+    /// Coverage curve is monotone in the fraction.
+    #[test]
+    fn coverage_curve_is_monotone(trace in arb_trace()) {
+        if trace.is_empty() {
+            return Ok(());
+        }
+        let cov = trace.coverage_curve(&[0.25, 0.5, 0.75, 1.0]);
+        for w in cov.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Covering 100% of requests never needs more than the working set.
+        prop_assert!(cov[3] <= trace.working_set_bytes());
+    }
+}

@@ -1,0 +1,93 @@
+//! Live prototype demo: boot the loopback-TCP cluster (front-end + N
+//! back-end nodes + lateral-fetch peers), drive it with real HTTP/1.1
+//! pipelined clients, and print per-node statistics — the paper's §7/§8
+//! experiment in one process.
+//!
+//! ```text
+//! cargo run --release --example live_cluster [nodes]
+//! ```
+
+use std::time::Duration;
+
+use phttp_cluster::core::PolicyKind;
+use phttp_cluster::proto::{run_load, ClientProtocol, Cluster, DiskEmu, LoadConfig, ProtoConfig};
+use phttp_cluster::trace::{generate, reconstruct, SessionConfig, SynthConfig};
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let mut synth = SynthConfig::small();
+    synth.num_page_views = 1_200;
+    let trace = generate(&synth);
+    let workload = reconstruct(&trace, SessionConfig::default());
+
+    println!(
+        "starting {} back-ends; {} requests across {} persistent connections",
+        nodes,
+        trace.len(),
+        workload.connections.len()
+    );
+
+    let cluster = Cluster::start(
+        ProtoConfig {
+            nodes,
+            policy: PolicyKind::ExtLard,
+            cache_bytes: 1536 * 1024,
+            disk: DiskEmu {
+                seek: Duration::from_micros(500),
+                bytes_per_sec: 120.0 * 1024.0 * 1024.0,
+            },
+            ..ProtoConfig::default()
+        },
+        &trace,
+    );
+    println!("front-end listening on {}\n", cluster.frontend_addr());
+
+    let report = run_load(
+        cluster.frontend_addrs(),
+        cluster.store(),
+        &workload,
+        &LoadConfig {
+            clients: 24,
+            protocol: ClientProtocol::PHttp,
+            verify: true,
+            read_timeout: Duration::from_secs(10),
+        },
+    );
+
+    println!(
+        "served {} requests on {} connections in {:.2}s  ->  {:.0} req/s ({} errors)\n",
+        report.requests,
+        report.connections,
+        report.elapsed.as_secs_f64(),
+        report.throughput_rps(),
+        report.errors
+    );
+
+    println!("per-node breakdown:");
+    for (i, s) in cluster.node_stats().iter().enumerate() {
+        println!(
+            "  be{i}: served={:<6} hits={:<6} ({:>5.1}%)  lateral out/in={}/{}  {:.1} MB",
+            s.served,
+            s.hits,
+            if s.served > 0 {
+                100.0 * s.hits as f64 / s.served as f64
+            } else {
+                0.0
+            },
+            s.lateral_out,
+            s.lateral_in,
+            s.bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    println!(
+        "\nmapping replication factor: {:.2} (1.0 = pure working-set partition)",
+        cluster.frontend().replication_factor()
+    );
+
+    cluster.shutdown();
+    println!("cluster shut down cleanly");
+}

@@ -1,0 +1,62 @@
+//! Policy deep-dive: run every mechanism/policy configuration at one
+//! cluster size and dissect *why* the throughputs differ — hit rates,
+//! forwarded/migrated requests, CPU vs. disk utilization, and front-end
+//! load. This is the evaluation logic of the paper's §6 in one screen.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison [nodes]
+//! ```
+
+use phttp_cluster::sim::{build_workload, SimConfig, Simulator};
+use phttp_cluster::trace::{generate, SessionConfig, SynthConfig};
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let trace = generate(&SynthConfig::default());
+    println!(
+        "cluster of {nodes} nodes, {} requests, {:.0} MB working set\n",
+        trace.len(),
+        trace.working_set_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "{:<28} {:>9} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7}",
+        "config", "req/s", "hit%", "cpu%", "disk%", "moved", "fe%", "lat ms"
+    );
+
+    for label in [
+        "WRR",
+        "WRR-PHTTP",
+        "simple-LARD",
+        "simple-LARD-PHTTP",
+        "multiHandoff-extLARD-PHTTP",
+        "BEforward-extLARD-PHTTP",
+        "zeroCost-extLARD-PHTTP",
+        "relay-LARD-PHTTP",
+    ] {
+        let cfg = SimConfig::paper_config(label, nodes);
+        let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+        let r = Simulator::new(cfg, &trace, &workload).run();
+        let cpu = r.per_node.iter().map(|n| n.cpu_utilization).sum::<f64>() / nodes as f64;
+        let disk = r.per_node.iter().map(|n| n.disk_utilization).sum::<f64>() / nodes as f64;
+        println!(
+            "{:<28} {:>9.0} {:>6.1}% {:>6.1}% {:>6.1}% {:>8} {:>7.1}% {:>7.1}",
+            label,
+            r.throughput_rps,
+            r.cache_hit_rate * 100.0,
+            cpu * 100.0,
+            disk * 100.0,
+            r.forwarded_requests + r.migrations,
+            r.fe_utilization * 100.0,
+            r.mean_latency_ms,
+        );
+    }
+
+    println!(
+        "\n'moved' counts requests served off the connection-handling node\n\
+         (lateral fetches under back-end forwarding, migrations under\n\
+         multiple handoff). WRR and simple LARD cannot move requests."
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: generate a workload, simulate a 4-node cluster under three
+//! policies, and print the paper's key comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use phttp_cluster::sim::{build_workload, SimConfig, Simulator};
+use phttp_cluster::trace::{generate, SessionConfig, SynthConfig};
+
+fn main() {
+    // 1. A synthetic Rice-like trace (deterministic under its seed).
+    let trace = generate(&SynthConfig::small());
+    println!(
+        "workload: {} requests over {} targets ({:.1} MB working set, {:.1} KB mean response)\n",
+        trace.len(),
+        trace.distinct_targets(),
+        trace.working_set_bytes() as f64 / (1024.0 * 1024.0),
+        trace.mean_response_bytes() / 1024.0,
+    );
+
+    // 2. Simulate the paper's headline configurations on 4 back-ends.
+    for label in [
+        "WRR",                     // the commercial baseline
+        "simple-LARD",             // ASPLOS '98 LARD on HTTP/1.0
+        "simple-LARD-PHTTP",       // what P-HTTP does to it...
+        "BEforward-extLARD-PHTTP", // ...and this paper's fix
+    ] {
+        let mut cfg = SimConfig::paper_config(label, 4);
+        cfg.cache_bytes = 2 * 1024 * 1024; // small trace -> small caches
+        let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+        let report = Simulator::new(cfg, &trace, &workload).run();
+        println!("{}", report.summary());
+    }
+
+    println!(
+        "\nReading the numbers: LARD beats WRR through cache aggregation; naive\n\
+         persistent connections (simple-LARD-PHTTP) squander that locality; the\n\
+         extended LARD policy with back-end forwarding wins it back."
+    );
+}

@@ -1,0 +1,77 @@
+//! Workload tooling tour: generate a trace, reconstruct P-HTTP connections
+//! with the paper's §6 heuristics, and print the statistics the paper
+//! reports about its Rice University trace (working set, coverage curve,
+//! requests per connection, pipelining batches).
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+//!
+//! Feed a real server log instead by piping it through the CLF parser —
+//! see `phttp_cluster::trace::clf::parse_log`.
+
+use phttp_cluster::trace::{generate, reconstruct, SessionConfig, SynthConfig};
+
+fn main() {
+    let trace = generate(&SynthConfig::default());
+
+    println!("== corpus ==");
+    println!("targets:           {}", trace.num_targets());
+    println!("corpus bytes:      {:.1} MB", mb(trace.corpus_bytes()));
+    println!("requests:          {}", trace.len());
+    println!("distinct targets:  {}", trace.distinct_targets());
+    println!("working set:       {:.1} MB", mb(trace.working_set_bytes()));
+    println!(
+        "mean response:     {:.1} KB",
+        trace.mean_response_bytes() / 1024.0
+    );
+    println!(
+        "trace span:        {:.1} minutes",
+        trace.end_time().as_secs_f64() / 60.0
+    );
+
+    // The paper: "our results show that this trace needs X MB of memory to
+    // cover Y% of all requests".
+    println!("\n== cache coverage curve ==");
+    let fractions = [0.90, 0.95, 0.97, 0.99, 1.00];
+    let curve = trace.coverage_curve(&fractions);
+    for (f, bytes) in fractions.iter().zip(curve) {
+        println!(
+            "{:>5.0}% of requests <- {:.1} MB of cache",
+            f * 100.0,
+            mb(bytes)
+        );
+    }
+
+    // The §6 reconstruction heuristics: 15 s idle close, 1 s batch window.
+    println!("\n== persistent-connection reconstruction ==");
+    let conns = reconstruct(&trace, SessionConfig::default());
+    println!("connections:        {}", conns.connections.len());
+    println!(
+        "requests/connection: {:.2}",
+        conns.mean_requests_per_connection()
+    );
+    println!(
+        "batches/connection:  {:.2}",
+        conns.mean_batches_per_connection()
+    );
+    let pipelined = conns
+        .connections
+        .iter()
+        .flat_map(|c| c.batches.iter())
+        .filter(|b| b.len() > 1)
+        .count();
+    println!("multi-request batches (pipelining): {pipelined}");
+
+    let longest = conns
+        .connections
+        .iter()
+        .map(|c| c.num_requests())
+        .max()
+        .unwrap_or(0);
+    println!("longest connection: {longest} requests");
+}
+
+fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the P-HTTP cluster-server reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`core`] — LARD / extended LARD / WRR policies and the cost model
+//!   (the paper's primary contribution);
+//! * [`sim`] — the trace-driven cluster simulator (paper §6);
+//! * [`proto`] — the runnable loopback-TCP prototype cluster (paper §7);
+//! * [`analytic`] — the closed-form mechanism analysis (paper §5);
+//! * [`trace`] — workload generation, CLF parsing, and P-HTTP
+//!   connection reconstruction;
+//! * [`http`] — the HTTP/1.0+1.1 message layer;
+//! * [`handoff`] — the §7.2 TCP handoff control protocol (wire format,
+//!   sans-io state machines, packet-forwarding table);
+//! * [`simcore`] — the discrete-event engine underneath it all.
+//!
+//! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+
+pub use phttp_analytic as analytic;
+pub use phttp_core as core;
+pub use phttp_handoff as handoff;
+pub use phttp_http as http;
+pub use phttp_proto as proto;
+pub use phttp_sim as sim;
+pub use phttp_simcore as simcore;
+pub use phttp_trace as trace;

@@ -1,0 +1,89 @@
+//! Cross-crate integration: the paper's qualitative results hold on a
+//! fast CI-sized simulation (trace + policy + simulator together).
+
+use phttp_cluster::sim::{build_workload, Report, SimConfig, Simulator};
+use phttp_cluster::trace::{generate, SessionConfig, SynthConfig, Trace};
+
+fn small_trace() -> Trace {
+    generate(&SynthConfig::small())
+}
+
+fn run(label: &str, nodes: usize, trace: &Trace) -> Report {
+    let mut cfg = SimConfig::paper_config(label, nodes);
+    cfg.cache_bytes = 2 * 1024 * 1024;
+    let workload = build_workload(trace, cfg.protocol, SessionConfig::default());
+    Simulator::new(cfg, trace, &workload).run()
+}
+
+#[test]
+fn the_full_stack_reproduces_the_ordering() {
+    let trace = small_trace();
+    let nodes = 4;
+    let wrr = run("WRR", nodes, &trace);
+    let lard = run("simple-LARD", nodes, &trace);
+    let lard_phttp = run("simple-LARD-PHTTP", nodes, &trace);
+    let ext = run("multiHandoff-extLARD-PHTTP", nodes, &trace);
+    let zero = run("zeroCost-extLARD-PHTTP", nodes, &trace);
+
+    // The paper's core ordering at a cache-bound cluster size.
+    assert!(
+        lard.throughput_rps > wrr.throughput_rps * 1.5,
+        "LARD vs WRR"
+    );
+    assert!(
+        lard_phttp.throughput_rps < lard.throughput_rps * 0.85,
+        "P-HTTP must hurt simple LARD"
+    );
+    assert!(
+        ext.throughput_rps > lard_phttp.throughput_rps * 1.2,
+        "extended LARD must recover the P-HTTP loss"
+    );
+    assert!(
+        zero.throughput_rps >= ext.throughput_rps * 0.95,
+        "the ideal mechanism bounds practical ones"
+    );
+}
+
+#[test]
+fn hit_rates_explain_throughput() {
+    let trace = small_trace();
+    let wrr = run("WRR", 4, &trace);
+    let lard = run("simple-LARD", 4, &trace);
+    assert!(lard.cache_hit_rate > wrr.cache_hit_rate + 0.1);
+    // WRR replicates the working set everywhere: every node's cache churns.
+    let wrr_evictions: u64 = wrr.per_node.iter().map(|n| n.cache_evictions).sum();
+    let lard_evictions: u64 = lard.per_node.iter().map(|n| n.cache_evictions).sum();
+    assert!(wrr_evictions > lard_evictions);
+}
+
+#[test]
+fn all_mechanisms_conserve_requests_at_all_sizes() {
+    let trace = small_trace();
+    for nodes in [1, 2, 5] {
+        for label in [
+            "WRR-PHTTP",
+            "simple-LARD-PHTTP",
+            "multiHandoff-extLARD-PHTTP",
+            "BEforward-extLARD-PHTTP",
+            "zeroCost-extLARD-PHTTP",
+            "relay-LARD-PHTTP",
+        ] {
+            let r = run(label, nodes, &trace);
+            assert_eq!(
+                r.requests,
+                trace.len() as u64,
+                "{label} at {nodes} nodes lost requests"
+            );
+        }
+    }
+}
+
+#[test]
+fn bandwidth_and_throughput_are_consistent() {
+    let trace = small_trace();
+    let r = run("simple-LARD", 2, &trace);
+    // bytes/request * requests/s == bandwidth.
+    let mean_bytes = r.bytes_delivered as f64 / r.requests as f64;
+    let implied_mbps = r.throughput_rps * mean_bytes * 8.0 / 1e6;
+    assert!((implied_mbps - r.bandwidth_mbps).abs() / r.bandwidth_mbps < 1e-6);
+}
