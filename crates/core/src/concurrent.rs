@@ -1,0 +1,472 @@
+//! The lock-sharded concurrent dispatcher.
+//!
+//! [`ConcurrentDispatcher`] composes the three layers —
+//! [`Policy`](crate::policy::Policy) (pure decisions),
+//! [`LoadTracker`](crate::load::LoadTracker) (atomic load accounting),
+//! and [`ShardedMappingTable`](crate::shard::ShardedMappingTable) —
+//! behind `&self` methods safe to call from any number of threads.
+//!
+//! ## Locking discipline
+//!
+//! The hot path (`open_connection`, `assign_request`) takes, at most:
+//!
+//! 1. the **one mapping shard** covering the request's target, held
+//!    across the policy decision and its mapping update (per-target
+//!    atomicity); WRR skips it entirely;
+//! 2. the **one connection shard** covering the request's connection,
+//!    held only to read or update that connection's state.
+//!
+//! Load reads/writes are plain atomics. There is **no global lock**:
+//! requests for different targets on different connections never
+//! contend — the paper's requirement that the front-end stay off the
+//! data path, applied to its own decision path.
+//!
+//! ## Consistency model
+//!
+//! Load reads during a decision are racy by design: two threads may
+//! both see node `k` as least-loaded and both pick it. The same race
+//! exists in any real front-end whose load reports lag its decisions
+//! (the paper's disk-queue reports arrive over control sessions); it
+//! perturbs tie-breaks, never accounting. Accounting itself is exact:
+//! every charge is paired with a discharge of the same fixed-point
+//! value, so closing all connections returns every load to zero —
+//! see `tests/concurrent_stress.rs`.
+//!
+//! Callers drive each connection from one thread at a time (the
+//! prototype's one-handler-per-connection invariant); lifecycle calls
+//! for *different* connections may interleave arbitrarily.
+
+use phttp_trace::TargetId;
+
+use crate::cost::LardParams;
+use crate::load::{LoadTracker, LOAD_UNIT};
+use crate::policy::{ForwardSemantics, MapEffect, Policy, PolicyKind};
+use crate::shard::{ConnState, ConnTable, ShardedMappingTable};
+use crate::types::{Assignment, ConnId, NodeId};
+
+/// Construction parameters for both dispatcher façades.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatcherConfig {
+    /// Which distribution policy to run.
+    pub policy: PolicyKind,
+    /// What a remote assignment means mechanically.
+    pub semantics: ForwardSemantics,
+    /// Number of back-end nodes.
+    pub num_nodes: usize,
+    /// LARD cost-metric parameters.
+    pub params: LardParams,
+    /// Mapping-table lock shards (rounded up to a power of two).
+    pub mapping_shards: usize,
+    /// Connection-table lock shards (rounded up to a power of two).
+    pub conn_shards: usize,
+}
+
+impl DispatcherConfig {
+    /// A config with the default shard counts.
+    pub fn new(
+        policy: PolicyKind,
+        semantics: ForwardSemantics,
+        num_nodes: usize,
+        params: LardParams,
+    ) -> Self {
+        DispatcherConfig {
+            policy,
+            semantics,
+            num_nodes,
+            params,
+            mapping_shards: 32,
+            conn_shards: 64,
+        }
+    }
+
+    /// Overrides both shard counts (useful to measure sharding's effect).
+    pub fn with_shards(mut self, mapping: usize, conn: usize) -> Self {
+        self.mapping_shards = mapping;
+        self.conn_shards = conn;
+        self
+    }
+}
+
+/// Thread-safe dispatcher: the same policy semantics as
+/// [`Dispatcher`](crate::dispatcher::Dispatcher), behind `&self`.
+pub struct ConcurrentDispatcher {
+    policy: Box<dyn Policy>,
+    semantics: ForwardSemantics,
+    params: LardParams,
+    loads: LoadTracker,
+    mapping: ShardedMappingTable,
+    conns: ConnTable,
+}
+
+impl ConcurrentDispatcher {
+    /// Builds a dispatcher from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0` or the parameters fail validation.
+    pub fn from_config(config: DispatcherConfig) -> Self {
+        if let Err(e) = config.params.validate() {
+            panic!("invalid LARD parameters: {e}");
+        }
+        ConcurrentDispatcher {
+            policy: config.policy.build(),
+            semantics: config.semantics,
+            params: config.params,
+            loads: LoadTracker::new(config.num_nodes),
+            mapping: ShardedMappingTable::new(config.mapping_shards),
+            conns: ConnTable::new(config.conn_shards),
+        }
+    }
+
+    /// Convenience constructor with default shard counts.
+    pub fn new(
+        policy: PolicyKind,
+        semantics: ForwardSemantics,
+        num_nodes: usize,
+        params: LardParams,
+    ) -> Self {
+        Self::from_config(DispatcherConfig::new(policy, semantics, num_nodes, params))
+    }
+
+    /// Number of back-end nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.loads.num_nodes()
+    }
+
+    /// Current per-node load estimates (connections + fractional fetches).
+    pub fn loads(&self) -> Vec<f64> {
+        self.loads.loads()
+    }
+
+    /// The load-tracking layer (read access for diagnostics/tests).
+    pub fn load_tracker(&self) -> &LoadTracker {
+        &self.loads
+    }
+
+    /// The policy this dispatcher runs.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// The configured forwarding semantics.
+    pub fn semantics(&self) -> ForwardSemantics {
+        self.semantics
+    }
+
+    /// The sharded mapping table (for metrics/diagnostics).
+    pub fn mapping(&self) -> &ShardedMappingTable {
+        &self.mapping
+    }
+
+    /// Number of connections currently tracked.
+    pub fn active_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Records a back-end's disk queue depth (conveyed over the control
+    /// session in the prototype; read directly in the simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn report_disk_queue(&self, node: NodeId, depth: usize) {
+        self.loads.set_disk_queue(node, depth);
+    }
+
+    /// Applies a decision's mapping effect to its chosen/serving node.
+    fn apply_effect(
+        m: &mut crate::mapping::MappingTable,
+        effect: MapEffect,
+        target: TargetId,
+        node: NodeId,
+    ) {
+        match effect {
+            MapEffect::None => {}
+            MapEffect::AssignExclusive => m.assign_exclusive(target, node),
+            MapEffect::AddReplica => m.add_replica(target, node),
+        }
+    }
+
+    /// Whether applying `effect` would leave the table unchanged. Lets
+    /// the hot path finish under a shared (read) shard lock in steady
+    /// state — a mapped target served by its mapped node, or a replica
+    /// "added" to a node that already has it — and escalate to the
+    /// exclusive lock only when the table actually changes.
+    fn effect_is_noop(
+        m: &crate::mapping::MappingTable,
+        effect: MapEffect,
+        target: TargetId,
+        node: NodeId,
+    ) -> bool {
+        match effect {
+            MapEffect::None => true,
+            MapEffect::AddReplica => m.is_mapped(target, node),
+            MapEffect::AssignExclusive => m.nodes(target) == [node],
+        }
+    }
+
+    /// Handles the first request of a new connection: picks the
+    /// connection-handling node, charges it one load unit, and registers
+    /// the connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is already registered.
+    pub fn open_connection(&self, conn: ConnId, first_target: TargetId) -> NodeId {
+        let node = if self.policy.pick_uses_mapping() {
+            // Optimistic shared pass: in steady state the pick lands on
+            // an already-mapped node and the table does not change.
+            let fast = self.mapping.read(first_target, |m| {
+                let (node, effect) = self.policy.pick_node(
+                    &self.loads,
+                    &self.params,
+                    first_target,
+                    m.nodes(first_target),
+                );
+                Self::effect_is_noop(m, effect, first_target, node).then_some(node)
+            });
+            match fast {
+                Some(node) => node,
+                // The table must change: re-decide under the exclusive
+                // lock (state may have moved between locks; the decision
+                // that gets applied is the one made under this lock).
+                None => self.mapping.write(first_target, |m| {
+                    let (node, effect) = self.policy.pick_node(
+                        &self.loads,
+                        &self.params,
+                        first_target,
+                        m.nodes(first_target),
+                    );
+                    Self::apply_effect(m, effect, first_target, node);
+                    node
+                }),
+            }
+        } else {
+            let (node, _) = self
+                .policy
+                .pick_node(&self.loads, &self.params, first_target, &[]);
+            node
+        };
+        self.loads.charge(node, LOAD_UNIT);
+        let prev = self.conns.with(conn, |c| {
+            c.insert(
+                conn,
+                ConnState {
+                    node,
+                    batch_n: 1,
+                    frac: Vec::new(),
+                },
+            )
+        });
+        assert!(prev.is_none(), "connection {conn} opened twice");
+        node
+    }
+
+    /// Signals that a new pipelined batch of `n` requests is starting on
+    /// `conn`. Clears the fractional remote loads of the previous batch
+    /// (the front-end's estimate that the previous batch has been fully
+    /// served).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown or `n == 0`.
+    pub fn begin_batch(&self, conn: ConnId, n: usize) {
+        assert!(n > 0, "batch must contain at least one request");
+        self.conns.with(conn, |c| {
+            let state = c.get_mut(&conn).expect("begin_batch: unknown connection");
+            for (node, f) in state.frac.drain(..) {
+                self.loads.discharge(node, f);
+            }
+            state.batch_n = n;
+        });
+    }
+
+    /// Assigns one request of the current batch.
+    ///
+    /// Returns [`Assignment::Local`] to serve on the connection-handling
+    /// node or [`Assignment::Remote`] per the configured
+    /// [`ForwardSemantics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown.
+    pub fn assign_request(&self, conn: ConnId, target: TargetId) -> Assignment {
+        let (conn_node, batch_n) = self.conns.with(conn, |c| {
+            let state = c.get(&conn).expect("assign_request: unknown connection");
+            (state.node, state.batch_n)
+        });
+
+        let assignment = if self.policy.assign_uses_mapping() {
+            // Optimistic shared pass first (see `open_connection`).
+            let fast = self.mapping.read(target, |m| {
+                let (assignment, effect) = self.policy.assign(
+                    &self.loads,
+                    &self.params,
+                    conn_node,
+                    target,
+                    m.nodes(target),
+                );
+                let effect_node = assignment.serving_node(conn_node);
+                Self::effect_is_noop(m, effect, target, effect_node).then_some(assignment)
+            });
+            match fast {
+                Some(a) => a,
+                None => self.mapping.write(target, |m| {
+                    let (assignment, effect) = self.policy.assign(
+                        &self.loads,
+                        &self.params,
+                        conn_node,
+                        target,
+                        m.nodes(target),
+                    );
+                    let effect_node = assignment.serving_node(conn_node);
+                    Self::apply_effect(m, effect, target, effect_node);
+                    assignment
+                }),
+            }
+        } else {
+            let (assignment, _) =
+                self.policy
+                    .assign(&self.loads, &self.params, conn_node, target, &[]);
+            assignment
+        };
+
+        if let Assignment::Remote(remote) = assignment {
+            match self.semantics {
+                ForwardSemantics::LateralFetch => {
+                    if self.params.batch_load_accounting {
+                        // 1/N load on the remote node for the batch.
+                        let f = LoadTracker::frac_charge(batch_n);
+                        self.loads.charge(remote, f);
+                        self.conns.with(conn, |c| {
+                            c.get_mut(&conn)
+                                .expect("connection vanished")
+                                .frac
+                                .push((remote, f));
+                        });
+                    }
+                }
+                ForwardSemantics::Migrate => {
+                    // The connection itself moves.
+                    self.loads.discharge(conn_node, LOAD_UNIT);
+                    self.loads.charge(remote, LOAD_UNIT);
+                    self.conns.with(conn, |c| {
+                        c.get_mut(&conn).expect("connection vanished").node = remote;
+                    });
+                }
+            }
+        }
+        assignment
+    }
+
+    /// Returns the node currently handling `conn` (it can change under
+    /// [`ForwardSemantics::Migrate`]).
+    pub fn connection_node(&self, conn: ConnId) -> Option<NodeId> {
+        self.conns.with(conn, |c| c.get(&conn).map(|s| s.node))
+    }
+
+    /// Closes a connection: removes its load unit and any outstanding
+    /// fractional remote loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown.
+    pub fn close_connection(&self, conn: ConnId) {
+        let closed = self.try_close_connection(conn);
+        assert!(closed, "close_connection: unknown connection");
+    }
+
+    /// Closes `conn` if it is registered; returns whether it was. The
+    /// removal and the idempotence check happen under one shard lock,
+    /// so duplicate closes from racing teardown paths are safe.
+    pub fn try_close_connection(&self, conn: ConnId) -> bool {
+        let state = self.conns.with(conn, |c| c.remove(&conn));
+        match state {
+            None => false,
+            Some(state) => {
+                self.loads.discharge(state.node, LOAD_UNIT);
+                for (node, f) in state.frac {
+                    self.loads.discharge(node, f);
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TargetId {
+        TargetId(i)
+    }
+
+    fn ext(nodes: usize) -> ConcurrentDispatcher {
+        ConcurrentDispatcher::new(
+            PolicyKind::ExtLard,
+            ForwardSemantics::LateralFetch,
+            nodes,
+            LardParams::default(),
+        )
+    }
+
+    #[test]
+    fn shared_reference_lifecycle() {
+        let d = ext(2);
+        let node = d.open_connection(ConnId(0), t(0));
+        d.begin_batch(ConnId(0), 2);
+        assert_eq!(d.assign_request(ConnId(0), t(1)), Assignment::Local);
+        assert_eq!(d.connection_node(ConnId(0)), Some(node));
+        d.close_connection(ConnId(0));
+        assert!(d.loads().iter().all(|&l| l.abs() < 1e-9));
+        assert_eq!(d.active_connections(), 0);
+    }
+
+    #[test]
+    fn try_close_is_idempotent() {
+        let d = ext(2);
+        d.open_connection(ConnId(7), t(0));
+        assert!(d.try_close_connection(ConnId(7)));
+        assert!(!d.try_close_connection(ConnId(7)));
+        assert_eq!(d.active_connections(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "opened twice")]
+    fn double_open_panics() {
+        let d = ext(2);
+        d.open_connection(ConnId(0), t(0));
+        d.open_connection(ConnId(0), t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown connection")]
+    fn close_unknown_panics() {
+        let d = ext(2);
+        d.close_connection(ConnId(3));
+    }
+
+    #[test]
+    fn parallel_opens_on_distinct_targets_do_not_interfere() {
+        use std::sync::Arc;
+        let d = Arc::new(ext(4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|k| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let conn = ConnId(k * 1_000_000 + i);
+                        d.open_connection(conn, t((k * 500 + i) as u32));
+                        d.close_connection(conn);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.active_connections(), 0);
+        assert!(d.loads().iter().all(|&l| l.abs() < 1e-9));
+    }
+}

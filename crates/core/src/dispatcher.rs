@@ -1,8 +1,16 @@
-//! The front-end dispatcher: policy decisions plus load bookkeeping.
+//! The single-threaded dispatcher façade.
 //!
-//! This is the component the paper implements "in a dispatcher module at the
-//! front-end" — the same logic drives the trace-driven simulator
-//! (`phttp-sim`) and the live prototype (`phttp-proto`).
+//! This is the component the paper implements "in a dispatcher module at
+//! the front-end". It is now a thin composition of the three layered
+//! parts — [`Policy`](crate::policy::Policy) decisions,
+//! [`LoadTracker`](crate::load::LoadTracker) accounting, and the
+//! [`ShardedMappingTable`](crate::shard::ShardedMappingTable) — by
+//! wrapping a [`ConcurrentDispatcher`] behind `&mut self` methods. The
+//! trace-driven simulator (`phttp-sim`) and the figure binaries use this
+//! façade; the live prototype (`phttp-proto`) uses
+//! [`ConcurrentDispatcher`] directly so its connection-handler threads
+//! never serialize on a global lock. Both façades run byte-identical
+//! decision logic.
 //!
 //! ## Decision procedure
 //!
@@ -29,69 +37,19 @@
 //! Under multiple-handoff semantics a remote assignment *migrates* the whole
 //! load unit instead.
 
-use std::collections::HashMap;
-
 use phttp_trace::TargetId;
 
-use crate::cost::{aggregate_cost, LardParams};
-use crate::mapping::MappingTable;
+use crate::concurrent::{ConcurrentDispatcher, DispatcherConfig};
+use crate::cost::LardParams;
+use crate::shard::ShardedMappingTable;
 use crate::types::{Assignment, ConnId, NodeId};
 
-/// Which distribution policy the dispatcher runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PolicyKind {
-    /// Weighted round-robin: pure load-based, content-blind (the baseline
-    /// used by the commercial front-ends the paper cites).
-    Wrr,
-    /// Basic LARD (ASPLOS '98), distributing at connection granularity.
-    Lard,
-    /// Extended LARD (this paper), distributing at request granularity.
-    ExtLard,
-}
+pub use crate::policy::{ForwardSemantics, PolicyKind};
 
-impl PolicyKind {
-    /// Short name used in figure legends, matching the paper's labels.
-    pub fn label(self) -> &'static str {
-        match self {
-            PolicyKind::Wrr => "WRR",
-            PolicyKind::Lard => "LARD",
-            PolicyKind::ExtLard => "extLARD",
-        }
-    }
-}
-
-/// What a [`Assignment::Remote`] decision means mechanically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ForwardSemantics {
-    /// Back-end forwarding: the connection stays put; the connection node
-    /// fetches the response laterally. Remote nodes get 1/N batch load.
-    LateralFetch,
-    /// Multiple handoff: the connection (and its load unit) migrates to the
-    /// remote node, which becomes the new connection-handling node.
-    Migrate,
-}
-
-/// Per-connection dispatcher state.
-#[derive(Debug, Clone)]
-struct ConnState {
-    node: NodeId,
-    /// Size of the current pipelined batch (the paper's `N`).
-    batch_n: usize,
-    /// Fractional loads charged to remote nodes for the current batch.
-    frac: Vec<(NodeId, f64)>,
-}
-
-/// The front-end dispatcher. See the module docs for semantics.
-#[derive(Debug, Clone)]
+/// The front-end dispatcher, single-threaded flavour. See the module
+/// docs for semantics.
 pub struct Dispatcher {
-    policy: PolicyKind,
-    semantics: ForwardSemantics,
-    params: LardParams,
-    mapping: MappingTable,
-    loads: Vec<f64>,
-    disk_q: Vec<usize>,
-    conns: HashMap<ConnId, ConnState>,
-    rr_cursor: usize,
+    inner: ConcurrentDispatcher,
 }
 
 impl Dispatcher {
@@ -106,45 +64,43 @@ impl Dispatcher {
         num_nodes: usize,
         params: LardParams,
     ) -> Self {
-        assert!(num_nodes > 0, "cluster needs at least one back-end");
-        if let Err(e) = params.validate() {
-            panic!("invalid LARD parameters: {e}");
-        }
+        Self::from_config(DispatcherConfig::new(policy, semantics, num_nodes, params))
+    }
+
+    /// Creates a dispatcher from a full configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0` or the parameters fail validation.
+    pub fn from_config(config: DispatcherConfig) -> Self {
         Dispatcher {
-            policy,
-            semantics,
-            params,
-            mapping: MappingTable::new(),
-            loads: vec![0.0; num_nodes],
-            disk_q: vec![0; num_nodes],
-            conns: HashMap::new(),
-            rr_cursor: 0,
+            inner: ConcurrentDispatcher::from_config(config),
         }
     }
 
     /// Number of back-end nodes.
     pub fn num_nodes(&self) -> usize {
-        self.loads.len()
+        self.inner.num_nodes()
     }
 
     /// Current per-node load estimates (connections + fractional fetches).
-    pub fn loads(&self) -> &[f64] {
-        &self.loads
+    pub fn loads(&self) -> Vec<f64> {
+        self.inner.loads()
     }
 
     /// The policy this dispatcher runs.
     pub fn policy(&self) -> PolicyKind {
-        self.policy
+        self.inner.policy()
     }
 
     /// Read access to the mapping table (for metrics/diagnostics).
-    pub fn mapping(&self) -> &MappingTable {
-        &self.mapping
+    pub fn mapping(&self) -> &ShardedMappingTable {
+        self.inner.mapping()
     }
 
     /// Number of connections currently tracked.
     pub fn active_connections(&self) -> usize {
-        self.conns.len()
+        self.inner.active_connections()
     }
 
     /// Records a back-end's disk queue depth (conveyed over the control
@@ -154,7 +110,7 @@ impl Dispatcher {
     ///
     /// Panics if `node` is out of range.
     pub fn report_disk_queue(&mut self, node: NodeId, depth: usize) {
-        self.disk_q[node.0] = depth;
+        self.inner.report_disk_queue(node, depth);
     }
 
     /// Handles the first request of a new connection: picks the
@@ -165,21 +121,7 @@ impl Dispatcher {
     ///
     /// Panics if `conn` is already registered.
     pub fn open_connection(&mut self, conn: ConnId, first_target: TargetId) -> NodeId {
-        let node = match self.policy {
-            PolicyKind::Wrr => self.pick_least_loaded(),
-            PolicyKind::Lard | PolicyKind::ExtLard => self.lard_pick(first_target),
-        };
-        self.loads[node.0] += 1.0;
-        let prev = self.conns.insert(
-            conn,
-            ConnState {
-                node,
-                batch_n: 1,
-                frac: Vec::new(),
-            },
-        );
-        assert!(prev.is_none(), "connection {conn} opened twice");
-        node
+        self.inner.open_connection(conn, first_target)
     }
 
     /// Signals that a new pipelined batch of `n` requests is starting on
@@ -190,15 +132,7 @@ impl Dispatcher {
     ///
     /// Panics if the connection is unknown or `n == 0`.
     pub fn begin_batch(&mut self, conn: ConnId, n: usize) {
-        assert!(n > 0, "batch must contain at least one request");
-        let state = self
-            .conns
-            .get_mut(&conn)
-            .expect("begin_batch: unknown connection");
-        for (node, f) in state.frac.drain(..) {
-            self.loads[node.0] -= f;
-        }
-        state.batch_n = n;
+        self.inner.begin_batch(conn, n);
     }
 
     /// Assigns one request of the current batch.
@@ -210,53 +144,13 @@ impl Dispatcher {
     ///
     /// Panics if the connection is unknown.
     pub fn assign_request(&mut self, conn: ConnId, target: TargetId) -> Assignment {
-        let state = self
-            .conns
-            .get(&conn)
-            .expect("assign_request: unknown connection");
-        let conn_node = state.node;
-        let batch_n = state.batch_n;
-
-        match self.policy {
-            // Connection-granularity policies never move a request.
-            PolicyKind::Wrr | PolicyKind::Lard => Assignment::Local,
-            PolicyKind::ExtLard => {
-                let decision = self.ext_lard_decide(conn_node, target);
-                match decision {
-                    Assignment::Local => Assignment::Local,
-                    Assignment::Remote(remote) => {
-                        match self.semantics {
-                            ForwardSemantics::LateralFetch => {
-                                if self.params.batch_load_accounting {
-                                    // 1/N load on the remote node for the batch.
-                                    let f = 1.0 / batch_n as f64;
-                                    self.loads[remote.0] += f;
-                                    self.conns
-                                        .get_mut(&conn)
-                                        .expect("connection vanished")
-                                        .frac
-                                        .push((remote, f));
-                                }
-                            }
-                            ForwardSemantics::Migrate => {
-                                // The connection itself moves.
-                                self.loads[conn_node.0] -= 1.0;
-                                self.loads[remote.0] += 1.0;
-                                self.conns.get_mut(&conn).expect("connection vanished").node =
-                                    remote;
-                            }
-                        }
-                        Assignment::Remote(remote)
-                    }
-                }
-            }
-        }
+        self.inner.assign_request(conn, target)
     }
 
     /// Returns the node currently handling `conn` (it can change under
     /// [`ForwardSemantics::Migrate`]).
     pub fn connection_node(&self, conn: ConnId) -> Option<NodeId> {
-        self.conns.get(&conn).map(|s| s.node)
+        self.inner.connection_node(conn)
     }
 
     /// Closes a connection: removes its load unit and any outstanding
@@ -266,123 +160,7 @@ impl Dispatcher {
     ///
     /// Panics if the connection is unknown.
     pub fn close_connection(&mut self, conn: ConnId) {
-        let state = self
-            .conns
-            .remove(&conn)
-            .expect("close_connection: unknown connection");
-        self.loads[state.node.0] -= 1.0;
-        for (node, f) in state.frac {
-            self.loads[node.0] -= f;
-        }
-    }
-
-    /// WRR pick: least-loaded node, breaking ties round-robin so equal-load
-    /// nodes share work (this is the "weighted" in weighted round-robin:
-    /// weights are the inverse of current load).
-    fn pick_least_loaded(&mut self) -> NodeId {
-        let n = self.loads.len();
-        let mut best = NodeId(self.rr_cursor % n);
-        for i in 0..n {
-            let cand = NodeId((self.rr_cursor + i) % n);
-            if self.loads[cand.0] < self.loads[best.0] {
-                best = cand;
-            }
-        }
-        self.rr_cursor = (best.0 + 1) % n;
-        best
-    }
-
-    /// Basic-LARD pick over all nodes; updates the mapping table.
-    fn lard_pick(&mut self, target: TargetId) -> NodeId {
-        let mut best = NodeId(0);
-        let mut best_key = (f64::INFINITY, f64::INFINITY);
-        for i in 0..self.loads.len() {
-            let node = NodeId(i);
-            let mapped = self.mapping.is_mapped(target, node);
-            let cost = aggregate_cost(self.loads[i], mapped, &self.params);
-            // Tie-break on load, then on index, for determinism.
-            let key = (cost, self.loads[i]);
-            if key < best_key {
-                best_key = key;
-                best = node;
-            }
-        }
-        if !self.mapping.is_mapped(target, best) {
-            match self.policy {
-                // Basic LARD partitions: a move re-homes the target.
-                PolicyKind::Lard => self.mapping.assign_exclusive(target, best),
-                // Extended LARD tolerates replication (its caching heuristic
-                // prunes it); a first-request assignment still re-homes, as
-                // in basic LARD, keeping the two equivalent on HTTP/1.0.
-                PolicyKind::ExtLard => self.mapping.assign_exclusive(target, best),
-                PolicyKind::Wrr => unreachable!("WRR does not use lard_pick"),
-            }
-        }
-        best
-    }
-
-    /// Extended-LARD decision for a subsequent request (paper §4.2).
-    fn ext_lard_decide(&mut self, conn_node: NodeId, target: TargetId) -> Assignment {
-        // Rule 1: cached at the connection node -> serve locally.
-        if self.mapping.is_mapped(target, conn_node) {
-            return Assignment::Local;
-        }
-        // Rule 1b: low disk utilization -> read from local disk, avoiding
-        // forwarding overhead, and cache it (add a replica mapping).
-        if self.disk_q[conn_node.0] < self.params.disk_queue_low {
-            self.mapping.add_replica(target, conn_node);
-            return Assignment::Local;
-        }
-        // First-ever fetch of this target: no node caches it, so the
-        // connection node reads it from disk. "Mappings ... are updated each
-        // time a target is fetched from a backend node" — recording the
-        // first mapping is not replication, so the anti-thrashing heuristic
-        // does not apply. Without this, targets that only ever appear as
-        // subsequent requests (embedded objects) would never converge onto a
-        // home node.
-        if !self.mapping.is_known(target) {
-            self.mapping.add_replica(target, conn_node);
-            return Assignment::Local;
-        }
-        // Rule 2: evaluate cost metrics over the connection node and the
-        // nodes currently caching the target (or, under the ablation knob,
-        // every node).
-        let mut best = conn_node;
-        let mut best_key = (
-            aggregate_cost(
-                self.loads[conn_node.0],
-                false, // not mapped to conn node (rule 1 would have fired)
-                &self.params,
-            ),
-            self.loads[conn_node.0],
-        );
-        let candidates: Vec<NodeId> = if self.params.restrict_candidates {
-            self.mapping.nodes(target).to_vec()
-        } else {
-            (0..self.loads.len()).map(NodeId).collect()
-        };
-        for cand in candidates {
-            if cand == conn_node {
-                continue;
-            }
-            let mapped = self.mapping.is_mapped(target, cand);
-            let cost = aggregate_cost(self.loads[cand.0], mapped, &self.params);
-            let key = (cost, self.loads[cand.0]);
-            if key < best_key {
-                best_key = key;
-                best = cand;
-            }
-        }
-        if best == conn_node {
-            // Serving locally from disk under high disk utilization: the
-            // anti-thrashing heuristic says do NOT cache (no mapping added).
-            Assignment::Local
-        } else {
-            // The serving node will end up caching the target (it reads it
-            // from its disk if it no longer has it); record that.
-            self.mapping.add_replica(target, best);
-            Assignment::Remote(best)
-        }
+        self.inner.close_connection(conn);
     }
 }
 
@@ -506,15 +284,14 @@ mod tests {
         let mut d = ext_dispatcher(2);
         let conn_node = d.open_connection(ConnId(0), t(0));
         let other = NodeId(1 - conn_node.0);
-        // The other node caches target 9.
-        let mut d2 = d.clone();
-        d2.report_disk_queue(conn_node, 50); // busy disk
-        d2.mapping_mut_for_tests().add_replica(t(9), other);
-        d2.begin_batch(ConnId(0), 1);
-        let a = d2.assign_request(ConnId(0), t(9));
+        // The other node caches target 9, and this node's disk is busy.
+        d.report_disk_queue(conn_node, 50);
+        d.add_replica_for_tests(t(9), other);
+        d.begin_batch(ConnId(0), 1);
+        let a = d.assign_request(ConnId(0), t(9));
         assert_eq!(a, Assignment::Remote(other));
         // Remote fetch charges 1/N = 1 load unit to the remote node.
-        assert!((d2.loads()[other.0] - 1.0).abs() < 1e-9);
+        assert!((d.loads()[other.0] - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -539,7 +316,7 @@ mod tests {
         // Target 9 is cached on the other node, but that node is overloaded:
         // the cost metrics keep the request local — and the anti-thrashing
         // heuristic must NOT add a local replica mapping.
-        d.mapping_mut_for_tests().add_replica(t(9), other);
+        d.add_replica_for_tests(t(9), other);
         d.set_load_for_tests(other, 200.0); // past l_overload: infinite cost
         d.begin_batch(ConnId(0), 1);
         assert_eq!(d.assign_request(ConnId(0), t(9)), Assignment::Local);
@@ -552,8 +329,8 @@ mod tests {
         let conn_node = d.open_connection(ConnId(0), t(0));
         let other = NodeId(1 - conn_node.0);
         d.report_disk_queue(conn_node, 50);
-        d.mapping_mut_for_tests().add_replica(t(1), other);
-        d.mapping_mut_for_tests().add_replica(t(2), other);
+        d.add_replica_for_tests(t(1), other);
+        d.add_replica_for_tests(t(2), other);
 
         d.begin_batch(ConnId(0), 2);
         assert!(d.assign_request(ConnId(0), t(1)).is_remote());
@@ -572,7 +349,7 @@ mod tests {
         let conn_node = d.open_connection(ConnId(0), t(0));
         let other = NodeId(1 - conn_node.0);
         d.report_disk_queue(conn_node, 50);
-        d.mapping_mut_for_tests().add_replica(t(1), other);
+        d.add_replica_for_tests(t(1), other);
         d.begin_batch(ConnId(0), 1);
         let _ = d.assign_request(ConnId(0), t(1));
         d.close_connection(ConnId(0));
@@ -591,7 +368,7 @@ mod tests {
         let conn_node = d.open_connection(ConnId(0), t(0));
         let other = NodeId(1 - conn_node.0);
         d.report_disk_queue(conn_node, 50);
-        d.mapping_mut_for_tests().add_replica(t(1), other);
+        d.add_replica_for_tests(t(1), other);
         d.begin_batch(ConnId(0), 1);
         let a = d.assign_request(ConnId(0), t(1));
         assert_eq!(a, Assignment::Remote(other));
@@ -619,14 +396,17 @@ mod tests {
     }
 
     impl Dispatcher {
-        /// Test-only access to mutate the mapping table directly.
-        fn mapping_mut_for_tests(&mut self) -> &mut MappingTable {
-            &mut self.mapping
+        /// Test-only mapping mutation (replaces the old direct access to
+        /// the monolithic dispatcher's private table).
+        fn add_replica_for_tests(&mut self, target: TargetId, node: NodeId) {
+            self.inner
+                .mapping()
+                .write(target, |m| m.add_replica(target, node));
         }
 
         /// Test-only override of a node's load estimate.
         fn set_load_for_tests(&mut self, node: NodeId, load: f64) {
-            self.loads[node.0] = load;
+            self.inner.load_tracker().set_load_for_tests(node, load);
         }
     }
 }

@@ -2,21 +2,32 @@
 //!
 //! This crate is the primary contribution of the reproduced paper —
 //! *Efficient Support for P-HTTP in Cluster-Based Web Servers* (Aron,
-//! Druschel, Zwaenepoel; USENIX 1999) — as a reusable library:
+//! Druschel, Zwaenepoel; USENIX 1999) — as a reusable library, organized
+//! as three composable layers plus two façades:
 //!
-//! * the LARD **cost metrics** ([`cost`], the paper's Figure 4);
-//! * the front-end **mapping table** ([`mapping`]) that partitions (and,
-//!   under extended LARD, selectively replicates) the working set;
-//! * the **dispatcher** ([`dispatcher`]) implementing weighted round-robin,
-//!   basic LARD, and the paper's extended LARD for HTTP/1.1 persistent
-//!   connections, including the 1/N pipelined-batch load accounting;
+//! * the **policy layer** ([`policy`]): a [`Policy`] trait with
+//!   weighted round-robin ([`policy::Wrr`]), basic LARD
+//!   ([`policy::Lard`]), and the paper's extended LARD
+//!   ([`policy::ExtLard`]) as pure decision logic over the LARD
+//!   **cost metrics** ([`cost`], the paper's Figure 4);
+//! * the **load layer** ([`load`]): per-node atomic fixed-point load
+//!   counters, including the 1/N pipelined-batch accounting;
+//! * the **mapping layer** ([`mapping`], [`shard`]): the front-end
+//!   table that partitions (and, under extended LARD, selectively
+//!   replicates) the working set, behind per-target lock shards;
+//! * the [`Dispatcher`] façade: the original single-threaded API,
+//!   driving the trace-driven simulator (`phttp-sim`);
+//! * the [`ConcurrentDispatcher`] façade: the same semantics behind
+//!   `&self`, whose hot path takes only the one mapping shard and one
+//!   connection shard it touches — the live prototype (`phttp-proto`)
+//!   runs its connection-handler threads against this with no global
+//!   lock, keeping the front-end's decision path off the critical
+//!   path exactly as the paper's scalability argument requires;
 //! * the **mechanism** taxonomy ([`mechanism`]): relaying front-end, TCP
 //!   single/multiple handoff, back-end forwarding, and the zero-cost ideal.
 //!
-//! The same dispatcher drives both the trace-driven simulator (`phttp-sim`)
-//! and the live loopback prototype (`phttp-proto`), mirroring the paper
-//! where one dispatcher design is studied in simulation and implemented in
-//! a FreeBSD kernel module.
+//! See `ARCHITECTURE.md` at the repo root for the layering rationale and
+//! which façade each crate consumes.
 //!
 //! # Examples
 //!
@@ -42,17 +53,57 @@
 //! d.close_connection(ConnId(1));
 //! assert!(d.loads().iter().all(|&l| l == 0.0));
 //! ```
+//!
+//! The concurrent façade has the same surface behind `&self`:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use phttp_core::{
+//!     ConcurrentDispatcher, ConnId, ForwardSemantics, LardParams, PolicyKind,
+//! };
+//! use phttp_trace::TargetId;
+//!
+//! let d = Arc::new(ConcurrentDispatcher::new(
+//!     PolicyKind::ExtLard,
+//!     ForwardSemantics::LateralFetch,
+//!     4,
+//!     LardParams::default(),
+//! ));
+//! let handles: Vec<_> = (0..4)
+//!     .map(|k| {
+//!         let d = d.clone();
+//!         std::thread::spawn(move || {
+//!             let conn = ConnId(k);
+//!             d.open_connection(conn, TargetId(k as u32));
+//!             d.close_connection(conn);
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(d.active_connections(), 0);
+//! assert!(d.loads().iter().all(|&l| l == 0.0));
+//! ```
 
+pub mod concurrent;
 pub mod cost;
 pub mod costmodel;
 pub mod dispatcher;
+pub mod load;
 pub mod mapping;
 pub mod mechanism;
+pub mod policy;
+pub mod shard;
 pub mod types;
 
+pub use concurrent::{ConcurrentDispatcher, DispatcherConfig};
 pub use cost::{aggregate_cost, cost_balancing, cost_locality, cost_replacement, LardParams};
 pub use costmodel::{MechanismCosts, ServerCosts};
-pub use dispatcher::{Dispatcher, ForwardSemantics, PolicyKind};
+pub use dispatcher::Dispatcher;
+pub use load::{LoadTracker, LOAD_UNIT};
 pub use mapping::MappingTable;
 pub use mechanism::Mechanism;
+pub use policy::{ForwardSemantics, MapEffect, Policy, PolicyKind};
+pub use shard::ShardedMappingTable;
 pub use types::{Assignment, ConnId, NodeId};

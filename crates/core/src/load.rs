@@ -1,0 +1,170 @@
+//! Lock-free per-node load accounting.
+//!
+//! The paper's front-end charges one load unit per active connection to
+//! the connection-handling node, plus `1/N` of a unit to a remote node
+//! serving one request of a pipelined batch of `N`. The tracker stores
+//! these charges in **fixed point** ([`LOAD_UNIT`] = one connection) in
+//! per-node atomics, so the dispatch hot path reads and writes load
+//! without taking any lock — the whole point of splitting the old
+//! monolithic `Dispatcher`, whose single mutex serialized every policy
+//! decision across connection-handler threads.
+//!
+//! Exactness: a fractional batch charge is rounded once when computed
+//! ([`LoadTracker::frac_charge`]) and the *same* fixed-point value is
+//! recorded in the connection state and subtracted on discharge, so
+//! load always returns to exactly zero when all connections close,
+//! regardless of rounding.
+//!
+//! Disk-queue depths (conveyed over the control sessions, §7.1) live
+//! here too: they are part of the same "cluster load state" snapshot
+//! that policies read.
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+use crate::types::NodeId;
+
+/// Fixed-point scale: one connection's worth of load.
+///
+/// 2^20 gives ~1e-6 resolution on fractional batch charges while
+/// leaving 43 bits of whole-connection headroom.
+pub const LOAD_UNIT: i64 = 1 << 20;
+
+/// Per-node load estimates and disk-queue depths, all atomic.
+#[derive(Debug)]
+pub struct LoadTracker {
+    loads: Box<[AtomicI64]>,
+    disk_q: Box<[AtomicUsize]>,
+}
+
+impl LoadTracker {
+    /// Creates a tracker for `num_nodes` back-ends, all idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0`.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "cluster needs at least one back-end");
+        LoadTracker {
+            loads: (0..num_nodes).map(|_| AtomicI64::new(0)).collect(),
+            disk_q: (0..num_nodes).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Number of tracked nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// One node's load in connection units.
+    pub fn load(&self, node: NodeId) -> f64 {
+        self.loads[node.0].load(Ordering::Relaxed) as f64 / LOAD_UNIT as f64
+    }
+
+    /// One node's load in fixed point.
+    pub fn load_fixed(&self, node: NodeId) -> i64 {
+        self.loads[node.0].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every node's load in connection units.
+    pub fn loads(&self) -> Vec<f64> {
+        (0..self.num_nodes())
+            .map(|i| self.load(NodeId(i)))
+            .collect()
+    }
+
+    /// Adds a fixed-point charge to a node.
+    pub fn charge(&self, node: NodeId, fixed: i64) {
+        self.loads[node.0].fetch_add(fixed, Ordering::Relaxed);
+    }
+
+    /// Removes a fixed-point charge from a node.
+    pub fn discharge(&self, node: NodeId, fixed: i64) {
+        self.loads[node.0].fetch_sub(fixed, Ordering::Relaxed);
+    }
+
+    /// The fixed-point charge for one request of a pipelined batch of
+    /// `batch_n` (the paper's `1/N` accounting). Record the returned
+    /// value and discharge exactly it.
+    pub fn frac_charge(batch_n: usize) -> i64 {
+        debug_assert!(batch_n > 0);
+        LOAD_UNIT / batch_n as i64
+    }
+
+    /// Overwrites a node's load (test setup only).
+    pub fn set_load_for_tests(&self, node: NodeId, load: f64) {
+        self.loads[node.0].store((load * LOAD_UNIT as f64) as i64, Ordering::Relaxed);
+    }
+
+    /// Records a back-end's disk queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_disk_queue(&self, node: NodeId, depth: usize) {
+        self.disk_q[node.0].store(depth, Ordering::Relaxed);
+    }
+
+    /// A back-end's last reported disk queue depth.
+    pub fn disk_queue(&self, node: NodeId) -> usize {
+        self.disk_q[node.0].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_and_cancel_exactly() {
+        let t = LoadTracker::new(2);
+        t.charge(NodeId(0), LOAD_UNIT);
+        let f3 = LoadTracker::frac_charge(3);
+        t.charge(NodeId(1), f3);
+        t.charge(NodeId(1), f3);
+        assert!((t.load(NodeId(0)) - 1.0).abs() < 1e-9);
+        assert!((t.load(NodeId(1)) - 2.0 / 3.0).abs() < 1e-5);
+        t.discharge(NodeId(0), LOAD_UNIT);
+        t.discharge(NodeId(1), f3);
+        t.discharge(NodeId(1), f3);
+        assert_eq!(t.load_fixed(NodeId(0)), 0);
+        assert_eq!(t.load_fixed(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn concurrent_charges_conserve() {
+        use std::sync::Arc;
+        let t = Arc::new(LoadTracker::new(4));
+        let handles: Vec<_> = (0..8)
+            .map(|k| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        let n = NodeId(((i + k) % 4) as usize);
+                        t.charge(n, LOAD_UNIT);
+                        t.discharge(n, LOAD_UNIT);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(t.load_fixed(NodeId(i)), 0);
+        }
+    }
+
+    #[test]
+    fn disk_queue_roundtrip() {
+        let t = LoadTracker::new(2);
+        t.set_disk_queue(NodeId(1), 17);
+        assert_eq!(t.disk_queue(NodeId(1)), 17);
+        assert_eq!(t.disk_queue(NodeId(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one back-end")]
+    fn zero_nodes_panics() {
+        let _ = LoadTracker::new(0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Lock sharding for the mapping table and per-connection state.
+//!
+//! The mapping table is split into `N` shards keyed by [`TargetId`]
+//! hash; a dispatch decision for a target takes only that target's
+//! shard lock, so decisions for different targets proceed in parallel.
+//! Connection state is sharded the same way by [`ConnId`]. Both shard
+//! counts are powers of two chosen at construction.
+
+use std::collections::HashMap;
+
+use parking_lot::{Mutex, RwLock};
+use phttp_trace::TargetId;
+
+use crate::mapping::MappingTable;
+use crate::types::{ConnId, NodeId};
+
+/// Rounds a requested shard count up to a power of two (min 1).
+fn shard_count(requested: usize) -> usize {
+    requested.max(1).next_power_of_two()
+}
+
+/// Fibonacci-hash spread of a key over `mask + 1` shards.
+fn spread(key: u64, mask: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize & mask
+}
+
+/// [`MappingTable`] behind `N` independent locks keyed by target.
+#[derive(Debug)]
+pub struct ShardedMappingTable {
+    shards: Box<[RwLock<MappingTable>]>,
+    mask: usize,
+}
+
+impl ShardedMappingTable {
+    /// Creates an empty table over `shards` locks (rounded up to a
+    /// power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shard_count(shards);
+        ShardedMappingTable {
+            shards: (0..n).map(|_| RwLock::new(MappingTable::new())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, target: TargetId) -> &RwLock<MappingTable> {
+        &self.shards[spread(target.0 as u64, self.mask)]
+    }
+
+    /// Runs `f` with shared access to `target`'s shard.
+    pub fn read<R>(&self, target: TargetId, f: impl FnOnce(&MappingTable) -> R) -> R {
+        f(&self.shard(target).read())
+    }
+
+    /// Runs `f` with exclusive access to `target`'s shard. Holding the
+    /// lock across a decision *and* its mapping update is what keeps
+    /// per-target policy decisions atomic without any global lock.
+    pub fn write<R>(&self, target: TargetId, f: impl FnOnce(&mut MappingTable) -> R) -> R {
+        f(&mut self.shard(target).write())
+    }
+
+    /// The nodes believed to cache `target` (cloned out of the shard).
+    pub fn nodes(&self, target: TargetId) -> Vec<NodeId> {
+        self.read(target, |m| m.nodes(target).to_vec())
+    }
+
+    /// Whether `target` is mapped to `node`.
+    pub fn is_mapped(&self, target: TargetId, node: NodeId) -> bool {
+        self.read(target, |m| m.is_mapped(target, node))
+    }
+
+    /// Total targets with at least one mapping, across shards.
+    pub fn num_targets(&self) -> usize {
+        self.shards.iter().map(|s| s.read().num_targets()).sum()
+    }
+
+    /// Total (target, node) pairs, across shards.
+    pub fn num_replicas(&self) -> usize {
+        self.shards.iter().map(|s| s.read().num_replicas()).sum()
+    }
+
+    /// Mean replicas per mapped target (1.0 = pure partitioning).
+    pub fn replication_factor(&self) -> f64 {
+        let targets = self.num_targets();
+        if targets == 0 {
+            return 0.0;
+        }
+        self.num_replicas() as f64 / targets as f64
+    }
+
+    /// Drops every mapping that references `node` (decommissioning).
+    pub fn evict_node(&self, node: NodeId) {
+        for shard in self.shards.iter() {
+            shard.write().evict_node(node);
+        }
+    }
+}
+
+/// Per-connection dispatcher state.
+#[derive(Debug, Clone)]
+pub(crate) struct ConnState {
+    /// Connection-handling node (changes under migrate semantics).
+    pub node: NodeId,
+    /// Size of the current pipelined batch (the paper's `N`).
+    pub batch_n: usize,
+    /// Fixed-point loads charged to remote nodes for the current batch.
+    pub frac: Vec<(NodeId, i64)>,
+}
+
+/// Connection-state table behind `N` independent locks keyed by
+/// connection id.
+#[derive(Debug)]
+pub(crate) struct ConnTable {
+    shards: Box<[Mutex<HashMap<ConnId, ConnState>>]>,
+    mask: usize,
+}
+
+impl ConnTable {
+    pub fn new(shards: usize) -> Self {
+        let n = shard_count(shards);
+        ConnTable {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, conn: ConnId) -> &Mutex<HashMap<ConnId, ConnState>> {
+        &self.shards[spread(conn.0, self.mask)]
+    }
+
+    /// Runs `f` with exclusive access to `conn`'s shard map.
+    pub fn with<R>(&self, conn: ConnId, f: impl FnOnce(&mut HashMap<ConnId, ConnState>) -> R) -> R {
+        f(&mut self.shard(conn).lock())
+    }
+
+    /// Number of tracked connections (sums shard sizes; a racy but
+    /// monotone-consistent diagnostic).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_mapping_aggregates_across_shards() {
+        let m = ShardedMappingTable::new(8);
+        for i in 0..100u32 {
+            m.write(TargetId(i), |t| t.add_replica(TargetId(i), NodeId(0)));
+        }
+        m.write(TargetId(5), |t| t.add_replica(TargetId(5), NodeId(1)));
+        assert_eq!(m.num_targets(), 100);
+        assert_eq!(m.num_replicas(), 101);
+        assert!((m.replication_factor() - 1.01).abs() < 1e-9);
+        assert!(m.is_mapped(TargetId(5), NodeId(1)));
+        assert_eq!(m.nodes(TargetId(5)), vec![NodeId(0), NodeId(1)]);
+        m.evict_node(NodeId(0));
+        assert_eq!(m.num_targets(), 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_up() {
+        assert_eq!(ShardedMappingTable::new(1).num_shards(), 1);
+        assert_eq!(ShardedMappingTable::new(5).num_shards(), 8);
+        assert_eq!(ShardedMappingTable::new(32).num_shards(), 32);
+    }
+
+    #[test]
+    fn conn_table_tracks_inserts_and_removes() {
+        let c = ConnTable::new(4);
+        for i in 0..50 {
+            c.with(ConnId(i), |m| {
+                m.insert(
+                    ConnId(i),
+                    ConnState {
+                        node: NodeId(0),
+                        batch_n: 1,
+                        frac: Vec::new(),
+                    },
+                )
+            });
+        }
+        assert_eq!(c.len(), 50);
+        for i in 0..50 {
+            c.with(ConnId(i), |m| m.remove(&ConnId(i)));
+        }
+        assert_eq!(c.len(), 0);
+    }
+}

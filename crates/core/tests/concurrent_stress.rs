@@ -1,0 +1,193 @@
+//! Concurrency stress: N threads hammer a shared [`ConcurrentDispatcher`]
+//! with full open / batch / assign / close lifecycles, across every
+//! policy and both forwarding semantics. Afterwards the load-accounting
+//! invariant must hold exactly: every fixed-point charge was paired with
+//! its discharge, so all node loads are exactly zero, none negative, and
+//! no connection state leaks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use phttp_core::{
+    ConcurrentDispatcher, ConnId, DispatcherConfig, ForwardSemantics, LardParams, NodeId,
+    PolicyKind,
+};
+use phttp_trace::TargetId;
+
+const THREADS: usize = 8;
+const CONNS_PER_THREAD: u64 = 400;
+const NODES: usize = 4;
+
+/// Drives one full connection lifecycle: open, two pipelined batches
+/// with per-request assignment, close.
+fn lifecycle(d: &ConcurrentDispatcher, conn: ConnId, seed: u64) {
+    let t = |x: u64| TargetId((x % 512) as u32);
+    d.open_connection(conn, t(seed));
+    d.begin_batch(conn, 3);
+    for k in 0..3 {
+        let _ = d.assign_request(conn, t(seed.wrapping_mul(97).wrapping_add(k)));
+    }
+    d.begin_batch(conn, 2);
+    for k in 0..2 {
+        let _ = d.assign_request(conn, t(seed.wrapping_mul(31).wrapping_add(k)));
+    }
+    d.close_connection(conn);
+}
+
+fn stress(policy: PolicyKind, semantics: ForwardSemantics) {
+    let d = Arc::new(ConcurrentDispatcher::from_config(
+        DispatcherConfig::new(policy, semantics, NODES, LardParams::default()).with_shards(16, 16),
+    ));
+    // Busy disks push extended LARD through its forwarding path.
+    for i in 0..NODES {
+        d.report_disk_queue(NodeId(i), 50);
+    }
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let completed = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|k| {
+            let d = d.clone();
+            let barrier = barrier.clone();
+            let completed = completed.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..CONNS_PER_THREAD {
+                    let conn = ConnId(k * 1_000_000 + i);
+                    lifecycle(&d, conn, k.wrapping_mul(7919).wrapping_add(i));
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+
+    assert_eq!(
+        completed.load(Ordering::Relaxed),
+        (THREADS as u64) * CONNS_PER_THREAD,
+        "{policy:?}/{semantics:?}: lost lifecycles"
+    );
+    assert_eq!(
+        d.active_connections(),
+        0,
+        "{policy:?}/{semantics:?}: leaked connection state"
+    );
+    // The invariant, in exact fixed point: total charged load returned
+    // to zero and no node ended up negative.
+    for i in 0..NODES {
+        let fixed = d.load_tracker().load_fixed(NodeId(i));
+        assert_eq!(
+            fixed, 0,
+            "{policy:?}/{semantics:?}: node {i} residual load {fixed} (negative = over-discharge)"
+        );
+    }
+}
+
+#[test]
+fn wrr_lateral_fetch() {
+    stress(PolicyKind::Wrr, ForwardSemantics::LateralFetch);
+}
+
+#[test]
+fn lard_lateral_fetch() {
+    stress(PolicyKind::Lard, ForwardSemantics::LateralFetch);
+}
+
+#[test]
+fn ext_lard_lateral_fetch() {
+    stress(PolicyKind::ExtLard, ForwardSemantics::LateralFetch);
+}
+
+#[test]
+fn ext_lard_migrate() {
+    stress(PolicyKind::ExtLard, ForwardSemantics::Migrate);
+}
+
+/// Interleaved lifecycles: connections stay open across other threads'
+/// work (held in a shared pool and closed by whichever thread drew
+/// them), so charges and discharges for one connection can come from
+/// different threads.
+#[test]
+fn cross_thread_open_close() {
+    use parking_lot_free_pool::Pool;
+
+    let d = Arc::new(ConcurrentDispatcher::new(
+        PolicyKind::ExtLard,
+        ForwardSemantics::LateralFetch,
+        NODES,
+        LardParams::default(),
+    ));
+    for i in 0..NODES {
+        d.report_disk_queue(NodeId(i), 50);
+    }
+    let pool = Arc::new(Pool::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|k| {
+            let d = d.clone();
+            let pool = pool.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..CONNS_PER_THREAD {
+                    let conn = ConnId(k * 1_000_000 + i);
+                    d.open_connection(conn, TargetId((i % 256) as u32));
+                    d.begin_batch(conn, 2);
+                    let _ = d.assign_request(conn, TargetId(((i + 3) % 256) as u32));
+                    // Park this connection; close one parked earlier
+                    // (possibly by another thread).
+                    if let Some(parked) = pool.swap(conn) {
+                        d.close_connection(parked);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+    // Close whatever is still parked.
+    for conn in pool.drain() {
+        d.close_connection(conn);
+    }
+    assert_eq!(d.active_connections(), 0);
+    for i in 0..NODES {
+        assert_eq!(d.load_tracker().load_fixed(NodeId(i)), 0, "node {i}");
+    }
+}
+
+/// A tiny lock-based pool for the cross-thread test (std-only on
+/// purpose: the object under test is the dispatcher, not the pool).
+mod parking_lot_free_pool {
+    use phttp_core::ConnId;
+    use std::sync::Mutex;
+
+    pub struct Pool {
+        slots: Mutex<Vec<ConnId>>,
+    }
+
+    impl Pool {
+        pub fn new() -> Self {
+            Pool {
+                slots: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// Parks `conn`; returns a previously parked connection to close
+        /// once the pool holds more than a handful.
+        pub fn swap(&self, conn: ConnId) -> Option<ConnId> {
+            let mut slots = self.slots.lock().unwrap();
+            slots.push(conn);
+            if slots.len() > 16 {
+                Some(slots.remove(0))
+            } else {
+                None
+            }
+        }
+
+        pub fn drain(&self) -> Vec<ConnId> {
+            std::mem::take(&mut self.slots.lock().unwrap())
+        }
+    }
+}

@@ -96,7 +96,7 @@ proptest! {
         for cid in 0..conns.len() {
             d.close_connection(ConnId(cid as u64));
         }
-        for &l in d.loads() {
+        for l in d.loads() {
             prop_assert!(l.abs() < 1e-6, "residual load {l}");
         }
         prop_assert_eq!(d.active_connections(), 0);

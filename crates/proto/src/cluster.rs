@@ -260,6 +260,15 @@ impl Cluster {
         &self.store
     }
 
+    /// Waits (up to `timeout`) for every client connection's policy state
+    /// to unwind. Load generators return as soon as the last response
+    /// arrives, which can be a beat before the handler thread observes
+    /// the client's EOF and closes the connection — call this before
+    /// asserting on post-traffic accounting.
+    pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
+        self.frontend.quiesce(timeout)
+    }
+
     /// Per-node statistics snapshot.
     pub fn node_stats(&self) -> Vec<NodeStatsSnapshot> {
         self.frontend

@@ -1,18 +1,23 @@
 //! The front-end: policy decisions plus connection lifecycle, shared by the
 //! acceptor and every connection-handler thread.
 //!
-//! This wraps [`phttp_core::Dispatcher`] (the same policy engine the
-//! simulator runs) behind a mutex, feeds it the back-ends' disk-queue
-//! depths (the control-session traffic of the paper's §7.1), and makes the
-//! lifecycle calls idempotent so connection handlers can use plain
-//! drop-guards.
+//! This wraps [`phttp_core::ConcurrentDispatcher`] — the same layered
+//! policy engine the simulator runs single-threaded — with **no lock of
+//! its own**. Every handler thread calls straight into the dispatcher,
+//! whose hot path takes only the mapping shard and connection shard for
+//! the request in hand; the old `Mutex<Dispatcher>` that serialized all
+//! policy decisions across handler threads is gone. The front-end also
+//! feeds the dispatcher the back-ends' disk-queue depths (the control
+//! session traffic of the paper's §7.1) and makes the lifecycle calls
+//! idempotent so connection handlers can use plain drop-guards.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use phttp_core::{
-    Assignment, ConnId, Dispatcher, ForwardSemantics, LardParams, Mechanism, NodeId, PolicyKind,
+    Assignment, ConcurrentDispatcher, ConnId, DispatcherConfig, ForwardSemantics, LardParams,
+    Mechanism, NodeId, PolicyKind,
 };
 use phttp_trace::TargetId;
 
@@ -20,7 +25,7 @@ use crate::node::NodeState;
 
 /// The shared front-end.
 pub struct FrontEnd {
-    dispatcher: Mutex<Dispatcher>,
+    dispatcher: ConcurrentDispatcher,
     nodes: Vec<Arc<NodeState>>,
     next_conn: AtomicU64,
 }
@@ -46,9 +51,14 @@ impl FrontEnd {
             Mechanism::MultipleHandoff => ForwardSemantics::Migrate,
             other => panic!("prototype does not implement the {other} mechanism"),
         };
-        let dispatcher = Dispatcher::new(policy, semantics, nodes.len(), params);
+        let dispatcher = ConcurrentDispatcher::from_config(DispatcherConfig::new(
+            policy,
+            semantics,
+            nodes.len(),
+            params,
+        ));
         FrontEnd {
-            dispatcher: Mutex::new(dispatcher),
+            dispatcher,
             nodes,
             next_conn: AtomicU64::new(0),
         }
@@ -66,54 +76,69 @@ impl FrontEnd {
 
     /// Policy decision for a new connection's first request.
     pub fn open_connection(&self, conn: ConnId, first: TargetId) -> NodeId {
-        let mut d = self.dispatcher.lock();
-        self.report_disks(&mut d);
-        d.open_connection(conn, first)
+        self.report_disks();
+        self.dispatcher.open_connection(conn, first)
     }
 
     /// Marks the start of a pipelined batch of `n` requests.
     pub fn begin_batch(&self, conn: ConnId, n: usize) {
-        self.dispatcher.lock().begin_batch(conn, n.max(1));
+        self.dispatcher.begin_batch(conn, n.max(1));
     }
 
     /// Policy decision for a subsequent request on a persistent connection.
     pub fn assign(&self, conn: ConnId, target: TargetId) -> Assignment {
-        let mut d = self.dispatcher.lock();
-        self.report_disks(&mut d);
-        d.assign_request(conn, target)
+        self.report_disks();
+        self.dispatcher.assign_request(conn, target)
     }
 
     /// The node currently handling `conn` (changes under multiple handoff).
     pub fn connection_node(&self, conn: ConnId) -> Option<NodeId> {
-        self.dispatcher.lock().connection_node(conn)
+        self.dispatcher.connection_node(conn)
     }
 
-    /// Closes a connection; safe to call more than once.
+    /// Closes a connection; safe to call more than once (the check and
+    /// the removal are one atomic operation on the connection shard).
     pub fn close_connection(&self, conn: ConnId) {
-        let mut d = self.dispatcher.lock();
-        if d.connection_node(conn).is_some() {
-            d.close_connection(conn);
-        }
+        self.dispatcher.try_close_connection(conn);
     }
 
     /// Current load estimates (diagnostics).
     pub fn loads(&self) -> Vec<f64> {
-        self.dispatcher.lock().loads().to_vec()
+        self.dispatcher.loads()
     }
 
     /// Number of currently tracked connections.
     pub fn active_connections(&self) -> usize {
-        self.dispatcher.lock().active_connections()
+        self.dispatcher.active_connections()
     }
 
     /// Mapping replication factor (diagnostics).
     pub fn replication_factor(&self) -> f64 {
-        self.dispatcher.lock().mapping().replication_factor()
+        self.dispatcher.mapping().replication_factor()
     }
 
-    fn report_disks(&self, d: &mut Dispatcher) {
+    /// Waits until every tracked connection has closed, up to `timeout`.
+    /// Returns whether the front-end reached quiescence. Handler threads
+    /// observe client EOFs asynchronously, so callers that need exact
+    /// post-traffic accounting (tests, orderly shutdown) wait here
+    /// instead of racing the teardown.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.active_connections() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Pushes every back-end's current disk-queue depth into the
+    /// dispatcher (atomic stores; no locks).
+    fn report_disks(&self) {
         for node in &self.nodes {
-            d.report_disk_queue(node.id, node.disk_queue_len());
+            self.dispatcher
+                .report_disk_queue(node.id, node.disk_queue_len());
         }
     }
 }
@@ -205,5 +230,31 @@ mod tests {
         let c2 = fe.alloc_conn();
         let n2 = fe.open_connection(c2, TargetId(3));
         assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn handlers_share_the_frontend_without_a_global_lock() {
+        let fe = Arc::new(fe(PolicyKind::ExtLard, 4));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let fe = fe.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200u32 {
+                        let c = fe.alloc_conn();
+                        fe.open_connection(c, TargetId(i % 64));
+                        fe.begin_batch(c, 2);
+                        let _ = fe.assign(c, TargetId((i + 1) % 64));
+                        let _ = fe.assign(c, TargetId((i + 7) % 64));
+                        fe.close_connection(c);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fe.active_connections(), 0);
+        assert!(fe.loads().iter().all(|&l| l.abs() < 1e-9));
+        assert!(fe.quiesce(Duration::from_secs(1)));
     }
 }

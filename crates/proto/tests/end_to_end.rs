@@ -56,7 +56,12 @@ fn phttp_serves_every_request_byte_exact() {
     let served: u64 = cluster.node_stats().iter().map(|s| s.served).sum();
     assert!(served >= trace.len() as u64);
     assert!(served <= trace.len() as u64 + 8, "served={served}");
-    // All policy connection state was torn down.
+    // All policy connection state was torn down (handlers observe the
+    // clients' EOFs asynchronously, so wait for quiescence first).
+    assert!(
+        cluster.quiesce(Duration::from_secs(10)),
+        "connections leaked"
+    );
     assert_eq!(cluster.frontend().active_connections(), 0);
     cluster.shutdown();
 }
@@ -262,6 +267,10 @@ fn multiple_handoff_migrates_and_serves_correctly() {
     assert!(migrations > 0, "multiple handoff never migrated");
     assert_eq!(laterals, 0, "migration mechanism must not fetch laterally");
     // Policy state fully unwound despite mid-connection re-homing.
+    assert!(
+        cluster.quiesce(Duration::from_secs(10)),
+        "connections leaked"
+    );
     assert_eq!(cluster.frontend().active_connections(), 0);
     cluster.shutdown();
 }

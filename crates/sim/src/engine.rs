@@ -30,7 +30,9 @@
 
 use std::collections::HashMap;
 
-use phttp_core::{Assignment, ConnId, Dispatcher, ForwardSemantics, Mechanism, NodeId};
+use phttp_core::{
+    Assignment, ConnId, Dispatcher, DispatcherConfig, ForwardSemantics, Mechanism, NodeId,
+};
 use phttp_simcore::{Accumulator, EventQueue, FifoResource, Histogram, SimDuration, SimTime};
 use phttp_trace::{ConnectionTrace, TargetId, Trace};
 
@@ -182,7 +184,9 @@ impl<'w> Run<'w> {
             _ => ForwardSemantics::LateralFetch,
         };
         let is_relay = cfg.mechanism == Mechanism::RelayingFrontend;
-        let dispatcher = Dispatcher::new(cfg.policy, semantics, cfg.nodes, cfg.lard);
+        let dispatcher = Dispatcher::from_config(DispatcherConfig::new(
+            cfg.policy, semantics, cfg.nodes, cfg.lard,
+        ));
         let backends = (0..cfg.nodes)
             .map(|_| Backend::new(cfg.cache_bytes))
             .collect();

@@ -41,7 +41,7 @@ proptest! {
             let times: Vec<SimTime> = conn
                 .batches
                 .iter()
-                .flat_map(|b| std::iter::repeat(b.time).take(b.targets.len()))
+                .flat_map(|b| std::iter::repeat_n(b.time, b.targets.len()))
                 .collect();
             // Batch start stamps are non-decreasing.
             for w in times.windows(2) {

@@ -1,0 +1,195 @@
+//! Workspace shim for `proptest`: the macro surface and strategy
+//! combinators the project's property tests use, run as fixed-count
+//! random-case tests.
+//!
+//! Differences from upstream, by design:
+//!
+//! * each property runs `ProptestConfig::cases` random cases (default 64,
+//!   `PROPTEST_CASES` env to override) seeded deterministically from the
+//!   test name — failures reproduce on re-run;
+//! * there is no shrinking: the failing case panics as-is;
+//! * `prop_assert*` panic (upstream returns `Err`), which is equivalent
+//!   under a `#[test]` harness.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Strategies over strings.
+pub mod string {
+    use crate::strategy::RegexStrategy;
+
+    /// Regex-pattern parse failure.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    /// A string matching `pattern` (the literal/class/`{m,n}` subset —
+    /// see [`RegexStrategy`]).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        RegexStrategy::compile(pattern).map_err(Error)
+    }
+}
+
+/// The glob-import surface used by the tests.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Boolean property assertion (panicking flavour).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)+) => { assert!($($t)+) };
+}
+
+/// Equality property assertion (panicking flavour).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)+) => { assert_eq!($($t)+) };
+}
+
+/// Inequality property assertion (panicking flavour).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)+) => { assert_ne!($($t)+) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to an early `Err(Rejected)` return from the per-case closure
+/// `proptest!` emits; the runner moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Rejected);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random samples of the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut __rng);)+
+                // The closure gives `return Ok(())` and `prop_assume!`
+                // (early `Err(Rejected)`) somewhere to return to.
+                #[allow(clippy::redundant_closure_call)]
+                let __result = (move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Rejected,
+                    ) => continue,
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds and maps apply.
+        #[test]
+        fn ranges_and_maps(x in 3u32..17, y in (0usize..5).prop_map(|v| v * 2)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y % 2 == 0 && y < 10);
+        }
+
+        /// Vectors respect their size range; oneof picks only given arms.
+        #[test]
+        fn vec_and_oneof(
+            v in crate::collection::vec(0u8..4, 2..6),
+            pick in prop_oneof![Just(1u8), Just(9u8), 20u8..22],
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+            prop_assert!(pick == 1 || pick == 9 || pick == 20 || pick == 21);
+        }
+
+        /// Exact-size vec and tuple strategies.
+        #[test]
+        fn exact_vec_and_tuples(v in crate::collection::vec(0u64..10, 3), t in (0u32..2, 5i32..6)) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert_eq!(t.1, 5);
+        }
+
+        /// prop_assume skips, never fails.
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        /// String regex subset: classes, ranges, intersection, counts.
+        #[test]
+        fn string_regex_subset(
+            uri in crate::string::string_regex("/[a-z0-9_./-]{0,40}").unwrap(),
+            hdr in "[A-Za-z-]{1,12}",
+            val in "[ -~&&[^:]]{0,24}",
+        ) {
+            prop_assert!(uri.starts_with('/') && uri.len() <= 41);
+            prop_assert!((1..=12).contains(&hdr.len()));
+            prop_assert!(hdr.chars().all(|c| c.is_ascii_alphabetic() || c == '-'));
+            prop_assert!(val.chars().all(|c| (' '..='~').contains(&c) && c != ':'));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..1000, 5..10);
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+    }
+}

@@ -1,0 +1,481 @@
+//! Strategies: value generators composable with `prop_map`, tuples,
+//! `collection::vec`, `prop_oneof!`, and a regex-subset string generator.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`].
+trait DynStrategy<T> {
+    fn new_value_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value_dyn(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given (non-empty) options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+/// The `any::<T>()` marker strategy.
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty range strategy");
+                a + rng.below((b as u64) - (a as u64) + 1) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $S:ident),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H, 8 I, 9 J)
+}
+
+/// Length bound for [`VecStrategy`]: exact or half-open.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// `collection::vec` strategy.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) elem: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.new_value(rng)).collect()
+    }
+}
+
+/// One repeated unit of a compiled pattern: a character alphabet plus a
+/// repetition count range.
+#[derive(Debug, Clone)]
+struct Atom {
+    alphabet: Vec<char>,
+    min: usize,
+    /// Inclusive.
+    max: usize,
+}
+
+/// Strings matching a regex subset: literal characters, `[...]` classes
+/// with ranges, negation (`[^...]`), and `&&` intersection, plus `{m,n}`
+/// / `{n}` repetition. This covers every pattern the project's tests use.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl RegexStrategy {
+    /// Compiles `pattern`, rejecting syntax outside the subset.
+    pub fn compile(pattern: &str) -> Result<Self, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '[' => {
+                    let close = find_class_end(&chars, i)
+                        .ok_or_else(|| format!("unterminated class in {pattern:?}"))?;
+                    let set = parse_class(&chars[i + 1..close])?;
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| format!("dangling escape in {pattern:?}"))?;
+                    i += 2;
+                    vec![c]
+                }
+                '.' => {
+                    i += 1;
+                    (' '..='~').collect()
+                }
+                c if !"{}*+?|()".contains(c) => {
+                    i += 1;
+                    vec![c]
+                }
+                c => return Err(format!("unsupported regex syntax {c:?} in {pattern:?}")),
+            };
+            // Optional {n} / {m,n} quantifier.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .ok_or_else(|| format!("unterminated quantifier in {pattern:?}"))?;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().map_err(|_| format!("bad count {a:?}"))?,
+                        b.trim().parse().map_err(|_| format!("bad count {b:?}"))?,
+                    ),
+                    None => {
+                        let n = body
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad count {body:?}"))?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if alphabet.is_empty() && min > 0 {
+                return Err(format!("empty alphabet with nonzero repeat in {pattern:?}"));
+            }
+            atoms.push(Atom { alphabet, min, max });
+        }
+        Ok(RegexStrategy { atoms })
+    }
+}
+
+/// Finds the index of the `]` closing the class opened at `open`,
+/// honouring nested `[...]` (set-intersection operands).
+fn find_class_end(chars: &[char], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 1,
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a class body (between `[` and `]`) into its character set.
+/// Supports leading `^` (complement over ASCII 0x20..=0x7E), `a-z`
+/// ranges, escapes, and `&&`-separated intersection operands that may
+/// themselves be bracketed classes.
+fn parse_class(body: &[char]) -> Result<Vec<char>, String> {
+    // Split on top-level `&&`.
+    let mut parts: Vec<&[char]> = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    let mut depth = 0usize;
+    while i < body.len() {
+        match body[i] {
+            '\\' => i += 1,
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            '&' if depth == 0 && body.get(i + 1) == Some(&'&') => {
+                parts.push(&body[start..i]);
+                i += 1;
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(&body[start..]);
+
+    let mut result: Option<Vec<char>> = None;
+    for part in parts {
+        // An operand may itself be a bracketed class.
+        let set = if part.first() == Some(&'[') && part.last() == Some(&']') {
+            parse_class(&part[1..part.len() - 1])?
+        } else {
+            parse_simple_class(part)?
+        };
+        result = Some(match result {
+            None => set,
+            Some(prev) => prev.into_iter().filter(|c| set.contains(c)).collect(),
+        });
+    }
+    Ok(result.unwrap_or_default())
+}
+
+/// Parses a class with no `&&` operands.
+fn parse_simple_class(body: &[char]) -> Result<Vec<char>, String> {
+    let (negate, body) = match body.first() {
+        Some('^') => (true, &body[1..]),
+        _ => (false, body),
+    };
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let c = match body[i] {
+            '\\' => {
+                i += 1;
+                *body.get(i).ok_or("dangling escape in class")?
+            }
+            c => c,
+        };
+        // Range `a-z` (a trailing '-' is a literal).
+        if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+            let hi = body[i + 2];
+            if c > hi {
+                return Err(format!("inverted class range {c}-{hi}"));
+            }
+            for ch in c..=hi {
+                set.push(ch);
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    set.sort_unstable();
+    set.dedup();
+    if negate {
+        Ok((' '..='~').filter(|c| !set.contains(c)).collect())
+    } else {
+        Ok(set)
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                let i = rng.below(atom.alphabet.len() as u64) as usize;
+                out.push(atom.alphabet[i]);
+            }
+        }
+        out
+    }
+}
+
+/// String literals act as regex strategies (compiled lazily; panics on
+/// unsupported syntax, matching upstream's behaviour of erroring in the
+/// runner).
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        RegexStrategy::compile(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy: {e}"))
+            .new_value(rng)
+    }
+}

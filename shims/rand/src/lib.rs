@@ -1,0 +1,215 @@
+//! Workspace shim for `rand` 0.8: the `Rng`/`SeedableRng` traits and a
+//! deterministic `rngs::SmallRng`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64. It does NOT
+//! reproduce upstream `SmallRng` streams — only the project's actual
+//! contract: a fixed seed yields a fixed stream within this build, so
+//! trace generation and simulations stay deterministic.
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types samplable from the "standard" distribution (the `rng.gen()`
+/// surface of upstream rand).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Half-open ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty gen_range");
+                if a == <$t>::MIN && b == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (a..b + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        self.start + f64::standard_sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing sampling trait (`rand::Rng`), blanket-implemented for
+/// every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution (`rng.gen::<f64>()`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Deterministic seeding (`rand::SeedableRng`), reduced to the one
+/// constructor the project uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic PRNG: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, per the xoshiro authors' guidance.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.gen_range(3u32..13);
+            assert!((3..13).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in a small range hit");
+        for _ in 0..1_000 {
+            let f = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

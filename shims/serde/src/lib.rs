@@ -1,0 +1,13 @@
+//! Workspace shim for `serde`: marker traits plus no-op derive macros.
+//!
+//! The project annotates config/report types with
+//! `#[derive(Serialize, Deserialize)]` but never drives a serializer, so
+//! the traits carry no methods and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
