@@ -1,0 +1,164 @@
+//! Per-request vs batched dispatch: what one pipelined P-HTTP batch
+//! costs the dispatcher when every request pays its own shard
+//! acquisitions (`begin_batch` + N × `assign_request`) versus when the
+//! whole batch is decided in one call (`assign_batch`: one
+//! connection-shard visit, one write acquisition per distinct mapping
+//! shard).
+//!
+//! Extended LARD with busy disks, so every assignment runs the full
+//! cost-metric + mapping path — the worst case for lock traffic and the
+//! case the paper's §7.2 pipelining argument is about. Decisions are
+//! identical either way (property-tested in `batch_equivalence.rs`);
+//! only the locking cost differs.
+//!
+//! Besides the criterion entries, the run measures batches/s for batch
+//! sizes 1/2/4/8/16 under both APIs and writes `BENCH_batch.json` at
+//! the repo root.
+
+#![allow(missing_docs)]
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phttp_core::{
+    ConcurrentDispatcher, ConnId, DispatcherConfig, ForwardSemantics, LardParams, NodeId,
+    PolicyKind,
+};
+use phttp_trace::TargetId;
+
+const NODES: usize = 8;
+const TARGETS: u32 = 4096;
+
+fn dispatcher() -> ConcurrentDispatcher {
+    let d = ConcurrentDispatcher::from_config(DispatcherConfig::new(
+        PolicyKind::ExtLard,
+        ForwardSemantics::LateralFetch,
+        NODES,
+        LardParams::default(),
+    ));
+    for n in 0..NODES {
+        d.report_disk_queue(NodeId(n), 50);
+    }
+    d
+}
+
+/// The targets of one synthetic pipelined batch (a page plus embedded
+/// objects: clustered but not identical, like trace batches).
+fn batch_targets(seed: u64, n: usize) -> Vec<TargetId> {
+    (0..n as u64)
+        .map(|k| {
+            TargetId(((seed.wrapping_mul(2654435761).wrapping_add(k * 7)) % TARGETS as u64) as u32)
+        })
+        .collect()
+}
+
+/// One connection serving `batches` pipelined batches of size `n`,
+/// decided per-request.
+fn run_per_request(d: &ConcurrentDispatcher, conn: ConnId, batches: u64, n: usize) {
+    d.open_connection(conn, TargetId((conn.0 % TARGETS as u64) as u32));
+    for b in 0..batches {
+        let targets = batch_targets(conn.0.wrapping_add(b), n);
+        d.begin_batch(conn, targets.len());
+        for &t in &targets {
+            let _ = d.assign_request(conn, t);
+        }
+    }
+    d.close_connection(conn);
+}
+
+/// Same work, decided through the batched API.
+fn run_batched(d: &ConcurrentDispatcher, conn: ConnId, batches: u64, n: usize) {
+    d.open_connection(conn, TargetId((conn.0 % TARGETS as u64) as u32));
+    for b in 0..batches {
+        let targets = batch_targets(conn.0.wrapping_add(b), n);
+        let _ = d.assign_batch(conn, &targets);
+    }
+    d.close_connection(conn);
+}
+
+/// Batches/second over `total_batches` batches of size `n`.
+fn batches_per_sec(batched: bool, total_batches: u64, n: usize) -> f64 {
+    let d = dispatcher();
+    // Many shortish connections: shard/connection churn stays realistic.
+    let batches_per_conn = 64;
+    let conns = total_batches / batches_per_conn;
+    let start = Instant::now();
+    for c in 0..conns.max(1) {
+        let conn = ConnId(c);
+        if batched {
+            run_batched(&d, conn, batches_per_conn, n);
+        } else {
+            run_per_request(&d, conn, batches_per_conn, n);
+        }
+    }
+    (conns.max(1) * batches_per_conn) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatcher_batch");
+    for &n in &[2usize, 8] {
+        g.bench_function(&format!("per_request/n{n}"), |b| {
+            let d = dispatcher();
+            let mut i = 0u64;
+            b.iter(|| {
+                run_per_request(&d, ConnId(i), 4, n);
+                i += 1;
+            });
+        });
+        g.bench_function(&format!("batched/n{n}"), |b| {
+            let d = dispatcher();
+            let mut i = 0u64;
+            b.iter(|| {
+                run_batched(&d, ConnId(i), 4, n);
+                i += 1;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_report(_c: &mut Criterion) {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    let total: u64 = if quick { 16_384 } else { 262_144 };
+    let sizes = [1usize, 2, 4, 8, 16];
+
+    let mut rows = String::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        // Best of three per cell, like dispatcher_concurrency.
+        let best = |batched: bool| {
+            (0..3)
+                .map(|_| batches_per_sec(batched, total, n))
+                .fold(0.0f64, f64::max)
+        };
+        let per_req = best(false);
+        let batched = best(true);
+        println!(
+            "dispatcher_batch/n{n:<2}  per-request {per_req:>12.0} batches/s   batched {batched:>12.0} batches/s   speedup {:>5.2}x",
+            batched / per_req,
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"batch_size\": {n}, \"per_request_batches_per_sec\": {per_req:.0}, \"batched_batches_per_sec\": {batched:.0}, \"requests_per_sec_batched\": {:.0}, \"speedup\": {:.3}}}",
+            batched * n as f64,
+            batched / per_req,
+        ));
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"benchmark\": \"dispatcher_batch\",\n  \"workload\": \"extLARD, {NODES} nodes, {TARGETS} targets, busy disks; 64 pipelined batches per connection\",\n  \"baseline\": \"begin_batch + N x assign_request (per-request shard acquisition)\",\n  \"contender\": \"assign_batch (one conn-shard visit, grouped mapping-shard write locks)\",\n  \"cpu_cores\": {cores},\n  \"note\": \"single-threaded measurement: the win is pure per-op locking overhead amortization; under contention the reduced acquisition count also cuts shard hold/wait time\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(sizes, bench_batch_sizes);
+criterion_group!(report, bench_report);
+criterion_main!(sizes, report);

@@ -83,7 +83,7 @@ fn run_case(case: &ProtoCase, nodes: usize, trace: &Trace, quick: bool) -> (f64,
             fe_listeners: 8,
             ..ProtoConfig::default()
         };
-        let cluster = Cluster::start(cfg, trace);
+        let cluster = Cluster::start(cfg, trace).expect("start cluster");
         let workload = match case.protocol {
             ClientProtocol::PHttp => reconstruct(trace, SessionConfig::default()),
             ClientProtocol::Http10 => http10_connections(trace),

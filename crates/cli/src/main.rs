@@ -248,7 +248,7 @@ fn demo(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             ..ProtoConfig::default()
         },
         &trace,
-    );
+    )?;
     println!("cluster up at {}", cluster.frontend_addr());
     let report = run_load(
         cluster.frontend_addrs(),

@@ -21,6 +21,15 @@
 //! contend — the paper's requirement that the front-end stay off the
 //! data path, applied to its own decision path.
 //!
+//! The batched entry point ([`assign_batch`](ConcurrentDispatcher::assign_batch))
+//! amortizes further: a whole pipelined batch costs **one** connection-shard
+//! acquisition and one write acquisition per *distinct* mapping shard the
+//! batch touches, instead of up to two conn-shard and two mapping-shard
+//! acquisitions per request. When more than one mapping shard is held,
+//! shards are always acquired in ascending index order *after* the
+//! connection shard — the workspace lock order that makes deadlock between
+//! concurrent batches impossible (see ARCHITECTURE.md, "Batched dispatch").
+//!
 //! ## Consistency model
 //!
 //! Load reads during a decision are racy by design: two threads may
@@ -43,6 +52,15 @@ use crate::load::{LoadTracker, LOAD_UNIT};
 use crate::policy::{ForwardSemantics, MapEffect, Policy, PolicyKind};
 use crate::shard::{ConnState, ConnTable, ShardedMappingTable};
 use crate::types::{Assignment, ConnId, NodeId};
+
+/// Largest pipelined batch [`ConcurrentDispatcher::assign_batch`] will
+/// decide under held shard locks in one piece; longer batches are
+/// processed in chunks of this size so a hostile client pipelining
+/// thousands of requests cannot pin a connection shard (and a set of
+/// mapping shards) for an unbounded stretch. Chunking is invisible to
+/// callers: decisions and accounting are identical either way because
+/// the batch size used for 1/N load accounting is fixed up front.
+const MAX_BATCH_CHUNK: usize = 64;
 
 /// Construction parameters for both dispatcher façades.
 #[derive(Debug, Clone, Copy)]
@@ -331,32 +349,138 @@ impl ConcurrentDispatcher {
             assignment
         };
 
-        if let Assignment::Remote(remote) = assignment {
-            match self.semantics {
-                ForwardSemantics::LateralFetch => {
-                    if self.params.batch_load_accounting {
-                        // 1/N load on the remote node for the batch.
-                        let f = LoadTracker::frac_charge(batch_n);
-                        self.loads.charge(remote, f);
-                        self.conns.with(conn, |c| {
-                            c.get_mut(&conn)
-                                .expect("connection vanished")
-                                .frac
-                                .push((remote, f));
-                        });
-                    }
-                }
-                ForwardSemantics::Migrate => {
-                    // The connection itself moves.
-                    self.loads.discharge(conn_node, LOAD_UNIT);
-                    self.loads.charge(remote, LOAD_UNIT);
-                    self.conns.with(conn, |c| {
-                        c.get_mut(&conn).expect("connection vanished").node = remote;
-                    });
-                }
-            }
+        if assignment.is_remote() {
+            self.conns.with(conn, |c| {
+                let state = c.get_mut(&conn).expect("connection vanished");
+                self.settle(state, batch_n, assignment);
+            });
         }
         assignment
+    }
+
+    /// Applies a decision's load/connection-state consequences: the 1/N
+    /// fractional charge for a lateral fetch, or the load-unit move and
+    /// re-homing for a migration. Shared verbatim by the per-request and
+    /// batched paths so their accounting cannot drift apart. The caller
+    /// holds `state`'s connection shard.
+    fn settle(&self, state: &mut ConnState, batch_n: usize, assignment: Assignment) {
+        let Assignment::Remote(remote) = assignment else {
+            return;
+        };
+        match self.semantics {
+            ForwardSemantics::LateralFetch => {
+                if self.params.batch_load_accounting {
+                    // 1/N load on the remote node for the batch.
+                    let f = LoadTracker::frac_charge(batch_n);
+                    self.loads.charge(remote, f);
+                    state.frac.push((remote, f));
+                }
+            }
+            ForwardSemantics::Migrate => {
+                // The connection itself moves.
+                self.loads.discharge(state.node, LOAD_UNIT);
+                self.loads.charge(remote, LOAD_UNIT);
+                state.node = remote;
+            }
+        }
+    }
+
+    /// Assigns a whole pipelined batch in one call — the paper's unit of
+    /// P-HTTP work, made the dispatcher's unit of locking work.
+    ///
+    /// Observably equivalent to
+    /// [`begin_batch(conn, targets.len())`](Self::begin_batch) followed by
+    /// [`assign_request`](Self::assign_request) once per target in order
+    /// (property-tested in `tests/batch_equivalence.rs`): same assignments,
+    /// same final loads, mappings, and connection state. The difference is
+    /// cost, not semantics: the connection shard is visited **once** for
+    /// the batch (it would be up to `1 + 2·N` visits sequentially), and
+    /// each distinct mapping shard the batch touches is write-locked
+    /// **once**, with the batch's decisions for that shard's targets run
+    /// under the single acquisition.
+    ///
+    /// An empty `targets` is the degenerate batch: it clears the previous
+    /// batch's fractional charges (like `begin_batch(conn, 1)`) and
+    /// returns no assignments. Batches longer than an internal bound
+    /// (64 requests) are processed in chunks so one hostile client cannot
+    /// pin shards indefinitely; chunking does not change any decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown.
+    pub fn assign_batch(&self, conn: ConnId, targets: &[TargetId]) -> Vec<Assignment> {
+        // A one-request batch has nothing to amortize: delegate to the
+        // per-request path, which keeps its optimistic shared-lock pass
+        // (observably the same decision either way). This matters because
+        // HTTP/1.0 traffic and sparse P-HTTP batches are all size 1.
+        if targets.len() == 1 {
+            self.begin_batch(conn, 1);
+            return vec![self.assign_request(conn, targets[0])];
+        }
+        let batch_n = targets.len().max(1);
+        let mut out = Vec::with_capacity(targets.len());
+        let mut cleared = false;
+        let mut rest = targets;
+        loop {
+            let (chunk, tail) = rest.split_at(rest.len().min(MAX_BATCH_CHUNK));
+            self.conns.with(conn, |c| {
+                let state = c.get_mut(&conn).expect("assign_batch: unknown connection");
+                if !cleared {
+                    // begin_batch semantics: the previous batch is assumed
+                    // fully served once a new batch arrives.
+                    for (node, f) in state.frac.drain(..) {
+                        self.loads.discharge(node, f);
+                    }
+                    state.batch_n = batch_n;
+                }
+                self.decide_chunk(state, batch_n, chunk, &mut out);
+            });
+            cleared = true;
+            rest = tail;
+            if rest.is_empty() {
+                return out;
+            }
+        }
+    }
+
+    /// Decides one chunk of a batch under the connection shard (held by
+    /// the caller) plus one write acquisition per distinct mapping shard.
+    fn decide_chunk(
+        &self,
+        state: &mut ConnState,
+        batch_n: usize,
+        chunk: &[TargetId],
+        out: &mut Vec<Assignment>,
+    ) {
+        if chunk.is_empty() {
+            return;
+        }
+        if self.policy.assign_uses_mapping() {
+            self.mapping.write_set(chunk, |shards| {
+                for &target in chunk {
+                    let m = shards.table_mut(target);
+                    let (assignment, effect) = self.policy.assign(
+                        &self.loads,
+                        &self.params,
+                        state.node,
+                        target,
+                        m.nodes(target),
+                    );
+                    let effect_node = assignment.serving_node(state.node);
+                    Self::apply_effect(m, effect, target, effect_node);
+                    self.settle(state, batch_n, assignment);
+                    out.push(assignment);
+                }
+            });
+        } else {
+            for &target in chunk {
+                let (assignment, _) =
+                    self.policy
+                        .assign(&self.loads, &self.params, state.node, target, &[]);
+                self.settle(state, batch_n, assignment);
+                out.push(assignment);
+            }
+        }
     }
 
     /// Returns the node currently handling `conn` (it can change under
@@ -421,6 +545,129 @@ mod tests {
         d.close_connection(ConnId(0));
         assert!(d.loads().iter().all(|&l| l.abs() < 1e-9));
         assert_eq!(d.active_connections(), 0);
+    }
+
+    #[test]
+    fn assign_batch_matches_sequential_for_a_simple_batch() {
+        let seq = ext(2);
+        let bat = ext(2);
+        for d in [&seq, &bat] {
+            d.open_connection(ConnId(0), t(0));
+            d.report_disk_queue(NodeId(0), 50);
+            d.report_disk_queue(NodeId(1), 50);
+            d.mapping().write(t(9), |m| m.add_replica(t(9), NodeId(1)));
+        }
+        let targets = [t(9), t(3), t(9)];
+        seq.begin_batch(ConnId(0), targets.len());
+        let want: Vec<Assignment> = targets
+            .iter()
+            .map(|&x| seq.assign_request(ConnId(0), x))
+            .collect();
+        let got = bat.assign_batch(ConnId(0), &targets);
+        assert_eq!(got, want);
+        assert_eq!(seq.loads(), bat.loads());
+        assert_eq!(seq.mapping().num_replicas(), bat.mapping().num_replicas());
+    }
+
+    #[test]
+    fn empty_batch_clears_previous_fractions() {
+        let d = ext(2);
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        let other = NodeId(1 - conn_node.0);
+        d.report_disk_queue(conn_node, 50);
+        d.mapping().write(t(1), |m| m.add_replica(t(1), other));
+        let a = d.assign_batch(ConnId(0), &[t(1)]);
+        assert_eq!(a, vec![Assignment::Remote(other)]);
+        assert!((d.loads()[other.0] - 1.0).abs() < 1e-9);
+        // The degenerate batch behaves like begin_batch(conn, 1).
+        assert!(d.assign_batch(ConnId(0), &[]).is_empty());
+        assert!(d.loads()[other.0].abs() < 1e-9);
+        d.close_connection(ConnId(0));
+        assert!(d.loads().iter().all(|&l| l.abs() < 1e-9));
+    }
+
+    #[test]
+    fn oversized_batch_is_chunked_but_accounting_is_exact() {
+        let d = ext(2);
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        let other = NodeId(1 - conn_node.0);
+        d.report_disk_queue(conn_node, 50);
+        // Every target cached on the other node: each of the N requests
+        // forwards, charging exactly 1/N — including across chunks.
+        let n = MAX_BATCH_CHUNK * 2 + 7;
+        let targets: Vec<TargetId> = (0..n as u32).map(|i| t(i + 1)).collect();
+        for &x in &targets {
+            d.mapping().write(x, |m| m.add_replica(x, other));
+        }
+        let assignments = d.assign_batch(ConnId(0), &targets);
+        assert_eq!(assignments.len(), n);
+        assert!(assignments.iter().all(|a| a.is_remote()));
+        assert!((d.loads()[other.0] - 1.0).abs() < 1e-4);
+        d.close_connection(ConnId(0));
+        assert_eq!(d.load_tracker().load_fixed(other), 0);
+        assert_eq!(d.load_tracker().load_fixed(conn_node), 0);
+    }
+
+    #[test]
+    fn oversized_batch_under_migrate_matches_sequential() {
+        // Chunk boundaries must not perturb migrate re-homing: the same
+        // >MAX_BATCH_CHUNK batch, decided batched vs sequentially, must
+        // walk the identical sequence of hops and end at the same home.
+        let mk = || {
+            let d = ConcurrentDispatcher::new(
+                PolicyKind::ExtLard,
+                ForwardSemantics::Migrate,
+                3,
+                LardParams::default(),
+            );
+            for i in 0..3 {
+                d.report_disk_queue(NodeId(i), 50);
+            }
+            d
+        };
+        let seq = mk();
+        let bat = mk();
+        let n = MAX_BATCH_CHUNK * 2 + 9;
+        // Targets mapped round-robin across all nodes: the connection is
+        // dragged from node to node, including across chunk boundaries.
+        let targets: Vec<TargetId> = (0..n as u32).map(|i| t(i + 1)).collect();
+        for d in [&seq, &bat] {
+            for (i, &x) in targets.iter().enumerate() {
+                d.mapping().write(x, |m| m.add_replica(x, NodeId(i % 3)));
+            }
+            let node = d.open_connection(ConnId(0), t(0));
+            assert_eq!(node, NodeId(0));
+        }
+        seq.begin_batch(ConnId(0), n);
+        let want: Vec<Assignment> = targets
+            .iter()
+            .map(|&x| seq.assign_request(ConnId(0), x))
+            .collect();
+        let got = bat.assign_batch(ConnId(0), &targets);
+        assert_eq!(got, want);
+        assert!(want.iter().any(|a| a.is_remote()), "no hop exercised");
+        assert_eq!(
+            seq.connection_node(ConnId(0)),
+            bat.connection_node(ConnId(0))
+        );
+        for i in 0..3 {
+            assert_eq!(
+                seq.load_tracker().load_fixed(NodeId(i)),
+                bat.load_tracker().load_fixed(NodeId(i)),
+                "node {i}"
+            );
+        }
+        for d in [seq, bat] {
+            d.close_connection(ConnId(0));
+            assert!(d.loads().iter().all(|&l| l.abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown connection")]
+    fn assign_batch_on_unknown_connection_panics() {
+        let d = ext(2);
+        let _ = d.assign_batch(ConnId(42), &[t(0)]);
     }
 
     #[test]

@@ -147,6 +147,20 @@ impl Dispatcher {
         self.inner.assign_request(conn, target)
     }
 
+    /// Assigns a whole pipelined batch in one call: equivalent to
+    /// [`begin_batch`](Self::begin_batch) with `targets.len()` followed by
+    /// [`assign_request`](Self::assign_request) per target in order, but
+    /// with the concurrent core's amortized shard locking (one
+    /// connection-shard visit, one write acquisition per distinct mapping
+    /// shard). See [`ConcurrentDispatcher::assign_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection is unknown.
+    pub fn assign_batch(&mut self, conn: ConnId, targets: &[TargetId]) -> Vec<Assignment> {
+        self.inner.assign_batch(conn, targets)
+    }
+
     /// Returns the node currently handling `conn` (it can change under
     /// [`ForwardSemantics::Migrate`]).
     pub fn connection_node(&self, conn: ConnId) -> Option<NodeId> {

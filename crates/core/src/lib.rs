@@ -105,5 +105,5 @@ pub use load::{LoadTracker, LOAD_UNIT};
 pub use mapping::MappingTable;
 pub use mechanism::Mechanism;
 pub use policy::{ForwardSemantics, MapEffect, Policy, PolicyKind};
-pub use shard::ShardedMappingTable;
+pub use shard::{ShardSetMut, ShardedMappingTable};
 pub use types::{Assignment, ConnId, NodeId};

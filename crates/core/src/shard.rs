@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use phttp_trace::TargetId;
 
 use crate::mapping::MappingTable;
@@ -98,6 +98,69 @@ impl ShardedMappingTable {
             shard.write().evict_node(node);
         }
     }
+
+    /// Write-locks every shard covering `targets` — each distinct shard
+    /// exactly **once**, in ascending shard-index order — and runs `f`
+    /// with the locked set. This is the batched-dispatch primitive: a
+    /// pipelined batch of `N` requests costs one acquisition per
+    /// *distinct shard* instead of one (or two) per request.
+    ///
+    /// Ascending index order is the workspace's multi-shard lock order;
+    /// every code path that holds more than one mapping shard at a time
+    /// must acquire in this order (see ARCHITECTURE.md, "Batched
+    /// dispatch"), which makes cross-batch deadlock impossible.
+    pub fn write_set<R>(
+        &self,
+        targets: &[TargetId],
+        f: impl FnOnce(&mut ShardSetMut<'_>) -> R,
+    ) -> R {
+        let mut indices: Vec<usize> = targets
+            .iter()
+            .map(|t| spread(t.0 as u64, self.mask))
+            .collect();
+        indices.sort_unstable();
+        indices.dedup();
+        let guards: Vec<(usize, RwLockWriteGuard<'_, MappingTable>)> = indices
+            .into_iter()
+            .map(|i| (i, self.shards[i].write()))
+            .collect();
+        let mut set = ShardSetMut {
+            guards,
+            mask: self.mask,
+        };
+        f(&mut set)
+    }
+}
+
+/// A set of exclusively locked mapping shards, acquired together by
+/// [`ShardedMappingTable::write_set`] for one pipelined batch.
+pub struct ShardSetMut<'a> {
+    /// (shard index, guard), sorted ascending by index.
+    guards: Vec<(usize, RwLockWriteGuard<'a, MappingTable>)>,
+    mask: usize,
+}
+
+impl ShardSetMut<'_> {
+    /// Number of distinct shards locked for this batch.
+    pub fn num_locked(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// The locked table covering `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` hashes to a shard outside the locked set
+    /// (i.e. it was not in the `targets` slice passed to
+    /// [`ShardedMappingTable::write_set`]).
+    pub fn table_mut(&mut self, target: TargetId) -> &mut MappingTable {
+        let idx = spread(target.0 as u64, self.mask);
+        let pos = self
+            .guards
+            .binary_search_by_key(&idx, |(i, _)| *i)
+            .expect("target outside the locked shard set");
+        &mut self.guards[pos].1
+    }
 }
 
 /// Per-connection dispatcher state.
@@ -169,6 +232,42 @@ mod tests {
         assert_eq!(ShardedMappingTable::new(1).num_shards(), 1);
         assert_eq!(ShardedMappingTable::new(5).num_shards(), 8);
         assert_eq!(ShardedMappingTable::new(32).num_shards(), 32);
+    }
+
+    #[test]
+    fn write_set_locks_each_shard_once_and_resolves_targets() {
+        let m = ShardedMappingTable::new(4);
+        let targets: Vec<TargetId> = (0..32).map(TargetId).collect();
+        m.write_set(&targets, |set| {
+            // 32 targets over 4 shards: every shard is locked, once.
+            assert_eq!(set.num_locked(), 4);
+            for &t in &targets {
+                set.table_mut(t).add_replica(t, NodeId(1));
+            }
+        });
+        assert_eq!(m.num_targets(), 32);
+        for &t in &targets {
+            assert!(m.is_mapped(t, NodeId(1)));
+        }
+        // Duplicate targets collapse to one shard lock.
+        m.write_set(&[TargetId(5), TargetId(5)], |set| {
+            assert_eq!(set.num_locked(), 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the locked shard set")]
+    fn write_set_rejects_unlocked_targets() {
+        let m = ShardedMappingTable::new(64);
+        // With 64 shards, two targets that hash to different shards exist;
+        // find one outside the singleton set.
+        let outside = (1..1000)
+            .map(TargetId)
+            .find(|t| spread(t.0 as u64, m.mask) != spread(0, m.mask))
+            .unwrap();
+        m.write_set(&[TargetId(0)], |set| {
+            let _ = set.table_mut(outside);
+        });
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! The batched-dispatch contract, property-tested: for every policy and
+//! both forwarding semantics, `assign_batch(conn, targets)` must be
+//! **observably identical** to `begin_batch(conn, targets.len())`
+//! followed by `assign_request(conn, t)` per target in order — same
+//! assignments returned, same final loads (in exact fixed point), same
+//! mapping table, same connection homes. This is what lets every layer
+//! (prototype handler, simulator, bench) switch to the amortized batch
+//! call without re-validating policy behaviour.
+
+use proptest::prelude::*;
+
+use phttp_core::{
+    ConcurrentDispatcher, ConnId, DispatcherConfig, ForwardSemantics, LardParams, NodeId,
+    PolicyKind,
+};
+use phttp_trace::TargetId;
+
+const TARGET_SPACE: u32 = 48;
+
+/// A scripted workload step, mirrored onto both dispatchers.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Open a connection for a first target.
+    Open(u32),
+    /// A pipelined batch (target ids) on one of the open connections
+    /// (picked by the index seed).
+    Batch(Vec<u32>, u8),
+    /// Close one of the open connections (picked by the index seed).
+    Close(u8),
+    /// A disk-queue report for one node (picked modulo the node count).
+    Disk(u8, u8),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..TARGET_SPACE).prop_map(Step::Open),
+            (proptest::collection::vec(0u32..TARGET_SPACE, 1..6), 0u8..16)
+                .prop_map(|(ts, i)| Step::Batch(ts, i)),
+            (0u8..16).prop_map(Step::Close),
+            (0u8..8, 0u8..60).prop_map(|(n, d)| Step::Disk(n, d)),
+        ],
+        1..120,
+    )
+}
+
+fn dispatcher(
+    policy: PolicyKind,
+    semantics: ForwardSemantics,
+    nodes: usize,
+) -> ConcurrentDispatcher {
+    // Few shards on purpose: batches then regularly span *and* share
+    // shards, exercising the grouped acquisition paths.
+    ConcurrentDispatcher::from_config(
+        DispatcherConfig::new(policy, semantics, nodes, LardParams::default()).with_shards(4, 4),
+    )
+}
+
+/// Runs the script on a sequential and a batched dispatcher and checks
+/// every observable agrees at each step and at the end.
+fn check_equivalence(
+    policy: PolicyKind,
+    semantics: ForwardSemantics,
+    nodes: usize,
+    steps: &[Step],
+) {
+    let seq = dispatcher(policy, semantics, nodes);
+    let bat = dispatcher(policy, semantics, nodes);
+    let mut open: Vec<ConnId> = Vec::new();
+    let mut next = 0u64;
+
+    for step in steps {
+        match step {
+            Step::Open(t) => {
+                let id = ConnId(next);
+                next += 1;
+                let a = seq.open_connection(id, TargetId(*t));
+                let b = bat.open_connection(id, TargetId(*t));
+                prop_assert_eq!(a, b, "divergent open for target {}", t);
+                open.push(id);
+            }
+            Step::Batch(targets, pick) => {
+                let Some(&conn) = open.get(*pick as usize % open.len().max(1)) else {
+                    continue;
+                };
+                let targets: Vec<TargetId> = targets.iter().map(|&t| TargetId(t)).collect();
+                seq.begin_batch(conn, targets.len());
+                let want: Vec<_> = targets
+                    .iter()
+                    .map(|&t| seq.assign_request(conn, t))
+                    .collect();
+                let got = bat.assign_batch(conn, &targets);
+                prop_assert_eq!(
+                    &got,
+                    &want,
+                    "divergent assignments for batch {:?} on {:?}",
+                    targets,
+                    conn
+                );
+            }
+            Step::Close(pick) => {
+                if open.is_empty() {
+                    continue;
+                }
+                let conn = open.swap_remove(*pick as usize % open.len());
+                seq.close_connection(conn);
+                bat.close_connection(conn);
+            }
+            Step::Disk(n, depth) => {
+                let node = NodeId(*n as usize % nodes);
+                seq.report_disk_queue(node, *depth as usize);
+                bat.report_disk_queue(node, *depth as usize);
+            }
+        }
+        // Loads must agree in exact fixed point after every step.
+        for i in 0..nodes {
+            prop_assert_eq!(
+                seq.load_tracker().load_fixed(NodeId(i)),
+                bat.load_tracker().load_fixed(NodeId(i)),
+                "node {} load diverged after {:?}",
+                i,
+                step
+            );
+        }
+    }
+
+    // Final state: mappings, connection homes, connection counts.
+    prop_assert_eq!(seq.mapping().num_targets(), bat.mapping().num_targets());
+    prop_assert_eq!(seq.mapping().num_replicas(), bat.mapping().num_replicas());
+    for t in 0..TARGET_SPACE {
+        prop_assert_eq!(
+            seq.mapping().nodes(TargetId(t)),
+            bat.mapping().nodes(TargetId(t)),
+            "mapping for target {} diverged",
+            t
+        );
+    }
+    prop_assert_eq!(seq.active_connections(), bat.active_connections());
+    for &conn in &open {
+        prop_assert_eq!(seq.connection_node(conn), bat.connection_node(conn));
+    }
+}
+
+proptest! {
+    #[test]
+    fn wrr_lateral(steps in arb_steps(), nodes in 1usize..6) {
+        check_equivalence(PolicyKind::Wrr, ForwardSemantics::LateralFetch, nodes, &steps);
+    }
+
+    #[test]
+    fn lard_lateral(steps in arb_steps(), nodes in 1usize..6) {
+        check_equivalence(PolicyKind::Lard, ForwardSemantics::LateralFetch, nodes, &steps);
+    }
+
+    #[test]
+    fn ext_lard_lateral(steps in arb_steps(), nodes in 1usize..6) {
+        check_equivalence(PolicyKind::ExtLard, ForwardSemantics::LateralFetch, nodes, &steps);
+    }
+
+    #[test]
+    fn ext_lard_migrate(steps in arb_steps(), nodes in 1usize..6) {
+        check_equivalence(PolicyKind::ExtLard, ForwardSemantics::Migrate, nodes, &steps);
+    }
+
+    #[test]
+    fn wrr_migrate(steps in arb_steps(), nodes in 1usize..6) {
+        check_equivalence(PolicyKind::Wrr, ForwardSemantics::Migrate, nodes, &steps);
+    }
+
+    #[test]
+    fn lard_migrate(steps in arb_steps(), nodes in 1usize..6) {
+        check_equivalence(PolicyKind::Lard, ForwardSemantics::Migrate, nodes, &steps);
+    }
+}

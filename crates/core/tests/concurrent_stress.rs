@@ -84,9 +84,92 @@ fn stress(policy: PolicyKind, semantics: ForwardSemantics) {
     }
 }
 
+/// Same lifecycle as [`lifecycle`], but each pipelined batch is decided
+/// through the amortized [`ConcurrentDispatcher::assign_batch`] call —
+/// one connection-shard visit and grouped mapping-shard acquisitions per
+/// batch — instead of `begin_batch` + per-request `assign_request`.
+fn lifecycle_batched(d: &ConcurrentDispatcher, conn: ConnId, seed: u64) {
+    let t = |x: u64| TargetId((x % 512) as u32);
+    d.open_connection(conn, t(seed));
+    let batch3: Vec<TargetId> = (0..3)
+        .map(|k| t(seed.wrapping_mul(97).wrapping_add(k)))
+        .collect();
+    assert_eq!(d.assign_batch(conn, &batch3).len(), 3);
+    let batch2: Vec<TargetId> = (0..2)
+        .map(|k| t(seed.wrapping_mul(31).wrapping_add(k)))
+        .collect();
+    assert_eq!(d.assign_batch(conn, &batch2).len(), 2);
+    d.close_connection(conn);
+}
+
+/// Batched variant of [`stress`]: N threads drive whole-batch decisions
+/// against the shared dispatcher, with batches deliberately spanning
+/// multiple mapping shards (few shards, many targets). The invariant is
+/// the same exact fixed-point conservation — holding a connection shard
+/// while acquiring a sorted set of mapping shards must neither deadlock
+/// nor leak a single unit of load.
+fn stress_batched(policy: PolicyKind, semantics: ForwardSemantics) {
+    let d = Arc::new(ConcurrentDispatcher::from_config(
+        DispatcherConfig::new(policy, semantics, NODES, LardParams::default()).with_shards(4, 4),
+    ));
+    for i in 0..NODES {
+        d.report_disk_queue(NodeId(i), 50);
+    }
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|k| {
+            let d = d.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..CONNS_PER_THREAD {
+                    let conn = ConnId(k * 1_000_000 + i);
+                    lifecycle_batched(&d, conn, k.wrapping_mul(7919).wrapping_add(i));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+
+    assert_eq!(
+        d.active_connections(),
+        0,
+        "{policy:?}/{semantics:?}: leaked connection state"
+    );
+    for i in 0..NODES {
+        let fixed = d.load_tracker().load_fixed(NodeId(i));
+        assert_eq!(
+            fixed, 0,
+            "{policy:?}/{semantics:?}: node {i} residual load {fixed} after batched dispatch"
+        );
+    }
+}
+
 #[test]
 fn wrr_lateral_fetch() {
     stress(PolicyKind::Wrr, ForwardSemantics::LateralFetch);
+}
+
+#[test]
+fn batched_wrr_lateral_fetch() {
+    stress_batched(PolicyKind::Wrr, ForwardSemantics::LateralFetch);
+}
+
+#[test]
+fn batched_lard_lateral_fetch() {
+    stress_batched(PolicyKind::Lard, ForwardSemantics::LateralFetch);
+}
+
+#[test]
+fn batched_ext_lard_lateral_fetch() {
+    stress_batched(PolicyKind::ExtLard, ForwardSemantics::LateralFetch);
+}
+
+#[test]
+fn batched_ext_lard_migrate() {
+    stress_batched(PolicyKind::ExtLard, ForwardSemantics::Migrate);
 }
 
 #[test]

@@ -24,6 +24,8 @@ pub enum ParseError {
     BadContentLength(String),
     /// Message head exceeded the size bound.
     HeadTooLarge,
+    /// Advertised `Content-Length` exceeded [`MAX_BODY`].
+    BodyTooLarge(usize),
 }
 
 impl std::fmt::Display for ParseError {
@@ -34,6 +36,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadVersion(v) => write!(f, "unsupported HTTP version: {v:?}"),
             ParseError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
             ParseError::HeadTooLarge => write!(f, "message head exceeds limit"),
+            ParseError::BodyTooLarge(n) => {
+                write!(f, "advertised body of {n} bytes exceeds limit")
+            }
         }
     }
 }
@@ -42,6 +47,14 @@ impl std::error::Error for ParseError {}
 
 /// Upper bound on head (start line + headers) size; DoS guard.
 const MAX_HEAD: usize = 16 * 1024;
+
+/// Upper bound on an advertised message body. Without it, a peer
+/// declaring an absurd `Content-Length` makes the parser buffer
+/// everything it sends while reporting "incomplete" forever — unbounded
+/// memory pinned per connection. 64 MiB is far above the largest corpus
+/// document (the synthetic trace clamps sizes to single-digit MiB) and
+/// far below anything a hostile client should get to pin.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
 
 /// Finds `\r\n\r\n`; returns the index just past it.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -63,10 +76,23 @@ fn parse_headers(block: &str) -> Result<Headers, ParseError> {
 fn content_length(headers: &Headers) -> Result<usize, ParseError> {
     match headers.get("Content-Length") {
         None => Ok(0),
-        Some(v) => v
-            .trim()
-            .parse()
-            .map_err(|_| ParseError::BadContentLength(v.to_owned())),
+        Some(v) => {
+            // RFC 9110 §8.6: Content-Length is 1*DIGIT. `usize::parse`
+            // alone is laxer than that (it accepts a leading `+`), so
+            // reject anything that is not pure ASCII digits before
+            // parsing; parse() then only fails on overflow.
+            let digits = v.trim();
+            if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseError::BadContentLength(v.to_owned()));
+            }
+            let n: usize = digits
+                .parse()
+                .map_err(|_| ParseError::BadContentLength(v.to_owned()))?;
+            if n > MAX_BODY {
+                return Err(ParseError::BodyTooLarge(n));
+            }
+            Ok(n)
+        }
     }
 }
 
@@ -302,6 +328,39 @@ mod tests {
         let mut p = RequestParser::new();
         p.feed(b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n");
         assert!(matches!(p.next(), Err(ParseError::BadContentLength(_))));
+    }
+
+    #[test]
+    fn non_rfc_content_length_forms_are_rejected() {
+        // `"+5".parse::<usize>()` succeeds, but RFC 9110 says 1*DIGIT:
+        // a sign, embedded spaces, or an empty value must all fail.
+        for v in ["+5", "-5", "5 5", "0x10", ""] {
+            let mut p = RequestParser::new();
+            p.feed(format!("POST /f HTTP/1.1\r\nContent-Length: {v}\r\n\r\n").as_bytes());
+            assert!(
+                matches!(p.next(), Err(ParseError::BadContentLength(_))),
+                "Content-Length {v:?} must be rejected"
+            );
+        }
+        // Overflowing digit strings are bad lengths, not panics.
+        let mut p = RequestParser::new();
+        p.feed(b"POST /f HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n");
+        assert!(matches!(p.next(), Err(ParseError::BadContentLength(_))));
+    }
+
+    #[test]
+    fn huge_advertised_body_is_rejected_up_front() {
+        let mut p = RequestParser::new();
+        let decl = MAX_BODY + 1;
+        p.feed(format!("POST /f HTTP/1.1\r\nContent-Length: {decl}\r\n\r\n").as_bytes());
+        // The error fires as soon as the head is parsed — the parser must
+        // not wait (and buffer) for a body that will never finish.
+        assert_eq!(p.next(), Err(ParseError::BodyTooLarge(decl)));
+
+        // Same guard on the response side.
+        let mut p = ResponseParser::new();
+        p.feed(format!("HTTP/1.1 200 OK\r\nContent-Length: {decl}\r\n\r\n").as_bytes());
+        assert_eq!(p.next(), Err(ParseError::BodyTooLarge(decl)));
     }
 
     #[test]

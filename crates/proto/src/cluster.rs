@@ -29,9 +29,9 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use phttp_core::{Assignment, LardParams, Mechanism, NodeId, PolicyKind};
 use phttp_http::{Request, RequestParser, Response};
-use phttp_trace::Trace;
+use phttp_trace::{TargetId, Trace};
 
-use crate::frontend::{ConnGuard, FrontEnd};
+use crate::frontend::{ConfigError, ConnGuard, FrontEnd, DEFAULT_DISK_REPORT_INTERVAL};
 use crate::node::{DiskEmu, NodeState, NodeStatsSnapshot};
 use crate::store::ContentStore;
 
@@ -56,6 +56,10 @@ pub struct ProtoConfig {
     pub disk: DiskEmu,
     /// LARD parameters.
     pub lard: LardParams,
+    /// Minimum wall-clock spacing between disk-queue refreshes pushed
+    /// into the dispatcher (`Duration::ZERO` = refresh on every
+    /// decision). See [`FrontEnd::with_disk_report_interval`].
+    pub disk_report_interval: Duration,
     /// Socket read timeout (bounds handler lifetime after client death).
     pub read_timeout: Duration,
     /// Size of the pre-spawned client-connection worker pool. Must exceed
@@ -84,6 +88,7 @@ impl Default for ProtoConfig {
             cache_bytes: 2 * 1024 * 1024,
             disk: DiskEmu::default(),
             lard: LardParams::default(),
+            disk_report_interval: DEFAULT_DISK_REPORT_INTERVAL,
             read_timeout: Duration::from_secs(10),
             workers: 128,
             fe_listeners: 4,
@@ -109,13 +114,27 @@ pub struct Cluster {
 impl Cluster {
     /// Builds and starts a cluster serving the trace's corpus.
     ///
+    /// Returns a [`ConfigError`] when the configured mechanism is one the
+    /// prototype does not implement (relaying front-end and the zero-cost
+    /// ideal are simulator-only).
+    ///
     /// # Panics
     ///
     /// Panics if `config.nodes == 0` or sockets cannot be bound on loopback.
-    pub fn start(config: ProtoConfig, trace: &Trace) -> Cluster {
+    pub fn start(config: ProtoConfig, trace: &Trace) -> Result<Cluster, ConfigError> {
         assert!(config.nodes > 0, "cluster needs at least one back-end");
         assert!(config.workers > 0, "worker pool must not be empty");
         let store = Arc::new(ContentStore::from_trace(trace));
+        // Catch corpora the data path cannot round-trip at construction
+        // time: a document past the parsers' MAX_BODY bound would be
+        // served fine but rejected by the cluster's own client and
+        // lateral-fetch response parsers on every fetch.
+        if let Some(size) = (0..store.len() as u32)
+            .map(|t| store.size(phttp_trace::TargetId(t)))
+            .find(|&s| s > phttp_http::MAX_BODY as u64)
+        {
+            return Err(ConfigError::TargetExceedsBodyLimit { size });
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -141,12 +160,10 @@ impl Cluster {
             })
             .collect();
 
-        let frontend = Arc::new(FrontEnd::new(
-            config.policy,
-            config.mechanism,
-            config.lard,
-            nodes.clone(),
-        ));
+        let frontend = Arc::new(
+            FrontEnd::new(config.policy, config.mechanism, config.lard, nodes.clone())?
+                .with_disk_report_interval(config.disk_report_interval),
+        );
 
         let mut accept_threads = Vec::new();
         let mut listeners = peer_addrs.clone();
@@ -226,7 +243,7 @@ impl Cluster {
             }));
         }
 
-        Cluster {
+        Ok(Cluster {
             fe_addrs,
             frontend,
             store,
@@ -236,7 +253,7 @@ impl Cluster {
             work_tx: Some(work_tx),
             peer_threads,
             listeners,
-        }
+        })
     }
 
     /// The primary address clients connect to.
@@ -378,20 +395,32 @@ fn handle_client_connection(
         if batch.is_empty() {
             break; // client closed
         }
-        fe.begin_batch(conn, batch.len());
-        for req in &batch {
-            let Some(target) = store.lookup(&req.uri) else {
+        // One dispatcher call for the whole pipelined batch: the parser
+        // already drained it, so the policy can decide it under a single
+        // connection-shard visit and grouped mapping-shard acquisitions
+        // instead of per-request lock traffic. Unknown URIs get their 404
+        // in sequence but take no part in the policy batch.
+        let targets: Vec<Option<TargetId>> = batch.iter().map(|r| store.lookup(&r.uri)).collect();
+        let known: Vec<TargetId> = targets.iter().filter_map(|&t| t).collect();
+        let assignments = fe.assign_batch(conn, &known);
+        let mut next_assignment = assignments.into_iter();
+        for (req, target) in batch.iter().zip(&targets) {
+            if target.is_none() {
                 let resp = Response::not_found(req.version);
                 stream.write_all(&resp.to_bytes())?;
                 continue;
-            };
-            let mut assignment = fe.assign(conn, target);
+            }
+            let mut assignment = next_assignment.next().expect("one assignment per target");
             if let Assignment::Remote(k) = assignment {
                 // Under migrate semantics the dispatcher has re-homed the
                 // connection: this thread now acts as back-end `k` (the
                 // in-process analogue of handing the TCP state over), after
-                // paying the emulated protocol cost.
-                if fe.connection_node(conn) == Some(k) {
+                // paying the emulated protocol cost. Checked against the
+                // configured semantics, not `connection_node`: with batched
+                // decisions a later request's migration may already have
+                // re-homed the connection past `k`, but each hop still has
+                // to be walked in order.
+                if fe.semantics() == phttp_core::ForwardSemantics::Migrate {
                     std::thread::sleep(migration_delay);
                     node = fe.nodes()[k.0].clone();
                     node.stats.migrations_in.fetch_add(1, Ordering::Relaxed);

@@ -8,8 +8,11 @@
 //! the request in hand; the old `Mutex<Dispatcher>` that serialized all
 //! policy decisions across handler threads is gone. The front-end also
 //! feeds the dispatcher the back-ends' disk-queue depths (the control
-//! session traffic of the paper's §7.1) and makes the lifecycle calls
-//! idempotent so connection handlers can use plain drop-guards.
+//! session traffic of the paper's §7.1) — throttled to a configurable
+//! reporting interval, mirroring the paper's periodic control-session
+//! updates, so the per-decision hot path is not dominated by O(nodes)
+//! bookkeeping — and makes the lifecycle calls idempotent so connection
+//! handlers can use plain drop-guards.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,33 +26,82 @@ use phttp_trace::TargetId;
 
 use crate::node::NodeState;
 
+/// Why a front-end (and hence a cluster) could not be configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The prototype implements back-end forwarding, single handoff, and
+    /// multiple handoff; the requested mechanism is simulator-only.
+    UnsupportedMechanism(Mechanism),
+    /// A corpus document is larger than the HTTP parsers'
+    /// [`phttp_http::MAX_BODY`] bound: the cluster would serve responses
+    /// its own clients and lateral fetches reject at runtime.
+    TargetExceedsBodyLimit {
+        /// The offending document size, bytes.
+        size: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnsupportedMechanism(m) => {
+                write!(f, "prototype does not implement the {m} mechanism")
+            }
+            ConfigError::TargetExceedsBodyLimit { size } => write!(
+                f,
+                "corpus document of {size} bytes exceeds the {} byte HTTP body limit",
+                phttp_http::MAX_BODY
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Sentinel for "no disk report has been made yet": the first decision
+/// always reports, regardless of the interval.
+const NEVER: u64 = u64::MAX;
+
+/// Default disk-queue reporting interval. The simulator's control
+/// sessions report every 100 ms of simulated time; the prototype runs
+/// wall-clock with much faster emulated disks, so it refreshes more
+/// often — still thousands of decisions apart under load.
+pub const DEFAULT_DISK_REPORT_INTERVAL: Duration = Duration::from_millis(2);
+
 /// The shared front-end.
 pub struct FrontEnd {
     dispatcher: ConcurrentDispatcher,
     nodes: Vec<Arc<NodeState>>,
     next_conn: AtomicU64,
+    /// Disk-queue reporting throttle (µs between reports; 0 = every call).
+    disk_report_interval_us: u64,
+    /// Time base for the throttle timestamps.
+    started: Instant,
+    /// Microseconds (since `started`) of the last disk report, or
+    /// [`NEVER`]. CAS-guarded so exactly one thread per interval pays the
+    /// O(nodes) stores.
+    last_disk_report: AtomicU64,
 }
 
 impl FrontEnd {
     /// Creates a front-end over the given back-ends.
     ///
-    /// # Panics
-    ///
-    /// Panics unless the mechanism is back-end forwarding (the paper's §7
-    /// implementation choice) or multiple handoff (our extension, natural
-    /// with in-process stream transfer).
+    /// Returns [`ConfigError::UnsupportedMechanism`] unless the mechanism
+    /// is back-end forwarding (the paper's §7 implementation choice),
+    /// single handoff, or multiple handoff (our extension, natural with
+    /// in-process stream transfer).
     pub fn new(
         policy: PolicyKind,
         mechanism: Mechanism,
         params: LardParams,
         nodes: Vec<Arc<NodeState>>,
-    ) -> Self {
+    ) -> Result<Self, ConfigError> {
         let semantics = match mechanism {
             Mechanism::BackendForwarding | Mechanism::SingleHandoff => {
                 ForwardSemantics::LateralFetch
             }
             Mechanism::MultipleHandoff => ForwardSemantics::Migrate,
-            other => panic!("prototype does not implement the {other} mechanism"),
+            other => return Err(ConfigError::UnsupportedMechanism(other)),
         };
         let dispatcher = ConcurrentDispatcher::from_config(DispatcherConfig::new(
             policy,
@@ -57,11 +109,22 @@ impl FrontEnd {
             nodes.len(),
             params,
         ));
-        FrontEnd {
+        Ok(FrontEnd {
             dispatcher,
             nodes,
             next_conn: AtomicU64::new(0),
-        }
+            disk_report_interval_us: DEFAULT_DISK_REPORT_INTERVAL.as_micros() as u64,
+            started: Instant::now(),
+            last_disk_report: AtomicU64::new(NEVER),
+        })
+    }
+
+    /// Overrides the disk-queue reporting interval (builder style, before
+    /// the front-end is shared). `Duration::ZERO` reports on every
+    /// decision — the pre-throttle behaviour, useful in tests.
+    pub fn with_disk_report_interval(mut self, interval: Duration) -> Self {
+        self.disk_report_interval_us = interval.as_micros() as u64;
+        self
     }
 
     /// The back-end nodes.
@@ -76,7 +139,7 @@ impl FrontEnd {
 
     /// Policy decision for a new connection's first request.
     pub fn open_connection(&self, conn: ConnId, first: TargetId) -> NodeId {
-        self.report_disks();
+        self.maybe_report_disks();
         self.dispatcher.open_connection(conn, first)
     }
 
@@ -87,13 +150,29 @@ impl FrontEnd {
 
     /// Policy decision for a subsequent request on a persistent connection.
     pub fn assign(&self, conn: ConnId, target: TargetId) -> Assignment {
-        self.report_disks();
+        self.maybe_report_disks();
         self.dispatcher.assign_request(conn, target)
+    }
+
+    /// Policy decisions for a whole pipelined batch: one dispatcher call,
+    /// one connection-shard visit, grouped mapping-shard acquisitions —
+    /// and at most one disk-report refresh for the entire batch.
+    /// Equivalent to [`begin_batch`](Self::begin_batch) followed by
+    /// [`assign`](Self::assign) per target, in order.
+    pub fn assign_batch(&self, conn: ConnId, targets: &[TargetId]) -> Vec<Assignment> {
+        self.maybe_report_disks();
+        self.dispatcher.assign_batch(conn, targets)
     }
 
     /// The node currently handling `conn` (changes under multiple handoff).
     pub fn connection_node(&self, conn: ConnId) -> Option<NodeId> {
         self.dispatcher.connection_node(conn)
+    }
+
+    /// What a remote assignment means mechanically for this front-end
+    /// (lateral fetch vs. connection migration).
+    pub fn semantics(&self) -> ForwardSemantics {
+        self.dispatcher.semantics()
     }
 
     /// Closes a connection; safe to call more than once (the check and
@@ -134,11 +213,27 @@ impl FrontEnd {
     }
 
     /// Pushes every back-end's current disk-queue depth into the
-    /// dispatcher (atomic stores; no locks).
-    fn report_disks(&self) {
-        for node in &self.nodes {
-            self.dispatcher
-                .report_disk_queue(node.id, node.disk_queue_len());
+    /// dispatcher, at most once per reporting interval across all handler
+    /// threads. A decision used to pay O(nodes) atomic stores *every*
+    /// time — pure control-session bookkeeping dominating the batched hot
+    /// path. Now one CAS winner per interval refreshes the depths; every
+    /// other caller pays a single relaxed load and moves on. Losing the
+    /// CAS means somebody else just reported — equally fresh data.
+    fn maybe_report_disks(&self) {
+        let last = self.last_disk_report.load(Ordering::Relaxed);
+        let now = self.started.elapsed().as_micros() as u64;
+        if last != NEVER && now.saturating_sub(last) < self.disk_report_interval_us {
+            return;
+        }
+        if self
+            .last_disk_report
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            for node in &self.nodes {
+                self.dispatcher
+                    .report_disk_queue(node.id, node.disk_queue_len());
+            }
         }
     }
 }
@@ -188,6 +283,77 @@ mod tests {
             LardParams::default(),
             nodes,
         )
+        .expect("back-end forwarding is supported")
+    }
+
+    #[test]
+    fn simulator_only_mechanisms_are_config_errors() {
+        let store = Arc::new(ContentStore::from_sizes(vec![1024; 4]));
+        for mech in [Mechanism::RelayingFrontend, Mechanism::ZeroCost] {
+            let nodes = vec![Arc::new(NodeState::new(
+                NodeId(0),
+                1 << 20,
+                DiskEmu::default(),
+                store.clone(),
+                Vec::new(),
+            ))];
+            let err = match FrontEnd::new(PolicyKind::Wrr, mech, LardParams::default(), nodes) {
+                Err(e) => e,
+                Ok(_) => panic!("{mech} must not construct a front-end"),
+            };
+            assert_eq!(err, ConfigError::UnsupportedMechanism(mech));
+            assert!(err.to_string().contains("does not implement"));
+        }
+    }
+
+    #[test]
+    fn assign_batch_matches_sequential_assigns() {
+        let fe_batch = fe(PolicyKind::ExtLard, 3).with_disk_report_interval(Duration::ZERO);
+        let fe_seq = fe(PolicyKind::ExtLard, 3).with_disk_report_interval(Duration::ZERO);
+        let targets: Vec<TargetId> = (0..6).map(TargetId).collect();
+        for f in [&fe_batch, &fe_seq] {
+            let c = f.alloc_conn();
+            assert_eq!(c, ConnId(0));
+            f.open_connection(c, TargetId(40));
+        }
+        let batched = fe_batch.assign_batch(ConnId(0), &targets);
+        fe_seq.begin_batch(ConnId(0), targets.len());
+        let sequential: Vec<Assignment> = targets
+            .iter()
+            .map(|&t| fe_seq.assign(ConnId(0), t))
+            .collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(fe_batch.loads(), fe_seq.loads());
+    }
+
+    #[test]
+    fn disk_reports_are_throttled() {
+        // A long interval: only the first decision reports (NEVER -> t0);
+        // every later decision inside the interval must leave the
+        // last-report stamp untouched.
+        let slow = fe(PolicyKind::ExtLard, 2).with_disk_report_interval(Duration::from_secs(3600));
+        assert_eq!(slow.last_disk_report.load(Ordering::Relaxed), NEVER);
+        let c = slow.alloc_conn();
+        slow.open_connection(c, TargetId(0)); // first report always fires
+        let stamp = slow.last_disk_report.load(Ordering::Relaxed);
+        assert_ne!(stamp, NEVER);
+        slow.assign_batch(c, &[TargetId(1), TargetId(2)]);
+        slow.assign(c, TargetId(3));
+        assert_eq!(
+            slow.last_disk_report.load(Ordering::Relaxed),
+            stamp,
+            "decisions within the interval must not re-report"
+        );
+
+        // Zero interval: every decision refreshes (pre-throttle behaviour).
+        let fe0 = fe(PolicyKind::ExtLard, 2).with_disk_report_interval(Duration::ZERO);
+        let c0 = fe0.alloc_conn();
+        fe0.open_connection(c0, TargetId(0));
+        let s1 = fe0.last_disk_report.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(2));
+        fe0.assign_batch(c0, &[TargetId(1)]);
+        let s2 = fe0.last_disk_report.load(Ordering::Relaxed);
+        assert!(s2 > s1, "zero interval must report on every decision");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! let trace = generate(&synth);
 //! let workload = reconstruct(&trace, SessionConfig::default());
 //!
-//! let cluster = Cluster::start(ProtoConfig::default(), &trace);
+//! let cluster = Cluster::start(ProtoConfig::default(), &trace).expect("supported mechanism");
 //! let report = run_load(
 //!     cluster.frontend_addrs(),
 //!     cluster.store(),
@@ -40,6 +40,6 @@ pub mod store;
 
 pub use client::{run_load, ClientProtocol, LoadConfig, LoadReport};
 pub use cluster::{Cluster, ProtoConfig};
-pub use frontend::FrontEnd;
+pub use frontend::{ConfigError, FrontEnd, DEFAULT_DISK_REPORT_INTERVAL};
 pub use node::{DiskEmu, NodeState, NodeStatsSnapshot};
 pub use store::ContentStore;

@@ -194,7 +194,12 @@ impl NodeState {
                         format!("lateral fetch returned {}", resp.status),
                     ));
                 }
-                if resp.keep_alive() {
+                // Only pool the stream if the parser consumed exactly the
+                // bytes of this response. Over-read bytes (the start of a
+                // pipelined/extra response) die with the dropped parser, so
+                // pooling such a stream would desync it: the next fetch
+                // would start reading mid-stream and parse garbage.
+                if resp.keep_alive() && parser.buffered() == 0 {
                     self.return_peer_conn(remote, stream);
                 }
                 return Ok(resp.body);
@@ -278,6 +283,55 @@ mod tests {
         let n = node();
         n.serve_local(TargetId(0));
         assert_eq!(n.disk_queue_len(), 0);
+    }
+
+    #[test]
+    fn lateral_fetch_does_not_pool_overread_streams() {
+        use std::io::{Read as _, Write as _};
+        use std::net::TcpListener;
+
+        let store = Arc::new(ContentStore::from_sizes(vec![1000, 2000]));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let body = store.body(TargetId(0));
+
+        // A peer that answers each fetch on a FRESH connection with one
+        // valid response followed by stray trailing bytes (as a buggy or
+        // hostile peer might). The fetcher's parser over-reads the strays.
+        let body2 = body.clone();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 4096];
+                let _ = s.read(&mut buf).unwrap();
+                let resp = phttp_http::Response::ok(Version::Http11, body2.clone());
+                let mut wire = resp.to_bytes().to_vec();
+                wire.extend_from_slice(b"HTTP/1.1 200 OK\r\nContent-Le"); // stray partial
+                s.write_all(&wire).unwrap();
+                // Hold the socket open until the client is done with it.
+                let _ = s.read(&mut buf);
+            }
+        });
+
+        let n = NodeState::new(
+            NodeId(0),
+            4096,
+            DiskEmu {
+                seek: Duration::from_micros(10),
+                bytes_per_sec: 1e9,
+            },
+            store,
+            vec![addr],
+        );
+        // First fetch succeeds but must NOT pool the desynced stream...
+        let got = n.lateral_fetch(NodeId(0), TargetId(0)).unwrap();
+        assert_eq!(got, body);
+        // ...so the second fetch opens a fresh connection and also parses
+        // cleanly instead of resuming mid-stream on the poisoned one.
+        let got = n.lateral_fetch(NodeId(0), TargetId(0)).unwrap();
+        assert_eq!(got, body);
+        drop(n);
+        server.join().unwrap();
     }
 
     #[test]

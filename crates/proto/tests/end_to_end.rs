@@ -36,7 +36,7 @@ fn config(policy: PolicyKind, nodes: usize) -> ProtoConfig {
 fn phttp_serves_every_request_byte_exact() {
     let trace = tiny_trace();
     let workload = reconstruct(&trace, SessionConfig::default());
-    let cluster = Cluster::start(config(PolicyKind::ExtLard, 3), &trace);
+    let cluster = Cluster::start(config(PolicyKind::ExtLard, 3), &trace).expect("start cluster");
     let report = run_load(
         cluster.frontend_addrs(),
         cluster.store(),
@@ -71,7 +71,7 @@ fn http10_mode_works_on_every_policy() {
     let trace = tiny_trace();
     let workload = http10_connections(&trace);
     for policy in [PolicyKind::Wrr, PolicyKind::Lard] {
-        let cluster = Cluster::start(config(policy, 2), &trace);
+        let cluster = Cluster::start(config(policy, 2), &trace).expect("start cluster");
         let report = run_load(
             cluster.frontend_addrs(),
             cluster.store(),
@@ -94,7 +94,7 @@ fn wrr_spreads_but_lard_concentrates_targets() {
     let workload = http10_connections(&trace);
 
     // WRR: every node should see a similar number of requests.
-    let cluster = Cluster::start(config(PolicyKind::Wrr, 3), &trace);
+    let cluster = Cluster::start(config(PolicyKind::Wrr, 3), &trace).expect("start cluster");
     let _ = run_load(
         cluster.frontend_addrs(),
         cluster.store(),
@@ -114,7 +114,7 @@ fn wrr_spreads_but_lard_concentrates_targets() {
 
     // LARD: better aggregate hit rate than WRR on the same workload (cache
     // aggregation), since per-node caches are much smaller than the corpus.
-    let cluster = Cluster::start(config(PolicyKind::Lard, 3), &trace);
+    let cluster = Cluster::start(config(PolicyKind::Lard, 3), &trace).expect("start cluster");
     let _ = run_load(
         cluster.frontend_addrs(),
         cluster.store(),
@@ -151,7 +151,7 @@ fn ext_lard_uses_lateral_fetches_under_pressure() {
         bytes_per_sec: 40.0 * 1024.0 * 1024.0,
     };
     cfg.cache_bytes = 512 * 1024;
-    let cluster = Cluster::start(cfg, &trace);
+    let cluster = Cluster::start(cfg, &trace).expect("start cluster");
     let report = run_load(
         cluster.frontend_addrs(),
         cluster.store(),
@@ -175,7 +175,7 @@ fn ext_lard_uses_lateral_fetches_under_pressure() {
 fn single_node_cluster_works() {
     let trace = tiny_trace();
     let workload = reconstruct(&trace, SessionConfig::default());
-    let cluster = Cluster::start(config(PolicyKind::ExtLard, 1), &trace);
+    let cluster = Cluster::start(config(PolicyKind::ExtLard, 1), &trace).expect("start cluster");
     let report = run_load(
         cluster.frontend_addrs(),
         cluster.store(),
@@ -196,7 +196,7 @@ fn single_node_cluster_works() {
 fn unknown_uri_gets_404_without_breaking_connection() {
     use std::io::{Read, Write};
     let trace = tiny_trace();
-    let cluster = Cluster::start(config(PolicyKind::ExtLard, 2), &trace);
+    let cluster = Cluster::start(config(PolicyKind::ExtLard, 2), &trace).expect("start cluster");
     let mut stream = std::net::TcpStream::connect(cluster.frontend_addr()).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -229,9 +229,47 @@ fn unknown_uri_gets_404_without_breaking_connection() {
 }
 
 #[test]
+fn simulator_only_mechanism_is_a_config_error_not_a_panic() {
+    use phttp_core::Mechanism;
+    let trace = tiny_trace();
+    for mech in [Mechanism::RelayingFrontend, Mechanism::ZeroCost] {
+        let mut cfg = config(PolicyKind::ExtLard, 2);
+        cfg.mechanism = mech;
+        let err = match Cluster::start(cfg, &trace) {
+            Err(e) => e,
+            Ok(cluster) => {
+                cluster.shutdown();
+                panic!("{mech} must be refused as simulator-only");
+            }
+        };
+        assert_eq!(err, phttp_proto::ConfigError::UnsupportedMechanism(mech));
+    }
+}
+
+#[test]
+fn oversized_corpus_document_is_a_config_error() {
+    // A document past the HTTP parsers' MAX_BODY bound would be served
+    // but never parsed by the cluster's own clients or lateral fetches;
+    // Cluster::start must refuse it up front.
+    let size = phttp_http::MAX_BODY as u64 + 1;
+    let trace = phttp_trace::Trace::new(Vec::new(), vec![1024, size]);
+    let err = match Cluster::start(config(PolicyKind::Wrr, 2), &trace) {
+        Err(e) => e,
+        Ok(cluster) => {
+            cluster.shutdown();
+            panic!("oversized corpus must be refused");
+        }
+    };
+    assert_eq!(
+        err,
+        phttp_proto::ConfigError::TargetExceedsBodyLimit { size }
+    );
+}
+
+#[test]
 fn shutdown_is_clean_with_no_traffic() {
     let trace = tiny_trace();
-    let cluster = Cluster::start(config(PolicyKind::Wrr, 2), &trace);
+    let cluster = Cluster::start(config(PolicyKind::Wrr, 2), &trace).expect("start cluster");
     cluster.shutdown();
 }
 
@@ -248,7 +286,7 @@ fn multiple_handoff_migrates_and_serves_correctly() {
         bytes_per_sec: 40.0 * 1024.0 * 1024.0,
     };
     cfg.cache_bytes = 512 * 1024;
-    let cluster = Cluster::start(cfg, &trace);
+    let cluster = Cluster::start(cfg, &trace).expect("start cluster");
     let report = run_load(
         cluster.frontend_addrs(),
         cluster.store(),

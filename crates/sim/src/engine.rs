@@ -316,9 +316,16 @@ impl<'w> Run<'w> {
         let targets: Vec<TargetId> = batch.targets.clone();
 
         let policy_conn = ConnId(c as u64);
-        if !self.is_relay && batch_idx > 0 {
-            self.dispatcher.begin_batch(policy_conn, n);
-        }
+        // Batched arrival: the whole pipelined batch is decided in ONE
+        // dispatcher call (the prototype's `FrontEnd::assign_batch`), so
+        // the simulated front-end pays policy work per batch the same way
+        // the live one pays lock traffic per batch. `assign_batch` is
+        // observably equivalent to the per-request loop it replaced.
+        let assignments = if !self.is_relay && batch_idx > 0 {
+            self.dispatcher.assign_batch(policy_conn, &targets)
+        } else {
+            Vec::new()
+        };
 
         let mut serving = Vec::with_capacity(n);
         let mut forwarded = Vec::with_capacity(n);
@@ -339,7 +346,7 @@ impl<'w> Run<'w> {
                 // The first request is always served by the handling node.
                 (conn_node, false, now)
             } else {
-                self.assign_subsequent(c, policy_conn, target, now)
+                self.apply_assignment(c, assignments[r], now)
             };
             serving.push(node);
             forwarded.push(was_forwarded);
@@ -360,20 +367,22 @@ impl<'w> Run<'w> {
         rt.batch_started = now;
     }
 
-    /// Policy + mechanism handling for a subsequent request on a persistent
-    /// connection. Returns (serving node, forwarded-by-BEforward, ready time).
-    fn assign_subsequent(
+    /// Mechanism-cost handling for one already-decided request of a batch.
+    /// Returns (serving node, forwarded-by-BEforward, ready time).
+    ///
+    /// The policy decision itself was made up front by `assign_batch`;
+    /// this walks the consequences in request order, tracking the
+    /// connection-handling node locally (`rt.node`) because under migrate
+    /// semantics each remote assignment re-homes the connection for the
+    /// *following* requests — exactly the order the per-request loop used
+    /// to interleave decisions and bookkeeping in.
+    fn apply_assignment(
         &mut self,
         c: u32,
-        policy_conn: ConnId,
-        target: TargetId,
+        assignment: Assignment,
         now: SimTime,
     ) -> (NodeId, bool, SimTime) {
-        let conn_node = self
-            .dispatcher
-            .connection_node(policy_conn)
-            .expect("active connection");
-        let assignment = self.dispatcher.assign_request(policy_conn, target);
+        let conn_node = self.conns[&c].node;
         let mc = &self.cfg.mech_costs;
 
         match (self.cfg.mechanism, assignment) {

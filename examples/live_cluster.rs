@@ -43,7 +43,8 @@ fn main() {
             ..ProtoConfig::default()
         },
         &trace,
-    );
+    )
+    .expect("start cluster");
     println!("front-end listening on {}\n", cluster.frontend_addr());
 
     let report = run_load(
