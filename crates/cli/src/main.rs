@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use args::Args;
 use phttp_core::PolicyKind;
-use phttp_proto::{run_load, ClientProtocol, Cluster, LoadConfig, ProtoConfig};
+use phttp_proto::{run_load, ClientProtocol, Cluster, IoModel, LoadConfig, ProtoConfig};
 use phttp_sim::{build_workload, SimConfig, Simulator};
 use phttp_trace::{
     clf, generate, generate_specweb, reconstruct, SessionConfig, SpecWebConfig, SynthConfig, Trace,
@@ -34,8 +34,10 @@ commands:
                BEforward-extLARD-PHTTP; FILE is a CLF log, default synthetic)
   sweep        [--flash] [--quick] [FILE]
                the full Figure 7/8 sweep over cluster sizes and configs
-  demo         [--nodes N] [--policy wrr|lard|extlard] [--views N]
+  demo         [--nodes N] [--policy wrr|lard|extlard] [--views N] [--reactor]
                boot the live loopback cluster and drive it with real HTTP
+               (--reactor serves it from the epoll event loop instead of
+               the worker-thread pool)
 ";
 
 fn main() {
@@ -51,7 +53,7 @@ fn main() {
 }
 
 fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::parse(argv, &["flash", "quick", "specweb", "phttp10"])?;
+    let args = Args::parse(argv, &["flash", "quick", "specweb", "phttp10", "reactor"])?;
     match (args.pos(0), args.pos(1)) {
         (Some("trace"), Some("gen")) => trace_gen(&args),
         (Some("trace"), Some("stats")) => trace_stats(&args),
@@ -245,6 +247,11 @@ fn demo(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ProtoConfig {
             nodes,
             policy,
+            io_model: if args.flag("reactor") {
+                IoModel::Reactor
+            } else {
+                IoModel::Threads
+            },
             ..ProtoConfig::default()
         },
         &trace,

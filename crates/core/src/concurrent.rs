@@ -1,9 +1,9 @@
 //! The lock-sharded concurrent dispatcher.
 //!
 //! [`ConcurrentDispatcher`] composes the three layers —
-//! [`Policy`](crate::policy::Policy) (pure decisions),
-//! [`LoadTracker`](crate::load::LoadTracker) (atomic load accounting),
-//! and [`ShardedMappingTable`](crate::shard::ShardedMappingTable) —
+//! [`Policy`] (pure decisions),
+//! [`LoadTracker`] (atomic load accounting),
+//! and [`ShardedMappingTable`] —
 //! behind `&self` methods safe to call from any number of threads.
 //!
 //! ## Locking discipline

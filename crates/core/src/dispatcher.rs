@@ -4,7 +4,7 @@
 //! the front-end". It is now a thin composition of the three layered
 //! parts — [`Policy`](crate::policy::Policy) decisions,
 //! [`LoadTracker`](crate::load::LoadTracker) accounting, and the
-//! [`ShardedMappingTable`](crate::shard::ShardedMappingTable) — by
+//! [`ShardedMappingTable`] — by
 //! wrapping a [`ConcurrentDispatcher`] behind `&mut self` methods. The
 //! trace-driven simulator (`phttp-sim`) and the figure binaries use this
 //! façade; the live prototype (`phttp-proto`) uses

@@ -27,7 +27,9 @@
 //!   single/multiple handoff, back-end forwarding, and the zero-cost ideal.
 //!
 //! See `ARCHITECTURE.md` at the repo root for the layering rationale and
-//! which façade each crate consumes.
+//! which façade each crate consumes. Every public item in this crate is
+//! documented and the crate denies `missing_docs` — it is the API other
+//! crates (and the paper-reading reader) navigate first.
 //!
 //! # Examples
 //!
@@ -85,6 +87,8 @@
 //! assert_eq!(d.active_connections(), 0);
 //! assert!(d.loads().iter().all(|&l| l == 0.0));
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod concurrent;
 pub mod cost;

@@ -33,7 +33,30 @@ use phttp_trace::{TargetId, Trace};
 
 use crate::frontend::{ConfigError, ConnGuard, FrontEnd, DEFAULT_DISK_REPORT_INTERVAL};
 use crate::node::{DiskEmu, NodeState, NodeStatsSnapshot};
+use crate::reactor::{self, ReactorConfig, ReactorHandle};
 use crate::store::ContentStore;
+
+/// Which I/O model the front-end runs client connections on.
+///
+/// Both models share everything above the socket layer — the
+/// [`FrontEnd`], the batched dispatcher path, the content store, the
+/// peer lateral servers — and produce byte-identical responses, so
+/// [`IoModel::Threads`] doubles as a differential-testing oracle for
+/// [`IoModel::Reactor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// A pre-spawned worker pool with one blocking thread per in-flight
+    /// client connection. Simple and the historical default, but
+    /// concurrency is capped by `ProtoConfig::workers` and every idle
+    /// persistent connection pins a thread.
+    #[default]
+    Threads,
+    /// One event-loop thread drives every client connection, lateral
+    /// fetch, and emulated disk through epoll-style readiness (see the
+    /// [`crate::reactor`] module docs). Concurrency is bounded by file
+    /// descriptors, not threads — the P-HTTP many-connection regime.
+    Reactor,
+}
 
 /// Prototype cluster configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +91,9 @@ pub struct ProtoConfig {
     /// thread spawn per HTTP/1.0 connection, which would otherwise dominate
     /// the very overhead P-HTTP is being compared against.
     pub workers: usize,
+    /// Front-end I/O model: blocking worker threads (the oracle) or the
+    /// event-driven reactor. See [`IoModel`].
+    pub io_model: IoModel,
     /// Number of loopback addresses the front-end listens on
     /// (`127.0.0.1..127.0.0.k`). HTTP/1.0 load opens one TCP connection per
     /// request; on a single loopback address pair the 4-tuple space (and
@@ -91,6 +117,7 @@ impl Default for ProtoConfig {
             disk_report_interval: DEFAULT_DISK_REPORT_INTERVAL,
             read_timeout: Duration::from_secs(10),
             workers: 128,
+            io_model: IoModel::default(),
             fe_listeners: 4,
         }
     }
@@ -105,8 +132,11 @@ pub struct Cluster {
     accept_threads: Vec<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
     /// Feeds accepted client connections to the worker pool. `None` after
-    /// shutdown begins so workers see a closed channel and exit.
+    /// shutdown begins (or always, under [`IoModel::Reactor`]) so workers
+    /// see a closed channel and exit.
     work_tx: Option<crossbeam::channel::Sender<TcpStream>>,
+    /// The event loop, under [`IoModel::Reactor`].
+    reactor: Option<ReactorHandle>,
     peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     listeners: Vec<SocketAddr>,
 }
@@ -191,56 +221,84 @@ impl Cluster {
             }));
         }
 
-        // Client-connection worker pool: pre-spawned handlers pull accepted
-        // streams off a channel, so accepting a connection costs a channel
-        // send rather than a thread spawn.
-        let (work_tx, work_rx) = crossbeam::channel::unbounded::<TcpStream>();
-        let mut worker_threads = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let rx = work_rx.clone();
-            let frontend = frontend.clone();
-            let store = store.clone();
-            let timeout = config.read_timeout;
-            let migration_delay = config.migration_delay;
-            worker_threads.push(std::thread::spawn(move || {
-                while let Ok(stream) = rx.recv() {
-                    let _ = handle_client_connection(
-                        stream,
-                        &frontend,
-                        &store,
-                        timeout,
-                        migration_delay,
-                    );
-                }
-            }));
-        }
-
-        // Front-end acceptors: one listener per loopback alias, all feeding
-        // the shared worker pool.
+        // Front-end listeners: one per loopback alias, bound in both I/O
+        // models. 127.0.0.(1+i): the whole 127/8 block is local on Linux;
+        // fall back to 127.0.0.1 where aliases are unavailable.
         let mut fe_addrs = Vec::new();
+        let mut fe_listeners = Vec::new();
         for i in 0..config.fe_listeners.max(1) {
-            // 127.0.0.(1+i): the whole 127/8 block is local on Linux; fall
-            // back to 127.0.0.1 where aliases are unavailable.
             let host = format!("127.0.0.{}:0", 1 + i as u8);
             let fe_listener = TcpListener::bind(&host)
                 .or_else(|_| TcpListener::bind("127.0.0.1:0"))
                 .expect("bind front-end listener");
-            let fe_addr = fe_listener.local_addr().expect("front-end addr");
-            listeners.push(fe_addr);
-            fe_addrs.push(fe_addr);
-            let stop = stop.clone();
-            let tx = work_tx.clone();
-            accept_threads.push(std::thread::spawn(move || {
-                for incoming in fe_listener.incoming() {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = incoming else { break };
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
+            fe_addrs.push(fe_listener.local_addr().expect("front-end addr"));
+            fe_listeners.push(fe_listener);
+        }
+
+        let mut worker_threads = Vec::new();
+        let mut work_tx = None;
+        let mut reactor_handle = None;
+        match config.io_model {
+            IoModel::Threads => {
+                // Client-connection worker pool: pre-spawned handlers pull
+                // accepted streams off a channel, so accepting a connection
+                // costs a channel send rather than a thread spawn.
+                let (tx, work_rx) = crossbeam::channel::unbounded::<TcpStream>();
+                worker_threads.reserve(config.workers);
+                for _ in 0..config.workers {
+                    let rx = work_rx.clone();
+                    let frontend = frontend.clone();
+                    let store = store.clone();
+                    let timeout = config.read_timeout;
+                    let migration_delay = config.migration_delay;
+                    worker_threads.push(std::thread::spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            let _ = handle_client_connection(
+                                stream,
+                                &frontend,
+                                &store,
+                                timeout,
+                                migration_delay,
+                            );
+                        }
+                    }));
                 }
-            }));
+                // Front-end acceptors, all feeding the shared worker pool.
+                for fe_listener in fe_listeners {
+                    listeners.push(fe_listener.local_addr().expect("front-end addr"));
+                    let stop = stop.clone();
+                    let tx = tx.clone();
+                    accept_threads.push(std::thread::spawn(move || {
+                        for incoming in fe_listener.incoming() {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let Ok(stream) = incoming else { break };
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                    }));
+                }
+                work_tx = Some(tx);
+            }
+            IoModel::Reactor => {
+                // The event loop owns the front-end listeners outright: no
+                // acceptor threads, no worker pool. Shutdown goes through
+                // the reactor's waker instead of wake-up connects.
+                let handle = reactor::spawn(
+                    ReactorConfig {
+                        migration_delay: config.migration_delay,
+                        read_timeout: config.read_timeout,
+                    },
+                    frontend.clone(),
+                    store.clone(),
+                    fe_listeners,
+                    stop.clone(),
+                )
+                .expect("start reactor event loop");
+                reactor_handle = Some(handle);
+            }
         }
 
         Ok(Cluster {
@@ -250,7 +308,8 @@ impl Cluster {
             stop,
             accept_threads,
             worker_threads,
-            work_tx: Some(work_tx),
+            work_tx,
+            reactor: reactor_handle,
             peer_threads,
             listeners,
         })
@@ -270,6 +329,13 @@ impl Cluster {
     /// The shared front-end (diagnostics).
     pub fn frontend(&self) -> &FrontEnd {
         &self.frontend
+    }
+
+    /// A shared handle to the front-end that outlives the cluster —
+    /// lets tests assert on policy state after [`Cluster::shutdown`]
+    /// (which consumes the cluster).
+    pub fn frontend_shared(&self) -> Arc<FrontEnd> {
+        self.frontend.clone()
     }
 
     /// The content store (for building verifying clients).
@@ -296,8 +362,16 @@ impl Cluster {
     }
 
     /// Stops the cluster: closes the listeners and joins all threads.
+    /// Under [`IoModel::Reactor`] this wakes the poller and waits for
+    /// the event loop to drain every registered connection — a blocked
+    /// `epoll_wait` cannot observe the stop flag on its own, and open
+    /// client connections must unwind their dispatcher state rather
+    /// than being abandoned to the kernel.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
         // Wake every blocked accept with a throwaway connection.
         for addr in &self.listeners {
             let _ = TcpStream::connect(addr);
@@ -310,6 +384,12 @@ impl Cluster {
         drop(self.work_tx.take());
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
+        }
+        // With every connection handler gone, pooled idle lateral streams
+        // can only keep peer handler threads blocked in `read` until the
+        // socket timeout; drop them so the peer joins below are prompt.
+        for node in self.frontend.nodes() {
+            node.drain_peer_pools();
         }
         let handles: Vec<_> = std::mem::take(&mut *self.peer_threads.lock());
         for t in handles {

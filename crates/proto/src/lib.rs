@@ -9,6 +9,16 @@
 //! DESIGN.md §6.2-§6.4 for the substitution table versus the paper's
 //! FreeBSD kernel implementation.
 //!
+//! The front-end serves client connections under one of two selectable
+//! I/O models ([`ProtoConfig::io_model`](cluster::ProtoConfig)): a
+//! blocking worker-thread pool ([`IoModel::Threads`]) or a single
+//! epoll-style event loop ([`IoModel::Reactor`], the [`reactor`]
+//! module) that drives every connection, lateral fetch, and emulated
+//! disk without blocking, making policy decisions inline via the
+//! batched dispatcher path. The two are observably interchangeable —
+//! byte-identical responses, enforced by a differential test — so the
+//! thread model doubles as the reactor's oracle.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,10 +46,11 @@ pub mod client;
 pub mod cluster;
 pub mod frontend;
 pub mod node;
+pub mod reactor;
 pub mod store;
 
 pub use client::{run_load, ClientProtocol, LoadConfig, LoadReport};
-pub use cluster::{Cluster, ProtoConfig};
+pub use cluster::{Cluster, IoModel, ProtoConfig};
 pub use frontend::{ConfigError, FrontEnd, DEFAULT_DISK_REPORT_INTERVAL};
 pub use node::{DiskEmu, NodeState, NodeStatsSnapshot};
 pub use store::ContentStore;

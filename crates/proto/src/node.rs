@@ -173,6 +173,42 @@ impl NodeState {
         self.store.body(target)
     }
 
+    /// Non-blocking first half of serving `target`: probes the cache and
+    /// records the serve/bytes/hit counters. Returns `true` on a hit —
+    /// the body can be produced immediately. On a miss the disk-queue
+    /// depth is already incremented (the request is now "queued on the
+    /// disk" as far as the extended-LARD control data is concerned) and
+    /// the caller owns scheduling the emulated read; it must call
+    /// [`finish_disk_read`](Self::finish_disk_read) exactly once when
+    /// the read completes. The event-driven reactor uses this pair where
+    /// the thread path calls the blocking [`serve_local`](Self::serve_local).
+    pub fn begin_serve(&self, target: TargetId) -> bool {
+        let size = self.store.size(target);
+        let hit = self.cache.lock().touch(target);
+        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(size, Ordering::Relaxed);
+        if hit {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.disk_queue.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Completes a miss started by [`begin_serve`](Self::begin_serve):
+    /// pops the disk queue and inserts the document into the cache (the
+    /// OS caches what it reads), mirroring the tail of
+    /// [`serve_local`](Self::serve_local).
+    pub fn finish_disk_read(&self, target: TargetId) {
+        self.disk_queue.fetch_sub(1, Ordering::Relaxed);
+        self.cache.lock().insert(target, self.store.size(target));
+    }
+
+    /// Emulated read latency for `target` on this node's disk.
+    pub fn disk_read_time(&self, target: TargetId) -> Duration {
+        self.disk_emu.read_time(self.store.size(target))
+    }
+
     /// Fetches `target` from peer `remote` over a persistent lateral
     /// connection (the NFS stand-in). The result is NOT cached locally.
     pub fn lateral_fetch(&self, remote: NodeId, target: TargetId) -> std::io::Result<Bytes> {
@@ -231,6 +267,17 @@ impl NodeState {
             pool.push(stream);
         }
     }
+
+    /// Drops every pooled idle lateral connection. Closing them sends
+    /// FIN to the peer servers, whose handler threads would otherwise
+    /// sit in `read` until their socket timeout — `Cluster::shutdown`
+    /// calls this once client traffic has stopped so teardown never
+    /// waits out a read timeout on an idle pooled stream.
+    pub fn drain_peer_pools(&self) {
+        for pool in &self.peer_pool {
+            pool.lock().clear();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +323,30 @@ mod tests {
         n.serve_local(TargetId(2)); // 3000 -> evicts 0 (and 1)
         assert!(!n.cache.lock().contains(TargetId(0)));
         assert!(n.cache.lock().contains(TargetId(2)));
+    }
+
+    #[test]
+    fn begin_serve_matches_serve_local_accounting() {
+        let n = node();
+        // Miss: depth rises until the caller completes the read, which
+        // also populates the cache — the split non-blocking protocol.
+        assert!(!n.begin_serve(TargetId(0)));
+        assert_eq!(n.disk_queue_len(), 1);
+        n.finish_disk_read(TargetId(0));
+        assert_eq!(n.disk_queue_len(), 0);
+        assert!(n.cache.lock().contains(TargetId(0)));
+        // Hit: resolved synchronously, depth untouched.
+        assert!(n.begin_serve(TargetId(0)));
+        assert_eq!(n.disk_queue_len(), 0);
+        let s = n.stats.snapshot();
+        assert_eq!(s.served, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.bytes, 2000);
+        // Same observable totals as two blocking serve_local calls.
+        let m = node();
+        m.serve_local(TargetId(0));
+        m.serve_local(TargetId(0));
+        assert_eq!(m.stats.snapshot(), s);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Per-client-connection state machine of the reactor.
+//!
+//! A connection is a [`RequestParser`] feeding an in-order pipeline of
+//! [`Entry`]s (one per request), plus an output buffer with write
+//! backpressure. Entries resolve out of order (disk reads, lateral
+//! fetches, and migrations complete whenever their events fire), but
+//! response *bytes* leave strictly in request order: only `Ready`
+//! entries at the **front** of the pipeline are staged into the output
+//! buffer — HTTP/1.1 pipelining's ordering rule.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+use bytes::{Buf, Bytes, BytesMut};
+use mio::Interest;
+use phttp_core::ConnId;
+use phttp_http::RequestParser;
+
+/// What a pipeline slot is waiting on (or holding).
+#[derive(Debug)]
+pub(crate) enum EntryState {
+    /// Response wire bytes, ready to be staged for writing.
+    Ready(Bytes),
+    /// Waiting for this connection's node to finish an emulated disk read.
+    Disk,
+    /// Waiting for a lateral fetch from a peer node.
+    Lateral,
+    /// Waiting for the emulated connection-migration delay to elapse.
+    Migrating,
+}
+
+/// One in-order response pipeline slot.
+#[derive(Debug)]
+pub(crate) struct Entry {
+    /// Identifies the slot across async completions (unique per conn).
+    pub seq: u64,
+    pub state: EntryState,
+}
+
+/// Stop reading new requests while this many response bytes are queued
+/// unsent — the reactor's write backpressure bound.
+pub(crate) const HIGH_WATER: usize = 256 * 1024;
+
+/// Stop reading new requests while this many pipeline entries are
+/// unanswered. `HIGH_WATER` alone only bounds *staged* bytes; a client
+/// that pipelines continuously without ever reading responses would
+/// otherwise grow the entry queue (each `Ready` slot holding a full
+/// serialized response) without bound. The thread path is naturally
+/// bounded by its blocking per-response `write_all`; this is the
+/// event-loop equivalent.
+pub(crate) const MAX_PIPELINE: usize = 256;
+
+/// A client connection registered with the reactor.
+pub(crate) struct ClientConn {
+    pub stream: mio::net::TcpStream,
+    pub parser: RequestParser,
+    /// Dispatcher connection id; `None` until the first request has
+    /// driven the content-based handoff.
+    pub conn_id: Option<ConnId>,
+    /// Index of the node currently handling this connection (valid once
+    /// `conn_id` is set; re-homed eagerly on migrate decisions).
+    pub node: usize,
+    next_seq: u64,
+    /// In-order response pipeline.
+    pub entries: VecDeque<Entry>,
+    /// Staged wire bytes not yet accepted by the socket.
+    pub out: BytesMut,
+    /// Interests currently registered with the poller.
+    pub interest: Interest,
+    /// The client sent EOF: stop reading, serve what was already
+    /// received, then close.
+    pub eof: bool,
+    /// The *logical* connection has ended (non-keep-alive request or
+    /// parse error): stop reading, refuse later pipelined requests,
+    /// serve what is already in the pipeline, then close. Distinct from
+    /// [`eof`](Self::eof), which must not suppress serving.
+    pub close_after_drain: bool,
+    /// Last socket activity, for the idle-timeout sweep.
+    pub last_activity: Instant,
+}
+
+impl ClientConn {
+    pub fn new(stream: mio::net::TcpStream) -> ClientConn {
+        ClientConn {
+            stream,
+            parser: RequestParser::new(),
+            conn_id: None,
+            node: 0,
+            next_seq: 0,
+            entries: VecDeque::new(),
+            out: BytesMut::new(),
+            interest: Interest::READABLE,
+            eof: false,
+            close_after_drain: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// Allocates the sequence number for the next pipeline slot.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Appends a pipeline slot.
+    pub fn push_entry(&mut self, seq: u64, state: EntryState) {
+        self.entries.push_back(Entry { seq, state });
+    }
+
+    /// Resolves slot `seq` with `state` (no-op if the slot is gone,
+    /// e.g. a completion racing a teardown). O(1): entries hold
+    /// consecutive sequence numbers (every `alloc_seq` is paired with
+    /// exactly one `push_entry`) and only pop from the front, so the
+    /// slot's position is its offset from the front's seq.
+    pub fn resolve(&mut self, seq: u64, state: EntryState) {
+        let Some(front_seq) = self.entries.front().map(|e| e.seq) else {
+            return;
+        };
+        let Some(off) = seq.checked_sub(front_seq) else {
+            return; // already staged and popped
+        };
+        if let Some(e) = self.entries.get_mut(off as usize) {
+            debug_assert_eq!(e.seq, seq, "pipeline seqs must be consecutive");
+            e.state = state;
+        }
+    }
+
+    /// Moves `Ready` entries from the pipeline front into the output
+    /// buffer, stopping at the first pending entry (response ordering)
+    /// or at the backpressure bound.
+    pub fn stage_ready(&mut self) {
+        while self.out.len() < HIGH_WATER {
+            match self.entries.front() {
+                Some(Entry {
+                    state: EntryState::Ready(_),
+                    ..
+                }) => {
+                    let Some(Entry {
+                        state: EntryState::Ready(bytes),
+                        ..
+                    }) = self.entries.pop_front()
+                    else {
+                        unreachable!("front checked above")
+                    };
+                    self.out.extend_from_slice(&bytes);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Writes staged bytes until the socket would block or the buffer
+    /// drains. `Err` means the connection is dead.
+    pub fn write_out(&mut self) -> io::Result<()> {
+        loop {
+            if self.out.is_empty() {
+                return Ok(());
+            }
+            match self.stream.write(&self.out) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "client socket accepted no bytes",
+                    ))
+                }
+                Ok(n) => self.out.advance(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads available bytes into the parser. Returns `Ok(true)` if any
+    /// bytes arrived, `Ok(false)` on `WouldBlock` with nothing new;
+    /// `Err` means the connection is dead. EOF only sets `eof` — NOT
+    /// `close_after_drain` — because requests already received must
+    /// still be served: a client may legitimately half-close right
+    /// after its last pipelined request, and its FIN can arrive in the
+    /// same readiness window as the request bytes. The thread path gets
+    /// this for free (`read_batch` drains the parser before it can
+    /// observe the EOF); skipping them here would break the
+    /// byte-identical-responses contract between the io models.
+    pub fn read_into_parser(&mut self) -> io::Result<bool> {
+        let mut buf = [0u8; 16 * 1024];
+        let mut any = false;
+        loop {
+            if self.eof || self.backpressured() {
+                return Ok(any);
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(any);
+                }
+                Ok(n) => {
+                    self.parser.feed(&buf[..n]);
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(any),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether everything owed to the client has been sent.
+    pub fn drained(&self) -> bool {
+        self.entries.is_empty() && self.out.is_empty()
+    }
+
+    /// Whether reading must pause until the client drains responses
+    /// (either bound; see [`HIGH_WATER`] and [`MAX_PIPELINE`]).
+    pub fn backpressured(&self) -> bool {
+        self.out.len() >= HIGH_WATER || self.entries.len() >= MAX_PIPELINE
+    }
+}

@@ -1,0 +1,41 @@
+//! Event-driven emulation of each node's single disk spindle.
+//!
+//! The thread path models a disk as a mutex-serialized `sleep`: one
+//! spindle, FIFO-ish service, and a depth counter the extended-LARD
+//! policy reads over the control session. Sleeping would stall the
+//! reactor's event loop, so here the same model is a deadline: at most
+//! one [`DiskJob`] is *busy* per node (its completion scheduled as a
+//! reactor timer at `now + read_time`), later misses queue behind it,
+//! and the shared [`crate::node::NodeState`] depth counter moves at the
+//! same points as the blocking version (incremented when the miss is
+//! queued, decremented when the read completes).
+
+use std::collections::VecDeque;
+
+use phttp_http::Version;
+use phttp_trace::TargetId;
+
+use super::SlotRef;
+
+/// One queued or in-service emulated disk read.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DiskJob {
+    /// The client connection (slab index + generation) awaiting the body.
+    pub conn: SlotRef,
+    /// The pipeline slot awaiting the body.
+    pub seq: u64,
+    /// The document being read.
+    pub target: TargetId,
+    /// HTTP version for the eventual response.
+    pub version: Version,
+}
+
+/// Per-node FIFO disk scheduler.
+#[derive(Debug, Default)]
+pub(crate) struct DiskSched {
+    /// The read currently holding the spindle; its completion timer is
+    /// in the reactor's timer heap.
+    pub busy: Option<DiskJob>,
+    /// Reads waiting for the spindle.
+    pub queue: VecDeque<DiskJob>,
+}

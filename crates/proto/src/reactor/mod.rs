@@ -1,0 +1,902 @@
+//! `phttp-reactor`: the event-driven front-end I/O model.
+//!
+//! The thread-per-connection path (`cluster.rs`) burns one OS thread
+//! per client connection — the scalability wall the paper's front-end
+//! must avoid if P-HTTP's amortized TCP costs are to survive high
+//! concurrency. This module replaces it with a readiness-driven
+//! (epoll-style, via the vendored `mio` shim) reactor: **one** thread
+//! owns every front-end listener, every client connection, every
+//! pooled lateral-fetch session to the back-end peers, and a timer
+//! heap that emulates disk service and migration delays without ever
+//! blocking.
+//!
+//! The policy engine needs no adaptation: PR 1/PR 2 shaped
+//! [`phttp_core::ConcurrentDispatcher`] so decisions run inline on
+//! event-loop threads — `FrontEnd::assign_batch` is called directly
+//! from the loop, one call per drained pipelined batch, exactly as the
+//! handler threads call it in the thread model.
+//!
+//! ## Connection lifecycle (see ARCHITECTURE.md "I/O models" for the
+//! full state diagram)
+//!
+//! 1. **Accept** — a listener's readable event accepts until
+//!    `WouldBlock`; each stream becomes a `conn::ClientConn` slab
+//!    slot registered for `READABLE`.
+//! 2. **Read → parse** — readable events feed the connection's
+//!    incremental [`phttp_http::RequestParser`]; every drained batch of
+//!    complete requests is decided **inline** via
+//!    [`crate::FrontEnd::assign_batch`].
+//! 3. **Serve** — each request becomes an in-order pipeline entry:
+//!    cache hits resolve to response bytes immediately; misses queue on
+//!    the node's event-driven disk scheduler (`disk::DiskSched`);
+//!    remote assignments either issue a non-blocking lateral fetch
+//!    (`peer::PeerSession`) or, under migrate semantics, re-home the
+//!    connection after an emulated handoff-protocol delay (a timer).
+//! 4. **Write** — ready entries are staged strictly in request order
+//!    and flushed with backpressure: an unwritable socket parks the
+//!    bytes and registers `WRITABLE`; a large unsent backlog — staged
+//!    bytes (`HIGH_WATER`) or unanswered pipeline entries
+//!    (`MAX_PIPELINE`) — pauses reading.
+//! 5. **Close** — client EOF, a non-keep-alive request, a parse error,
+//!    or the idle timeout drains the pipeline and then releases the
+//!    slot, closing the dispatcher connection exactly once.
+//!
+//! Shutdown is cooperative: `ReactorHandle::shutdown` sets the stop
+//! flag and wakes the poller (a blocked `epoll_wait` would otherwise
+//! sleep through it), and the loop drains every registered connection
+//! before exiting — the reactor-mode half of `Cluster::quiesce`'s
+//! teardown contract.
+
+mod conn;
+mod disk;
+mod peer;
+
+use std::collections::BinaryHeap;
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use mio::{Events, Interest, Poll, Token, Waker};
+use phttp_core::{Assignment, ForwardSemantics, NodeId};
+use phttp_http::{Request, Response, Version};
+use phttp_trace::TargetId;
+
+use crate::frontend::FrontEnd;
+use crate::store::ContentStore;
+
+use conn::{ClientConn, EntryState};
+use disk::{DiskJob, DiskSched};
+use peer::{LateralJob, PeerSession};
+
+/// Token of the cross-thread waker.
+const WAKER: Token = Token(0);
+/// First listener token; listener `i` is `Token(LISTENER_BASE + i)`.
+/// Slab tokens start right after the last listener (`Reactor::slab_base`
+/// is computed from the listener count, so the ranges can never collide
+/// however many listeners are configured).
+const LISTENER_BASE: usize = 1;
+/// Idle lateral sessions retained per peer (mirrors the thread path's
+/// per-peer pool cap in `NodeState::return_peer_conn`).
+const PEER_POOL_CAP: usize = 8;
+
+/// A slab slot reference that stays valid across slot reuse: the
+/// generation must still match for a completion to be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotRef {
+    idx: usize,
+    gen: u64,
+}
+
+/// What occupies a slab slot.
+enum Slot {
+    Client(ClientConn),
+    Peer(PeerSession),
+}
+
+struct SlabSlot {
+    gen: u64,
+    val: Option<Slot>,
+}
+
+/// A scheduled reactor-internal event.
+enum Timer {
+    /// Node `n`'s busy disk read completes.
+    DiskDone(usize),
+    /// A connection's emulated migration delay elapses; serve `target`
+    /// on node `to` and resolve pipeline slot `seq`.
+    MigrateDone {
+        conn: SlotRef,
+        seq: u64,
+        to: usize,
+        target: TargetId,
+        version: Version,
+    },
+}
+
+struct TimerEntry {
+    at: Instant,
+    id: u64,
+    kind: Timer,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    /// Reversed so `BinaryHeap` (a max-heap) pops the earliest deadline.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.id).cmp(&(self.at, self.id))
+    }
+}
+
+/// Reactor configuration subset of `ProtoConfig`.
+pub(crate) struct ReactorConfig {
+    pub migration_delay: Duration,
+    pub read_timeout: Duration,
+}
+
+/// Handle held by `Cluster` to stop the loop from outside.
+pub(crate) struct ReactorHandle {
+    waker: Arc<Waker>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// Wakes the poller (the stop flag must already be set) and joins
+    /// the loop thread after it has drained every registered connection.
+    pub fn shutdown(mut self) {
+        let _ = self.waker.wake();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Builds the reactor on the caller's thread (so bind/registration
+/// errors surface synchronously) and runs its loop on a new thread.
+pub(crate) fn spawn(
+    cfg: ReactorConfig,
+    fe: Arc<FrontEnd>,
+    store: Arc<ContentStore>,
+    std_listeners: Vec<std::net::TcpListener>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<ReactorHandle> {
+    let poll = Poll::new()?;
+    let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
+    let mut listeners = Vec::with_capacity(std_listeners.len());
+    for (i, l) in std_listeners.into_iter().enumerate() {
+        let mut l = mio::net::TcpListener::from_std(l);
+        poll.registry()
+            .register(&mut l, Token(LISTENER_BASE + i), Interest::READABLE)?;
+        listeners.push(l);
+    }
+    let nodes = fe.nodes().len();
+    let peer_addrs = fe.nodes()[0].peer_addrs.clone();
+    let semantics = fe.semantics();
+    let slab_base = LISTENER_BASE + listeners.len();
+    let reactor = Reactor {
+        poll,
+        fe,
+        store,
+        stop,
+        listeners,
+        slab_base,
+        slots: Vec::new(),
+        free: Vec::new(),
+        timers: BinaryHeap::new(),
+        next_timer_id: 0,
+        disks: (0..nodes).map(|_| DiskSched::default()).collect(),
+        idle_peers: vec![Vec::new(); nodes],
+        peer_addrs,
+        semantics,
+        migration_delay: cfg.migration_delay,
+        read_timeout: cfg.read_timeout,
+        last_sweep: Instant::now(),
+    };
+    let join = std::thread::Builder::new()
+        .name("phttp-reactor".into())
+        .spawn(move || reactor.run())?;
+    Ok(ReactorHandle {
+        waker,
+        join: Some(join),
+    })
+}
+
+/// The event loop: owns the poller, all registered sources, the timer
+/// heap, and the per-node disk schedulers.
+struct Reactor {
+    poll: Poll,
+    fe: Arc<FrontEnd>,
+    store: Arc<ContentStore>,
+    stop: Arc<AtomicBool>,
+    listeners: Vec<mio::net::TcpListener>,
+    /// First slab token: `LISTENER_BASE + listeners.len()`.
+    slab_base: usize,
+    slots: Vec<SlabSlot>,
+    free: Vec<usize>,
+    timers: BinaryHeap<TimerEntry>,
+    next_timer_id: u64,
+    disks: Vec<DiskSched>,
+    /// Idle lateral-session slab indices, per peer node.
+    idle_peers: Vec<Vec<usize>>,
+    peer_addrs: Vec<SocketAddr>,
+    semantics: ForwardSemantics,
+    migration_delay: Duration,
+    read_timeout: Duration,
+    last_sweep: Instant,
+}
+
+fn ok_wire(version: Version, body: Bytes) -> Bytes {
+    Response::ok(version, body).to_bytes()
+}
+
+fn not_found_wire(version: Version) -> Bytes {
+    Response::not_found(version).to_bytes()
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(1024);
+        loop {
+            let timeout = self.poll_timeout();
+            if self.poll.poll(&mut events, Some(timeout)).is_err() {
+                // EBADF etc. cannot happen while we own the fds; treat a
+                // polling failure as fatal and drain.
+                self.teardown();
+                return;
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                self.teardown();
+                return;
+            }
+            for ev in events.iter() {
+                let Token(t) = ev.token();
+                if t == WAKER.0 {
+                    continue; // stop flag is checked each iteration
+                } else if t < self.slab_base {
+                    self.accept_all(t - LISTENER_BASE);
+                } else {
+                    self.handle_slot(t - self.slab_base);
+                }
+            }
+            self.fire_timers();
+            self.maybe_sweep_idle();
+        }
+    }
+
+    /// Next poll timeout: the earliest timer deadline, capped by the
+    /// idle-sweep tick.
+    fn poll_timeout(&self) -> Duration {
+        let tick = Duration::from_millis(200);
+        match self.timers.peek() {
+            Some(t) => t.at.saturating_duration_since(Instant::now()).min(tick),
+            None => tick,
+        }
+    }
+
+    fn schedule(&mut self, at: Instant, kind: Timer) {
+        let id = self.next_timer_id;
+        self.next_timer_id += 1;
+        self.timers.push(TimerEntry { at, id, kind });
+    }
+
+    // ---- slab -----------------------------------------------------------
+
+    fn insert_slot(&mut self, slot: Slot) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx].val = Some(slot);
+            idx
+        } else {
+            self.slots.push(SlabSlot {
+                gen: 0,
+                val: Some(slot),
+            });
+            self.slots.len() - 1
+        }
+    }
+
+    fn slot_ref(&self, idx: usize) -> SlotRef {
+        SlotRef {
+            idx,
+            gen: self.slots[idx].gen,
+        }
+    }
+
+    /// Frees a slot: bumps the generation (invalidating outstanding
+    /// [`SlotRef`]s) and recycles the index.
+    fn free_slot(&mut self, idx: usize) {
+        self.slots[idx].gen += 1;
+        self.slots[idx].val = None;
+        self.free.push(idx);
+    }
+
+    // ---- accept ---------------------------------------------------------
+
+    fn accept_all(&mut self, listener: usize) {
+        loop {
+            match self.listeners[listener].accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let idx = self.insert_slot(Slot::Client(ClientConn::new(stream)));
+                    let Some(Slot::Client(c)) = self.slots[idx].val.as_mut() else {
+                        unreachable!("just inserted")
+                    };
+                    if self
+                        .poll
+                        .registry()
+                        .register(
+                            &mut c.stream,
+                            Token(self.slab_base + idx),
+                            Interest::READABLE,
+                        )
+                        .is_err()
+                    {
+                        self.free_slot(idx);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient accept failure; retry on next event
+            }
+        }
+    }
+
+    // ---- event dispatch -------------------------------------------------
+
+    /// Checks a slot out of the slab, drives it, and puts it back or
+    /// releases it. The checkout makes the borrow explicit: while a
+    /// slot is driven, every other slot (and the schedulers) remain
+    /// reachable through `&mut self` for deliveries and new sessions.
+    fn handle_slot(&mut self, idx: usize) {
+        let Some(slot) = self.slots.get_mut(idx).and_then(|s| s.val.take()) else {
+            return; // stale event for a freed slot
+        };
+        match slot {
+            Slot::Client(mut c) => {
+                if self.drive_client(idx, &mut c) {
+                    self.slots[idx].val = Some(Slot::Client(c));
+                } else {
+                    self.release_client(idx, c);
+                }
+            }
+            Slot::Peer(mut p) => {
+                if self.drive_peer(idx, &mut p) {
+                    self.slots[idx].val = Some(Slot::Peer(p));
+                } else {
+                    self.release_peer(idx, p);
+                }
+            }
+        }
+    }
+
+    // ---- client connections --------------------------------------------
+
+    /// Reads, parses, decides, serves, and writes one client connection
+    /// as far as readiness allows. Returns whether the slot stays alive.
+    fn drive_client(&mut self, idx: usize, c: &mut ClientConn) -> bool {
+        c.last_activity = Instant::now();
+        loop {
+            match c.read_into_parser() {
+                Ok(true) => {
+                    if self.process_available(idx, c).is_err() {
+                        // Parse error: stop reading, serve what is already
+                        // pipelined, then close.
+                        c.eof = true;
+                        c.close_after_drain = true;
+                        break;
+                    }
+                    // Keep reading until WouldBlock/EOF/backpressure.
+                }
+                Ok(false) => break,
+                Err(_) => return false, // connection reset
+            }
+        }
+        self.advance_client(idx, c)
+    }
+
+    /// Drains complete requests from the parser and turns them into
+    /// pipeline entries.
+    fn process_available(
+        &mut self,
+        idx: usize,
+        c: &mut ClientConn,
+    ) -> Result<(), phttp_http::ParseError> {
+        loop {
+            if c.close_after_drain {
+                // Mirrors the thread path: once a non-keep-alive request
+                // (or EOF) ends the logical connection, later pipelined
+                // requests are not served.
+                return Ok(());
+            }
+            let batch = c.parser.drain()?;
+            if batch.is_empty() {
+                return Ok(());
+            }
+            self.process_batch(idx, c, batch);
+        }
+    }
+
+    /// The inline analogue of the thread path's handler loop body: the
+    /// first request drives the content-based handoff, every subsequent
+    /// drained batch is decided in one `assign_batch` call.
+    fn process_batch(&mut self, idx: usize, c: &mut ClientConn, mut batch: Vec<Request>) {
+        let me = self.slot_ref(idx);
+        if c.conn_id.is_none() {
+            let first = batch.remove(0);
+            let Some(target) = self.store.lookup(&first.uri) else {
+                let seq = c.alloc_seq();
+                c.push_entry(seq, EntryState::Ready(not_found_wire(first.version)));
+                c.close_after_drain = true;
+                return;
+            };
+            let conn = self.fe.alloc_conn();
+            let node = self.fe.open_connection(conn, target);
+            c.conn_id = Some(conn);
+            c.node = node.0;
+            // Handoff complete: the first request is always served by the
+            // chosen node.
+            let seq = c.alloc_seq();
+            let state = self.serve_on(me, seq, c.node, target, first.version);
+            c.push_entry(seq, state);
+            if !first.keep_alive() {
+                c.close_after_drain = true;
+                return;
+            }
+            if batch.is_empty() {
+                return;
+            }
+        }
+        let conn = c.conn_id.expect("handoff done above");
+
+        // One dispatcher call for the whole pipelined batch — the same
+        // single connection-shard visit and grouped mapping-shard locks
+        // as the thread path, now running inline on the event loop.
+        let targets: Vec<Option<TargetId>> =
+            batch.iter().map(|r| self.store.lookup(&r.uri)).collect();
+        let known: Vec<TargetId> = targets.iter().filter_map(|&t| t).collect();
+        let assignments = self.fe.assign_batch(conn, &known);
+        let mut next_assignment = assignments.into_iter();
+
+        for (req, target) in batch.iter().zip(&targets) {
+            let Some(target) = *target else {
+                let seq = c.alloc_seq();
+                c.push_entry(seq, EntryState::Ready(not_found_wire(req.version)));
+                continue;
+            };
+            let assignment = next_assignment.next().expect("one assignment per target");
+            let seq = c.alloc_seq();
+            let state = match assignment {
+                Assignment::Local => self.serve_on(me, seq, c.node, target, req.version),
+                Assignment::Remote(k) if self.semantics == ForwardSemantics::Migrate => {
+                    // The dispatcher re-homed the connection: later
+                    // requests in this batch serve on node k, and this
+                    // request serves there too once the emulated handoff
+                    // protocol delay elapses.
+                    c.node = k.0;
+                    self.schedule(
+                        Instant::now() + self.migration_delay,
+                        Timer::MigrateDone {
+                            conn: me,
+                            seq,
+                            to: k.0,
+                            target,
+                            version: req.version,
+                        },
+                    );
+                    EntryState::Migrating
+                }
+                Assignment::Remote(k) => self.issue_lateral(
+                    LateralJob {
+                        conn: me,
+                        seq,
+                        target,
+                        version: req.version,
+                        handler: c.node,
+                    },
+                    k,
+                ),
+            };
+            c.push_entry(seq, state);
+            if !req.keep_alive() {
+                c.close_after_drain = true;
+                break;
+            }
+        }
+    }
+
+    /// Serves `target` on node `node_idx` without blocking: a cache hit
+    /// produces the response now; a miss queues on the node's disk
+    /// scheduler and resolves slot `seq` when the read-time deadline
+    /// fires.
+    fn serve_on(
+        &mut self,
+        conn: SlotRef,
+        seq: u64,
+        node_idx: usize,
+        target: TargetId,
+        version: Version,
+    ) -> EntryState {
+        if self.fe.nodes()[node_idx].begin_serve(target) {
+            EntryState::Ready(ok_wire(version, self.store.body(target)))
+        } else {
+            self.disk_enqueue(
+                node_idx,
+                DiskJob {
+                    conn,
+                    seq,
+                    target,
+                    version,
+                },
+            );
+            EntryState::Disk
+        }
+    }
+
+    /// Stages and writes ready responses, recomputes poll interests,
+    /// and decides whether the connection closes. Returns liveness.
+    fn advance_client(&mut self, idx: usize, c: &mut ClientConn) -> bool {
+        loop {
+            c.stage_ready();
+            if c.out.is_empty() {
+                break; // nothing (more) writable right now
+            }
+            if c.write_out().is_err() {
+                return false;
+            }
+            if !c.out.is_empty() {
+                break; // socket would block; WRITABLE interest below
+            }
+        }
+        if (c.close_after_drain || c.eof) && c.drained() {
+            return false;
+        }
+        let mut want = Interest::NONE;
+        if !c.eof && !c.close_after_drain && !c.backpressured() {
+            want = want | Interest::READABLE;
+        }
+        if !c.out.is_empty() {
+            want = want | Interest::WRITABLE;
+        }
+        if want != c.interest {
+            if self
+                .poll
+                .registry()
+                .reregister(&mut c.stream, Token(self.slab_base + idx), want)
+                .is_err()
+            {
+                return false;
+            }
+            c.interest = want;
+        }
+        true
+    }
+
+    /// Closes a client slot: unwinds the dispatcher connection exactly
+    /// once and frees the slab entry. Outstanding disk/lateral
+    /// completions for it die against the generation check.
+    fn release_client(&mut self, idx: usize, mut c: ClientConn) {
+        if let Some(conn) = c.conn_id {
+            self.fe.close_connection(conn);
+        }
+        let _ = self.poll.registry().deregister(&mut c.stream);
+        self.free_slot(idx);
+    }
+
+    /// Resolves pipeline slot `seq` of a (possibly already gone) client
+    /// connection and pushes the pipeline forward.
+    fn deliver(&mut self, conn: SlotRef, seq: u64, state: EntryState) {
+        let Some(slab) = self.slots.get_mut(conn.idx) else {
+            return;
+        };
+        if slab.gen != conn.gen {
+            return; // the connection died; completion outlived it
+        }
+        let Some(slot) = slab.val.take() else {
+            return; // being driven higher up the stack (cannot happen: single-threaded)
+        };
+        match slot {
+            Slot::Client(mut c) => {
+                c.resolve(seq, state);
+                if self.advance_client(conn.idx, &mut c) {
+                    self.slots[conn.idx].val = Some(Slot::Client(c));
+                } else {
+                    self.release_client(conn.idx, c);
+                }
+            }
+            other => {
+                self.slots[conn.idx].val = Some(other);
+            }
+        }
+    }
+
+    // ---- disks ----------------------------------------------------------
+
+    fn disk_enqueue(&mut self, node_idx: usize, job: DiskJob) {
+        if self.disks[node_idx].busy.is_none() {
+            self.disk_start(node_idx, job);
+        } else {
+            self.disks[node_idx].queue.push_back(job);
+        }
+    }
+
+    fn disk_start(&mut self, node_idx: usize, job: DiskJob) {
+        let at = Instant::now() + self.fe.nodes()[node_idx].disk_read_time(job.target);
+        self.disks[node_idx].busy = Some(job);
+        self.schedule(at, Timer::DiskDone(node_idx));
+    }
+
+    fn disk_done(&mut self, node_idx: usize) {
+        let Some(job) = self.disks[node_idx].busy.take() else {
+            return;
+        };
+        self.fe.nodes()[node_idx].finish_disk_read(job.target);
+        let wire = ok_wire(job.version, self.store.body(job.target));
+        self.deliver(job.conn, job.seq, EntryState::Ready(wire));
+        if let Some(next) = self.disks[node_idx].queue.pop_front() {
+            self.disk_start(node_idx, next);
+        }
+    }
+
+    // ---- lateral fetches ------------------------------------------------
+
+    /// Issues a lateral fetch for a remote assignment, preferring a
+    /// pooled idle session; falls back to serving locally (like the
+    /// thread path) if no peer session can be set up.
+    fn issue_lateral(&mut self, job: LateralJob, remote: NodeId) -> EntryState {
+        self.fe.nodes()[job.handler]
+            .stats
+            .lateral_out
+            .fetch_add(1, Ordering::Relaxed);
+        let mut job = job;
+        // Try pooled idle sessions first (newest first — most recently
+        // proven alive).
+        while let Some(pidx) = self.idle_peers[remote.0].pop() {
+            match self.peer_send(pidx, job) {
+                Ok(()) => return EntryState::Lateral,
+                Err(j) => job = j, // stale session released; try the next
+            }
+        }
+        // No pooled session: dial a fresh one.
+        match self.connect_peer(remote.0) {
+            Ok(pidx) => match self.peer_send(pidx, job) {
+                Ok(()) => EntryState::Lateral,
+                Err(j) => self.lateral_fallback_state(j),
+            },
+            Err(_) => self.lateral_fallback_state(job),
+        }
+    }
+
+    /// The serve-locally degradation the thread path applies when the
+    /// peer path fails, as an [`EntryState`] (used while the owning
+    /// client is checked out, so it cannot go through [`deliver`]).
+    fn lateral_fallback_state(&mut self, job: LateralJob) -> EntryState {
+        self.serve_on(job.conn, job.seq, job.handler, job.target, job.version)
+    }
+
+    /// Async variant of the fallback, for failures observed on peer
+    /// session events (the owning client is in the slab then).
+    fn lateral_fallback(&mut self, job: LateralJob) {
+        let state = self.lateral_fallback_state(job);
+        self.deliver(job.conn, job.seq, state);
+    }
+
+    fn connect_peer(&mut self, remote: usize) -> io::Result<usize> {
+        let stream = mio::net::TcpStream::connect(self.peer_addrs[remote])?;
+        stream.set_nodelay(true)?;
+        let idx = self.insert_slot(Slot::Peer(PeerSession::new(stream, remote)));
+        let Some(Slot::Peer(p)) = self.slots[idx].val.as_mut() else {
+            unreachable!("just inserted")
+        };
+        if let Err(e) = self.poll.registry().register(
+            &mut p.stream,
+            Token(self.slab_base + idx),
+            Interest::READABLE,
+        ) {
+            self.free_slot(idx);
+            return Err(e);
+        }
+        Ok(idx)
+    }
+
+    /// Attaches `job` to session `pidx` and writes its request. On a
+    /// hard failure the session is released and the job handed back.
+    fn peer_send(&mut self, pidx: usize, job: LateralJob) -> Result<(), LateralJob> {
+        let Some(Slot::Peer(mut p)) = self.slots[pidx].val.take() else {
+            return Err(job); // pool entry went stale
+        };
+        debug_assert!(p.job.is_none(), "one in-flight fetch per session");
+        let req = Request::get(ContentStore::uri(job.target), Version::Http11);
+        p.out.extend_from_slice(&req.to_bytes());
+        p.job = Some(job);
+        if self.flush_peer(pidx, &mut p).is_err() {
+            let job = p.job.take().expect("just attached");
+            let _ = self.poll.registry().deregister(&mut p.stream);
+            self.free_slot(pidx);
+            return Err(job);
+        }
+        self.slots[pidx].val = Some(Slot::Peer(p));
+        Ok(())
+    }
+
+    /// Writes a session's pending request bytes and refreshes its
+    /// interests. `Err` means the session is unusable.
+    fn flush_peer(&mut self, pidx: usize, p: &mut PeerSession) -> io::Result<()> {
+        loop {
+            if p.out.is_empty() {
+                break;
+            }
+            match p.stream.write(&p.out) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "peer accepted no bytes",
+                    ))
+                }
+                Ok(n) => bytes::Buf::advance(&mut p.out, n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let want = if p.out.is_empty() {
+            Interest::READABLE
+        } else {
+            Interest::READABLE | Interest::WRITABLE
+        };
+        if want != p.interest {
+            self.poll
+                .registry()
+                .reregister(&mut p.stream, Token(self.slab_base + pidx), want)?;
+            p.interest = want;
+        }
+        Ok(())
+    }
+
+    /// Handles readiness on a lateral session. Returns liveness; a dead
+    /// session's in-flight job falls back to local service in
+    /// [`release_peer`].
+    fn drive_peer(&mut self, idx: usize, p: &mut PeerSession) -> bool {
+        if self.flush_peer(idx, p).is_err() {
+            return false;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match p.stream.read(&mut buf) {
+                Ok(0) => return false, // peer closed (idle timeout or death)
+                Ok(n) => {
+                    p.parser.feed(&buf[..n]);
+                    loop {
+                        match p.parser.next() {
+                            Ok(Some(resp)) => {
+                                let Some(job) = p.job.take() else {
+                                    return false; // unsolicited response: poisoned stream
+                                };
+                                if resp.status != 200 {
+                                    // Thread path: a non-200 is an error —
+                                    // serve locally and do not pool.
+                                    self.lateral_fallback(job);
+                                    return false;
+                                }
+                                let keep = resp.keep_alive();
+                                self.deliver(
+                                    job.conn,
+                                    job.seq,
+                                    EntryState::Ready(ok_wire(job.version, resp.body)),
+                                );
+                                // PR 2 anti-desync rule: only keep a stream
+                                // whose parser consumed exactly its response.
+                                if !keep || p.parser.buffered() != 0 {
+                                    return false;
+                                }
+                                if self.idle_peers[p.remote].len() >= PEER_POOL_CAP {
+                                    return false;
+                                }
+                                self.idle_peers[p.remote].push(idx);
+                            }
+                            Ok(None) => break,
+                            Err(_) => return false, // garbage from peer
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Closes a lateral session; an in-flight fetch degrades to local
+    /// service exactly as the thread path's error fallback does.
+    fn release_peer(&mut self, idx: usize, mut p: PeerSession) {
+        self.idle_peers[p.remote].retain(|&i| i != idx);
+        let _ = self.poll.registry().deregister(&mut p.stream);
+        self.free_slot(idx);
+        if let Some(job) = p.job.take() {
+            self.lateral_fallback(job);
+        }
+    }
+
+    // ---- timers & sweep -------------------------------------------------
+
+    fn fire_timers(&mut self) {
+        loop {
+            let now = Instant::now();
+            match self.timers.peek() {
+                Some(t) if t.at <= now => {}
+                _ => return,
+            }
+            let entry = self.timers.pop().expect("peeked above");
+            match entry.kind {
+                Timer::DiskDone(n) => self.disk_done(n),
+                Timer::MigrateDone {
+                    conn,
+                    seq,
+                    to,
+                    target,
+                    version,
+                } => {
+                    // The emulated handoff exchange has been paid; the
+                    // connection now serves from node `to`.
+                    let node = &self.fe.nodes()[to];
+                    node.stats.migrations_in.fetch_add(1, Ordering::Relaxed);
+                    let state = self.serve_on(conn, seq, to, target, version);
+                    self.deliver(conn, seq, state);
+                }
+            }
+        }
+    }
+
+    /// Applies the idle-close rule the thread path gets from its socket
+    /// read timeout: a connection with nothing pending and no socket
+    /// activity for `read_timeout` is closed.
+    fn maybe_sweep_idle(&mut self) {
+        let now = Instant::now();
+        if now.duration_since(self.last_sweep) < self.read_timeout.min(Duration::from_secs(1)) {
+            return;
+        }
+        self.last_sweep = now;
+        for idx in 0..self.slots.len() {
+            let timed_out = matches!(
+                &self.slots[idx].val,
+                Some(Slot::Client(c))
+                    if c.drained() && now.duration_since(c.last_activity) > self.read_timeout
+            );
+            if timed_out {
+                let Some(Slot::Client(c)) = self.slots[idx].val.take() else {
+                    unreachable!("matched above")
+                };
+                self.release_client(idx, c);
+            }
+        }
+    }
+
+    /// Drains every registered connection on shutdown: dispatcher state
+    /// unwinds (via `release_client`) before the loop thread exits, so
+    /// `Cluster::shutdown` never leaves `active_connections` dangling.
+    fn teardown(&mut self) {
+        for idx in 0..self.slots.len() {
+            match self.slots[idx].val.take() {
+                Some(Slot::Client(c)) => self.release_client(idx, c),
+                Some(Slot::Peer(p)) => {
+                    // Jobs die with the cluster; do not resurrect them as
+                    // local serves during teardown.
+                    let mut p = p;
+                    p.job = None;
+                    self.release_peer(idx, p);
+                }
+                None => {}
+            }
+        }
+    }
+}

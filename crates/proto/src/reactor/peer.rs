@@ -1,0 +1,61 @@
+//! Pooled non-blocking lateral-fetch sessions.
+//!
+//! The thread path keeps per-node pools of *blocking* persistent peer
+//! connections ([`crate::node::NodeState::lateral_fetch`]). The reactor
+//! replaces them with [`PeerSession`]s driven by the same event loop as
+//! the client connections: a session carries at most one in-flight
+//! fetch ([`LateralJob`]), writes its request under the loop's
+//! backpressure rules, parses the response incrementally, and returns
+//! to its peer's idle pool only if the stream is provably clean —
+//! keep-alive response and an empty parser, the PR 2 anti-desync rule.
+
+use bytes::BytesMut;
+use mio::Interest;
+use phttp_http::{ResponseParser, Version};
+use phttp_trace::TargetId;
+
+use super::SlotRef;
+
+/// One lateral fetch in flight on a peer session.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LateralJob {
+    /// The client connection (slab index + generation) awaiting the body.
+    pub conn: SlotRef,
+    /// The pipeline slot awaiting the body.
+    pub seq: u64,
+    /// The document being fetched.
+    pub target: TargetId,
+    /// HTTP version of the *client's* request — the response to the
+    /// client is built with it, regardless of the HTTP/1.1 peer wire.
+    pub version: Version,
+    /// Node index of the connection handler (for stats and for the
+    /// serve-locally fallback when the peer path fails).
+    pub handler: usize,
+}
+
+/// A non-blocking persistent connection to one peer's lateral server.
+pub(crate) struct PeerSession {
+    pub stream: mio::net::TcpStream,
+    pub parser: ResponseParser,
+    /// Request bytes not yet accepted by the socket.
+    pub out: BytesMut,
+    /// Peer node index this session dials.
+    pub remote: usize,
+    /// The single in-flight fetch, if any.
+    pub job: Option<LateralJob>,
+    /// Interests currently registered with the poller.
+    pub interest: Interest,
+}
+
+impl PeerSession {
+    pub fn new(stream: mio::net::TcpStream, remote: usize) -> PeerSession {
+        PeerSession {
+            stream,
+            parser: ResponseParser::new(),
+            out: BytesMut::new(),
+            remote,
+            job: None,
+            interest: Interest::READABLE,
+        }
+    }
+}

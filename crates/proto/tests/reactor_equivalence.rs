@@ -1,0 +1,210 @@
+//! Differential test: the event-driven reactor and the
+//! thread-per-connection oracle must be observably the same server.
+//!
+//! The same pipelined P-HTTP workload is driven through a cluster in
+//! each `IoModel` by a verifying capture client, recording every
+//! response on every connection. The two transcripts must be
+//! **byte-identical** (response bytes are fully determined by the
+//! request target and HTTP version, so transcripts are comparable even
+//! though connection *scheduling* is concurrent), each model must
+//! demonstrably exercise its mechanism's remote path (lateral fetches
+//! or migrations — byte-identity alone cannot see routing), and both
+//! clusters must unwind to the same final load-tracker state (exactly
+//! zero load, zero tracked connections).
+//!
+//! The client runs several connections concurrently on purpose: with a
+//! single sequential connection the back-end disks never queue, and
+//! extLARD's cost function then always prefers serving locally — the
+//! remote data paths this test exists to compare would never run.
+
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use phttp_core::{Mechanism, PolicyKind};
+use phttp_http::{Request, ResponseParser, Version};
+use phttp_proto::{Cluster, ContentStore, DiskEmu, IoModel, ProtoConfig};
+use phttp_trace::{generate, reconstruct, ConnectionTrace, SessionConfig, SynthConfig};
+
+fn workload() -> (phttp_trace::Trace, ConnectionTrace) {
+    let mut synth = SynthConfig::small();
+    synth.num_page_views = 120;
+    synth.num_pages = 50;
+    let trace = generate(&synth);
+    let conns = reconstruct(&trace, SessionConfig::default());
+    (trace, conns)
+}
+
+fn config(mechanism: Mechanism, io_model: IoModel) -> ProtoConfig {
+    ProtoConfig {
+        nodes: 3,
+        policy: PolicyKind::ExtLard,
+        mechanism,
+        // Small caches and slow disks so queues build under the
+        // concurrent capture client and extLARD actually forwards (the
+        // same recipe as the end-to-end lateral-fetch test).
+        cache_bytes: 512 * 1024,
+        disk: DiskEmu {
+            seek: Duration::from_millis(2),
+            bytes_per_sec: 40.0 * 1024.0 * 1024.0,
+        },
+        read_timeout: Duration::from_secs(5),
+        io_model,
+        ..ProtoConfig::default()
+    }
+}
+
+/// Plays one trace connection and returns the re-encoded wire bytes of
+/// each of its responses, in request order.
+fn play_one(addr: SocketAddr, conn: &phttp_trace::Connection) -> Vec<Vec<u8>> {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut parser = ResponseParser::new();
+    let mut responses = Vec::with_capacity(conn.num_requests());
+    for batch in &conn.batches {
+        // The whole pipelined batch in a single write, like the load
+        // generator.
+        let mut wire = BytesMut::new();
+        for &target in &batch.targets {
+            Request::get(ContentStore::uri(target), Version::Http11).encode(&mut wire);
+        }
+        stream.write_all(&wire).unwrap();
+        let mut got = 0;
+        let mut buf = [0u8; 32 * 1024];
+        while got < batch.targets.len() {
+            if let Some(resp) = parser.next().expect("parse response") {
+                responses.push(resp.to_bytes().to_vec());
+                got += 1;
+                continue;
+            }
+            let n = stream.read(&mut buf).expect("read response");
+            assert!(n > 0, "server closed mid-connection");
+            parser.feed(&buf[..n]);
+        }
+    }
+    responses
+}
+
+/// Plays every connection of the workload (several in flight at once so
+/// disk queues build — see the module docs) and returns each
+/// connection's response transcript, indexed by connection order.
+fn play_capture(addrs: &[SocketAddr], workload: &ConnectionTrace) -> Vec<Vec<Vec<u8>>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let transcript: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = workload
+        .connections
+        .iter()
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(conn) = workload.connections.get(i) else {
+                    break;
+                };
+                *transcript[i].lock().unwrap() = play_one(addrs[i % addrs.len()], conn);
+            });
+        }
+    });
+    transcript
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect()
+}
+
+fn run_one(
+    mechanism: Mechanism,
+    io_model: IoModel,
+) -> (Vec<Vec<Vec<u8>>>, Vec<phttp_proto::NodeStatsSnapshot>) {
+    let (trace, conns) = workload();
+    let cluster = Cluster::start(config(mechanism, io_model), &trace).expect("start cluster");
+    let transcript = play_capture(cluster.frontend_addrs(), &conns);
+    // Final load-tracker state: every connection's charge unwound to
+    // exactly zero (fixed-point accounting), nothing still tracked.
+    assert!(
+        cluster.quiesce(Duration::from_secs(10)),
+        "{io_model:?}: connections leaked"
+    );
+    let fe = cluster.frontend_shared();
+    assert_eq!(fe.active_connections(), 0, "{io_model:?}");
+    assert!(
+        fe.loads().iter().all(|&l| l.abs() < 1e-12),
+        "{io_model:?}: residual load {:?}",
+        fe.loads()
+    );
+    let stats = cluster.node_stats();
+    cluster.shutdown();
+    (transcript, stats)
+}
+
+/// A quick structural sanity check on one transcript so a trivially
+/// empty equality cannot pass silently.
+fn assert_nonempty(t: &[Vec<Vec<u8>>], trace_len: usize) {
+    let responses: usize = t.iter().map(|c| c.len()).sum();
+    assert_eq!(responses, trace_len, "every request got a response");
+    assert!(t
+        .iter()
+        .flatten()
+        .all(|r| r.starts_with(b"HTTP/1.1 200 ") || r.starts_with(b"HTTP/1.0 200 ")));
+}
+
+/// Byte-identical transcripts alone cannot distinguish *where* a
+/// request was served (bodies depend only on the target), so each model
+/// must additionally prove it exercised the mechanism's remote path —
+/// otherwise a reactor that silently served every remote assignment
+/// locally would pass the transcript comparison.
+fn assert_routes(stats: &[phttp_proto::NodeStatsSnapshot], mechanism: Mechanism, io: IoModel) {
+    let lateral: u64 = stats.iter().map(|s| s.lateral_out).sum();
+    let migrations: u64 = stats.iter().map(|s| s.migrations_in).sum();
+    match mechanism {
+        Mechanism::MultipleHandoff => {
+            assert!(migrations > 0, "{io:?}: no connection ever migrated");
+            assert_eq!(lateral, 0, "{io:?}: migrate semantics must not fetch");
+        }
+        _ => {
+            assert!(lateral > 0, "{io:?}: no request was ever forwarded");
+            assert_eq!(migrations, 0, "{io:?}: forwarding must not migrate");
+        }
+    }
+}
+
+#[test]
+fn reactor_matches_threads_backend_forwarding() {
+    let (trace, _) = workload();
+    let (threads, threads_stats) = run_one(Mechanism::BackendForwarding, IoModel::Threads);
+    let (reactor, reactor_stats) = run_one(Mechanism::BackendForwarding, IoModel::Reactor);
+    assert_nonempty(&threads, trace.len());
+    assert_routes(
+        &threads_stats,
+        Mechanism::BackendForwarding,
+        IoModel::Threads,
+    );
+    assert_routes(
+        &reactor_stats,
+        Mechanism::BackendForwarding,
+        IoModel::Reactor,
+    );
+    assert_eq!(
+        threads, reactor,
+        "transcripts diverge between io models (backend forwarding)"
+    );
+}
+
+#[test]
+fn reactor_matches_threads_multiple_handoff() {
+    let (trace, _) = workload();
+    let (threads, threads_stats) = run_one(Mechanism::MultipleHandoff, IoModel::Threads);
+    let (reactor, reactor_stats) = run_one(Mechanism::MultipleHandoff, IoModel::Reactor);
+    assert_nonempty(&threads, trace.len());
+    assert_routes(&threads_stats, Mechanism::MultipleHandoff, IoModel::Threads);
+    assert_routes(&reactor_stats, Mechanism::MultipleHandoff, IoModel::Reactor);
+    assert_eq!(
+        threads, reactor,
+        "transcripts diverge between io models (multiple handoff)"
+    );
+}

@@ -14,7 +14,7 @@ use rand::Rng;
 /// Sampling uses a precomputed cumulative table and binary search: O(n) memory
 /// once, O(log n) per sample, exact for any `s >= 0`. Web-server popularity is
 /// classically Zipf-like with `s ≈ 1` (Arlitt & Williamson, SIGMETRICS '96 —
-/// cited by the paper as reference [3]).
+/// cited by the paper as reference \[3\]).
 #[derive(Debug, Clone)]
 pub struct Zipf {
     cdf: Vec<f64>,

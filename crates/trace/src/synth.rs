@@ -6,7 +6,7 @@
 //! §6.1):
 //!
 //! * **Zipf-like page popularity** (Arlitt & Williamson invariants, the
-//!   paper's reference [3]);
+//!   paper's reference \[3\]);
 //! * **small mean response size** — heavy-tailed sizes with a mean around
 //!   10 KB, the regime in which the paper argues back-end forwarding is
 //!   competitive;

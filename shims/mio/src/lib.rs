@@ -1,0 +1,636 @@
+//! API-subset stand-in for [`mio`](https://docs.rs/mio) 0.8 — readiness-driven
+//! I/O over Linux `epoll`.
+//!
+//! The build environment has no crates.io access, so this shim vendors
+//! exactly the surface the `phttp-proto` reactor uses: [`Poll`] /
+//! [`Registry`] / [`Events`] over an `epoll` instance, [`Token`]s to
+//! identify registered sources, [`Interest`] flags, a [`Waker`] (an
+//! `eventfd` registered edge-triggered), and non-blocking
+//! [`net::TcpListener`] / [`net::TcpStream`] wrappers.
+//!
+//! Deviations from upstream `mio`, all documented in `shims/README.md`:
+//!
+//! * **Level-triggered.** Upstream mio registers edge-triggered and asks
+//!   consumers to drain until `WouldBlock`. This shim registers sockets
+//!   level-triggered (the `Waker`'s eventfd is the only edge-triggered
+//!   registration), which tolerates partial drains at a small cost in
+//!   redundant wakeups — the simpler contract for a reproduction.
+//! * **`net::TcpStream::connect`** performs a blocking `connect(2)` and
+//!   then switches the socket to non-blocking mode. The reactor only
+//!   dials loopback peers whose accept loops are already running, where
+//!   a blocking connect completes immediately; skipping the in-progress
+//!   connect state machine keeps the shim free of raw `socket(2)` calls.
+//! * **Linux only.** `epoll` and `eventfd` are used directly via
+//!   `extern "C"` bindings (no `libc` crate in this environment).
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+mod sys {
+    //! Raw Linux syscall bindings (via the always-linked system libc).
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    /// Kernel `struct epoll_event`. The UAPI declares it packed on
+    /// x86_64 only; everywhere else it has natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    }
+}
+
+/// Identifies a registered event source; carried through the kernel in
+/// the `epoll_event` user-data word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interests a source is registered for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(1);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(2);
+    /// No interests — the source stays registered but only error/hangup
+    /// conditions (which `epoll` always reports) are delivered. Upstream
+    /// mio has no such value; the reactor uses it for connections that
+    /// are quiescent on the socket while waiting on internal events
+    /// (e.g. an emulated disk read), where re-arming `READABLE` on an
+    /// already-EOF'd socket would storm a level-triggered poller.
+    pub const NONE: Interest = Interest(0);
+
+    /// Combines two interests (upstream mio's `Interest::add`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether read readiness is included.
+    pub const fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether write readiness is included.
+    pub const fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    fn to_epoll(self) -> u32 {
+        let mut bits = 0;
+        if self.is_readable() {
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// Event-source types that can be registered with a [`Registry`].
+pub mod event {
+    use std::os::fd::RawFd;
+
+    /// A registerable event source (anything with a file descriptor).
+    pub trait Source {
+        /// The descriptor `epoll` should watch.
+        fn raw_fd(&self) -> RawFd;
+    }
+
+    /// One readiness event returned by [`crate::Poll::poll`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Event {
+        pub(crate) bits: u32,
+        pub(crate) token: crate::Token,
+    }
+
+    impl Event {
+        /// The token the source was registered with.
+        pub fn token(&self) -> crate::Token {
+            self.token
+        }
+
+        /// Read readiness — includes hangup and error conditions, which a
+        /// read will surface as EOF or an error.
+        pub fn is_readable(&self) -> bool {
+            self.bits & (super::sys::EPOLLIN | super::sys::EPOLLHUP | super::sys::EPOLLRDHUP) != 0
+                || self.is_error()
+        }
+
+        /// Write readiness — includes error conditions, which a write
+        /// will surface.
+        pub fn is_writable(&self) -> bool {
+            self.bits & (super::sys::EPOLLOUT | super::sys::EPOLLHUP) != 0 || self.is_error()
+        }
+
+        /// The peer closed (its write half of) the stream.
+        pub fn is_read_closed(&self) -> bool {
+            self.bits & (super::sys::EPOLLHUP | super::sys::EPOLLRDHUP) != 0
+        }
+
+        /// An error condition is pending on the source.
+        pub fn is_error(&self) -> bool {
+            self.bits & super::sys::EPOLLERR != 0
+        }
+    }
+}
+
+/// A buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// Creates a buffer holding at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Iterates over the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = event::Event> + '_ {
+        self.buf[..self.len].iter().map(|e| event::Event {
+            bits: e.events,
+            token: Token(e.data as usize),
+        })
+    }
+
+    /// Whether the last poll returned no events (i.e. it timed out).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Handle for registering event sources with a [`Poll`] instance.
+#[derive(Debug)]
+pub struct Registry {
+    epfd: RawFd,
+}
+
+impl Registry {
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token.0 as u64,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `source` for `interests` under `token` (level-triggered).
+    pub fn register(
+        &self,
+        source: &mut impl event::Source,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(
+            sys::EPOLL_CTL_ADD,
+            source.raw_fd(),
+            interests.to_epoll(),
+            token,
+        )
+    }
+
+    /// Changes the interests (and/or token) of a registered source.
+    pub fn reregister(
+        &self,
+        source: &mut impl event::Source,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.ctl(
+            sys::EPOLL_CTL_MOD,
+            source.raw_fd(),
+            interests.to_epoll(),
+            token,
+        )
+    }
+
+    /// Removes a source from the poller. Dropping a registered source
+    /// also deregisters it (the kernel removes closed descriptors), but
+    /// explicit deregistration keeps teardown deterministic.
+    pub fn deregister(&self, source: &mut impl event::Source) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, source.raw_fd(), 0, Token(0))
+    }
+}
+
+/// An `epoll` instance plus its registration handle.
+#[derive(Debug)]
+pub struct Poll {
+    ep: OwnedFd,
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh `epoll` instance.
+    pub fn new() -> io::Result<Poll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let ep = unsafe { OwnedFd::from_raw_fd(fd) };
+        Ok(Poll {
+            registry: Registry { epfd: fd },
+            ep,
+        })
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready or `timeout`
+    /// elapses (`None` blocks indefinitely). Sub-millisecond timeouts are
+    /// rounded up to 1 ms so they cannot spin.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                if d.is_zero() {
+                    0
+                } else {
+                    d.as_millis().clamp(1, i32::MAX as u128) as i32
+                }
+            }
+        };
+        loop {
+            let rc = unsafe {
+                sys::epoll_wait(
+                    self.ep.as_raw_fd(),
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as i32,
+                    ms,
+                )
+            };
+            if rc >= 0 {
+                events.len = rc as usize;
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            events.len = 0;
+        }
+    }
+}
+
+/// Wakes a blocked [`Poll::poll`] from any thread — an `eventfd`
+/// registered edge-triggered, so the counter never needs draining.
+#[derive(Debug)]
+pub struct Waker {
+    fd: OwnedFd,
+}
+
+impl Waker {
+    /// Creates a waker delivering events under `token`.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let raw = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if raw < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+        registry.ctl(
+            sys::EPOLL_CTL_ADD,
+            fd.as_raw_fd(),
+            sys::EPOLLIN | sys::EPOLLET,
+            token,
+        )?;
+        Ok(Waker { fd })
+    }
+
+    /// Wakes the poller. Idempotent while unconsumed; never blocks (a
+    /// saturated eventfd counter means a wake is already pending).
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let rc = unsafe {
+            sys::write(
+                self.fd.as_raw_fd(),
+                &one as *const u64 as *const std::os::raw::c_void,
+                8,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the eventfd counter so a level-triggered reader would stop
+    /// seeing it; unnecessary with the edge-triggered registration but
+    /// harmless, and useful in tests.
+    pub fn clear(&self) {
+        let mut buf = 0u64;
+        unsafe {
+            sys::read(
+                self.fd.as_raw_fd(),
+                &mut buf as *mut u64 as *mut std::os::raw::c_void,
+                8,
+            )
+        };
+    }
+}
+
+/// Non-blocking TCP wrappers registerable with a [`Poll`].
+pub mod net {
+    use super::event::Source;
+    use std::io::{self, Read, Write};
+    use std::net::SocketAddr;
+    use std::os::fd::{AsRawFd, RawFd};
+
+    /// A non-blocking TCP listener.
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Wraps a bound std listener, switching it to non-blocking mode.
+        pub fn from_std(inner: std::net::TcpListener) -> TcpListener {
+            inner
+                .set_nonblocking(true)
+                .expect("set listener non-blocking");
+            TcpListener { inner }
+        }
+
+        /// Binds a non-blocking listener on `addr`.
+        pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            Ok(Self::from_std(std::net::TcpListener::bind(addr)?))
+        }
+
+        /// Accepts one pending connection; `WouldBlock` when none is
+        /// queued. The accepted stream is already non-blocking.
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (s, addr) = self.inner.accept()?;
+            Ok((TcpStream::from_std(s), addr))
+        }
+
+        /// The bound local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl Source for TcpListener {
+        fn raw_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+
+    /// A non-blocking TCP stream.
+    #[derive(Debug)]
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Wraps a connected std stream, switching it to non-blocking mode.
+        pub fn from_std(inner: std::net::TcpStream) -> TcpStream {
+            inner
+                .set_nonblocking(true)
+                .expect("set stream non-blocking");
+            TcpStream { inner }
+        }
+
+        /// Connects to `addr`. Deviation from upstream mio: the connect
+        /// itself is blocking (immediate on loopback, the only use here)
+        /// and the socket turns non-blocking afterwards — see the crate
+        /// docs.
+        pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+            Ok(Self::from_std(std::net::TcpStream::connect(addr)?))
+        }
+
+        /// Sets `TCP_NODELAY`.
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+
+        /// The peer's address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// The local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl Source for TcpStream {
+        fn raw_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.inner.write(buf)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::time::Instant;
+
+    const LISTENER: Token = Token(1);
+    const CLIENT: Token = Token(2);
+    const WAKER: Token = Token(3);
+
+    #[test]
+    fn poll_times_out() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn readable_and_writable_events_flow() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+
+        let mut listener = net::TcpListener::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        poll.registry()
+            .register(&mut listener, LISTENER, Interest::READABLE)
+            .unwrap();
+
+        let mut client = net::TcpStream::connect(addr).unwrap();
+        // The pending accept must surface as a readable listener event.
+        let mut accepted = None;
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == LISTENER && e.is_readable())
+            {
+                let (s, _) = listener.accept().unwrap();
+                accepted = Some(s);
+                break;
+            }
+        }
+        let mut server_side = accepted.expect("accept event");
+
+        // A fresh stream is immediately writable.
+        poll.registry()
+            .register(&mut client, CLIENT, Interest::READABLE | Interest::WRITABLE)
+            .unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500)))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_writable()));
+
+        // Reads on the non-blocking client would block while idle...
+        let mut buf = [0u8; 16];
+        assert_eq!(
+            client.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+
+        // ...until the server writes, which raises a readable event.
+        server_side.write_all(b"ping").unwrap();
+        poll.registry()
+            .reregister(&mut client, CLIENT, Interest::READABLE)
+            .unwrap();
+        let mut got_readable = false;
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == CLIENT && e.is_readable())
+            {
+                got_readable = true;
+                break;
+            }
+        }
+        assert!(got_readable);
+        assert_eq!(client.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+
+        // Peer close surfaces as read-closed/readable (EOF on read).
+        drop(server_side);
+        let mut got_eof = false;
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == CLIENT && e.is_readable())
+            {
+                got_eof = true;
+                break;
+            }
+        }
+        assert!(got_eof);
+        assert_eq!(client.read(&mut buf).unwrap(), 0);
+
+        poll.registry().deregister(&mut client).unwrap();
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll() {
+        let mut poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), WAKER).unwrap());
+
+        let w = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake().unwrap();
+        });
+
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "waker never fired"
+        );
+        assert!(events.iter().any(|e| e.token() == WAKER && e.is_readable()));
+        t.join().unwrap();
+
+        // Edge-triggered: an unconsumed wake does not storm the poller.
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // A second wake after the edge re-arms delivers again.
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(500)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == WAKER));
+        waker.clear();
+    }
+}
