@@ -1,0 +1,164 @@
+//! Cache-coherent mapping feedback: what closing the belief loop costs
+//! and buys.
+//!
+//! A Zipf-popularity trace whose working set far exceeds one node's
+//! cache is run through the simulator under extended LARD with back-end
+//! forwarding, once with feedback **off** (the paper's open-loop
+//! dispatcher: the mapping table only grows) and once per reporting
+//! interval with feedback **on**. Two observables per cell:
+//!
+//! * **miss rate** — stale beliefs route requests to nodes that long
+//!   since evicted the target, turning would-be remote hits into disk
+//!   reads;
+//! * **divergence** — believed `(target, node)` pairs not actually
+//!   cached at end of run, measured against the simulated caches
+//!   themselves (ground truth, not the dispatcher's mirror).
+//!
+//! Shorter reporting intervals keep the belief fresher at more control
+//! traffic — the staleness trade-off the interval sweep makes visible.
+//!
+//! Writes `BENCH_coherence.json` at the repo root. The criterion group
+//! additionally measures the dispatcher-side cost of applying one
+//! batched feedback report (the control plane's hot operation).
+
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phttp_core::{
+    CacheEvent, ConcurrentDispatcher, ForwardSemantics, LardParams, NodeId, PolicyKind,
+};
+use phttp_sim::{build_workload, Report, SimConfig, Simulator};
+use phttp_simcore::SimDuration;
+use phttp_trace::{generate, SynthConfig, TargetId};
+
+/// Reporting intervals swept with feedback on, simulated milliseconds.
+const INTERVALS_MS: &[u64] = &[50, 200, 800];
+
+fn zipf_trace(views: usize) -> phttp_trace::Trace {
+    let mut synth = SynthConfig::small();
+    synth.num_pages = 300;
+    synth.num_page_views = views;
+    synth.zipf_exponent = 1.0;
+    generate(&synth)
+}
+
+/// One simulated cell: feedback off (`interval_ms == None`) or on at
+/// the given reporting interval.
+fn run_cell(trace: &phttp_trace::Trace, interval_ms: Option<u64>) -> Report {
+    let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 4);
+    // Working set ≫ per-node cache: the eviction churn regime where
+    // belief and reality can drift.
+    cfg.cache_bytes = 2 * 1024 * 1024;
+    if let Some(ms) = interval_ms {
+        cfg = cfg.with_feedback(SimDuration::from_millis(ms));
+    }
+    let workload = build_workload(trace, cfg.protocol, phttp_trace::SessionConfig::default());
+    Simulator::new(cfg, trace, &workload).run()
+}
+
+fn bench_apply_feedback(c: &mut Criterion) {
+    // The control plane's hot operation: one batched report (64 events)
+    // applied to a dispatcher with a populated mapping table.
+    let d = ConcurrentDispatcher::new(
+        PolicyKind::ExtLard,
+        ForwardSemantics::LateralFetch,
+        4,
+        LardParams::default(),
+    );
+    for i in 0..10_000u32 {
+        let t = TargetId(i);
+        d.mapping()
+            .write(t, |m| m.add_replica(t, NodeId(i as usize % 4)));
+    }
+    let mut g = c.benchmark_group("mapping_coherence");
+    g.bench_function("apply_feedback_64", |b| {
+        let mut round = 0u32;
+        b.iter(|| {
+            // Alternate admits and evicts over a sliding target window so
+            // every application does real mirror and shard work.
+            let base = round % 9_000;
+            round = round.wrapping_add(64);
+            let events: Vec<CacheEvent> = (0..64u32)
+                .map(|k| {
+                    let t = TargetId(base + k);
+                    if k % 2 == 0 {
+                        CacheEvent::Admit(t)
+                    } else {
+                        CacheEvent::Evict(t)
+                    }
+                })
+                .collect();
+            d.apply_cache_feedback(NodeId((round % 4) as usize), criterion::black_box(&events));
+        });
+    });
+    g.finish();
+}
+
+fn bench_report(_c: &mut Criterion) {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    let views = if quick { 2_000 } else { 8_000 };
+    let trace = zipf_trace(views);
+
+    let mut rows = String::new();
+    let push_row = |rows: &mut String, label: &str, interval: Option<u64>, r: &Report| {
+        let miss = 1.0 - r.cache_hit_rate;
+        let frac = if r.believed_pairs > 0 {
+            r.mapping_divergence as f64 / r.believed_pairs as f64
+        } else {
+            0.0
+        };
+        println!(
+            "mapping_coherence/{label:<14} miss {:>6.2}%  divergence {:>6} / {:<6} ({:>5.1}%)  stale_removed {:>6}  reports {:>5}  tput {:>8.0} req/s",
+            miss * 100.0,
+            r.mapping_divergence,
+            r.believed_pairs,
+            frac * 100.0,
+            r.stale_mappings_removed,
+            r.feedback_reports,
+            r.throughput_rps,
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"feedback\": {}, \"report_interval_ms\": {}, \"miss_rate\": {:.4}, \"divergence\": {}, \"believed_pairs\": {}, \"divergence_fraction\": {:.4}, \"stale_mappings_removed\": {}, \"feedback_reports\": {}, \"throughput_rps\": {:.0}}}",
+            interval.is_some(),
+            interval.map_or("null".to_string(), |ms| ms.to_string()),
+            miss,
+            r.mapping_divergence,
+            r.believed_pairs,
+            frac,
+            r.stale_mappings_removed,
+            r.feedback_reports,
+            r.throughput_rps,
+        ));
+    };
+
+    let off = run_cell(&trace, None);
+    push_row(&mut rows, "off", None, &off);
+    for &ms in INTERVALS_MS {
+        let on = run_cell(&trace, Some(ms));
+        push_row(&mut rows, &format!("on/{ms}ms"), Some(ms), &on);
+        assert_eq!(
+            on.mapping_divergence, 0,
+            "feedback on must end belief-coherent"
+        );
+    }
+    assert!(
+        off.mapping_divergence > 0,
+        "open loop must diverge under churn, or the bench measures nothing"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"mapping_coherence\",\n  \"workload\": \"Zipf(1.0) synthetic trace, {views} page views, 300 pages, P-HTTP, extLARD + BEforward, 4 nodes, 2 MiB caches (working set >> cache: heavy eviction churn)\",\n  \"baseline\": \"cache feedback off (open-loop mapping belief, the paper's dispatcher)\",\n  \"contender\": \"cache feedback on at {INTERVALS_MS:?} ms reporting intervals\",\n  \"metrics\": \"miss_rate (1 - aggregate hit rate); divergence = believed (target,node) pairs not actually cached at end of run, vs believed_pairs\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coherence.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(apply, bench_apply_feedback);
+criterion_group!(report, bench_report);
+criterion_main!(apply, report);

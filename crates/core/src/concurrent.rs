@@ -45,9 +45,12 @@
 //! prototype's one-handler-per-connection invariant); lifecycle calls
 //! for *different* connections may interleave arbitrarily.
 
+use std::sync::atomic::Ordering;
+
 use phttp_trace::TargetId;
 
 use crate::cost::LardParams;
+use crate::feedback::{CacheEvent, CacheMirror, CoherenceSnapshot, CoherenceStats};
 use crate::load::{LoadTracker, LOAD_UNIT};
 use crate::policy::{ForwardSemantics, MapEffect, Policy, PolicyKind};
 use crate::shard::{ConnState, ConnTable, ShardedMappingTable};
@@ -114,6 +117,11 @@ pub struct ConcurrentDispatcher {
     loads: LoadTracker,
     mapping: ShardedMappingTable,
     conns: ConnTable,
+    /// Reconstruction of each back-end's actual cache contents, fed by
+    /// control-session feedback reports.
+    mirror: CacheMirror,
+    /// Feedback counters.
+    coherence: CoherenceStats,
 }
 
 impl ConcurrentDispatcher {
@@ -133,6 +141,8 @@ impl ConcurrentDispatcher {
             loads: LoadTracker::new(config.num_nodes),
             mapping: ShardedMappingTable::new(config.mapping_shards),
             conns: ConnTable::new(config.conn_shards),
+            mirror: CacheMirror::new(config.num_nodes),
+            coherence: CoherenceStats::default(),
         }
     }
 
@@ -189,6 +199,123 @@ impl ConcurrentDispatcher {
     /// Panics if `node` is out of range.
     pub fn report_disk_queue(&self, node: NodeId, depth: usize) {
         self.loads.set_disk_queue(node, depth);
+    }
+
+    /// Applies one batched cache-feedback report from `node` — the
+    /// control-plane message that keeps the mapping belief coherent with
+    /// the node's real cache. `events` is the node's ordered stream of
+    /// admissions and evictions since its last report.
+    ///
+    /// Effects, in order:
+    ///
+    /// 1. the per-node [`CacheMirror`] replays the events (so the
+    ///    dispatcher always holds an exact running copy of the node's
+    ///    cache contents);
+    /// 2. every distinct target whose **final** state is *not cached*
+    ///    loses its believed `(target, node)` mapping, in one batched
+    ///    [`remove_stale`](ShardedMappingTable::remove_stale) call —
+    ///    each covering shard write-locked once, ascending index order
+    ///    (the `write_set` lock discipline);
+    /// 3. every distinct target whose final state *is* cached and is
+    ///    currently believed mapped counts as a confirmation.
+    ///
+    /// Feedback never **adds** a mapping, so it composes with concurrent
+    /// [`evict_node`](Self::evict_node): an in-flight report cannot
+    /// resurrect beliefs about a decommissioned node (regression-tested
+    /// in `tests/coherence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn apply_cache_feedback(&self, node: NodeId, events: &[CacheEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        self.coherence.reports.fetch_add(1, Ordering::Relaxed);
+        let (admits, evicts) = events.iter().fold((0u64, 0u64), |(a, e), ev| match ev {
+            CacheEvent::Admit(_) => (a + 1, e),
+            CacheEvent::Evict(_) => (a, e + 1),
+        });
+        self.coherence
+            .admit_events
+            .fetch_add(admits, Ordering::Relaxed);
+        self.coherence
+            .evict_events
+            .fetch_add(evicts, Ordering::Relaxed);
+
+        // The mirror lock is released before any mapping shard is taken
+        // (see the CacheMirror lock-order note).
+        let finals = self.mirror.apply(node, events);
+        let (cached, gone): (Vec<_>, Vec<_>) = finals.into_iter().partition(|&(_, c)| c);
+        let stale: Vec<TargetId> = gone.into_iter().map(|(t, _)| t).collect();
+        let removed = self.mapping.remove_stale(node, &stale);
+        self.coherence
+            .stale_removed
+            .fetch_add(removed, Ordering::Relaxed);
+        let confirms = cached
+            .into_iter()
+            .filter(|&(t, _)| self.mapping.is_mapped(t, node))
+            .count() as u64;
+        self.coherence
+            .confirmations
+            .fetch_add(confirms, Ordering::Relaxed);
+    }
+
+    /// The belief-vs-reality gap: believed `(target, node)` pairs whose
+    /// target the mirror says is **not** cached on that node. With
+    /// feedback off the mirror stays empty and this equals the total
+    /// believed pairs; with feedback on and all reports applied, a
+    /// quiescent system converges to 0. O(mapping size) — call it at
+    /// reporting granularity, not per decision.
+    pub fn mapping_divergence(&self) -> u64 {
+        // Collect believed pairs grouped by node first (shard read locks
+        // only), then check each node's mirror set under ONE lock — not
+        // one mirror lock cycle per pair, and no mirror lock is ever
+        // held while a shard lock is.
+        let mut per_node: Vec<Vec<TargetId>> = vec![Vec::new(); self.num_nodes()];
+        self.mapping.for_each_pair(|t, n| per_node[n.0].push(t));
+        per_node
+            .into_iter()
+            .enumerate()
+            .map(|(i, targets)| self.mirror.count_missing(NodeId(i), &targets))
+            .sum()
+    }
+
+    /// Coherence counters plus the current divergence and believed-pair
+    /// gauges, in one snapshot.
+    pub fn coherence(&self) -> CoherenceSnapshot {
+        let mut snap = self.coherence.snapshot();
+        snap.divergence = self.mapping_divergence();
+        snap.believed_pairs = self.mapping.num_replicas() as u64;
+        snap
+    }
+
+    /// The cheap half of [`coherence`](Self::coherence): counters only,
+    /// with the O(mapping size) divergence/believed-pair gauges left at
+    /// zero. For callers that compute their own gauges (the simulator
+    /// audits against its ground-truth caches) or only want the report
+    /// accounting.
+    pub fn coherence_counters(&self) -> CoherenceSnapshot {
+        self.coherence.snapshot()
+    }
+
+    /// The cache-contents mirror (diagnostics/tests).
+    pub fn mirror(&self) -> &CacheMirror {
+        &self.mirror
+    }
+
+    /// Decommissions `node` for mapping purposes: drops every believed
+    /// mapping that references it and forgets its mirrored cache
+    /// contents. Safe to race with [`apply_cache_feedback`](Self::apply_cache_feedback)
+    /// — feedback only removes or confirms beliefs, so a concurrent
+    /// report cannot resurrect the node's mappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn evict_node(&self, node: NodeId) {
+        self.mapping.evict_node(node);
+        self.mirror.clear(node);
     }
 
     /// Applies a decision's mapping effect to its chosen/serving node.

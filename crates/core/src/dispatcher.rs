@@ -113,6 +113,45 @@ impl Dispatcher {
         self.inner.report_disk_queue(node, depth);
     }
 
+    /// Applies one batched cache-feedback report from `node` (the
+    /// control-session message that keeps the mapping belief coherent
+    /// with the node's real cache). See
+    /// [`ConcurrentDispatcher::apply_cache_feedback`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn apply_cache_feedback(&mut self, node: NodeId, events: &[crate::feedback::CacheEvent]) {
+        self.inner.apply_cache_feedback(node, events);
+    }
+
+    /// Believed `(target, node)` pairs the feedback mirror says are not
+    /// actually cached. See [`ConcurrentDispatcher::mapping_divergence`].
+    pub fn mapping_divergence(&self) -> u64 {
+        self.inner.mapping_divergence()
+    }
+
+    /// Coherence counters plus divergence/believed-pair gauges.
+    pub fn coherence(&self) -> crate::feedback::CoherenceSnapshot {
+        self.inner.coherence()
+    }
+
+    /// Coherence counters only (no O(mapping size) gauge walk). See
+    /// [`ConcurrentDispatcher::coherence_counters`].
+    pub fn coherence_counters(&self) -> crate::feedback::CoherenceSnapshot {
+        self.inner.coherence_counters()
+    }
+
+    /// Drops every believed mapping and mirrored cache content for
+    /// `node` (decommissioning). See [`ConcurrentDispatcher::evict_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn evict_node(&mut self, node: NodeId) {
+        self.inner.evict_node(node);
+    }
+
     /// Handles the first request of a new connection: picks the
     /// connection-handling node, charges it one load unit, and registers the
     /// connection.

@@ -1,0 +1,256 @@
+//! Cache-coherent mapping feedback: the control-plane data types that keep
+//! the front-end's mapping *belief* in sync with the back-ends' real caches.
+//!
+//! The mapping table ([`crate::mapping`]) is the front-end's belief about
+//! which nodes cache which targets. The paper studies how that belief
+//! diverges from reality as back-ends silently evict: the table only grows
+//! (entries are added on assignment and removed only by whole-node
+//! [`ShardedMappingTable::evict_node`](crate::shard::ShardedMappingTable::evict_node)),
+//! so long runs route requests to cold caches while believing they are hot.
+//! This module closes the loop: back-ends report their cache-content
+//! *deltas* ([`CacheEvent`] streams) over the control session, and
+//! [`ConcurrentDispatcher::apply_cache_feedback`](crate::ConcurrentDispatcher::apply_cache_feedback)
+//! folds them into
+//!
+//! * a per-node [`CacheMirror`] — the dispatcher's running reconstruction
+//!   of each back-end's actual cache contents, and
+//! * batched, per-shard mapping removals — a belief `(target, node)` is
+//!   dropped when the node reports the target evicted (and not re-admitted).
+//!
+//! Feedback **never adds** a mapping: admissions only confirm existing
+//! beliefs (and update the mirror). That asymmetry is what makes feedback
+//! compose safely with node decommissioning — an in-flight feedback batch
+//! cannot resurrect mappings that
+//! [`evict_node`](crate::ConcurrentDispatcher::evict_node) just dropped.
+//!
+//! The **divergence** gauge counts believed `(target, node)` pairs whose
+//! target the mirror says is *not* cached on that node — the paper's
+//! belief-vs-reality gap as a single number. With feedback on and all
+//! reports applied, a quiescent system converges to divergence 0.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use phttp_trace::TargetId;
+
+use crate::types::NodeId;
+
+/// One cache-content change observed by a back-end, in the order it
+/// happened. A report is an ordered sequence of these, so the receiver
+/// can replay them into an exact mirror of the cache's final state even
+/// when a target is evicted and re-admitted within one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// The target entered the node's cache (first read after a miss).
+    Admit(TargetId),
+    /// The target was evicted from the node's cache (LRU pressure).
+    Evict(TargetId),
+}
+
+impl CacheEvent {
+    /// The target this event is about.
+    pub fn target(self) -> TargetId {
+        match self {
+            CacheEvent::Admit(t) | CacheEvent::Evict(t) => t,
+        }
+    }
+}
+
+/// Monotonic feedback counters, all atomic (mirrors the `NodeStats`
+/// idiom: shared-reference increments, snapshot for reporting).
+#[derive(Debug, Default)]
+pub struct CoherenceStats {
+    /// Feedback reports applied.
+    pub reports: AtomicU64,
+    /// Admission events across all reports.
+    pub admit_events: AtomicU64,
+    /// Eviction events across all reports.
+    pub evict_events: AtomicU64,
+    /// Stale believed mappings removed because of eviction reports.
+    pub stale_removed: AtomicU64,
+    /// Admissions that confirmed an existing believed mapping.
+    pub confirmations: AtomicU64,
+}
+
+/// Point-in-time view of [`CoherenceStats`] plus the divergence gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoherenceSnapshot {
+    /// Feedback reports applied so far.
+    pub reports: u64,
+    /// Admission events applied so far.
+    pub admit_events: u64,
+    /// Eviction events applied so far.
+    pub evict_events: u64,
+    /// Stale believed mappings removed so far.
+    pub stale_removed: u64,
+    /// Admissions that confirmed an existing belief.
+    pub confirmations: u64,
+    /// Believed `(target, node)` pairs the mirror says are not actually
+    /// cached — the belief-vs-reality gap at snapshot time.
+    pub divergence: u64,
+    /// Total believed `(target, node)` pairs at snapshot time.
+    pub believed_pairs: u64,
+}
+
+impl CoherenceStats {
+    /// Counter part of a snapshot (the caller fills in the gauges).
+    pub fn snapshot(&self) -> CoherenceSnapshot {
+        CoherenceSnapshot {
+            reports: self.reports.load(Ordering::Relaxed),
+            admit_events: self.admit_events.load(Ordering::Relaxed),
+            evict_events: self.evict_events.load(Ordering::Relaxed),
+            stale_removed: self.stale_removed.load(Ordering::Relaxed),
+            confirmations: self.confirmations.load(Ordering::Relaxed),
+            divergence: 0,
+            believed_pairs: 0,
+        }
+    }
+}
+
+/// The dispatcher's reconstruction of each back-end's cache contents,
+/// built purely from reported [`CacheEvent`] deltas (caches start empty,
+/// so deltas determine contents exactly).
+///
+/// Lock order: a mirror node lock is only ever taken while holding **no**
+/// mapping-shard lock, or *after* a shard lock (shard → mirror). It is
+/// never held across a shard acquisition, so it cannot participate in a
+/// deadlock cycle with the ascending-shard-order discipline of
+/// [`write_set`](crate::shard::ShardedMappingTable::write_set).
+#[derive(Debug)]
+pub struct CacheMirror {
+    nodes: Box<[Mutex<HashSet<TargetId>>]>,
+}
+
+impl CacheMirror {
+    /// An empty mirror for `num_nodes` back-ends.
+    pub fn new(num_nodes: usize) -> Self {
+        CacheMirror {
+            nodes: (0..num_nodes).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+
+    /// Number of mirrored nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Replays `events` in order into `node`'s mirrored set, then reports
+    /// each *distinct* target mentioned along with whether it is cached in
+    /// the final state (`true` = present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn apply(&self, node: NodeId, events: &[CacheEvent]) -> Vec<(TargetId, bool)> {
+        let mut set = self.nodes[node.0].lock();
+        for ev in events {
+            match *ev {
+                CacheEvent::Admit(t) => {
+                    set.insert(t);
+                }
+                CacheEvent::Evict(t) => {
+                    set.remove(&t);
+                }
+            }
+        }
+        let mut touched: Vec<TargetId> = events.iter().map(|e| e.target()).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched.into_iter().map(|t| (t, set.contains(&t))).collect()
+    }
+
+    /// Whether the mirror believes `target` is cached on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn contains(&self, node: NodeId, target: TargetId) -> bool {
+        self.nodes[node.0].lock().contains(&target)
+    }
+
+    /// How many of `targets` the mirror says are **not** cached on
+    /// `node` — one lock acquisition for the whole batch (the
+    /// divergence audit's primitive; per-target `contains` calls would
+    /// pay one lock cycle per believed pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn count_missing(&self, node: NodeId, targets: &[TargetId]) -> u64 {
+        let set = self.nodes[node.0].lock();
+        targets.iter().filter(|t| !set.contains(t)).count() as u64
+    }
+
+    /// Number of targets mirrored as cached on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn cached_count(&self, node: NodeId) -> usize {
+        self.nodes[node.0].lock().len()
+    }
+
+    /// Forgets everything mirrored for `node` (decommissioning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn clear(&self, node: NodeId) {
+        self.nodes[node.0].lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TargetId {
+        TargetId(i)
+    }
+
+    #[test]
+    fn mirror_replays_in_order() {
+        let m = CacheMirror::new(2);
+        let out = m.apply(
+            NodeId(0),
+            &[
+                CacheEvent::Admit(t(1)),
+                CacheEvent::Admit(t(2)),
+                CacheEvent::Evict(t(1)),
+                // Evicted then re-admitted: final state is "cached".
+                CacheEvent::Admit(t(1)),
+                // Admitted then evicted: final state is "not cached".
+                CacheEvent::Admit(t(3)),
+                CacheEvent::Evict(t(3)),
+            ],
+        );
+        assert_eq!(out, vec![(t(1), true), (t(2), true), (t(3), false)]);
+        assert!(m.contains(NodeId(0), t(1)));
+        assert!(m.contains(NodeId(0), t(2)));
+        assert!(!m.contains(NodeId(0), t(3)));
+        assert_eq!(m.cached_count(NodeId(0)), 2);
+        // Other nodes are untouched.
+        assert_eq!(m.cached_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn mirror_clear_forgets_a_node() {
+        let m = CacheMirror::new(1);
+        m.apply(NodeId(0), &[CacheEvent::Admit(t(7))]);
+        assert_eq!(m.cached_count(NodeId(0)), 1);
+        m.clear(NodeId(0));
+        assert_eq!(m.cached_count(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip() {
+        let s = CoherenceStats::default();
+        s.reports.fetch_add(2, Ordering::Relaxed);
+        s.evict_events.fetch_add(5, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.reports, 2);
+        assert_eq!(snap.evict_events, 5);
+        assert_eq!(snap.divergence, 0, "gauges are filled by the caller");
+    }
+}

@@ -15,6 +15,10 @@
 //! * the **mapping layer** ([`mapping`], [`shard`]): the front-end
 //!   table that partitions (and, under extended LARD, selectively
 //!   replicates) the working set, behind per-target lock shards;
+//! * the **feedback layer** ([`feedback`]): control-plane cache
+//!   reports from the back-ends ([`feedback::CacheEvent`] streams) that
+//!   keep the mapping *belief* coherent with real cache contents, plus
+//!   the divergence metric that quantifies the gap;
 //! * the [`Dispatcher`] façade: the original single-threaded API,
 //!   driving the trace-driven simulator (`phttp-sim`);
 //! * the [`ConcurrentDispatcher`] façade: the same semantics behind
@@ -94,6 +98,7 @@ pub mod concurrent;
 pub mod cost;
 pub mod costmodel;
 pub mod dispatcher;
+pub mod feedback;
 pub mod load;
 pub mod mapping;
 pub mod mechanism;
@@ -105,6 +110,7 @@ pub use concurrent::{ConcurrentDispatcher, DispatcherConfig};
 pub use cost::{aggregate_cost, cost_balancing, cost_locality, cost_replacement, LardParams};
 pub use costmodel::{MechanismCosts, ServerCosts};
 pub use dispatcher::Dispatcher;
+pub use feedback::{CacheEvent, CacheMirror, CoherenceSnapshot, CoherenceStats};
 pub use load::{LoadTracker, LOAD_UNIT};
 pub use mapping::MappingTable;
 pub use mechanism::Mechanism;

@@ -29,11 +29,32 @@ use crate::types::NodeId;
 /// leaving 43 bits of whole-connection headroom.
 pub const LOAD_UNIT: i64 = 1 << 20;
 
-/// Per-node load estimates and disk-queue depths, all atomic.
+/// One node's counters, padded and aligned to a cache line so that the
+/// dispatch hot path's relaxed stores to one node never invalidate the
+/// line holding another node's counters (false sharing). The load and
+/// disk-queue counters of the *same* node share a line deliberately —
+/// policies read them together in one decision.
+#[repr(align(64))]
+#[derive(Debug)]
+struct NodeCounters {
+    load: AtomicI64,
+    disk_q: AtomicUsize,
+}
+
+impl NodeCounters {
+    fn new() -> Self {
+        NodeCounters {
+            load: AtomicI64::new(0),
+            disk_q: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Per-node load estimates and disk-queue depths, all atomic, one cache
+/// line per node.
 #[derive(Debug)]
 pub struct LoadTracker {
-    loads: Box<[AtomicI64]>,
-    disk_q: Box<[AtomicUsize]>,
+    nodes: Box<[NodeCounters]>,
 }
 
 impl LoadTracker {
@@ -45,24 +66,23 @@ impl LoadTracker {
     pub fn new(num_nodes: usize) -> Self {
         assert!(num_nodes > 0, "cluster needs at least one back-end");
         LoadTracker {
-            loads: (0..num_nodes).map(|_| AtomicI64::new(0)).collect(),
-            disk_q: (0..num_nodes).map(|_| AtomicUsize::new(0)).collect(),
+            nodes: (0..num_nodes).map(|_| NodeCounters::new()).collect(),
         }
     }
 
     /// Number of tracked nodes.
     pub fn num_nodes(&self) -> usize {
-        self.loads.len()
+        self.nodes.len()
     }
 
     /// One node's load in connection units.
     pub fn load(&self, node: NodeId) -> f64 {
-        self.loads[node.0].load(Ordering::Relaxed) as f64 / LOAD_UNIT as f64
+        self.nodes[node.0].load.load(Ordering::Relaxed) as f64 / LOAD_UNIT as f64
     }
 
     /// One node's load in fixed point.
     pub fn load_fixed(&self, node: NodeId) -> i64 {
-        self.loads[node.0].load(Ordering::Relaxed)
+        self.nodes[node.0].load.load(Ordering::Relaxed)
     }
 
     /// Snapshot of every node's load in connection units.
@@ -74,12 +94,12 @@ impl LoadTracker {
 
     /// Adds a fixed-point charge to a node.
     pub fn charge(&self, node: NodeId, fixed: i64) {
-        self.loads[node.0].fetch_add(fixed, Ordering::Relaxed);
+        self.nodes[node.0].load.fetch_add(fixed, Ordering::Relaxed);
     }
 
     /// Removes a fixed-point charge from a node.
     pub fn discharge(&self, node: NodeId, fixed: i64) {
-        self.loads[node.0].fetch_sub(fixed, Ordering::Relaxed);
+        self.nodes[node.0].load.fetch_sub(fixed, Ordering::Relaxed);
     }
 
     /// The fixed-point charge for one request of a pipelined batch of
@@ -92,7 +112,9 @@ impl LoadTracker {
 
     /// Overwrites a node's load (test setup only).
     pub fn set_load_for_tests(&self, node: NodeId, load: f64) {
-        self.loads[node.0].store((load * LOAD_UNIT as f64) as i64, Ordering::Relaxed);
+        self.nodes[node.0]
+            .load
+            .store((load * LOAD_UNIT as f64) as i64, Ordering::Relaxed);
     }
 
     /// Records a back-end's disk queue depth.
@@ -101,12 +123,12 @@ impl LoadTracker {
     ///
     /// Panics if `node` is out of range.
     pub fn set_disk_queue(&self, node: NodeId, depth: usize) {
-        self.disk_q[node.0].store(depth, Ordering::Relaxed);
+        self.nodes[node.0].disk_q.store(depth, Ordering::Relaxed);
     }
 
     /// A back-end's last reported disk queue depth.
     pub fn disk_queue(&self, node: NodeId) -> usize {
-        self.disk_q[node.0].load(Ordering::Relaxed)
+        self.nodes[node.0].disk_q.load(Ordering::Relaxed)
     }
 }
 
@@ -166,5 +188,13 @@ mod tests {
     #[should_panic(expected = "at least one back-end")]
     fn zero_nodes_panics() {
         let _ = LoadTracker::new(0);
+    }
+
+    #[test]
+    fn node_counters_occupy_whole_cache_lines() {
+        // Neighbouring nodes' counters must never share a 64-byte line;
+        // alignment alone is not enough if the size were smaller.
+        assert_eq!(std::mem::align_of::<NodeCounters>(), 64);
+        assert_eq!(std::mem::size_of::<NodeCounters>(), 64);
     }
 }

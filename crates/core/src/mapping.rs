@@ -73,6 +73,16 @@ impl MappingTable {
         }
     }
 
+    /// Visits every believed `(target, node)` pair (divergence audits,
+    /// coherence metrics). Iteration order is unspecified.
+    pub fn for_each_pair(&self, mut f: impl FnMut(TargetId, NodeId)) {
+        for (&target, nodes) in &self.map {
+            for &node in nodes {
+                f(target, node);
+            }
+        }
+    }
+
     /// Drops every mapping that references `node` (node decommissioning).
     pub fn evict_node(&mut self, node: NodeId) {
         self.map.retain(|_, nodes| {

@@ -99,6 +99,40 @@ impl ShardedMappingTable {
         }
     }
 
+    /// Visits every believed `(target, node)` pair, shard by shard under
+    /// shared locks (divergence audits, coherence metrics). Pairs added
+    /// or removed concurrently in shards not yet visited may or may not
+    /// be seen — the usual sharded-snapshot caveat.
+    pub fn for_each_pair(&self, mut f: impl FnMut(TargetId, NodeId)) {
+        for shard in self.shards.iter() {
+            shard.read().for_each_pair(&mut f);
+        }
+    }
+
+    /// Removes the believed mappings `(target, node)` for every target in
+    /// `stale`, taking each distinct covering shard's write lock exactly
+    /// once in ascending index order (the [`write_set`](Self::write_set)
+    /// discipline). Returns how many believed pairs were actually
+    /// removed. This is the control-plane half of cache feedback:
+    /// eviction reports batch into one call per report, not one lock
+    /// acquisition per target.
+    pub fn remove_stale(&self, node: NodeId, stale: &[TargetId]) -> u64 {
+        if stale.is_empty() {
+            return 0;
+        }
+        self.write_set(stale, |set| {
+            let mut removed = 0;
+            for &t in stale {
+                let m = set.table_mut(t);
+                if m.is_mapped(t, node) {
+                    m.remove_replica(t, node);
+                    removed += 1;
+                }
+            }
+            removed
+        })
+    }
+
     /// Write-locks every shard covering `targets` — each distinct shard
     /// exactly **once**, in ascending shard-index order — and runs `f`
     /// with the locked set. This is the batched-dispatch primitive: a

@@ -1,0 +1,202 @@
+//! Cache-coherence feedback: semantics and concurrency regression tests.
+//!
+//! The contract under test (see `phttp_core::feedback`):
+//!
+//! * eviction reports remove stale believed mappings; admission reports
+//!   only *confirm* beliefs (and update the mirror) — feedback never adds
+//!   a mapping;
+//! * the divergence gauge counts believed pairs the mirror says are not
+//!   cached, and reaches 0 once beliefs and reports agree;
+//! * `evict_node` composes with in-flight `apply_cache_feedback` batches:
+//!   no mapping for the decommissioned node can be resurrected.
+
+use std::sync::Arc;
+
+use phttp_core::{
+    CacheEvent, ConcurrentDispatcher, ConnId, ForwardSemantics, LardParams, NodeId, PolicyKind,
+};
+use phttp_trace::TargetId;
+
+fn t(i: u32) -> TargetId {
+    TargetId(i)
+}
+
+fn ext(nodes: usize) -> ConcurrentDispatcher {
+    ConcurrentDispatcher::new(
+        PolicyKind::ExtLard,
+        ForwardSemantics::LateralFetch,
+        nodes,
+        LardParams::default(),
+    )
+}
+
+/// Plants a believed mapping directly (the policy-made beliefs the
+/// feedback loop audits).
+fn believe(d: &ConcurrentDispatcher, target: TargetId, node: NodeId) {
+    d.mapping().write(target, |m| m.add_replica(target, node));
+}
+
+#[test]
+fn eviction_report_removes_stale_belief() {
+    let d = ext(2);
+    believe(&d, t(1), NodeId(0));
+    believe(&d, t(2), NodeId(0));
+    d.apply_cache_feedback(
+        NodeId(0),
+        &[CacheEvent::Admit(t(1)), CacheEvent::Admit(t(2))],
+    );
+    assert_eq!(d.mapping_divergence(), 0);
+
+    d.apply_cache_feedback(NodeId(0), &[CacheEvent::Evict(t(1))]);
+    assert!(
+        !d.mapping().is_mapped(t(1), NodeId(0)),
+        "stale belief dropped"
+    );
+    assert!(d.mapping().is_mapped(t(2), NodeId(0)), "live belief kept");
+    let snap = d.coherence();
+    assert_eq!(snap.stale_removed, 1);
+    assert_eq!(snap.confirmations, 2);
+    assert_eq!(snap.reports, 2);
+    assert_eq!(snap.divergence, 0);
+    assert_eq!(snap.believed_pairs, 1);
+}
+
+#[test]
+fn evict_then_readmit_within_one_batch_keeps_the_belief() {
+    let d = ext(2);
+    believe(&d, t(7), NodeId(1));
+    // The node evicted 7 under pressure but read it back before the
+    // report flushed: the final state is "cached", so the belief stands.
+    d.apply_cache_feedback(
+        NodeId(1),
+        &[
+            CacheEvent::Admit(t(7)),
+            CacheEvent::Evict(t(7)),
+            CacheEvent::Admit(t(7)),
+        ],
+    );
+    assert!(d.mapping().is_mapped(t(7), NodeId(1)));
+    assert_eq!(d.coherence().stale_removed, 0);
+    assert_eq!(d.mapping_divergence(), 0);
+}
+
+#[test]
+fn admissions_never_create_mappings() {
+    let d = ext(2);
+    // A node caches targets the dispatcher never mapped to it (e.g. it
+    // served them laterally for a peer). Reports must not grow beliefs.
+    d.apply_cache_feedback(
+        NodeId(0),
+        &[CacheEvent::Admit(t(10)), CacheEvent::Admit(t(11))],
+    );
+    assert_eq!(d.mapping().num_replicas(), 0);
+    assert_eq!(d.coherence().confirmations, 0);
+    assert!(d.mirror().contains(NodeId(0), t(10)));
+}
+
+#[test]
+fn divergence_counts_unreported_beliefs() {
+    let d = ext(3);
+    believe(&d, t(1), NodeId(0));
+    believe(&d, t(1), NodeId(1)); // replicated target
+    believe(&d, t(2), NodeId(2));
+    // No feedback yet: every believed pair is divergent.
+    assert_eq!(d.mapping_divergence(), 3);
+    d.apply_cache_feedback(NodeId(1), &[CacheEvent::Admit(t(1))]);
+    assert_eq!(d.mapping_divergence(), 2);
+    d.apply_cache_feedback(NodeId(0), &[CacheEvent::Admit(t(1))]);
+    d.apply_cache_feedback(NodeId(2), &[CacheEvent::Admit(t(2))]);
+    assert_eq!(d.mapping_divergence(), 0);
+}
+
+#[test]
+fn feedback_does_not_touch_loads_or_connections() {
+    let d = ext(2);
+    let node = d.open_connection(ConnId(0), t(0));
+    let loads = d.loads();
+    d.apply_cache_feedback(node, &[CacheEvent::Admit(t(0)), CacheEvent::Evict(t(0))]);
+    assert_eq!(d.loads(), loads);
+    assert_eq!(d.active_connections(), 1);
+    d.close_connection(ConnId(0));
+    assert!(d.loads().iter().all(|&l| l.abs() < 1e-9));
+}
+
+#[test]
+fn empty_report_is_a_noop() {
+    let d = ext(2);
+    d.apply_cache_feedback(NodeId(0), &[]);
+    assert_eq!(d.coherence().reports, 0);
+}
+
+/// The ISSUE's regression scenario: `evict_node` racing in-flight
+/// feedback batches must leave the decommissioned node with **zero**
+/// believed mappings — a report applied after (or interleaved with) the
+/// decommission must not resurrect any.
+#[test]
+fn evict_node_composes_with_inflight_feedback() {
+    let d = Arc::new(ext(4));
+    const TARGETS: u32 = 512;
+    let victim = NodeId(3);
+
+    // Seed beliefs for every node, including the victim.
+    for i in 0..TARGETS {
+        believe(&d, t(i), NodeId((i as usize) % 4));
+    }
+
+    // Feedback threads: replay admit/evict churn for every node,
+    // including batches that mention the victim's targets, while the
+    // main thread decommissions the victim.
+    let feeders: Vec<_> = (0..4usize)
+        .map(|node| {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                for round in 0..200u32 {
+                    let events: Vec<CacheEvent> = (0..TARGETS)
+                        .filter(|i| (*i as usize) % 4 == node)
+                        .flat_map(|i| {
+                            if (i + round) % 3 == 0 {
+                                vec![CacheEvent::Admit(t(i)), CacheEvent::Evict(t(i))]
+                            } else {
+                                vec![CacheEvent::Admit(t(i))]
+                            }
+                        })
+                        .collect();
+                    d.apply_cache_feedback(NodeId(node), &events);
+                }
+            })
+        })
+        .collect();
+
+    // Decommission the victim repeatedly, racing the feeders.
+    for _ in 0..50 {
+        d.evict_node(victim);
+        std::thread::yield_now();
+    }
+    for f in feeders {
+        f.join().unwrap();
+    }
+    // One final decommission after all reports are in: nothing may
+    // survive it, because feedback can only remove or confirm beliefs.
+    d.evict_node(victim);
+
+    let mut victim_pairs = 0;
+    d.mapping().for_each_pair(|_, n| {
+        if n == victim {
+            victim_pairs += 1;
+        }
+    });
+    assert_eq!(
+        victim_pairs, 0,
+        "resurrected mappings for a decommissioned node"
+    );
+    assert_eq!(d.mirror().cached_count(victim), 0);
+    // The surviving nodes' beliefs remain audited: divergence reflects
+    // exactly the pairs whose final reported state was "not cached".
+    let mut residual = 0;
+    d.mapping().for_each_pair(|target, n| {
+        if !d.mirror().contains(n, target) {
+            residual += 1;
+        }
+    });
+    assert_eq!(d.mapping_divergence(), residual);
+}

@@ -31,8 +31,9 @@ use phttp_core::{Assignment, LardParams, Mechanism, NodeId, PolicyKind};
 use phttp_http::{Request, RequestParser, Response};
 use phttp_trace::{TargetId, Trace};
 
+use crate::control::FrameDecoder;
 use crate::frontend::{ConfigError, ConnGuard, FrontEnd, DEFAULT_DISK_REPORT_INTERVAL};
-use crate::node::{DiskEmu, NodeState, NodeStatsSnapshot};
+use crate::node::{DiskEmu, FeedbackConfig, NodeState, NodeStatsSnapshot};
 use crate::reactor::{self, ReactorConfig, ReactorHandle};
 use crate::store::ContentStore;
 
@@ -83,6 +84,19 @@ pub struct ProtoConfig {
     /// into the dispatcher (`Duration::ZERO` = refresh on every
     /// decision). See [`FrontEnd::with_disk_report_interval`].
     pub disk_report_interval: Duration,
+    /// Cache-coherent mapping feedback: when `true`, every back-end gets
+    /// a real control session (a loopback stream to the front-end) over
+    /// which it reports its cache admission/eviction deltas, and the
+    /// dispatcher prunes believed mappings whose targets were evicted.
+    /// When `false`, the mapping belief only grows — the paper's
+    /// open-loop behaviour.
+    pub cache_feedback: bool,
+    /// Minimum spacing between a node's feedback reports (the
+    /// control-session cadence; the staleness/traffic trade-off knob).
+    pub feedback_interval: Duration,
+    /// A node flushes a report early once this many events are pending,
+    /// bounding report size under heavy eviction churn.
+    pub feedback_batch: usize,
     /// Socket read timeout (bounds handler lifetime after client death).
     pub read_timeout: Duration,
     /// Size of the pre-spawned client-connection worker pool. Must exceed
@@ -115,6 +129,9 @@ impl Default for ProtoConfig {
             disk: DiskEmu::default(),
             lard: LardParams::default(),
             disk_report_interval: DEFAULT_DISK_REPORT_INTERVAL,
+            cache_feedback: true,
+            feedback_interval: Duration::from_millis(5),
+            feedback_batch: 64,
             read_timeout: Duration::from_secs(10),
             workers: 128,
             io_model: IoModel::default(),
@@ -131,6 +148,9 @@ pub struct Cluster {
     stop: Arc<AtomicBool>,
     accept_threads: Vec<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
+    /// Per-node control-session readers ([`IoModel::Threads`] only; the
+    /// reactor drains control streams on its own poller).
+    control_threads: Vec<std::thread::JoinHandle<()>>,
     /// Feeds accepted client connections to the worker pool. `None` after
     /// shutdown begins (or always, under [`IoModel::Reactor`]) so workers
     /// see a closed channel and exit.
@@ -180,13 +200,20 @@ impl Cluster {
 
         let nodes: Vec<Arc<NodeState>> = (0..config.nodes)
             .map(|i| {
-                Arc::new(NodeState::new(
-                    NodeId(i),
-                    config.cache_bytes,
-                    config.disk,
-                    store.clone(),
-                    peer_addrs.clone(),
-                ))
+                Arc::new(
+                    NodeState::new(
+                        NodeId(i),
+                        config.cache_bytes,
+                        config.disk,
+                        store.clone(),
+                        peer_addrs.clone(),
+                    )
+                    .with_feedback(FeedbackConfig {
+                        enabled: config.cache_feedback,
+                        batch: config.feedback_batch,
+                        min_interval: config.feedback_interval,
+                    }),
+                )
             })
             .collect();
 
@@ -194,6 +221,24 @@ impl Cluster {
             FrontEnd::new(config.policy, config.mechanism, config.lard, nodes.clone())?
                 .with_disk_report_interval(config.disk_report_interval),
         );
+
+        // Control sessions (§7.1): one loopback stream per back-end over
+        // which the node pushes framed disk-queue and cache-feedback
+        // reports. The node side attaches to the NodeState; the front-end
+        // side is drained by per-node reader threads (thread model) or by
+        // the reactor's poller as registered readiness sources (reactor
+        // model). Frames carry the node id, so pairing is self-describing.
+        let mut control_rx: Vec<TcpStream> = Vec::new();
+        if config.cache_feedback {
+            let ctl_listener = TcpListener::bind("127.0.0.1:0").expect("bind control listener");
+            let ctl_addr = ctl_listener.local_addr().expect("control addr");
+            for node in &nodes {
+                let tx = TcpStream::connect(ctl_addr).expect("connect control session");
+                let (rx, _) = ctl_listener.accept().expect("accept control session");
+                node.attach_control(tx);
+                control_rx.push(rx);
+            }
+        }
 
         let mut accept_threads = Vec::new();
         let mut listeners = peer_addrs.clone();
@@ -236,10 +281,21 @@ impl Cluster {
         }
 
         let mut worker_threads = Vec::new();
+        let mut control_threads = Vec::new();
         let mut work_tx = None;
         let mut reactor_handle = None;
         match config.io_model {
             IoModel::Threads => {
+                // Control-session readers: one blocking thread per node,
+                // decoding frames and applying them to the dispatcher.
+                // They exit on EOF, which `Cluster::shutdown` produces by
+                // closing the node-side streams.
+                for rx in control_rx.drain(..) {
+                    let frontend = frontend.clone();
+                    control_threads.push(std::thread::spawn(move || {
+                        run_control_reader(rx, &frontend);
+                    }));
+                }
                 // Client-connection worker pool: pre-spawned handlers pull
                 // accepted streams off a channel, so accepting a connection
                 // costs a channel send rather than a thread spawn.
@@ -286,6 +342,9 @@ impl Cluster {
                 // The event loop owns the front-end listeners outright: no
                 // acceptor threads, no worker pool. Shutdown goes through
                 // the reactor's waker instead of wake-up connects.
+                // The control sessions join the same poller: each
+                // front-end-side stream is a registered readiness source
+                // the loop drains like any other connection.
                 let handle = reactor::spawn(
                     ReactorConfig {
                         migration_delay: config.migration_delay,
@@ -294,6 +353,7 @@ impl Cluster {
                     frontend.clone(),
                     store.clone(),
                     fe_listeners,
+                    std::mem::take(&mut control_rx),
                     stop.clone(),
                 )
                 .expect("start reactor event loop");
@@ -308,6 +368,7 @@ impl Cluster {
             stop,
             accept_threads,
             worker_threads,
+            control_threads,
             work_tx,
             reactor: reactor_handle,
             peer_threads,
@@ -361,6 +422,18 @@ impl Cluster {
             .collect()
     }
 
+    /// Forces every node to flush its pending cache-feedback report over
+    /// the control session *now*, regardless of batch/interval. The
+    /// application is still asynchronous (the reader/poller has to drain
+    /// the frames) — callers that need the dispatcher's belief settled
+    /// poll [`FrontEnd::coherence`] after this. No-op when
+    /// [`ProtoConfig::cache_feedback`] is off.
+    pub fn flush_feedback(&self) {
+        for node in self.frontend.nodes() {
+            node.flush_feedback();
+        }
+    }
+
     /// Stops the cluster: closes the listeners and joins all threads.
     /// Under [`IoModel::Reactor`] this wakes the poller and waits for
     /// the event loop to drain every registered connection — a blocked
@@ -394,6 +467,42 @@ impl Cluster {
         let handles: Vec<_> = std::mem::take(&mut *self.peer_threads.lock());
         for t in handles {
             let _ = t.join();
+        }
+        // Control sessions last: traffic has stopped, so flush whatever
+        // feedback is still pending (the quiescent flush), then close the
+        // node-side streams — the blocking readers see EOF after draining
+        // the final frames and exit without any timeout.
+        for node in self.frontend.nodes() {
+            node.flush_feedback();
+            node.close_control();
+        }
+        for t in self.control_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Drains one node's control session: decodes frames and applies them to
+/// the front-end until EOF (shutdown closes the node side) or a framing
+/// error poisons the stream.
+fn run_control_reader(mut stream: TcpStream, fe: &FrontEnd) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return, // EOF: node side closed
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        decoder.feed(&buf[..n]);
+        loop {
+            match decoder.next() {
+                Ok(Some(msg)) => fe.apply_control(msg),
+                Ok(None) => break,
+                // Framing has no resync point; drop the session.
+                Err(_) => return,
+            }
         }
     }
 }

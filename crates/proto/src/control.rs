@@ -1,0 +1,307 @@
+//! The control-plane session: framed messages from the back-ends to the
+//! front-end.
+//!
+//! The paper's §7.1 gives every back-end a persistent *control session*
+//! to the front-end, carrying the cluster state the dispatcher decides
+//! on (disk queue lengths). This module is that wire: a length-framed
+//! binary protocol over the per-node loopback control connection, with
+//! two message types —
+//!
+//! * [`ControlMsg::DiskQueue`] — the paper's original payload, a node's
+//!   current disk-queue depth;
+//! * [`ControlMsg::CacheFeedback`] — the coherence extension: the node's
+//!   ordered cache admission/eviction delta since its previous report,
+//!   which the front-end folds into its mapping belief via
+//!   [`phttp_core::ConcurrentDispatcher::apply_cache_feedback`].
+//!
+//! Framing is `[tag: u8][len: u32 LE][payload]`, with `len` bounded by
+//! [`MAX_FRAME`] so a corrupt peer cannot make the receiver buffer
+//! unboundedly. The [`FrameDecoder`] is incremental: feed it whatever
+//! bytes arrived, pop complete messages — the same parser shape as the
+//! HTTP side, so it works identically on a blocking reader thread
+//! ([`IoModel::Threads`](crate::IoModel)) and as a registered readiness
+//! source on the reactor's poller ([`IoModel::Reactor`](crate::IoModel)).
+
+use phttp_core::{CacheEvent, NodeId};
+use phttp_trace::TargetId;
+
+/// Largest accepted frame payload. A feedback event costs 5 bytes, so
+/// this bounds one report to ~200k events — far beyond any real batch,
+/// while keeping a garbage length prefix from looking like a request to
+/// buffer gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+const TAG_DISK_QUEUE: u8 = 1;
+const TAG_CACHE_FEEDBACK: u8 = 2;
+const EV_ADMIT: u8 = 0;
+const EV_EVICT: u8 = 1;
+/// Frame header: tag byte plus little-endian payload length.
+const HEADER: usize = 5;
+
+/// One control-session message from a back-end to the front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Current disk-queue depth of `node` (the paper's §7.1 payload).
+    DiskQueue {
+        /// Reporting node.
+        node: NodeId,
+        /// Requests queued on or holding the node's disk.
+        depth: u32,
+    },
+    /// Ordered cache admission/eviction delta of `node` since its
+    /// previous report.
+    CacheFeedback {
+        /// Reporting node.
+        node: NodeId,
+        /// The delta, in the order it happened.
+        events: Vec<CacheEvent>,
+    },
+}
+
+/// Serializes one message into its wire frame.
+pub fn encode(msg: &ControlMsg) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let tag = match msg {
+        ControlMsg::DiskQueue { node, depth } => {
+            payload.extend_from_slice(&(node.0 as u32).to_le_bytes());
+            payload.extend_from_slice(&depth.to_le_bytes());
+            TAG_DISK_QUEUE
+        }
+        ControlMsg::CacheFeedback { node, events } => {
+            payload.extend_from_slice(&(node.0 as u32).to_le_bytes());
+            payload.extend_from_slice(&(events.len() as u32).to_le_bytes());
+            for ev in events {
+                let (t, target) = match ev {
+                    CacheEvent::Admit(t) => (EV_ADMIT, t),
+                    CacheEvent::Evict(t) => (EV_EVICT, t),
+                };
+                payload.push(t);
+                payload.extend_from_slice(&target.0.to_le_bytes());
+            }
+            TAG_CACHE_FEEDBACK
+        }
+    };
+    debug_assert!(payload.len() <= MAX_FRAME, "control frame over MAX_FRAME");
+    let mut wire = Vec::with_capacity(HEADER + payload.len());
+    wire.push(tag);
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&payload);
+    wire
+}
+
+/// Why a control stream's bytes could not be decoded. Any error poisons
+/// the stream: framing has no resynchronization point, so the session
+/// must be dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// Declared payload length exceeds [`MAX_FRAME`].
+    Oversize(u32),
+    /// Payload shorter or longer than its message requires.
+    Malformed,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadTag(t) => write!(f, "unknown control frame tag {t}"),
+            DecodeError::Oversize(n) => write!(f, "control frame of {n} bytes exceeds MAX_FRAME"),
+            DecodeError::Malformed => write!(f, "malformed control frame payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Incremental frame parser for one control stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `pos` is consumed.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete message, `Ok(None)` if more bytes are
+    /// needed, or an error that poisons the stream.
+    #[allow(clippy::should_implement_trait)] // same shape as the HTTP parsers
+    pub fn next(&mut self) -> Result<Option<ControlMsg>, DecodeError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER {
+            return Ok(None);
+        }
+        let tag = avail[0];
+        let len = u32::from_le_bytes([avail[1], avail[2], avail[3], avail[4]]);
+        if len as usize > MAX_FRAME {
+            return Err(DecodeError::Oversize(len));
+        }
+        if avail.len() < HEADER + len as usize {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER..HEADER + len as usize];
+        let msg = Self::decode_payload(tag, payload)?;
+        self.pos += HEADER + len as usize;
+        Ok(Some(msg))
+    }
+
+    fn decode_payload(tag: u8, p: &[u8]) -> Result<ControlMsg, DecodeError> {
+        let u32_at = |i: usize| -> Result<u32, DecodeError> {
+            p.get(i..i + 4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .ok_or(DecodeError::Malformed)
+        };
+        match tag {
+            TAG_DISK_QUEUE => {
+                if p.len() != 8 {
+                    return Err(DecodeError::Malformed);
+                }
+                Ok(ControlMsg::DiskQueue {
+                    node: NodeId(u32_at(0)? as usize),
+                    depth: u32_at(4)?,
+                })
+            }
+            TAG_CACHE_FEEDBACK => {
+                let node = NodeId(u32_at(0)? as usize);
+                let count = u32_at(4)? as usize;
+                if p.len() != 8 + count * 5 {
+                    return Err(DecodeError::Malformed);
+                }
+                let mut events = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = 8 + i * 5;
+                    let target = TargetId(u32_at(off + 1)?);
+                    events.push(match p[off] {
+                        EV_ADMIT => CacheEvent::Admit(target),
+                        EV_EVICT => CacheEvent::Evict(target),
+                        _ => return Err(DecodeError::Malformed),
+                    });
+                }
+                Ok(ControlMsg::CacheFeedback { node, events })
+            }
+            other => Err(DecodeError::BadTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TargetId {
+        TargetId(i)
+    }
+
+    #[test]
+    fn roundtrip_disk_queue() {
+        let msg = ControlMsg::DiskQueue {
+            node: NodeId(3),
+            depth: 17,
+        };
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode(&msg));
+        assert_eq!(dec.next().unwrap(), Some(msg));
+        assert_eq!(dec.next().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn roundtrip_cache_feedback() {
+        let msg = ControlMsg::CacheFeedback {
+            node: NodeId(1),
+            events: vec![
+                CacheEvent::Admit(t(5)),
+                CacheEvent::Evict(t(5)),
+                CacheEvent::Admit(t(9)),
+            ],
+        };
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode(&msg));
+        assert_eq!(dec.next().unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn incremental_and_pipelined_frames() {
+        let a = ControlMsg::DiskQueue {
+            node: NodeId(0),
+            depth: 1,
+        };
+        let b = ControlMsg::CacheFeedback {
+            node: NodeId(2),
+            events: vec![CacheEvent::Evict(t(7))],
+        };
+        let mut wire = encode(&a);
+        wire.extend_from_slice(&encode(&b));
+        let mut dec = FrameDecoder::new();
+        // Byte-at-a-time delivery must produce the same messages.
+        let mut got = Vec::new();
+        for byte in wire {
+            dec.feed(&[byte]);
+            while let Some(m) = dec.next().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_buffered() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[99, 1, 0, 0, 0, 0]);
+        assert_eq!(dec.next(), Err(DecodeError::BadTag(99)));
+
+        let mut dec = FrameDecoder::new();
+        let mut wire = vec![TAG_CACHE_FEEDBACK];
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        dec.feed(&wire);
+        assert_eq!(dec.next(), Err(DecodeError::Oversize(u32::MAX)));
+
+        // Truncated payload length vs event count.
+        let mut dec = FrameDecoder::new();
+        let mut wire = vec![TAG_CACHE_FEEDBACK, 9, 0, 0, 0];
+        wire.extend_from_slice(&1u32.to_le_bytes()); // node
+        wire.extend_from_slice(&7u32.to_le_bytes()); // claims 7 events
+        wire.push(0); // but one byte of payload follows
+        dec.feed(&wire);
+        assert_eq!(dec.next(), Err(DecodeError::Malformed));
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes() {
+        let msg = ControlMsg::DiskQueue {
+            node: NodeId(0),
+            depth: 0,
+        };
+        let wire = encode(&msg);
+        let mut dec = FrameDecoder::new();
+        for _ in 0..2000 {
+            dec.feed(&wire);
+            assert!(dec.next().unwrap().is_some());
+        }
+        assert!(
+            dec.buf.len() < 3 * 4096,
+            "decoder buffer leaked: {}",
+            dec.buf.len()
+        );
+    }
+}

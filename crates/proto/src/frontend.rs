@@ -19,11 +19,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use phttp_core::{
-    Assignment, ConcurrentDispatcher, ConnId, DispatcherConfig, ForwardSemantics, LardParams,
-    Mechanism, NodeId, PolicyKind,
+    Assignment, CoherenceSnapshot, ConcurrentDispatcher, ConnId, DispatcherConfig,
+    ForwardSemantics, LardParams, Mechanism, NodeId, PolicyKind,
 };
 use phttp_trace::TargetId;
 
+use crate::control::ControlMsg;
 use crate::node::NodeState;
 
 /// Why a front-end (and hence a cluster) could not be configured.
@@ -196,6 +197,45 @@ impl FrontEnd {
         self.dispatcher.mapping().replication_factor()
     }
 
+    /// The dispatcher's sharded mapping table (diagnostics/tests — e.g.
+    /// auditing the belief against the nodes' actual cache contents).
+    pub fn mapping(&self) -> &phttp_core::ShardedMappingTable {
+        self.dispatcher.mapping()
+    }
+
+    /// Applies one decoded control-session message to the dispatcher.
+    /// Both I/O models funnel their control streams here: the blocking
+    /// per-node reader threads under `IoModel::Threads`, and the
+    /// registered control-channel readiness sources under
+    /// `IoModel::Reactor`.
+    pub fn apply_control(&self, msg: ControlMsg) {
+        match msg {
+            ControlMsg::DiskQueue { node, depth } => {
+                if node.0 < self.nodes.len() {
+                    self.dispatcher.report_disk_queue(node, depth as usize);
+                }
+            }
+            ControlMsg::CacheFeedback { node, events } => {
+                if node.0 < self.nodes.len() {
+                    self.dispatcher.apply_cache_feedback(node, &events);
+                }
+            }
+        }
+    }
+
+    /// Coherence counters plus the divergence/believed-pair gauges
+    /// (diagnostics; O(mapping size), not for the per-decision path).
+    pub fn coherence(&self) -> CoherenceSnapshot {
+        self.dispatcher.coherence()
+    }
+
+    /// Believed `(target, node)` pairs the feedback mirror says are not
+    /// actually cached. See
+    /// [`ConcurrentDispatcher::mapping_divergence`].
+    pub fn mapping_divergence(&self) -> u64 {
+        self.dispatcher.mapping_divergence()
+    }
+
     /// Waits until every tracked connection has closed, up to `timeout`.
     /// Returns whether the front-end reached quiescence. Handler threads
     /// observe client EOFs asynchronously, so callers that need exact
@@ -233,6 +273,13 @@ impl FrontEnd {
             for node in &self.nodes {
                 self.dispatcher
                     .report_disk_queue(node.id, node.disk_queue_len());
+                // Same tick, other direction: sweep out any feedback a
+                // now-idle node has buffered past its own interval (a
+                // node only flushes at serve time; without this, the
+                // last partial batch before an idle spell would sit
+                // unreported). Honours the node's own reporting cadence;
+                // no-op when feedback is disabled.
+                node.flush_feedback_if_due();
             }
         }
     }

@@ -42,8 +42,11 @@
 //! cluster.shutdown();
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod client;
 pub mod cluster;
+pub mod control;
 pub mod frontend;
 pub mod node;
 pub mod reactor;
@@ -51,6 +54,7 @@ pub mod store;
 
 pub use client::{run_load, ClientProtocol, LoadConfig, LoadReport};
 pub use cluster::{Cluster, IoModel, ProtoConfig};
+pub use control::{ControlMsg, FrameDecoder};
 pub use frontend::{ConfigError, FrontEnd, DEFAULT_DISK_REPORT_INTERVAL};
-pub use node::{DiskEmu, NodeState, NodeStatsSnapshot};
+pub use node::{DiskEmu, FeedbackConfig, NodeState, NodeStatsSnapshot};
 pub use store::ContentStore;

@@ -11,15 +11,16 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use phttp_core::NodeId;
+use phttp_core::{CacheEvent, NodeId};
 use phttp_http::{Request, ResponseParser, Version};
 use phttp_simcore::lru::LruCache;
 use phttp_trace::TargetId;
 
+use crate::control::{encode, ControlMsg};
 use crate::store::ContentStore;
 
 /// Emulated disk timing.
@@ -48,6 +49,56 @@ impl DiskEmu {
     pub fn read_time(&self, bytes: u64) -> Duration {
         self.seek + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
     }
+}
+
+/// Cache-feedback reporting behaviour of a back-end node.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedbackConfig {
+    /// Whether the node tracks and reports its cache admission/eviction
+    /// deltas over the control session at all.
+    pub enabled: bool,
+    /// Flush a report as soon as this many events are pending, even
+    /// inside the interval (bounds report size under churn).
+    pub batch: usize,
+    /// Minimum spacing between reports otherwise (the paper's periodic
+    /// control-session cadence).
+    pub min_interval: Duration,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            enabled: true,
+            batch: 64,
+            min_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Outbound bytes a dead-reader control session may queue before the
+/// node declares the session lost and stops reporting.
+const MAX_CONTROL_BACKLOG: usize = 4 * 1024 * 1024;
+
+/// Events per encoded feedback frame. One event costs 5 wire bytes, so
+/// 4096 events is ~20 KiB — comfortably under the protocol's
+/// [`MAX_FRAME`](crate::control::MAX_FRAME) bound however large the
+/// pending backlog (or the `feedback_batch` knob) grows; a flush emits
+/// as many frames as it needs.
+const FEEDBACK_EVENTS_PER_FRAME: usize = 4096;
+
+/// Node-side state of the control session: pending (unencoded) events,
+/// encoded-but-unwritten bytes, and the stream itself. Writes are
+/// non-blocking — under [`IoModel::Reactor`](crate::IoModel) the event
+/// loop is both this writer (disk completions run on it) and the
+/// front-end-side reader, so a blocking write could deadlock the loop
+/// against itself; unwritten bytes stay queued and retry on the next
+/// flush instead.
+#[derive(Debug, Default)]
+struct ControlTx {
+    stream: Option<TcpStream>,
+    pending: Vec<CacheEvent>,
+    outbuf: Vec<u8>,
+    last_flush: Option<Instant>,
 }
 
 /// Per-node counters (all monotonic).
@@ -118,6 +169,11 @@ pub struct NodeState {
     peer_pool: Vec<Mutex<Vec<TcpStream>>>,
     /// Counters.
     pub stats: NodeStats,
+    /// Cache-feedback reporting behaviour.
+    feedback: FeedbackConfig,
+    /// Node side of the control session (lock order: `cache` may be held
+    /// when taking `control`, never the reverse).
+    control: Mutex<ControlTx>,
 }
 
 impl NodeState {
@@ -132,9 +188,12 @@ impl NodeState {
         let peer_pool = (0..peer_addrs.len())
             .map(|_| Mutex::new(Vec::new()))
             .collect();
+        let feedback = FeedbackConfig::default();
+        let mut cache = LruCache::new(cache_bytes);
+        cache.set_journal(feedback.enabled);
         NodeState {
             id,
-            cache: Mutex::new(LruCache::new(cache_bytes)),
+            cache: Mutex::new(cache),
             disk: Mutex::new(()),
             disk_queue: AtomicUsize::new(0),
             disk_emu,
@@ -142,6 +201,161 @@ impl NodeState {
             peer_addrs,
             peer_pool,
             stats: NodeStats::default(),
+            feedback,
+            control: Mutex::new(ControlTx::default()),
+        }
+    }
+
+    /// Overrides the cache-feedback behaviour (builder style, before the
+    /// node is shared).
+    pub fn with_feedback(mut self, cfg: FeedbackConfig) -> Self {
+        self.cache.get_mut().set_journal(cfg.enabled);
+        self.feedback = cfg;
+        self
+    }
+
+    /// Attaches the node side of the control session. The stream is
+    /// switched to non-blocking mode (see [`ControlTx`] for why writes
+    /// must never block).
+    pub fn attach_control(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_nonblocking(true)
+            .expect("control stream non-blocking");
+        self.control.lock().stream = Some(stream);
+    }
+
+    /// Drops the node side of the control session; the front-end's
+    /// reader observes EOF. Called by `Cluster::shutdown` so blocking
+    /// control readers unwind without timeouts.
+    pub fn close_control(&self) {
+        let mut tx = self.control.lock();
+        tx.stream = None;
+        tx.pending.clear();
+        tx.outbuf.clear();
+    }
+
+    /// Encodes and (non-blockingly) sends everything pending on the
+    /// control session, regardless of batch size or interval. Used by
+    /// the front-end's periodic tick to sweep out stragglers on idle
+    /// nodes, by `Cluster::shutdown` for the final quiescent flush, and
+    /// by tests that want the dispatcher's belief settled *now*.
+    pub fn flush_feedback(&self) {
+        if !self.feedback.enabled {
+            return;
+        }
+        let mut tx = self.control.lock();
+        self.maybe_flush(&mut tx, true);
+    }
+
+    /// Like [`flush_feedback`](Self::flush_feedback) but honouring the
+    /// configured batch/interval thresholds — the front-end's periodic
+    /// sweep uses this so an idle node's stragglers go out on the
+    /// node's own reporting cadence, not the sweep's.
+    pub fn flush_feedback_if_due(&self) {
+        if !self.feedback.enabled {
+            return;
+        }
+        let mut tx = self.control.lock();
+        self.maybe_flush(&mut tx, false);
+    }
+
+    /// Inserts a just-read document into the cache and records the
+    /// resulting admission/eviction delta for the next feedback report.
+    /// Events are appended while the cache lock is still held (lock
+    /// order: `cache` → `control`), so the per-node event order on the
+    /// wire is exactly the cache's own mutation order — the property
+    /// that lets the dispatcher's mirror replay to the true contents.
+    fn cache_insert_reporting(&self, target: TargetId, size: u64) {
+        let mut cache = self.cache.lock();
+        let admitted = cache.insert(target, size);
+        if !self.feedback.enabled {
+            return;
+        }
+        let evicted = cache.drain_evictions();
+        let rejected = !admitted && !cache.contains(target);
+        let mut tx = self.control.lock();
+        drop(cache);
+        if admitted {
+            tx.pending.push(CacheEvent::Admit(target));
+        } else if rejected {
+            // Oversized target the cache refused: report it as "not
+            // cached" so a belief about it cannot diverge forever.
+            tx.pending.push(CacheEvent::Evict(target));
+        }
+        tx.pending
+            .extend(evicted.into_iter().map(CacheEvent::Evict));
+        self.maybe_flush(&mut tx, false);
+    }
+
+    /// Flushes the control session if `force`, the batch bound, or the
+    /// reporting interval says so. Never blocks: unwritten bytes stay in
+    /// `outbuf` for the next attempt, and a session whose reader stopped
+    /// draining (backlog past [`MAX_CONTROL_BACKLOG`]) or errored is
+    /// dropped.
+    fn maybe_flush(&self, tx: &mut ControlTx, force: bool) {
+        if tx.pending.is_empty() && tx.outbuf.is_empty() {
+            return;
+        }
+        let due = force
+            || tx.pending.len() >= self.feedback.batch
+            || tx
+                .last_flush
+                .is_none_or(|at| at.elapsed() >= self.feedback.min_interval);
+        if !due {
+            return;
+        }
+        tx.last_flush = Some(Instant::now());
+        if tx.stream.is_none() {
+            // Standalone node (no session attached): reports have
+            // nowhere to go; drop them so the buffer cannot grow.
+            tx.pending.clear();
+            tx.outbuf.clear();
+            return;
+        }
+        if !tx.pending.is_empty() {
+            let events = std::mem::take(&mut tx.pending);
+            // Chunked so no single frame can exceed MAX_FRAME, whatever
+            // the backlog or the configured batch size.
+            for chunk in events.chunks(FEEDBACK_EVENTS_PER_FRAME) {
+                let report = encode(&ControlMsg::CacheFeedback {
+                    node: self.id,
+                    events: chunk.to_vec(),
+                });
+                tx.outbuf.extend_from_slice(&report);
+            }
+            // The paper's control sessions carry queue lengths; ride the
+            // current depth along with every feedback report.
+            let depth = encode(&ControlMsg::DiskQueue {
+                node: self.id,
+                depth: self.disk_queue_len() as u32,
+            });
+            tx.outbuf.extend_from_slice(&depth);
+        }
+        let ControlTx { stream, outbuf, .. } = tx;
+        let mut written = 0;
+        let mut dead = false;
+        if let Some(s) = stream.as_mut() {
+            while written < outbuf.len() {
+                match s.write(&outbuf[written..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => written += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        outbuf.drain(..written);
+        if dead || outbuf.len() > MAX_CONTROL_BACKLOG {
+            *stream = None;
+            outbuf.clear();
         }
     }
 
@@ -168,7 +382,7 @@ impl NodeState {
                 std::thread::sleep(self.disk_emu.read_time(size));
             }
             self.disk_queue.fetch_sub(1, Ordering::Relaxed);
-            self.cache.lock().insert(target, size);
+            self.cache_insert_reporting(target, size);
         }
         self.store.body(target)
     }
@@ -201,7 +415,7 @@ impl NodeState {
     /// [`serve_local`](Self::serve_local).
     pub fn finish_disk_read(&self, target: TargetId) {
         self.disk_queue.fetch_sub(1, Ordering::Relaxed);
-        self.cache.lock().insert(target, self.store.size(target));
+        self.cache_insert_reporting(target, self.store.size(target));
     }
 
     /// Emulated read latency for `target` on this node's disk.

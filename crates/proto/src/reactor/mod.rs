@@ -64,6 +64,7 @@ use phttp_core::{Assignment, ForwardSemantics, NodeId};
 use phttp_http::{Request, Response, Version};
 use phttp_trace::TargetId;
 
+use crate::control::FrameDecoder;
 use crate::frontend::FrontEnd;
 use crate::store::ContentStore;
 
@@ -74,9 +75,10 @@ use peer::{LateralJob, PeerSession};
 /// Token of the cross-thread waker.
 const WAKER: Token = Token(0);
 /// First listener token; listener `i` is `Token(LISTENER_BASE + i)`.
-/// Slab tokens start right after the last listener (`Reactor::slab_base`
-/// is computed from the listener count, so the ranges can never collide
-/// however many listeners are configured).
+/// Control-channel tokens follow the listeners (`Reactor::control_base`)
+/// and slab tokens follow those (`Reactor::slab_base`); all three bases
+/// are computed from the configured counts, so the ranges can never
+/// collide however many listeners or nodes there are.
 const LISTENER_BASE: usize = 1;
 /// Idle lateral sessions retained per peer (mirrors the thread path's
 /// per-peer pool cap in `NodeState::return_peer_conn`).
@@ -170,6 +172,7 @@ pub(crate) fn spawn(
     fe: Arc<FrontEnd>,
     store: Arc<ContentStore>,
     std_listeners: Vec<std::net::TcpListener>,
+    std_control: Vec<std::net::TcpStream>,
     stop: Arc<AtomicBool>,
 ) -> io::Result<ReactorHandle> {
     let poll = Poll::new()?;
@@ -181,16 +184,36 @@ pub(crate) fn spawn(
             .register(&mut l, Token(LISTENER_BASE + i), Interest::READABLE)?;
         listeners.push(l);
     }
+    // The control sessions are ordinary readiness sources on the same
+    // poller: the loop decodes their frames exactly where the thread
+    // model runs its per-node reader threads.
+    let control_base = LISTENER_BASE + listeners.len();
+    let mut controls = Vec::with_capacity(std_control.len());
+    for (i, s) in std_control.into_iter().enumerate() {
+        let mut chan = ControlChan {
+            stream: mio::net::TcpStream::from_std(s),
+            decoder: FrameDecoder::new(),
+            open: true,
+        };
+        poll.registry().register(
+            &mut chan.stream,
+            Token(control_base + i),
+            Interest::READABLE,
+        )?;
+        controls.push(chan);
+    }
     let nodes = fe.nodes().len();
     let peer_addrs = fe.nodes()[0].peer_addrs.clone();
     let semantics = fe.semantics();
-    let slab_base = LISTENER_BASE + listeners.len();
+    let slab_base = control_base + controls.len();
     let reactor = Reactor {
         poll,
         fe,
         store,
         stop,
         listeners,
+        control_base,
+        controls,
         slab_base,
         slots: Vec::new(),
         free: Vec::new(),
@@ -215,13 +238,27 @@ pub(crate) fn spawn(
 
 /// The event loop: owns the poller, all registered sources, the timer
 /// heap, and the per-node disk schedulers.
+/// One registered control-session stream plus its frame decoder.
+struct ControlChan {
+    stream: mio::net::TcpStream,
+    decoder: FrameDecoder,
+    /// Cleared on EOF or a framing error; the channel stays in the
+    /// vector (token layout is positional) but is ignored thereafter.
+    open: bool,
+}
+
 struct Reactor {
     poll: Poll,
     fe: Arc<FrontEnd>,
     store: Arc<ContentStore>,
     stop: Arc<AtomicBool>,
     listeners: Vec<mio::net::TcpListener>,
-    /// First slab token: `LISTENER_BASE + listeners.len()`.
+    /// First control-channel token: `LISTENER_BASE + listeners.len()`.
+    control_base: usize,
+    /// Registered control sessions, one per back-end (empty when cache
+    /// feedback is disabled).
+    controls: Vec<ControlChan>,
+    /// First slab token: `control_base + controls.len()`.
     slab_base: usize,
     slots: Vec<SlabSlot>,
     free: Vec<usize>,
@@ -264,8 +301,10 @@ impl Reactor {
                 let Token(t) = ev.token();
                 if t == WAKER.0 {
                     continue; // stop flag is checked each iteration
-                } else if t < self.slab_base {
+                } else if t < self.control_base {
                     self.accept_all(t - LISTENER_BASE);
+                } else if t < self.slab_base {
+                    self.drain_control(t - self.control_base);
                 } else {
                     self.handle_slot(t - self.slab_base);
                 }
@@ -348,6 +387,60 @@ impl Reactor {
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => break, // transient accept failure; retry on next event
+            }
+        }
+    }
+
+    // ---- control sessions -----------------------------------------------
+
+    /// Drains one control session as far as readiness allows, applying
+    /// every decoded frame to the front-end — the reactor-side analogue
+    /// of the thread model's blocking per-node control reader.
+    fn drain_control(&mut self, idx: usize) {
+        // Field-split the borrows: the channel is driven mutably while
+        // frames are applied through `fe` and deregistration goes
+        // through `poll` — disjoint fields of `self`.
+        let Reactor {
+            controls, fe, poll, ..
+        } = self;
+        let Some(chan) = controls.get_mut(idx) else {
+            return;
+        };
+        if !chan.open {
+            return;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match chan.stream.read(&mut buf) {
+                Ok(0) => {
+                    // Node side closed (cluster teardown).
+                    chan.open = false;
+                    let _ = poll.registry().deregister(&mut chan.stream);
+                    return;
+                }
+                Ok(n) => {
+                    chan.decoder.feed(&buf[..n]);
+                    loop {
+                        match chan.decoder.next() {
+                            Ok(Some(msg)) => fe.apply_control(msg),
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Framing has no resync point; drop the
+                                // session like the thread reader does.
+                                chan.open = false;
+                                let _ = poll.registry().deregister(&mut chan.stream);
+                                return;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    chan.open = false;
+                    let _ = poll.registry().deregister(&mut chan.stream);
+                    return;
+                }
             }
         }
     }

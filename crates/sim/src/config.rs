@@ -2,6 +2,7 @@
 //! and workload mode.
 
 use phttp_core::{LardParams, Mechanism, PolicyKind};
+use phttp_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::costs::{DiskParams, MechanismCosts, ServerCosts};
@@ -54,6 +55,19 @@ pub struct SimConfig {
     /// Speed multiplier for the front-end CPU (>1 models an SMP front-end;
     /// the paper suggests SMP front-ends for larger clusters).
     pub fe_speedup: f64,
+    /// Cache-coherent mapping feedback: when `true`, back-ends report
+    /// their cache admissions/evictions to the dispatcher over the
+    /// control sessions every [`feedback_interval`](Self::feedback_interval),
+    /// so the mapping belief tracks real cache contents instead of only
+    /// growing. Off by default — the paper's dispatcher runs open-loop,
+    /// and the divergence between the two is exactly what the
+    /// `mapping_coherence` bench measures.
+    pub cache_feedback: bool,
+    /// Reporting period of the cache-feedback control messages. Shorter
+    /// intervals keep the belief fresher at more control traffic; longer
+    /// intervals let more stale routing happen between reports (the
+    /// staleness trade-off, see ARCHITECTURE.md "Mapping coherence").
+    pub feedback_interval: SimDuration,
 }
 
 impl SimConfig {
@@ -80,6 +94,8 @@ impl SimConfig {
             lard: LardParams::default(),
             window_per_node: 40,
             fe_speedup: 1.0,
+            cache_feedback: false,
+            feedback_interval: SimDuration::from_millis(100),
         };
         match label {
             "WRR" => SimConfig {
@@ -131,6 +147,14 @@ impl SimConfig {
         self
     }
 
+    /// Enables cache-coherent mapping feedback at the given reporting
+    /// interval (builder style).
+    pub fn with_feedback(mut self, interval: SimDuration) -> SimConfig {
+        self.cache_feedback = true;
+        self.feedback_interval = interval;
+        self
+    }
+
     /// Total closed-loop window.
     pub fn window(&self) -> usize {
         self.window_per_node * self.nodes
@@ -160,6 +184,9 @@ impl SimConfig {
         }
         if self.fe_speedup <= 0.0 {
             return Err("fe_speedup must be positive".into());
+        }
+        if self.cache_feedback && self.feedback_interval == SimDuration::ZERO {
+            return Err("feedback_interval must be positive when cache_feedback is on".into());
         }
         self.lard.validate()
     }

@@ -31,7 +31,8 @@
 use std::collections::HashMap;
 
 use phttp_core::{
-    Assignment, ConnId, Dispatcher, DispatcherConfig, ForwardSemantics, Mechanism, NodeId,
+    Assignment, CacheEvent, ConnId, Dispatcher, DispatcherConfig, ForwardSemantics, Mechanism,
+    NodeId,
 };
 use phttp_simcore::{Accumulator, EventQueue, FifoResource, Histogram, SimDuration, SimTime};
 use phttp_trace::{ConnectionTrace, TargetId, Trace};
@@ -53,17 +54,40 @@ struct Backend {
     requests: u64,
     hits: u64,
     bytes: u64,
+    /// Cache admissions/evictions accumulated since the last feedback
+    /// report (empty and untouched when feedback is off).
+    pending_feedback: Vec<CacheEvent>,
 }
 
 impl Backend {
-    fn new(cache_bytes: u64) -> Self {
+    fn new(cache_bytes: u64, feedback: bool) -> Self {
+        let mut cache = LruCache::new(cache_bytes);
+        cache.set_journal(feedback);
         Backend {
             cpu: FifoResource::new(),
             disk: FifoResource::new(),
-            cache: LruCache::new(cache_bytes),
+            cache,
             requests: 0,
             hits: 0,
             bytes: 0,
+            pending_feedback: Vec::new(),
+        }
+    }
+
+    /// Records the cache-content delta of one `insert` into the pending
+    /// feedback report: the admission (if the target newly entered), the
+    /// evictions it caused, and — when the cache *rejected* the target
+    /// (larger than the whole budget) — an eviction-style "not cached"
+    /// event, so the dispatcher's belief about uncacheable targets is
+    /// corrected rather than diverging forever.
+    fn record_insert(&mut self, target: TargetId, admitted: bool) {
+        if admitted {
+            self.pending_feedback.push(CacheEvent::Admit(target));
+        } else if !self.cache.contains(target) {
+            self.pending_feedback.push(CacheEvent::Evict(target));
+        }
+        for victim in self.cache.drain_evictions() {
+            self.pending_feedback.push(CacheEvent::Evict(victim));
         }
     }
 }
@@ -106,6 +130,10 @@ enum Ev {
     ReqFwd(u32, u16),
     /// Periodic disk-queue report over the control sessions.
     DiskReport,
+    /// Periodic cache-feedback report over the control sessions: each
+    /// back-end's admission/eviction delta since the previous report is
+    /// applied to the dispatcher's mapping belief.
+    FeedbackReport,
 }
 
 /// The simulator. Borrowing the workload keeps multi-run sweeps cheap.
@@ -188,7 +216,7 @@ impl<'w> Run<'w> {
             cfg.policy, semantics, cfg.nodes, cfg.lard,
         ));
         let backends = (0..cfg.nodes)
-            .map(|_| Backend::new(cfg.cache_bytes))
+            .map(|_| Backend::new(cfg.cache_bytes, cfg.cache_feedback))
             .collect();
         Run {
             cfg,
@@ -224,6 +252,12 @@ impl<'w> Run<'w> {
     fn run(mut self) -> Report {
         self.events
             .push(SimTime::ZERO + DISK_REPORT_INTERVAL, Ev::DiskReport);
+        if self.cfg.cache_feedback {
+            self.events.push(
+                SimTime::ZERO + self.cfg.feedback_interval,
+                Ev::FeedbackReport,
+            );
+        }
         self.try_admit(SimTime::ZERO);
         while let Some((now, ev)) = self.events.pop() {
             match ev {
@@ -234,6 +268,7 @@ impl<'w> Run<'w> {
                 Ev::ReqXmit(c, r) => self.on_req_xmit(c, r, now),
                 Ev::ReqFwd(c, r) => self.on_req_done(c, r, now),
                 Ev::DiskReport => self.on_disk_report(now),
+                Ev::FeedbackReport => self.on_feedback_report(now),
             }
         }
         self.report()
@@ -249,8 +284,28 @@ impl<'w> Run<'w> {
             let depth = self.backends[i].disk.queue_len(now);
             self.dispatcher.report_disk_queue(NodeId(i), depth);
         }
-        if !self.events.is_empty() || self.active > 0 {
+        // Re-arm only while connections are in flight: admission is
+        // eager, so `active == 0` means the workload is exhausted. (The
+        // queue-emptiness test the pre-feedback code used would keep two
+        // periodic control events re-arming each other forever.)
+        if self.active > 0 {
             self.events.push(now + DISK_REPORT_INTERVAL, Ev::DiskReport);
+        }
+    }
+
+    /// Back-ends flush their cache-content deltas to the dispatcher over
+    /// the control sessions: the mapping belief sheds entries whose
+    /// targets were evicted and confirms the ones still cached. One
+    /// `apply_cache_feedback` batch per node per interval — the same
+    /// batched, per-shard application the live prototype pays.
+    fn on_feedback_report(&mut self, now: SimTime) {
+        for i in 0..self.cfg.nodes {
+            let events = std::mem::take(&mut self.backends[i].pending_feedback);
+            self.dispatcher.apply_cache_feedback(NodeId(i), &events);
+        }
+        if self.active > 0 {
+            self.events
+                .push(now + self.cfg.feedback_interval, Ev::FeedbackReport);
         }
     }
 
@@ -461,7 +516,10 @@ impl<'w> Run<'w> {
         let (node, target) = self.request_ctx(c, r);
         let size = self.trace.size_of(target);
         let be = &mut self.backends[node.0];
-        be.cache.insert(target, size);
+        let admitted = be.cache.insert(target, size);
+        if self.cfg.cache_feedback {
+            be.record_insert(target, admitted);
+        }
         let done = be.cpu.schedule(now, self.cfg.server.xmit_time(size));
         self.events.push(done, Ev::ReqXmit(c, r));
     }
@@ -545,7 +603,34 @@ impl<'w> Run<'w> {
         self.workload.connections[widx].batches[batch].targets[r as usize]
     }
 
-    fn report(self) -> Report {
+    fn report(mut self) -> Report {
+        // Quiescent flush: whatever deltas accumulated after the last
+        // periodic report still reach the dispatcher (the real system's
+        // back-ends keep reporting after traffic stops; the event loop
+        // has no "after", so flush here).
+        if self.cfg.cache_feedback {
+            for i in 0..self.cfg.nodes {
+                let events = std::mem::take(&mut self.backends[i].pending_feedback);
+                self.dispatcher.apply_cache_feedback(NodeId(i), &events);
+            }
+        }
+        // True divergence, measured against the simulated caches
+        // themselves (not the dispatcher's mirror): believed pairs whose
+        // target the serving node does not actually hold. Computable with
+        // feedback on or off — the off/on delta is the headline of the
+        // `mapping_coherence` bench.
+        let mut true_divergence = 0u64;
+        let mut believed_pairs = 0u64;
+        self.dispatcher.mapping().for_each_pair(|target, node| {
+            believed_pairs += 1;
+            if !self.backends[node.0].cache.contains(target) {
+                true_divergence += 1;
+            }
+        });
+        // Counters only: the divergence/believed-pair gauges were just
+        // computed from ground truth above, so the mirror-walk variant
+        // (`coherence()`) would be a second full pass for nothing.
+        let coherence = self.dispatcher.coherence_counters();
         let horizon = self.finished_at;
         let secs = horizon.as_secs_f64();
         let per_node: Vec<NodeReport> = self
@@ -596,6 +681,10 @@ impl<'w> Run<'w> {
             p50_latency_ms: self.latency_hist.quantile(0.50).unwrap_or(0.0),
             p95_latency_ms: self.latency_hist.quantile(0.95).unwrap_or(0.0),
             p99_latency_ms: self.latency_hist.quantile(0.99).unwrap_or(0.0),
+            mapping_divergence: true_divergence,
+            believed_pairs,
+            stale_mappings_removed: coherence.stale_removed,
+            feedback_reports: coherence.reports,
             per_node,
         }
     }
@@ -760,6 +849,78 @@ mod tests {
         assert_eq!(r.migrations, 0);
         let m = run_label("multiHandoff-extLARD-PHTTP", 4, &trace);
         assert_eq!(m.forwarded_requests, 0);
+    }
+
+    #[test]
+    fn feedback_converges_divergence_to_zero() {
+        use phttp_simcore::SimDuration;
+        let trace = small_trace();
+        // Working set ≫ one node's cache: eviction churn guaranteed.
+        let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3)
+            .with_feedback(SimDuration::from_millis(100));
+        cfg.cache_bytes = 2 * 1024 * 1024;
+        let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+        let r = Simulator::new(cfg, &trace, &workload).run();
+        assert_eq!(
+            r.mapping_divergence, 0,
+            "with feedback on, a quiescent run must end belief-coherent"
+        );
+        assert!(r.feedback_reports > 0, "reports must have flowed");
+        assert!(
+            r.stale_mappings_removed > 0,
+            "eviction churn must have shed stale beliefs"
+        );
+        assert!(r.believed_pairs > 0);
+        // The paper's behavioural claims still hold with feedback on.
+        assert_eq!(r.requests, trace.len() as u64);
+    }
+
+    #[test]
+    fn no_feedback_leaves_divergence_behind() {
+        let trace = small_trace();
+        let run = |feedback: bool| {
+            let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3);
+            if feedback {
+                cfg = cfg.with_feedback(phttp_simcore::SimDuration::from_millis(100));
+            }
+            cfg.cache_bytes = 2 * 1024 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let open_loop = run(false);
+        let closed_loop = run(true);
+        assert!(
+            open_loop.mapping_divergence > 0,
+            "the only-grows table must have diverged under churn"
+        );
+        assert_eq!(open_loop.feedback_reports, 0);
+        assert_eq!(open_loop.stale_mappings_removed, 0);
+        assert!(
+            closed_loop.mapping_divergence < open_loop.mapping_divergence,
+            "feedback must shrink divergence ({} -> {})",
+            open_loop.mapping_divergence,
+            closed_loop.mapping_divergence
+        );
+    }
+
+    #[test]
+    fn feedback_runs_stay_deterministic() {
+        use phttp_simcore::SimDuration;
+        let trace = small_trace();
+        let run = || {
+            let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3)
+                .with_feedback(SimDuration::from_millis(50));
+            cfg.cache_bytes = 2 * 1024 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.stale_mappings_removed, b.stale_mappings_removed);
+        assert_eq!(a.feedback_reports, b.feedback_reports);
+        assert_eq!(a.mapping_divergence, b.mapping_divergence);
     }
 
     #[test]

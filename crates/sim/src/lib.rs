@@ -29,6 +29,8 @@
 //! println!("{}", report.summary());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod config;
 pub mod costs;

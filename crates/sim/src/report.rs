@@ -73,6 +73,21 @@ pub struct Report {
     pub p95_latency_ms: f64,
     /// 99th-percentile response latency, milliseconds.
     pub p99_latency_ms: f64,
+    /// End-of-run belief-vs-reality gap: believed `(target, node)`
+    /// mapping pairs whose target the node's cache does **not** actually
+    /// hold, measured against the simulated caches themselves. With
+    /// cache feedback on and the run quiesced this converges to 0; with
+    /// feedback off it grows with eviction churn.
+    pub mapping_divergence: u64,
+    /// Total believed `(target, node)` pairs at end of run (the
+    /// denominator for `mapping_divergence`).
+    pub believed_pairs: u64,
+    /// Stale believed mappings removed by cache-feedback reports over
+    /// the run (0 when feedback is off).
+    pub stale_mappings_removed: u64,
+    /// Cache-feedback reports applied over the run (0 when feedback is
+    /// off).
+    pub feedback_reports: u64,
     /// Per-node breakdown.
     pub per_node: Vec<NodeReport>,
 }

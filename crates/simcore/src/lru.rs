@@ -33,6 +33,10 @@ pub struct LruCache<K> {
     head: usize, // most recently used
     tail: usize, // least recently used
     evictions: u64,
+    /// When enabled, every victim of budget pressure is appended here for
+    /// the owner to drain — the raw material of cache-coherence feedback
+    /// reports. Disabled by default so unconsumed journals cannot grow.
+    journal: Option<Vec<K>>,
 }
 
 impl<K: Copy + Eq + Hash> LruCache<K> {
@@ -47,6 +51,27 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
             head: NIL,
             tail: NIL,
             evictions: 0,
+            journal: None,
+        }
+    }
+
+    /// Turns the eviction journal on or off. While on, every entry
+    /// evicted by budget pressure is recorded (in eviction order) until
+    /// [`drain_evictions`](Self::drain_evictions) collects it. Explicit
+    /// [`remove`](Self::remove) calls and rejected oversized inserts are
+    /// *not* journalled — they are the owner's own actions, not silent
+    /// evictions the owner needs telling about. Turning the journal off
+    /// discards any undrained entries.
+    pub fn set_journal(&mut self, enabled: bool) {
+        self.journal = enabled.then(Vec::new);
+    }
+
+    /// Takes the journalled evictions accumulated since the last drain
+    /// (empty if the journal is disabled).
+    pub fn drain_evictions(&mut self) -> Vec<K> {
+        match self.journal.as_mut() {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
         }
     }
 
@@ -93,11 +118,14 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
     }
 
     /// Inserts a target of the given size, evicting LRU entries as needed.
+    /// Returns `true` iff the target was **newly admitted** — absent
+    /// before the call and cached after it. Refreshing an existing entry
+    /// and rejecting an oversized one both return `false`.
     ///
     /// A target larger than the whole budget is not cached at all (the OS
     /// cannot hold it resident either). Re-inserting an existing target
     /// refreshes its recency and updates its size.
-    pub fn insert(&mut self, target: K, size: u64) {
+    pub fn insert(&mut self, target: K, size: u64) -> bool {
         if let Some(&idx) = self.map.get(&target) {
             // Size update (static content rarely changes, but stay safe).
             let old = self.slab[idx].size;
@@ -106,10 +134,10 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
             self.unlink(idx);
             self.push_front(idx);
             self.shrink_to_budget(Some(target));
-            return;
+            return false;
         }
         if size > self.budget {
-            return;
+            return false;
         }
         self.used += size;
         let idx = self.alloc(Entry {
@@ -121,6 +149,7 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         self.map.insert(target, idx);
         self.push_front(idx);
         self.shrink_to_budget(Some(target));
+        self.map.contains_key(&target)
     }
 
     /// Removes a target if present; returns whether it was cached.
@@ -149,6 +178,9 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
             }
             self.remove(victim);
             self.evictions += 1;
+            if let Some(journal) = self.journal.as_mut() {
+                journal.push(victim);
+            }
         }
     }
 
@@ -278,6 +310,44 @@ mod tests {
         // Budget fits 10 entries; the slab must not have grown to 100.
         assert!(c.slab.len() <= 20, "slab leaked: {}", c.slab.len());
         assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn insert_reports_new_admissions_only() {
+        let mut c = LruCache::new(300);
+        assert!(c.insert(t(1), 100), "first insert is an admission");
+        assert!(!c.insert(t(1), 100), "refresh is not an admission");
+        assert!(
+            !c.insert(t(2), 500),
+            "rejected oversized is not an admission"
+        );
+        assert!(c.insert(t(3), 100));
+    }
+
+    #[test]
+    fn journal_records_evictions_in_order() {
+        let mut c = LruCache::new(300);
+        // Journal off by default: evictions are not recorded.
+        c.insert(t(1), 100);
+        c.insert(t(2), 100);
+        c.insert(t(3), 100);
+        c.insert(t(4), 200); // evicts 1 and 2
+        assert_eq!(c.evictions(), 2);
+        assert!(c.drain_evictions().is_empty());
+
+        c.set_journal(true);
+        c.insert(t(5), 100); // 100+200+100 > 300: evicts 3 (the LRU)
+        c.insert(t(6), 200); // 200+100+200 > 300: evicts 4
+        assert_eq!(
+            c.drain_evictions(),
+            vec![t(3), t(4)],
+            "victims in eviction order"
+        );
+        assert!(c.drain_evictions().is_empty(), "drain empties the journal");
+
+        // Explicit removes are the owner's own action: not journalled.
+        assert!(c.remove(t(6)));
+        assert!(c.drain_evictions().is_empty());
     }
 
     #[test]

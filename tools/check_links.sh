@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Markdown link check for the repo's top-level docs: every relative
+# link target (file or directory) must exist, and every `path/to/file`
+# reference in backticks that looks like a repo path must too. Remote
+# (http/https) links are skipped — the build environment is offline.
+#
+# Usage: tools/check_links.sh [files...]   (defaults to the doc set)
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md ROADMAP.md)
+fi
+
+fail=0
+
+for f in "${files[@]}"; do
+    if [ ! -f "$f" ]; then
+        echo "MISSING DOC: $f"
+        fail=1
+        continue
+    fi
+    # Markdown inline links: [text](target), skipping remote schemes
+    # and intra-page anchors.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip a trailing #anchor from local links.
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$path" ]; then
+            echo "$f: broken link -> $target"
+            fail=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*(\(.*\))/\1/')
+
+    # Backticked repo paths (e.g. `crates/proto/src/control.rs`): only
+    # patterns that look like in-repo file paths with an extension or a
+    # known top-level directory.
+    while IFS= read -r path; do
+        if [ ! -e "$path" ]; then
+            echo "$f: dangling path reference -> $path"
+            fail=1
+        fi
+    done < <(grep -o '`\(crates\|shims\|examples\|tools\)/[A-Za-z0-9_./-]*`' "$f" | tr -d '\`')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check FAILED"
+    exit 1
+fi
+echo "link check OK (${files[*]})"
