@@ -35,9 +35,11 @@ commands:
   sweep        [--flash] [--quick] [FILE]
                the full Figure 7/8 sweep over cluster sizes and configs
   demo         [--nodes N] [--policy wrr|lard|extlard] [--views N] [--reactor]
+               [--shards N]
                boot the live loopback cluster and drive it with real HTTP
-               (--reactor serves it from the epoll event loop instead of
-               the worker-thread pool)
+               (--reactor serves it from epoll event loops instead of the
+               worker-thread pool; --shards N spreads the reactor over N
+               loops with SO_REUSEPORT accept distribution)
 ";
 
 fn main() {
@@ -252,6 +254,7 @@ fn demo(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 IoModel::Threads
             },
+            reactor_shards: args.get_or("shards", 1)?,
             ..ProtoConfig::default()
         },
         &trace,

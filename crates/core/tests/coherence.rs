@@ -128,6 +128,62 @@ fn empty_report_is_a_noop() {
     assert_eq!(d.coherence().reports, 0);
 }
 
+/// The control-plane failure detector calls `evict_node` from a reader
+/// thread / reactor shard while other threads are mid-decision. The
+/// eviction must compose with concurrent `open_connection` /
+/// `assign_batch` / `close_connection` traffic: no panics, exact load
+/// conservation after every connection closes, and a final eviction
+/// (after the races stop) leaves the victim with zero believed
+/// mappings. (Decisions made *after* an eviction may legitimately
+/// re-map the victim — eviction drops belief, it does not fence the
+/// policy — which is why only the post-race eviction asserts zero.)
+#[test]
+fn evict_node_composes_with_inflight_decisions() {
+    let d = Arc::new(ext(4));
+    let victim = NodeId(3);
+
+    let deciders: Vec<_> = (0..4usize)
+        .map(|w| {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                for i in 0..400u32 {
+                    let conn = ConnId((w as u64) << 32 | i as u64);
+                    d.open_connection(conn, t(i % 128));
+                    let batch: Vec<TargetId> =
+                        (0..4).map(|j| t((i * 7 + j + w as u32) % 128)).collect();
+                    let _ = d.assign_batch(conn, &batch);
+                    d.close_connection(conn);
+                }
+            })
+        })
+        .collect();
+
+    for _ in 0..100 {
+        d.evict_node(victim);
+        std::thread::yield_now();
+    }
+    for f in deciders {
+        f.join().unwrap();
+    }
+
+    // Exact fixed-point load conservation despite the racing evictions.
+    assert_eq!(d.active_connections(), 0);
+    assert!(
+        d.loads().iter().all(|&l| l.abs() < 1e-12),
+        "residual load: {:?}",
+        d.loads()
+    );
+    // With the decision traffic stopped, one eviction is final.
+    d.evict_node(victim);
+    let mut victim_pairs = 0;
+    d.mapping().for_each_pair(|_, n| {
+        if n == victim {
+            victim_pairs += 1;
+        }
+    });
+    assert_eq!(victim_pairs, 0, "victim mappings survived the decommission");
+}
+
 /// The ISSUE's regression scenario: `evict_node` racing in-flight
 /// feedback batches must leave the decommissioned node with **zero**
 /// believed mappings — a report applied after (or interleaved with) the

@@ -34,7 +34,7 @@ use phttp_trace::{TargetId, Trace};
 use crate::control::FrameDecoder;
 use crate::frontend::{ConfigError, ConnGuard, FrontEnd, DEFAULT_DISK_REPORT_INTERVAL};
 use crate::node::{DiskEmu, FeedbackConfig, NodeState, NodeStatsSnapshot};
-use crate::reactor::{self, ReactorConfig, ReactorHandle};
+use crate::reactor::{self, ReactorConfig, ReactorHandle, ReactorStats};
 use crate::store::ContentStore;
 
 /// Which I/O model the front-end runs client connections on.
@@ -52,10 +52,13 @@ pub enum IoModel {
     /// persistent connection pins a thread.
     #[default]
     Threads,
-    /// One event-loop thread drives every client connection, lateral
-    /// fetch, and emulated disk through epoll-style readiness (see the
+    /// [`ProtoConfig::reactor_shards`] event-loop threads drive every
+    /// client connection, lateral fetch, lateral **server** connection,
+    /// and emulated disk through epoll-style readiness (see the
     /// [`crate::reactor`] module docs). Concurrency is bounded by file
-    /// descriptors, not threads — the P-HTTP many-connection regime.
+    /// descriptors, not threads — the P-HTTP many-connection regime —
+    /// and the cluster runs zero per-client and zero per-peer-connection
+    /// threads.
     Reactor,
 }
 
@@ -108,6 +111,27 @@ pub struct ProtoConfig {
     /// Front-end I/O model: blocking worker threads (the oracle) or the
     /// event-driven reactor. See [`IoModel`].
     pub io_model: IoModel,
+    /// Number of reactor event-loop shards under [`IoModel::Reactor`]
+    /// (one per core on a real host). Each shard owns its own poller,
+    /// accept socket(s) (an `SO_REUSEPORT` group per front-end address,
+    /// falling back to a round-robin acceptor handoff where the group
+    /// bind is unavailable), connection slab, timer heap, lateral
+    /// session pools, and its share of the peer listeners and control
+    /// sessions; shards share only the lock-sharded dispatcher. Must be
+    /// 1 (the default) under [`IoModel::Threads`] — requesting shards
+    /// without a reactor is a [`ConfigError`], as is 0.
+    pub reactor_shards: usize,
+    /// Idle persistent lateral connections retained per peer pool (per
+    /// handler node in the thread model; per shard in the reactor).
+    /// Zero is a [`ConfigError`]: it would silently turn every lateral
+    /// fetch into a fresh dial, defeating the persistent peer sessions
+    /// the paper's NFS stand-in depends on.
+    pub peer_pool_cap: usize,
+    /// Forces the reactor's round-robin acceptor-handoff accept path
+    /// even where `SO_REUSEPORT` listener groups are available
+    /// (diagnostics/tests; normally the handoff is auto-selected only
+    /// when the group bind fails). No effect under [`IoModel::Threads`].
+    pub force_accept_handoff: bool,
     /// Number of loopback addresses the front-end listens on
     /// (`127.0.0.1..127.0.0.k`). HTTP/1.0 load opens one TCP connection per
     /// request; on a single loopback address pair the 4-tuple space (and
@@ -135,6 +159,9 @@ impl Default for ProtoConfig {
             read_timeout: Duration::from_secs(10),
             workers: 128,
             io_model: IoModel::default(),
+            reactor_shards: 1,
+            peer_pool_cap: 8,
+            force_accept_handoff: false,
             fe_listeners: 4,
         }
     }
@@ -155,8 +182,13 @@ pub struct Cluster {
     /// shutdown begins (or always, under [`IoModel::Reactor`]) so workers
     /// see a closed channel and exit.
     work_tx: Option<crossbeam::channel::Sender<TcpStream>>,
-    /// The event loop, under [`IoModel::Reactor`].
+    /// The event-loop shards, under [`IoModel::Reactor`].
     reactor: Option<ReactorHandle>,
+    /// Live reactor gauges (outlive `reactor` queries during shutdown).
+    reactor_stats: Option<Arc<ReactorStats>>,
+    /// Whether the reactor fell back to acceptor handoff (`None` under
+    /// [`IoModel::Threads`]).
+    accept_handoff: Option<bool>,
     peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     listeners: Vec<SocketAddr>,
 }
@@ -174,6 +206,17 @@ impl Cluster {
     pub fn start(config: ProtoConfig, trace: &Trace) -> Result<Cluster, ConfigError> {
         assert!(config.nodes > 0, "cluster needs at least one back-end");
         assert!(config.workers > 0, "worker pool must not be empty");
+        if config.reactor_shards == 0 {
+            return Err(ConfigError::ZeroReactorShards);
+        }
+        if config.io_model == IoModel::Threads && config.reactor_shards > 1 {
+            return Err(ConfigError::ReactorShardsWithoutReactor {
+                shards: config.reactor_shards,
+            });
+        }
+        if config.peer_pool_cap == 0 {
+            return Err(ConfigError::ZeroPeerPoolCap);
+        }
         let store = Arc::new(ContentStore::from_trace(trace));
         // Catch corpora the data path cannot round-trip at construction
         // time: a document past the parsers' MAX_BODY bound would be
@@ -208,6 +251,7 @@ impl Cluster {
                         store.clone(),
                         peer_addrs.clone(),
                     )
+                    .with_peer_pool_cap(config.peer_pool_cap)
                     .with_feedback(FeedbackConfig {
                         enabled: config.cache_feedback,
                         batch: config.feedback_batch,
@@ -226,74 +270,71 @@ impl Cluster {
         // which the node pushes framed disk-queue and cache-feedback
         // reports. The node side attaches to the NodeState; the front-end
         // side is drained by per-node reader threads (thread model) or by
-        // the reactor's poller as registered readiness sources (reactor
-        // model). Frames carry the node id, so pairing is self-describing.
-        let mut control_rx: Vec<TcpStream> = Vec::new();
+        // the reactor shards' pollers as registered readiness sources
+        // (reactor model). Frames carry the node id; the receive side is
+        // additionally tagged with it so an unexpected EOF can name the
+        // failed node.
+        let mut control_rx: Vec<(usize, TcpStream)> = Vec::new();
         if config.cache_feedback {
             let ctl_listener = TcpListener::bind("127.0.0.1:0").expect("bind control listener");
             let ctl_addr = ctl_listener.local_addr().expect("control addr");
-            for node in &nodes {
+            for (i, node) in nodes.iter().enumerate() {
                 let tx = TcpStream::connect(ctl_addr).expect("connect control session");
                 let (rx, _) = ctl_listener.accept().expect("accept control session");
                 node.attach_control(tx);
-                control_rx.push(rx);
+                control_rx.push((i, rx));
             }
         }
 
         let mut accept_threads = Vec::new();
-        let mut listeners = peer_addrs.clone();
-
-        // Peer servers: serve lateral fetches against their node's state.
-        // Peer connections are few (bounded by the pooled lateral links) and
-        // long-lived, so a thread per connection is fine here.
-        for (listener, node) in peer_listeners.into_iter().zip(nodes.iter()) {
-            let node = node.clone();
-            let stop = stop.clone();
-            let threads = peer_threads.clone();
-            let timeout = config.read_timeout;
-            accept_threads.push(std::thread::spawn(move || {
-                for incoming in listener.incoming() {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = incoming else { break };
-                    let node = node.clone();
-                    let handle = std::thread::spawn(move || {
-                        let _ = serve_peer_connection(stream, &node, timeout);
-                    });
-                    threads.lock().push(handle);
-                }
-            }));
-        }
-
-        // Front-end listeners: one per loopback alias, bound in both I/O
-        // models. 127.0.0.(1+i): the whole 127/8 block is local on Linux;
-        // fall back to 127.0.0.1 where aliases are unavailable.
-        let mut fe_addrs = Vec::new();
-        let mut fe_listeners = Vec::new();
-        for i in 0..config.fe_listeners.max(1) {
-            let host = format!("127.0.0.{}:0", 1 + i as u8);
-            let fe_listener = TcpListener::bind(&host)
-                .or_else(|_| TcpListener::bind("127.0.0.1:0"))
-                .expect("bind front-end listener");
-            fe_addrs.push(fe_listener.local_addr().expect("front-end addr"));
-            fe_listeners.push(fe_listener);
-        }
+        // Addresses whose *blocking* accept loops need a wake-up connect
+        // at shutdown (none of the reactor-owned listeners do).
+        let mut listeners = Vec::new();
 
         let mut worker_threads = Vec::new();
         let mut control_threads = Vec::new();
         let mut work_tx = None;
         let mut reactor_handle = None;
+        let mut reactor_stats = None;
+        let mut accept_handoff = None;
+        let mut fe_addrs = Vec::new();
         match config.io_model {
             IoModel::Threads => {
+                listeners.extend(peer_addrs.iter().copied());
+                // Peer servers: serve lateral fetches against their node's
+                // state. Under the thread model peer connections are few
+                // (bounded by the pooled lateral links) and long-lived, so
+                // a thread per connection is fine here. (The reactor model
+                // instead registers the peer listeners on its shards.)
+                for (listener, node) in peer_listeners.into_iter().zip(nodes.iter()) {
+                    let node = node.clone();
+                    let stop = stop.clone();
+                    let threads = peer_threads.clone();
+                    let timeout = config.read_timeout;
+                    accept_threads.push(std::thread::spawn(move || {
+                        for incoming in listener.incoming() {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let Ok(stream) = incoming else { break };
+                            let node = node.clone();
+                            let handle = std::thread::spawn(move || {
+                                let _ = serve_peer_connection(stream, &node, timeout);
+                            });
+                            threads.lock().push(handle);
+                        }
+                    }));
+                }
                 // Control-session readers: one blocking thread per node,
                 // decoding frames and applying them to the dispatcher.
-                // They exit on EOF, which `Cluster::shutdown` produces by
-                // closing the node-side streams.
-                for rx in control_rx.drain(..) {
+                // They exit on EOF — the clean quiescent-flush EOF
+                // `Cluster::shutdown` produces after setting the stop
+                // flag, or a crash EOF, which evicts the node's mappings.
+                for (node_idx, rx) in control_rx.drain(..) {
                     let frontend = frontend.clone();
+                    let stop = stop.clone();
                     control_threads.push(std::thread::spawn(move || {
-                        run_control_reader(rx, &frontend);
+                        run_control_reader(rx, &frontend, NodeId(node_idx), &stop);
                     }));
                 }
                 // Client-connection worker pool: pre-spawned handlers pull
@@ -320,8 +361,10 @@ impl Cluster {
                     }));
                 }
                 // Front-end acceptors, all feeding the shared worker pool.
-                for fe_listener in fe_listeners {
-                    listeners.push(fe_listener.local_addr().expect("front-end addr"));
+                for fe_listener in bind_std_frontends(config.fe_listeners) {
+                    let addr = fe_listener.local_addr().expect("front-end addr");
+                    fe_addrs.push(addr);
+                    listeners.push(addr);
                     let stop = stop.clone();
                     let tx = tx.clone();
                     accept_threads.push(std::thread::spawn(move || {
@@ -339,25 +382,93 @@ impl Cluster {
                 work_tx = Some(tx);
             }
             IoModel::Reactor => {
-                // The event loop owns the front-end listeners outright: no
-                // acceptor threads, no worker pool. Shutdown goes through
-                // the reactor's waker instead of wake-up connects.
-                // The control sessions join the same poller: each
-                // front-end-side stream is a registered readiness source
-                // the loop drains like any other connection.
+                // The event-loop shards own every listener outright: the
+                // front-end accept sockets, the peer lateral servers, and
+                // the control sessions are all registered readiness
+                // sources — no acceptor threads, no worker pool, no
+                // per-peer-connection threads. Shutdown goes through the
+                // shard wakers instead of wake-up connects.
+                let shards = config.reactor_shards;
+                // Per-shard front-end accept sockets. With one shard the
+                // plain listeners suffice; with several, each address is
+                // an SO_REUSEPORT group with one member per shard, so the
+                // kernel spreads accepts with no cross-shard traffic.
+                let mut groups: Vec<Vec<mio::net::TcpListener>> =
+                    (0..shards).map(|_| Vec::new()).collect();
+                let mut handoff = config.force_accept_handoff;
+                let mut std_fe_listeners = Vec::new();
+                if shards == 1 && !handoff {
+                    for l in bind_std_frontends(config.fe_listeners) {
+                        fe_addrs.push(l.local_addr().expect("front-end addr"));
+                        groups[0].push(mio::net::TcpListener::from_std(l));
+                    }
+                } else if !handoff {
+                    'bind: for i in 0..config.fe_listeners.max(1) {
+                        match bind_reuseport_group(i, shards) {
+                            Ok((addr, group)) => {
+                                fe_addrs.push(addr);
+                                for (s, l) in group.into_iter().enumerate() {
+                                    groups[s].push(l);
+                                }
+                            }
+                            Err(_) => {
+                                // The shim can't express the group here:
+                                // fall back to acceptor handoff for every
+                                // address (mixed modes would complicate
+                                // shutdown for no benefit).
+                                handoff = true;
+                                break 'bind;
+                            }
+                        }
+                    }
+                }
+                if handoff {
+                    fe_addrs.clear();
+                    groups = (0..shards).map(|_| Vec::new()).collect();
+                    for l in bind_std_frontends(config.fe_listeners) {
+                        let addr = l.local_addr().expect("front-end addr");
+                        fe_addrs.push(addr);
+                        listeners.push(addr);
+                        std_fe_listeners.push(l);
+                    }
+                }
                 let handle = reactor::spawn(
                     ReactorConfig {
                         migration_delay: config.migration_delay,
                         read_timeout: config.read_timeout,
+                        shards,
+                        peer_pool_cap: config.peer_pool_cap,
                     },
                     frontend.clone(),
                     store.clone(),
-                    fe_listeners,
+                    groups,
+                    peer_listeners,
                     std::mem::take(&mut control_rx),
                     stop.clone(),
                 )
-                .expect("start reactor event loop");
+                .expect("start reactor event loops");
+                // Acceptor-handoff fallback: blocking acceptors hand each
+                // accepted stream to the next shard round-robin (staggered
+                // per listener so one hot address still spreads).
+                if handoff {
+                    let injectors = handle.injectors();
+                    for (i, fe_listener) in std_fe_listeners.into_iter().enumerate() {
+                        let stop = stop.clone();
+                        let injectors = injectors.clone();
+                        accept_threads.push(std::thread::spawn(move || {
+                            for (n, incoming) in fe_listener.incoming().enumerate() {
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                let Ok(stream) = incoming else { break };
+                                injectors[(i + n) % injectors.len()].push(stream);
+                            }
+                        }));
+                    }
+                }
+                reactor_stats = Some(handle.stats());
                 reactor_handle = Some(handle);
+                accept_handoff = Some(handoff);
             }
         }
 
@@ -371,6 +482,8 @@ impl Cluster {
             control_threads,
             work_tx,
             reactor: reactor_handle,
+            reactor_stats,
+            accept_handoff,
             peer_threads,
             listeners,
         })
@@ -411,6 +524,22 @@ impl Cluster {
     /// asserting on post-traffic accounting.
     pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
         self.frontend.quiesce(timeout)
+    }
+
+    /// Live reactor gauges — registered sources and pending timers
+    /// across every shard — or `None` under [`IoModel::Threads`]. The
+    /// soak test uses this to prove the slab and timer heap drain to
+    /// zero once traffic stops.
+    pub fn reactor_stats(&self) -> Option<&ReactorStats> {
+        self.reactor_stats.as_deref()
+    }
+
+    /// Whether the reactor accepted via round-robin handoff rather than
+    /// `SO_REUSEPORT` listener groups (`None` under
+    /// [`IoModel::Threads`]). Diagnostics: lets tests assert the accept
+    /// path they meant to exercise is the one that actually ran.
+    pub fn used_accept_handoff(&self) -> Option<bool> {
+        self.accept_handoff
     }
 
     /// Per-node statistics snapshot.
@@ -482,26 +611,88 @@ impl Cluster {
     }
 }
 
-/// Drains one node's control session: decodes frames and applies them to
-/// the front-end until EOF (shutdown closes the node side) or a framing
-/// error poisons the stream.
-fn run_control_reader(mut stream: TcpStream, fe: &FrontEnd) {
+/// Accept-queue depth for the reuseport groups: shards drain accepts
+/// promptly, but soak-scale connect bursts need room to queue.
+const REUSEPORT_BACKLOG: u32 = 4096;
+
+/// Binds the front-end listeners: one per loopback alias
+/// (127.0.0.(1+i): the whole 127/8 block is local on Linux), falling
+/// back to 127.0.0.1 where aliases are unavailable.
+fn bind_std_frontends(count: usize) -> Vec<TcpListener> {
+    (0..count.max(1))
+        .map(|i| {
+            let host = format!("127.0.0.{}:0", 1 + i as u8);
+            TcpListener::bind(&host)
+                .or_else(|_| TcpListener::bind("127.0.0.1:0"))
+                .expect("bind front-end listener")
+        })
+        .collect()
+}
+
+/// Binds front-end alias `alias` as an `SO_REUSEPORT` group with
+/// `shards` members: the first bind picks the port, the rest join it.
+/// Any error means the shim cannot express the group here; the caller
+/// falls back to acceptor handoff.
+fn bind_reuseport_group(
+    alias: usize,
+    shards: usize,
+) -> std::io::Result<(SocketAddr, Vec<mio::net::TcpListener>)> {
+    let host: SocketAddr = format!("127.0.0.{}:0", 1 + alias as u8)
+        .parse()
+        .expect("loopback alias literal");
+    let localhost: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
+    let first = mio::net::TcpListener::bind_reuseport(host, REUSEPORT_BACKLOG)
+        .or_else(|_| mio::net::TcpListener::bind_reuseport(localhost, REUSEPORT_BACKLOG))?;
+    let addr = first.local_addr()?;
+    let mut group = vec![first];
+    for _ in 1..shards {
+        group.push(mio::net::TcpListener::bind_reuseport(
+            addr,
+            REUSEPORT_BACKLOG,
+        )?);
+    }
+    Ok((addr, group))
+}
+
+/// Drains one node's control session: decodes frames and applies them
+/// to the front-end until EOF or a framing error ends the stream. An
+/// EOF (or poisoned stream) while the cluster is **not** shutting down
+/// is a node failure: the node's believed mappings are evicted. The
+/// quiescent-flush EOF of a clean `Cluster::shutdown` never evicts —
+/// the stop flag is set before the node-side streams close.
+fn run_control_reader(mut stream: TcpStream, fe: &FrontEnd, node: NodeId, stop: &AtomicBool) {
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
+    let fail = |fe: &FrontEnd| {
+        if !stop.load(Ordering::Relaxed) {
+            fe.evict_node(node);
+        }
+    };
     loop {
         let n = match stream.read(&mut buf) {
-            Ok(0) => return, // EOF: node side closed
+            Ok(0) => {
+                // EOF: the node side closed. Crash unless shutting down.
+                fail(fe);
+                return;
+            }
             Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return,
+            Err(_) => {
+                fail(fe);
+                return;
+            }
         };
         decoder.feed(&buf[..n]);
         loop {
             match decoder.next() {
                 Ok(Some(msg)) => fe.apply_control(msg),
                 Ok(None) => break,
-                // Framing has no resync point; drop the session.
-                Err(_) => return,
+                // Framing has no resync point; treat a poisoned session
+                // like a dead node.
+                Err(_) => {
+                    fail(fe);
+                    return;
+                }
             }
         }
     }
@@ -689,6 +880,13 @@ fn serve_peer_connection(
             let resp = match node.store.lookup(&req.uri) {
                 // Serving for a peer exercises THIS node's cache and disk.
                 Some(target) => {
+                    if node.take_lateral_fault() {
+                        // Injected fault: die like a crashed lateral
+                        // server — close without responding. The fetcher
+                        // sees EOF mid-fetch and degrades to local
+                        // service.
+                        return Ok(());
+                    }
                     node.stats.lateral_in.fetch_add(1, Ordering::Relaxed);
                     Response::ok(req.version, node.serve_local(target))
                 }

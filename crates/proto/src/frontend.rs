@@ -40,6 +40,19 @@ pub enum ConfigError {
         /// The offending document size, bytes.
         size: u64,
     },
+    /// `ProtoConfig::reactor_shards` is zero — a reactor front-end
+    /// needs at least one event loop.
+    ZeroReactorShards,
+    /// `ProtoConfig::reactor_shards` asks for more than one shard under
+    /// [`crate::IoModel::Threads`], which has no event loops to shard.
+    ReactorShardsWithoutReactor {
+        /// The requested shard count.
+        shards: usize,
+    },
+    /// `ProtoConfig::peer_pool_cap` is zero: every lateral fetch would
+    /// silently dial a fresh peer connection, defeating the persistent
+    /// lateral sessions the paper's NFS stand-in depends on.
+    ZeroPeerPoolCap,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -53,6 +66,16 @@ impl std::fmt::Display for ConfigError {
                 "corpus document of {size} bytes exceeds the {} byte HTTP body limit",
                 phttp_http::MAX_BODY
             ),
+            ConfigError::ZeroReactorShards => {
+                write!(f, "reactor_shards must be at least 1")
+            }
+            ConfigError::ReactorShardsWithoutReactor { shards } => write!(
+                f,
+                "reactor_shards = {shards} requires IoModel::Reactor (the thread model has no event loops to shard)"
+            ),
+            ConfigError::ZeroPeerPoolCap => {
+                write!(f, "peer_pool_cap must be at least 1")
+            }
         }
     }
 }
@@ -82,6 +105,9 @@ pub struct FrontEnd {
     /// [`NEVER`]. CAS-guarded so exactly one thread per interval pays the
     /// O(nodes) stores.
     last_disk_report: AtomicU64,
+    /// Nodes evicted by the control-plane failure detector (see
+    /// [`evict_node`](Self::evict_node)).
+    node_evictions: AtomicU64,
 }
 
 impl FrontEnd {
@@ -117,6 +143,7 @@ impl FrontEnd {
             disk_report_interval_us: DEFAULT_DISK_REPORT_INTERVAL.as_micros() as u64,
             started: Instant::now(),
             last_disk_report: AtomicU64::new(NEVER),
+            node_evictions: AtomicU64::new(0),
         })
     }
 
@@ -221,6 +248,29 @@ impl FrontEnd {
                 }
             }
         }
+    }
+
+    /// Decommissions `node` for mapping purposes: drops every believed
+    /// mapping that references it and forgets its mirrored cache
+    /// contents. This is the control-plane failure-handling hook — both
+    /// I/O models call it when a node's control session hits an
+    /// **unexpected** EOF (the node died); the quiescent-flush EOF of a
+    /// clean `Cluster::shutdown` never does (distinguished by the stop
+    /// flag, set before the node-side streams close). The node's
+    /// listeners keep running — eviction is a mapping decommission, not
+    /// a teardown — so the remaining traffic re-maps organically.
+    pub fn evict_node(&self, node: NodeId) {
+        if node.0 >= self.nodes.len() {
+            return;
+        }
+        self.node_evictions.fetch_add(1, Ordering::Relaxed);
+        self.dispatcher.evict_node(node);
+    }
+
+    /// How many times the failure detector evicted a node's mappings
+    /// (0 across any clean cluster lifetime).
+    pub fn node_evictions(&self) -> u64 {
+        self.node_evictions.load(Ordering::Relaxed)
     }
 
     /// Coherence counters plus the divergence/believed-pair gauges

@@ -57,4 +57,5 @@ pub use cluster::{Cluster, IoModel, ProtoConfig};
 pub use control::{ControlMsg, FrameDecoder};
 pub use frontend::{ConfigError, FrontEnd, DEFAULT_DISK_REPORT_INTERVAL};
 pub use node::{DiskEmu, FeedbackConfig, NodeState, NodeStatsSnapshot};
+pub use reactor::ReactorStats;
 pub use store::ContentStore;

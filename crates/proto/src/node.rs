@@ -10,7 +10,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -167,6 +167,13 @@ pub struct NodeState {
     pub peer_addrs: Vec<SocketAddr>,
     /// Idle persistent lateral connections, per peer.
     peer_pool: Vec<Mutex<Vec<TcpStream>>>,
+    /// Idle lateral connections retained per peer pool.
+    peer_pool_cap: usize,
+    /// Pending injected lateral-server faults (tests): while positive,
+    /// the next lateral request this node would serve kills its peer
+    /// connection instead — the deterministic stand-in for a lateral
+    /// server crashing mid-fetch.
+    lateral_faults: AtomicI64,
     /// Counters.
     pub stats: NodeStats,
     /// Cache-feedback reporting behaviour.
@@ -200,6 +207,8 @@ impl NodeState {
             store,
             peer_addrs,
             peer_pool,
+            peer_pool_cap: 8,
+            lateral_faults: AtomicI64::new(0),
             stats: NodeStats::default(),
             feedback,
             control: Mutex::new(ControlTx::default()),
@@ -214,9 +223,46 @@ impl NodeState {
         self
     }
 
+    /// Overrides the per-peer idle lateral-connection pool capacity
+    /// (builder style; `Cluster::start` validates it is non-zero).
+    pub fn with_peer_pool_cap(mut self, cap: usize) -> Self {
+        self.peer_pool_cap = cap;
+        self
+    }
+
+    /// The per-peer idle lateral-connection pool capacity.
+    pub fn peer_pool_cap(&self) -> usize {
+        self.peer_pool_cap
+    }
+
+    /// Test hook: arms `n` lateral-server faults on this node. Each of
+    /// the next `n` lateral requests it would serve kills that peer
+    /// connection instead of responding — the fetching handler observes
+    /// EOF mid-fetch and must degrade the fetch to local service. Both
+    /// I/O models honour it.
+    pub fn inject_lateral_faults(&self, n: u64) {
+        self.lateral_faults.fetch_add(n as i64, Ordering::Relaxed);
+    }
+
+    /// Pending armed lateral faults (0 once every injected fault fired).
+    pub fn pending_lateral_faults(&self) -> u64 {
+        self.lateral_faults.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Consumes one armed lateral fault if any is pending.
+    pub(crate) fn take_lateral_fault(&self) -> bool {
+        if self.lateral_faults.load(Ordering::Relaxed) <= 0 {
+            return false;
+        }
+        // The decrement below can push the counter negative under a
+        // race; `pending_lateral_faults` clamps and the extra fault is
+        // simply not taken (fetch_sub result tells us if we got one).
+        self.lateral_faults.fetch_sub(1, Ordering::Relaxed) > 0
+    }
+
     /// Attaches the node side of the control session. The stream is
-    /// switched to non-blocking mode (see [`ControlTx`] for why writes
-    /// must never block).
+    /// switched to non-blocking mode (see the private `ControlTx` type
+    /// for why writes must never block).
     pub fn attach_control(&self, stream: TcpStream) {
         let _ = stream.set_nodelay(true);
         stream
@@ -477,7 +523,7 @@ impl NodeState {
 
     fn return_peer_conn(&self, remote: NodeId, stream: TcpStream) {
         let mut pool = self.peer_pool[remote.0].lock();
-        if pool.len() < 8 {
+        if pool.len() < self.peer_pool_cap {
             pool.push(stream);
         }
     }

@@ -1,4 +1,4 @@
-//! Per-client-connection state machine of the reactor.
+//! Per-connection state machine of the reactor's served connections.
 //!
 //! A connection is a [`RequestParser`] feeding an in-order pipeline of
 //! [`Entry`]s (one per request), plus an output buffer with write
@@ -7,6 +7,16 @@
 //! response *bytes* leave strictly in request order: only `Ready`
 //! entries at the **front** of the pipeline are staged into the output
 //! buffer — HTTP/1.1 pipelining's ordering rule.
+//!
+//! The same machine serves two kinds of inbound connection: **client**
+//! connections (requests go through the dispatcher — handoff, batched
+//! policy decisions, possible laterals/migrations) and **peer-server**
+//! connections (lateral fetches from other nodes' handlers; every
+//! request serves on this listener's node, no dispatcher involvement —
+//! the event-driven replacement for the thread-per-peer-connection
+//! `serve_peer_connection` loop). The roles differ only in how a
+//! drained batch turns into pipeline entries; reading, ordering,
+//! backpressure, and write-out are shared.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -51,15 +61,23 @@ pub(crate) const HIGH_WATER: usize = 256 * 1024;
 /// event-loop equivalent.
 pub(crate) const MAX_PIPELINE: usize = 256;
 
-/// A client connection registered with the reactor.
+/// An inbound connection registered with the reactor: a client
+/// connection, or (with [`peer_server`](Self::peer_server) set) a
+/// peer-server connection serving lateral fetches.
 pub(crate) struct ClientConn {
     pub stream: mio::net::TcpStream,
     pub parser: RequestParser,
+    /// `true` for peer-server connections: every request serves on
+    /// [`node`](Self::node) (the accepting listener's node) and the
+    /// dispatcher is never involved (`conn_id` stays `None`).
+    pub peer_server: bool,
     /// Dispatcher connection id; `None` until the first request has
-    /// driven the content-based handoff.
+    /// driven the content-based handoff (always `None` for peer-server
+    /// connections).
     pub conn_id: Option<ConnId>,
     /// Index of the node currently handling this connection (valid once
-    /// `conn_id` is set; re-homed eagerly on migrate decisions).
+    /// `conn_id` is set; re-homed eagerly on migrate decisions). For
+    /// peer-server connections, the serving node — fixed at accept.
     pub node: usize,
     next_seq: u64,
     /// In-order response pipeline.
@@ -85,6 +103,7 @@ impl ClientConn {
         ClientConn {
             stream,
             parser: RequestParser::new(),
+            peer_server: false,
             conn_id: None,
             node: 0,
             next_seq: 0,
@@ -94,6 +113,16 @@ impl ClientConn {
             eof: false,
             close_after_drain: false,
             last_activity: Instant::now(),
+        }
+    }
+
+    /// An accepted peer-server connection: serves lateral fetches
+    /// against `node`'s cache/disk, bypassing the dispatcher.
+    pub fn peer_server(stream: mio::net::TcpStream, node: usize) -> ClientConn {
+        ClientConn {
+            peer_server: true,
+            node,
+            ..ClientConn::new(stream)
         }
     }
 

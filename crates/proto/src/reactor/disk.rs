@@ -9,6 +9,12 @@
 //! and the shared [`crate::node::NodeState`] depth counter moves at the
 //! same points as the blocking version (incremented when the miss is
 //! queued, decremented when the read completes).
+//!
+//! With N reactor shards each shard owns its own scheduler per node,
+//! so a node's spindle can admit up to N concurrent reads — a
+//! deliberate approximation (see ARCHITECTURE.md "Reactor sharding"):
+//! the depth counter and response bytes stay exact; only emulated
+//! latency under cross-shard contention is slightly optimistic.
 
 use std::collections::VecDeque;
 

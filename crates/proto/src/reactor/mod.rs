@@ -3,63 +3,98 @@
 //! The thread-per-connection path (`cluster.rs`) burns one OS thread
 //! per client connection — the scalability wall the paper's front-end
 //! must avoid if P-HTTP's amortized TCP costs are to survive high
-//! concurrency. This module replaces it with a readiness-driven
-//! (epoll-style, via the vendored `mio` shim) reactor: **one** thread
-//! owns every front-end listener, every client connection, every
-//! pooled lateral-fetch session to the back-end peers, and a timer
-//! heap that emulates disk service and migration delays without ever
-//! blocking.
+//! concurrency. This module replaces it with readiness-driven
+//! (epoll-style, via the vendored `mio` shim) reactor **shards**:
+//! `ProtoConfig::reactor_shards` loop threads (one per core on a real
+//! host), each owning its own poller, its own front-end accept
+//! socket(s), its own generation-checked connection slab, timer heap,
+//! per-node lateral-session pools, its share of the back-ends'
+//! peer-server listeners and control sessions — and nothing else.
+//! Shards share only the already-`&self`-concurrent
+//! [`crate::FrontEnd`]/[`phttp_core::ConcurrentDispatcher`] and the
+//! content store; there are **no cross-shard channels on the data
+//! path**. Accept distribution uses `SO_REUSEPORT` listener groups
+//! (each shard binds its own socket on every front-end address; the
+//! kernel spreads connections across the group's accept queues), with
+//! a round-robin acceptor-handoff fallback where the reuseport bind is
+//! unavailable.
+//!
+//! Lateral **serving** is event-driven too: each node's peer listener
+//! is a registered source on one shard, and accepted peer connections
+//! run the same incremental-parse → serve → strictly-ordered write-out
+//! machine as client connections (minus the dispatcher). A
+//! reactor-mode cluster therefore runs zero per-client and zero
+//! per-peer-connection threads — its thread count is `reactor_shards`,
+//! independent of connection count.
 //!
 //! The policy engine needs no adaptation: PR 1/PR 2 shaped
 //! [`phttp_core::ConcurrentDispatcher`] so decisions run inline on
 //! event-loop threads — `FrontEnd::assign_batch` is called directly
-//! from the loop, one call per drained pipelined batch, exactly as the
-//! handler threads call it in the thread model.
+//! from each shard, one call per drained pipelined batch, exactly as
+//! the handler threads call it in the thread model.
 //!
 //! ## Connection lifecycle (see ARCHITECTURE.md "I/O models" for the
 //! full state diagram)
 //!
 //! 1. **Accept** — a listener's readable event accepts until
 //!    `WouldBlock`; each stream becomes a `conn::ClientConn` slab
-//!    slot registered for `READABLE`.
+//!    slot registered for `READABLE` (peer listeners produce
+//!    peer-server connections in the same slab).
 //! 2. **Read → parse** — readable events feed the connection's
 //!    incremental [`phttp_http::RequestParser`]; every drained batch of
 //!    complete requests is decided **inline** via
-//!    [`crate::FrontEnd::assign_batch`].
+//!    [`crate::FrontEnd::assign_batch`] (peer-server connections skip
+//!    the dispatcher: every request serves on the listener's node).
 //! 3. **Serve** — each request becomes an in-order pipeline entry:
 //!    cache hits resolve to response bytes immediately; misses queue on
-//!    the node's event-driven disk scheduler (`disk::DiskSched`);
-//!    remote assignments either issue a non-blocking lateral fetch
-//!    (`peer::PeerSession`) or, under migrate semantics, re-home the
-//!    connection after an emulated handoff-protocol delay (a timer).
+//!    the shard's event-driven per-node disk scheduler
+//!    (`disk::DiskSched`); remote assignments either issue a
+//!    non-blocking lateral fetch (`peer::PeerSession`) or, under
+//!    migrate semantics, re-home the connection after an emulated
+//!    handoff-protocol delay (a timer).
 //! 4. **Write** — ready entries are staged strictly in request order
 //!    and flushed with backpressure: an unwritable socket parks the
 //!    bytes and registers `WRITABLE`; a large unsent backlog — staged
 //!    bytes (`HIGH_WATER`) or unanswered pipeline entries
-//!    (`MAX_PIPELINE`) — pauses reading.
+//!    (`MAX_PIPELINE`) — pauses reading. Peer-server connections obey
+//!    the same rules.
 //! 5. **Close** — client EOF, a non-keep-alive request, a parse error,
 //!    or the idle timeout drains the pipeline and then releases the
 //!    slot, closing the dispatcher connection exactly once.
 //!
+//! ## Failure handling
+//!
+//! A control session that hits EOF (or a framing/read error) while the
+//! cluster is **not** shutting down is a node-failure signal: the shard
+//! deregisters the source and calls [`crate::FrontEnd::evict_node`] for
+//! that node, dropping every believed mapping that references it. The
+//! quiescent-flush EOF of a clean `Cluster::shutdown` is distinguished
+//! by the stop flag (set before the node-side streams close) and never
+//! evicts. A peer session that dies mid-fetch (dial, write, or read
+//! failure — e.g. the remote lateral server crashed) degrades that
+//! fetch to local service, so the awaiting pipeline slot always
+//! resolves and the client still sees a complete, ordered response.
+//!
 //! Shutdown is cooperative: `ReactorHandle::shutdown` sets the stop
-//! flag and wakes the poller (a blocked `epoll_wait` would otherwise
-//! sleep through it), and the loop drains every registered connection
-//! before exiting — the reactor-mode half of `Cluster::quiesce`'s
-//! teardown contract.
+//! flag and wakes every shard's poller (a blocked `epoll_wait` would
+//! otherwise sleep through it), and each loop drains every registered
+//! connection before exiting — the reactor-mode half of
+//! `Cluster::quiesce`'s teardown contract.
 
 mod conn;
 mod disk;
 mod peer;
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use mio::{Events, Interest, Poll, Token, Waker};
+use parking_lot::Mutex;
 use phttp_core::{Assignment, ForwardSemantics, NodeId};
 use phttp_http::{Request, Response, Version};
 use phttp_trace::TargetId;
@@ -74,15 +109,14 @@ use peer::{LateralJob, PeerSession};
 
 /// Token of the cross-thread waker.
 const WAKER: Token = Token(0);
-/// First listener token; listener `i` is `Token(LISTENER_BASE + i)`.
-/// Control-channel tokens follow the listeners (`Reactor::control_base`)
-/// and slab tokens follow those (`Reactor::slab_base`); all three bases
-/// are computed from the configured counts, so the ranges can never
-/// collide however many listeners or nodes there are.
+/// First front-end listener token; listener `i` is
+/// `Token(LISTENER_BASE + i)`. Peer-listener tokens follow the
+/// front-end listeners (`Reactor::peer_base`), control-channel tokens
+/// follow those (`Reactor::control_base`) and slab tokens follow those
+/// (`Reactor::slab_base`); all bases are computed from the configured
+/// counts, so the ranges can never collide however many listeners,
+/// nodes, or control sessions a shard owns.
 const LISTENER_BASE: usize = 1;
-/// Idle lateral sessions retained per peer (mirrors the thread path's
-/// per-peer pool cap in `NodeState::return_peer_conn`).
-const PEER_POOL_CAP: usize = 8;
 
 /// A slab slot reference that stays valid across slot reuse: the
 /// generation must still match for a completion to be delivered.
@@ -94,7 +128,9 @@ pub(crate) struct SlotRef {
 
 /// What occupies a slab slot.
 enum Slot {
+    /// A client or peer-server connection (see [`ClientConn::peer_server`]).
     Client(ClientConn),
+    /// An outbound lateral-fetch session to a peer node.
     Peer(PeerSession),
 }
 
@@ -105,7 +141,7 @@ struct SlabSlot {
 
 /// A scheduled reactor-internal event.
 enum Timer {
-    /// Node `n`'s busy disk read completes.
+    /// Node `n`'s busy disk read (on this shard's scheduler) completes.
     DiskDone(usize),
     /// A connection's emulated migration delay elapses; serve `target`
     /// on node `to` and resolve pipeline slot `seq`.
@@ -146,100 +182,246 @@ impl Ord for TimerEntry {
 pub(crate) struct ReactorConfig {
     pub migration_delay: Duration,
     pub read_timeout: Duration,
+    /// Number of event-loop shards (validated ≥ 1 by `Cluster::start`).
+    pub shards: usize,
+    /// Idle lateral sessions retained per peer, per shard (mirrors the
+    /// thread path's per-peer pool cap).
+    pub peer_pool_cap: usize,
 }
 
-/// Handle held by `Cluster` to stop the loop from outside.
-pub(crate) struct ReactorHandle {
-    waker: Arc<Waker>,
-    join: Option<std::thread::JoinHandle<()>>,
+/// Live gauges of one shard, shared with the cluster for diagnostics.
+#[derive(Debug, Default)]
+struct ShardGauges {
+    /// Registered slab sources (client conns + peer-server conns +
+    /// lateral sessions).
+    sources: AtomicUsize,
+    /// Entries in the timer heap as of the last loop iteration.
+    timers: AtomicUsize,
 }
 
-impl ReactorHandle {
-    /// Wakes the poller (the stop flag must already be set) and joins
-    /// the loop thread after it has drained every registered connection.
-    pub fn shutdown(mut self) {
-        let _ = self.waker.wake();
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
+/// Aggregate live-source/timer gauges across every reactor shard —
+/// the observability hook the soak test uses to prove the slab and
+/// timer heap do not leak (zero registered sources, zero pending
+/// timers once traffic drains).
+#[derive(Debug)]
+pub struct ReactorStats {
+    shards: Vec<ShardGauges>,
+}
+
+impl ReactorStats {
+    fn new(shards: usize) -> ReactorStats {
+        ReactorStats {
+            shards: (0..shards).map(|_| ShardGauges::default()).collect(),
         }
+    }
+
+    /// Total registered slab sources (connections of any kind plus
+    /// lateral sessions) across all shards.
+    pub fn sources(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.sources.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total pending timer-heap entries across all shards.
+    pub fn timers(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.timers.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of reactor shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
-/// Builds the reactor on the caller's thread (so bind/registration
-/// errors surface synchronously) and runs its loop on a new thread.
+/// Hands accepted connections to one shard (the round-robin fallback
+/// when `SO_REUSEPORT` listener groups are unavailable): the stream is
+/// queued and the shard's poller woken to register it.
+#[derive(Clone)]
+pub(crate) struct ConnInjector {
+    q: Arc<Mutex<VecDeque<std::net::TcpStream>>>,
+    waker: Arc<Waker>,
+}
+
+impl ConnInjector {
+    /// Queues `stream` for the shard and wakes its poller.
+    pub fn push(&self, stream: std::net::TcpStream) {
+        self.q.lock().push_back(stream);
+        let _ = self.waker.wake();
+    }
+}
+
+/// Handle held by `Cluster` to stop the loops from outside.
+pub(crate) struct ReactorHandle {
+    wakers: Vec<Arc<Waker>>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+    injectors: Vec<ConnInjector>,
+    stats: Arc<ReactorStats>,
+}
+
+impl ReactorHandle {
+    /// Wakes every shard's poller (the stop flag must already be set)
+    /// and joins the loop threads after each has drained every
+    /// registered connection.
+    pub fn shutdown(mut self) {
+        for w in &self.wakers {
+            let _ = w.wake();
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+
+    /// One injector per shard, for acceptor-handoff fallback mode.
+    pub fn injectors(&self) -> Vec<ConnInjector> {
+        self.injectors.clone()
+    }
+
+    /// The shared live-source gauges.
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        self.stats.clone()
+    }
+}
+
+/// Builds every shard on the caller's thread (so bind/registration
+/// errors surface synchronously) and runs each loop on its own thread.
+///
+/// `fe_listeners[s]` is shard `s`'s own group of front-end accept
+/// sockets (empty in acceptor-handoff fallback mode); `peer_listeners`
+/// are the back-ends' lateral-server listeners in node order and
+/// `controls` the front-end sides of the control sessions tagged with
+/// their node — both are distributed across shards by `node % shards`.
 pub(crate) fn spawn(
     cfg: ReactorConfig,
     fe: Arc<FrontEnd>,
     store: Arc<ContentStore>,
-    std_listeners: Vec<std::net::TcpListener>,
-    std_control: Vec<std::net::TcpStream>,
+    fe_listeners: Vec<Vec<mio::net::TcpListener>>,
+    peer_listeners: Vec<std::net::TcpListener>,
+    controls: Vec<(usize, std::net::TcpStream)>,
     stop: Arc<AtomicBool>,
 ) -> io::Result<ReactorHandle> {
-    let poll = Poll::new()?;
-    let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
-    let mut listeners = Vec::with_capacity(std_listeners.len());
-    for (i, l) in std_listeners.into_iter().enumerate() {
-        let mut l = mio::net::TcpListener::from_std(l);
-        poll.registry()
-            .register(&mut l, Token(LISTENER_BASE + i), Interest::READABLE)?;
-        listeners.push(l);
+    let shards = cfg.shards;
+    debug_assert_eq!(fe_listeners.len(), shards, "one listener group per shard");
+    let stats = Arc::new(ReactorStats::new(shards));
+
+    // Round-robin the per-node sources across shards.
+    let mut peer_groups: Vec<Vec<(usize, std::net::TcpListener)>> =
+        (0..shards).map(|_| Vec::new()).collect();
+    for (node, l) in peer_listeners.into_iter().enumerate() {
+        peer_groups[node % shards].push((node, l));
     }
-    // The control sessions are ordinary readiness sources on the same
-    // poller: the loop decodes their frames exactly where the thread
-    // model runs its per-node reader threads.
-    let control_base = LISTENER_BASE + listeners.len();
-    let mut controls = Vec::with_capacity(std_control.len());
-    for (i, s) in std_control.into_iter().enumerate() {
-        let mut chan = ControlChan {
-            stream: mio::net::TcpStream::from_std(s),
-            decoder: FrameDecoder::new(),
-            open: true,
-        };
-        poll.registry().register(
-            &mut chan.stream,
-            Token(control_base + i),
-            Interest::READABLE,
-        )?;
-        controls.push(chan);
+    let mut control_groups: Vec<Vec<(usize, std::net::TcpStream)>> =
+        (0..shards).map(|_| Vec::new()).collect();
+    for (node, s) in controls {
+        control_groups[node % shards].push((node, s));
     }
+
     let nodes = fe.nodes().len();
     let peer_addrs = fe.nodes()[0].peer_addrs.clone();
     let semantics = fe.semantics();
-    let slab_base = control_base + controls.len();
-    let reactor = Reactor {
-        poll,
-        fe,
-        store,
-        stop,
-        listeners,
-        control_base,
-        controls,
-        slab_base,
-        slots: Vec::new(),
-        free: Vec::new(),
-        timers: BinaryHeap::new(),
-        next_timer_id: 0,
-        disks: (0..nodes).map(|_| DiskSched::default()).collect(),
-        idle_peers: vec![Vec::new(); nodes],
-        peer_addrs,
-        semantics,
-        migration_delay: cfg.migration_delay,
-        read_timeout: cfg.read_timeout,
-        last_sweep: Instant::now(),
-    };
-    let join = std::thread::Builder::new()
-        .name("phttp-reactor".into())
-        .spawn(move || reactor.run())?;
+
+    let mut wakers = Vec::with_capacity(shards);
+    let mut joins = Vec::with_capacity(shards);
+    let mut injectors = Vec::with_capacity(shards);
+    for (shard_idx, (fe_group, (peers, ctrls))) in fe_listeners
+        .into_iter()
+        .zip(peer_groups.into_iter().zip(control_groups))
+        .enumerate()
+    {
+        let poll = Poll::new()?;
+        let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
+        let inbox: Arc<Mutex<VecDeque<std::net::TcpStream>>> =
+            Arc::new(Mutex::new(VecDeque::new()));
+        injectors.push(ConnInjector {
+            q: inbox.clone(),
+            waker: waker.clone(),
+        });
+        wakers.push(waker);
+
+        let mut listeners = Vec::with_capacity(fe_group.len());
+        for (i, mut l) in fe_group.into_iter().enumerate() {
+            poll.registry()
+                .register(&mut l, Token(LISTENER_BASE + i), Interest::READABLE)?;
+            listeners.push(l);
+        }
+        let peer_base = LISTENER_BASE + listeners.len();
+        let mut peer_lns = Vec::with_capacity(peers.len());
+        for (i, (node, l)) in peers.into_iter().enumerate() {
+            let mut l = mio::net::TcpListener::from_std(l);
+            poll.registry()
+                .register(&mut l, Token(peer_base + i), Interest::READABLE)?;
+            peer_lns.push((node, l));
+        }
+        // The control sessions are ordinary readiness sources on the
+        // same poller: the loop decodes their frames exactly where the
+        // thread model runs its per-node reader threads.
+        let control_base = peer_base + peer_lns.len();
+        let mut chans = Vec::with_capacity(ctrls.len());
+        for (i, (node, s)) in ctrls.into_iter().enumerate() {
+            let mut chan = ControlChan {
+                node,
+                stream: mio::net::TcpStream::from_std(s),
+                decoder: FrameDecoder::new(),
+                open: true,
+            };
+            poll.registry().register(
+                &mut chan.stream,
+                Token(control_base + i),
+                Interest::READABLE,
+            )?;
+            chans.push(chan);
+        }
+        let slab_base = control_base + chans.len();
+        let reactor = Reactor {
+            shard: shard_idx,
+            poll,
+            fe: fe.clone(),
+            store: store.clone(),
+            stop: stop.clone(),
+            listeners,
+            peer_base,
+            peer_listeners: peer_lns,
+            control_base,
+            controls: chans,
+            slab_base,
+            inbox,
+            stats: stats.clone(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            timers: BinaryHeap::new(),
+            next_timer_id: 0,
+            disks: (0..nodes).map(|_| DiskSched::default()).collect(),
+            idle_peers: vec![Vec::new(); nodes],
+            peer_addrs: peer_addrs.clone(),
+            semantics,
+            migration_delay: cfg.migration_delay,
+            read_timeout: cfg.read_timeout,
+            peer_pool_cap: cfg.peer_pool_cap,
+            last_sweep: Instant::now(),
+        };
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("phttp-reactor-{shard_idx}"))
+                .spawn(move || reactor.run())?,
+        );
+    }
     Ok(ReactorHandle {
-        waker,
-        join: Some(join),
+        wakers,
+        joins,
+        injectors,
+        stats,
     })
 }
 
-/// The event loop: owns the poller, all registered sources, the timer
-/// heap, and the per-node disk schedulers.
 /// One registered control-session stream plus its frame decoder.
 struct ControlChan {
+    /// The back-end this session belongs to (sessions are created in
+    /// node order; the index is needed for EOF-driven eviction).
+    node: usize,
     stream: mio::net::TcpStream,
     decoder: FrameDecoder,
     /// Cleared on EOF or a framing error; the channel stays in the
@@ -247,19 +429,34 @@ struct ControlChan {
     open: bool,
 }
 
+/// One event-loop shard: owns its poller, all its registered sources,
+/// its timer heap, and its per-node disk schedulers.
 struct Reactor {
+    /// This shard's index (stable; used for gauge attribution).
+    shard: usize,
     poll: Poll,
     fe: Arc<FrontEnd>,
     store: Arc<ContentStore>,
     stop: Arc<AtomicBool>,
+    /// This shard's own front-end accept sockets (reuseport group
+    /// members, or empty in acceptor-handoff fallback mode).
     listeners: Vec<mio::net::TcpListener>,
-    /// First control-channel token: `LISTENER_BASE + listeners.len()`.
+    /// First peer-listener token: `LISTENER_BASE + listeners.len()`.
+    peer_base: usize,
+    /// This shard's share of the back-ends' lateral-server listeners
+    /// (`(node, listener)`; node `i` lives on shard `i % shards`).
+    peer_listeners: Vec<(usize, mio::net::TcpListener)>,
+    /// First control-channel token: `peer_base + peer_listeners.len()`.
     control_base: usize,
-    /// Registered control sessions, one per back-end (empty when cache
-    /// feedback is disabled).
+    /// This shard's share of the registered control sessions (empty
+    /// when cache feedback is disabled).
     controls: Vec<ControlChan>,
     /// First slab token: `control_base + controls.len()`.
     slab_base: usize,
+    /// Accepted connections handed off by fallback acceptor threads.
+    inbox: Arc<Mutex<VecDeque<std::net::TcpStream>>>,
+    /// Shared live-source gauges (this shard writes `shards[shard]`).
+    stats: Arc<ReactorStats>,
     slots: Vec<SlabSlot>,
     free: Vec<usize>,
     timers: BinaryHeap<TimerEntry>,
@@ -271,6 +468,7 @@ struct Reactor {
     semantics: ForwardSemantics,
     migration_delay: Duration,
     read_timeout: Duration,
+    peer_pool_cap: usize,
     last_sweep: Instant,
 }
 
@@ -300,17 +498,23 @@ impl Reactor {
             for ev in events.iter() {
                 let Token(t) = ev.token();
                 if t == WAKER.0 {
-                    continue; // stop flag is checked each iteration
-                } else if t < self.control_base {
+                    continue; // inbox drained below, stop checked above
+                } else if t < self.peer_base {
                     self.accept_all(t - LISTENER_BASE);
+                } else if t < self.control_base {
+                    self.accept_peers(t - self.peer_base);
                 } else if t < self.slab_base {
                     self.drain_control(t - self.control_base);
                 } else {
                     self.handle_slot(t - self.slab_base);
                 }
             }
+            self.drain_inbox();
             self.fire_timers();
             self.maybe_sweep_idle();
+            self.stats.shards[self.shard]
+                .timers
+                .store(self.timers.len(), Ordering::Relaxed);
         }
     }
 
@@ -333,6 +537,9 @@ impl Reactor {
     // ---- slab -----------------------------------------------------------
 
     fn insert_slot(&mut self, slot: Slot) -> usize {
+        self.stats.shards[self.shard]
+            .sources
+            .fetch_add(1, Ordering::Relaxed);
         if let Some(idx) = self.free.pop() {
             self.slots[idx].val = Some(slot);
             idx
@@ -355,6 +562,9 @@ impl Reactor {
     /// Frees a slot: bumps the generation (invalidating outstanding
     /// [`SlotRef`]s) and recycles the index.
     fn free_slot(&mut self, idx: usize) {
+        self.stats.shards[self.shard]
+            .sources
+            .fetch_sub(1, Ordering::Relaxed);
         self.slots[idx].gen += 1;
         self.slots[idx].val = None;
         self.free.push(idx);
@@ -365,25 +575,7 @@ impl Reactor {
     fn accept_all(&mut self, listener: usize) {
         loop {
             match self.listeners[listener].accept() {
-                Ok((stream, _)) => {
-                    let _ = stream.set_nodelay(true);
-                    let idx = self.insert_slot(Slot::Client(ClientConn::new(stream)));
-                    let Some(Slot::Client(c)) = self.slots[idx].val.as_mut() else {
-                        unreachable!("just inserted")
-                    };
-                    if self
-                        .poll
-                        .registry()
-                        .register(
-                            &mut c.stream,
-                            Token(self.slab_base + idx),
-                            Interest::READABLE,
-                        )
-                        .is_err()
-                    {
-                        self.free_slot(idx);
-                    }
-                }
+                Ok((stream, _)) => self.register_client(ClientConn::new(stream)),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => break, // transient accept failure; retry on next event
@@ -391,17 +583,72 @@ impl Reactor {
         }
     }
 
+    /// Accepts lateral-fetch connections on one of this shard's peer
+    /// listeners; they serve on that listener's node, event-driven.
+    fn accept_peers(&mut self, idx: usize) {
+        loop {
+            match self.peer_listeners[idx].1.accept() {
+                Ok((stream, _)) => {
+                    let node = self.peer_listeners[idx].0;
+                    self.register_client(ClientConn::peer_server(stream, node));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Registers an accepted (client or peer-server) connection in the
+    /// slab.
+    fn register_client(&mut self, conn: ClientConn) {
+        let _ = conn.stream.set_nodelay(true);
+        let idx = self.insert_slot(Slot::Client(conn));
+        let Some(Slot::Client(c)) = self.slots[idx].val.as_mut() else {
+            unreachable!("just inserted")
+        };
+        if self
+            .poll
+            .registry()
+            .register(
+                &mut c.stream,
+                Token(self.slab_base + idx),
+                Interest::READABLE,
+            )
+            .is_err()
+        {
+            self.free_slot(idx);
+        }
+    }
+
+    /// Registers connections handed off by fallback acceptor threads.
+    fn drain_inbox(&mut self) {
+        loop {
+            let Some(stream) = self.inbox.lock().pop_front() else {
+                return;
+            };
+            let stream = mio::net::TcpStream::from_std(stream);
+            self.register_client(ClientConn::new(stream));
+        }
+    }
+
     // ---- control sessions -----------------------------------------------
 
     /// Drains one control session as far as readiness allows, applying
     /// every decoded frame to the front-end — the reactor-side analogue
-    /// of the thread model's blocking per-node control reader.
+    /// of the thread model's blocking per-node control reader. A
+    /// session that dies while the cluster is not shutting down is a
+    /// node-failure signal: the node's believed mappings are evicted.
     fn drain_control(&mut self, idx: usize) {
         // Field-split the borrows: the channel is driven mutably while
         // frames are applied through `fe` and deregistration goes
         // through `poll` — disjoint fields of `self`.
         let Reactor {
-            controls, fe, poll, ..
+            controls,
+            fe,
+            poll,
+            stop,
+            ..
         } = self;
         let Some(chan) = controls.get_mut(idx) else {
             return;
@@ -409,13 +656,23 @@ impl Reactor {
         if !chan.open {
             return;
         }
+        // Closes the channel; outside a clean shutdown this is a crash
+        // EOF (or a poisoned stream) and the node's mappings go with it.
+        let fail = |chan: &mut ControlChan| {
+            chan.open = false;
+            let _ = poll.registry().deregister(&mut chan.stream);
+            if !stop.load(Ordering::Relaxed) {
+                fe.evict_node(NodeId(chan.node));
+            }
+        };
         let mut buf = [0u8; 16 * 1024];
         loop {
             match chan.stream.read(&mut buf) {
                 Ok(0) => {
-                    // Node side closed (cluster teardown).
-                    chan.open = false;
-                    let _ = poll.registry().deregister(&mut chan.stream);
+                    // Node side closed while the cluster is live: the
+                    // node is gone (clean shutdown never reaches here —
+                    // the loop exits on the stop flag first).
+                    fail(chan);
                     return;
                 }
                 Ok(n) => {
@@ -425,10 +682,9 @@ impl Reactor {
                             Ok(Some(msg)) => fe.apply_control(msg),
                             Ok(None) => break,
                             Err(_) => {
-                                // Framing has no resync point; drop the
-                                // session like the thread reader does.
-                                chan.open = false;
-                                let _ = poll.registry().deregister(&mut chan.stream);
+                                // Framing has no resync point; treat a
+                                // poisoned session like a dead node.
+                                fail(chan);
                                 return;
                             }
                         }
@@ -437,8 +693,7 @@ impl Reactor {
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
-                    chan.open = false;
-                    let _ = poll.registry().deregister(&mut chan.stream);
+                    fail(chan);
                     return;
                 }
             }
@@ -473,10 +728,10 @@ impl Reactor {
         }
     }
 
-    // ---- client connections --------------------------------------------
+    // ---- client & peer-server connections -------------------------------
 
-    /// Reads, parses, decides, serves, and writes one client connection
-    /// as far as readiness allows. Returns whether the slot stays alive.
+    /// Reads, parses, decides, serves, and writes one connection as far
+    /// as readiness allows. Returns whether the slot stays alive.
     fn drive_client(&mut self, idx: usize, c: &mut ClientConn) -> bool {
         c.last_activity = Instant::now();
         loop {
@@ -516,7 +771,11 @@ impl Reactor {
             if batch.is_empty() {
                 return Ok(());
             }
-            self.process_batch(idx, c, batch);
+            if c.peer_server {
+                self.process_peer_batch(idx, c, batch);
+            } else {
+                self.process_batch(idx, c, batch);
+            }
         }
     }
 
@@ -608,10 +867,44 @@ impl Reactor {
         }
     }
 
+    /// The peer-server analogue of [`process_batch`]: every request
+    /// serves on the listener's node — no handoff, no dispatcher, same
+    /// strict response ordering. Mirrors the thread model's
+    /// `serve_peer_connection` loop body, including its per-request
+    /// `lateral_in` accounting.
+    fn process_peer_batch(&mut self, idx: usize, c: &mut ClientConn, batch: Vec<Request>) {
+        let me = self.slot_ref(idx);
+        let node_idx = c.node;
+        for req in batch {
+            let Some(target) = self.store.lookup(&req.uri) else {
+                let seq = c.alloc_seq();
+                c.push_entry(seq, EntryState::Ready(not_found_wire(req.version)));
+                continue;
+            };
+            if self.fe.nodes()[node_idx].take_lateral_fault() {
+                // Injected fault: die like a crashed lateral server —
+                // drop everything owed, respond to nothing. The fetcher
+                // sees EOF mid-fetch and must degrade to local service.
+                c.entries.clear();
+                c.out.clear();
+                c.eof = true;
+                c.close_after_drain = true;
+                return;
+            }
+            self.fe.nodes()[node_idx]
+                .stats
+                .lateral_in
+                .fetch_add(1, Ordering::Relaxed);
+            let seq = c.alloc_seq();
+            let state = self.serve_on(me, seq, node_idx, target, req.version);
+            c.push_entry(seq, state);
+        }
+    }
+
     /// Serves `target` on node `node_idx` without blocking: a cache hit
-    /// produces the response now; a miss queues on the node's disk
-    /// scheduler and resolves slot `seq` when the read-time deadline
-    /// fires.
+    /// produces the response now; a miss queues on the shard's disk
+    /// scheduler for that node and resolves slot `seq` when the
+    /// read-time deadline fires.
     fn serve_on(
         &mut self,
         conn: SlotRef,
@@ -675,9 +968,9 @@ impl Reactor {
         true
     }
 
-    /// Closes a client slot: unwinds the dispatcher connection exactly
-    /// once and frees the slab entry. Outstanding disk/lateral
-    /// completions for it die against the generation check.
+    /// Closes a client (or peer-server) slot: unwinds the dispatcher
+    /// connection exactly once and frees the slab entry. Outstanding
+    /// disk/lateral completions for it die against the generation check.
     fn release_client(&mut self, idx: usize, mut c: ClientConn) {
         if let Some(conn) = c.conn_id {
             self.fe.close_connection(conn);
@@ -686,7 +979,7 @@ impl Reactor {
         self.free_slot(idx);
     }
 
-    /// Resolves pipeline slot `seq` of a (possibly already gone) client
+    /// Resolves pipeline slot `seq` of a (possibly already gone)
     /// connection and pushes the pipeline forward.
     fn deliver(&mut self, conn: SlotRef, seq: u64, state: EntryState) {
         let Some(slab) = self.slots.get_mut(conn.idx) else {
@@ -760,7 +1053,9 @@ impl Reactor {
                 Err(j) => job = j, // stale session released; try the next
             }
         }
-        // No pooled session: dial a fresh one.
+        // No pooled session: dial a fresh one. A dial failure is the
+        // first of the mid-job peer failures that must degrade to local
+        // service rather than strand the pipeline slot.
         match self.connect_peer(remote.0) {
             Ok(pidx) => match self.peer_send(pidx, job) {
                 Ok(()) => EntryState::Lateral,
@@ -805,14 +1100,24 @@ impl Reactor {
     /// Attaches `job` to session `pidx` and writes its request. On a
     /// hard failure the session is released and the job handed back.
     fn peer_send(&mut self, pidx: usize, job: LateralJob) -> Result<(), LateralJob> {
+        // An idle-pool index must still hold an idle peer session;
+        // anything else is stale and must NOT be checked out (the slot
+        // may have been recycled for a live connection — taking it out
+        // to pattern-match would silently drop that connection).
+        match self.slots.get(pidx).and_then(|s| s.val.as_ref()) {
+            Some(Slot::Peer(p)) if p.job.is_none() => {}
+            _ => return Err(job),
+        }
         let Some(Slot::Peer(mut p)) = self.slots[pidx].val.take() else {
-            return Err(job); // pool entry went stale
+            unreachable!("checked above")
         };
-        debug_assert!(p.job.is_none(), "one in-flight fetch per session");
+        p.last_activity = Instant::now();
         let req = Request::get(ContentStore::uri(job.target), Version::Http11);
         p.out.extend_from_slice(&req.to_bytes());
         p.job = Some(job);
         if self.flush_peer(pidx, &mut p).is_err() {
+            // Write failure mid-job: hand the job back (the caller
+            // degrades it to local service) and drop the session.
             let job = p.job.take().expect("just attached");
             let _ = self.poll.registry().deregister(&mut p.stream);
             self.free_slot(pidx);
@@ -860,6 +1165,7 @@ impl Reactor {
     /// session's in-flight job falls back to local service in
     /// [`release_peer`].
     fn drive_peer(&mut self, idx: usize, p: &mut PeerSession) -> bool {
+        p.last_activity = Instant::now();
         if self.flush_peer(idx, p).is_err() {
             return false;
         }
@@ -892,7 +1198,7 @@ impl Reactor {
                                 if !keep || p.parser.buffered() != 0 {
                                     return false;
                                 }
-                                if self.idle_peers[p.remote].len() >= PEER_POOL_CAP {
+                                if self.idle_peers[p.remote].len() >= self.peer_pool_cap {
                                     return false;
                                 }
                                 self.idle_peers[p.remote].push(idx);
@@ -951,8 +1257,12 @@ impl Reactor {
     }
 
     /// Applies the idle-close rule the thread path gets from its socket
-    /// read timeout: a connection with nothing pending and no socket
-    /// activity for `read_timeout` is closed.
+    /// read timeouts: a client/peer-server connection with nothing
+    /// pending, or a pooled lateral session with no in-flight fetch,
+    /// that has seen no activity for `read_timeout` is closed. This is
+    /// also what guarantees the slab drains to zero sources after
+    /// traffic stops (the soak-test invariant): pooled lateral sessions
+    /// and idle peer-server connections do not linger forever.
     fn maybe_sweep_idle(&mut self) {
         let now = Instant::now();
         if now.duration_since(self.last_sweep) < self.read_timeout.min(Duration::from_secs(1)) {
@@ -960,16 +1270,22 @@ impl Reactor {
         }
         self.last_sweep = now;
         for idx in 0..self.slots.len() {
-            let timed_out = matches!(
-                &self.slots[idx].val,
-                Some(Slot::Client(c))
-                    if c.drained() && now.duration_since(c.last_activity) > self.read_timeout
-            );
-            if timed_out {
-                let Some(Slot::Client(c)) = self.slots[idx].val.take() else {
-                    unreachable!("matched above")
-                };
-                self.release_client(idx, c);
+            let timed_out = match &self.slots[idx].val {
+                Some(Slot::Client(c)) => {
+                    c.drained() && now.duration_since(c.last_activity) > self.read_timeout
+                }
+                Some(Slot::Peer(p)) => {
+                    p.job.is_none() && now.duration_since(p.last_activity) > self.read_timeout
+                }
+                None => false,
+            };
+            if !timed_out {
+                continue;
+            }
+            match self.slots[idx].val.take() {
+                Some(Slot::Client(c)) => self.release_client(idx, c),
+                Some(Slot::Peer(p)) => self.release_peer(idx, p),
+                None => unreachable!("matched above"),
             }
         }
     }
@@ -991,5 +1307,9 @@ impl Reactor {
                 None => {}
             }
         }
+        self.timers.clear();
+        self.stats.shards[self.shard]
+            .timers
+            .store(0, Ordering::Relaxed);
     }
 }

@@ -9,6 +9,8 @@
 //! to its peer's idle pool only if the stream is provably clean —
 //! keep-alive response and an empty parser, the PR 2 anti-desync rule.
 
+use std::time::Instant;
+
 use bytes::BytesMut;
 use mio::Interest;
 use phttp_http::{ResponseParser, Version};
@@ -45,6 +47,11 @@ pub(crate) struct PeerSession {
     pub job: Option<LateralJob>,
     /// Interests currently registered with the poller.
     pub interest: Interest,
+    /// Last time the session carried a fetch, for the idle sweep: a
+    /// pooled session idle past the read timeout is closed, mirroring
+    /// the thread model's peer-side socket timeout reaping its idle
+    /// pooled streams.
+    pub last_activity: Instant,
 }
 
 impl PeerSession {
@@ -56,6 +63,7 @@ impl PeerSession {
             remote,
             job: None,
             interest: Interest::READABLE,
+            last_activity: Instant::now(),
         }
     }
 }

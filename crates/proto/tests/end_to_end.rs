@@ -5,6 +5,8 @@
 //!
 //! `PHTTP_IO_MODEL=threads|reactor` restricts the matrix to one model
 //! (CI runs the suite once per model); unset, every test covers both.
+//! `PHTTP_REACTOR_SHARDS=N` sets the reactor's shard count (CI adds a
+//! 2-shard leg; the default is 1).
 
 use std::time::Duration;
 
@@ -35,6 +37,18 @@ fn io_models() -> Vec<IoModel> {
     }
 }
 
+/// Reactor shard count for this run (`PHTTP_REACTOR_SHARDS`; the
+/// thread model always runs shardless).
+fn reactor_shards(io_model: IoModel) -> usize {
+    match io_model {
+        IoModel::Threads => 1,
+        IoModel::Reactor => std::env::var("PHTTP_REACTOR_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+    }
+}
+
 fn config(policy: PolicyKind, nodes: usize, io_model: IoModel) -> ProtoConfig {
     ProtoConfig {
         nodes,
@@ -43,6 +57,7 @@ fn config(policy: PolicyKind, nodes: usize, io_model: IoModel) -> ProtoConfig {
         disk: fast_disk(),
         read_timeout: Duration::from_secs(5),
         io_model,
+        reactor_shards: reactor_shards(io_model),
         ..ProtoConfig::default()
     }
 }
@@ -402,6 +417,58 @@ fn simulator_only_mechanism_is_a_config_error_not_a_panic() {
         };
         assert_eq!(err, phttp_proto::ConfigError::UnsupportedMechanism(mech));
     }
+}
+
+/// The PR 2 pattern extended to the sharding knobs: misconfigurations
+/// must surface as `ConfigError`s from `Cluster::start`, not panics or
+/// silent misbehaviour.
+#[test]
+fn bad_shard_and_pool_configs_are_errors() {
+    use phttp_proto::ConfigError;
+    let trace = tiny_trace();
+    let check = |mutate: &dyn Fn(&mut ProtoConfig), want: ConfigError| {
+        let mut cfg = config(PolicyKind::ExtLard, 2, IoModel::Reactor);
+        mutate(&mut cfg);
+        match Cluster::start(cfg, &trace) {
+            Err(e) => assert_eq!(e, want),
+            Ok(cluster) => {
+                cluster.shutdown();
+                panic!("{want:?} must be refused");
+            }
+        }
+    };
+    // A reactor with zero event loops can serve nothing.
+    check(&|c| c.reactor_shards = 0, ConfigError::ZeroReactorShards);
+    // Shards belong to the reactor; the thread model has none to offer.
+    check(
+        &|c| {
+            c.io_model = IoModel::Threads;
+            c.reactor_shards = 4;
+        },
+        ConfigError::ReactorShardsWithoutReactor { shards: 4 },
+    );
+    // A zero-capacity peer pool silently degrades every lateral fetch
+    // to a fresh dial; refuse it up front (both io models).
+    for io in [IoModel::Threads, IoModel::Reactor] {
+        check(
+            &|c| {
+                c.io_model = io;
+                c.reactor_shards = 1;
+                c.peer_pool_cap = 0;
+            },
+            ConfigError::ZeroPeerPoolCap,
+        );
+    }
+    // The error messages are self-describing.
+    assert!(ConfigError::ZeroReactorShards
+        .to_string()
+        .contains("at least 1"));
+    assert!(ConfigError::ReactorShardsWithoutReactor { shards: 4 }
+        .to_string()
+        .contains("IoModel::Reactor"));
+    assert!(ConfigError::ZeroPeerPoolCap
+        .to_string()
+        .contains("peer_pool_cap"));
 }
 
 #[test]

@@ -1,16 +1,18 @@
-//! Differential test: the event-driven reactor and the
-//! thread-per-connection oracle must be observably the same server.
+//! Differential test: the event-driven reactor — at **every shard
+//! count** — and the thread-per-connection oracle must be observably
+//! the same server.
 //!
 //! The same pipelined P-HTTP workload is driven through a cluster in
 //! each `IoModel` by a verifying capture client, recording every
-//! response on every connection. The two transcripts must be
-//! **byte-identical** (response bytes are fully determined by the
-//! request target and HTTP version, so transcripts are comparable even
-//! though connection *scheduling* is concurrent), each model must
-//! demonstrably exercise its mechanism's remote path (lateral fetches
-//! or migrations — byte-identity alone cannot see routing), and both
-//! clusters must unwind to the same final load-tracker state (exactly
-//! zero load, zero tracked connections).
+//! response on every connection; the reactor runs the matrix
+//! `reactor_shards ∈ {1, 2, 4}`. Every transcript must be
+//! **byte-identical** to the threads oracle's (response bytes are fully
+//! determined by the request target and HTTP version, so transcripts
+//! are comparable even though connection *scheduling* is concurrent),
+//! each run must demonstrably exercise its mechanism's remote path
+//! (lateral fetches or migrations — byte-identity alone cannot see
+//! routing), and every cluster must unwind to the same final
+//! load-tracker state (exactly zero load, zero tracked connections).
 //!
 //! The client runs several connections concurrently on purpose: with a
 //! single sequential connection the back-end disks never queue, and
@@ -36,7 +38,7 @@ fn workload() -> (phttp_trace::Trace, ConnectionTrace) {
     (trace, conns)
 }
 
-fn config(mechanism: Mechanism, io_model: IoModel) -> ProtoConfig {
+fn config(mechanism: Mechanism, io_model: IoModel, shards: usize) -> ProtoConfig {
     ProtoConfig {
         nodes: 3,
         policy: PolicyKind::ExtLard,
@@ -51,6 +53,7 @@ fn config(mechanism: Mechanism, io_model: IoModel) -> ProtoConfig {
         },
         read_timeout: Duration::from_secs(5),
         io_model,
+        reactor_shards: shards,
         ..ProtoConfig::default()
     }
 }
@@ -120,21 +123,33 @@ fn play_capture(addrs: &[SocketAddr], workload: &ConnectionTrace) -> Vec<Vec<Vec
 fn run_one(
     mechanism: Mechanism,
     io_model: IoModel,
+    shards: usize,
 ) -> (Vec<Vec<Vec<u8>>>, Vec<phttp_proto::NodeStatsSnapshot>) {
     let (trace, conns) = workload();
-    let cluster = Cluster::start(config(mechanism, io_model), &trace).expect("start cluster");
+    let cluster =
+        Cluster::start(config(mechanism, io_model, shards), &trace).expect("start cluster");
+    if io_model == IoModel::Reactor && shards > 1 {
+        // This host supports reuseport groups (the shim test proves it);
+        // a silent fallback here would quietly skip the accept path this
+        // matrix exists to exercise.
+        assert_eq!(
+            cluster.used_accept_handoff(),
+            Some(false),
+            "{shards} shards"
+        );
+    }
     let transcript = play_capture(cluster.frontend_addrs(), &conns);
     // Final load-tracker state: every connection's charge unwound to
     // exactly zero (fixed-point accounting), nothing still tracked.
     assert!(
         cluster.quiesce(Duration::from_secs(10)),
-        "{io_model:?}: connections leaked"
+        "{io_model:?}/{shards}: connections leaked"
     );
     let fe = cluster.frontend_shared();
-    assert_eq!(fe.active_connections(), 0, "{io_model:?}");
+    assert_eq!(fe.active_connections(), 0, "{io_model:?}/{shards}");
     assert!(
         fe.loads().iter().all(|&l| l.abs() < 1e-12),
-        "{io_model:?}: residual load {:?}",
+        "{io_model:?}/{shards}: residual load {:?}",
         fe.loads()
     );
     let stats = cluster.node_stats();
@@ -173,17 +188,64 @@ fn assert_routes(stats: &[phttp_proto::NodeStatsSnapshot], mechanism: Mechanism,
     }
 }
 
-#[test]
-fn reactor_matches_threads_backend_forwarding() {
+/// The shard counts the reactor is differentially tested at. 1 is the
+/// single-loop baseline; 2 and 4 exercise reuseport accept
+/// distribution, cross-shard lateral serving (a fetch issued on one
+/// shard served by the peer listener on another), and the shared
+/// dispatcher under true multi-loop concurrency.
+const SHARD_MATRIX: [usize; 3] = [1, 2, 4];
+
+fn shard_matrix_against_oracle(mechanism: Mechanism) {
     let (trace, _) = workload();
-    let (threads, threads_stats) = run_one(Mechanism::BackendForwarding, IoModel::Threads);
-    let (reactor, reactor_stats) = run_one(Mechanism::BackendForwarding, IoModel::Reactor);
+    let (threads, threads_stats) = run_one(mechanism, IoModel::Threads, 1);
+    assert_nonempty(&threads, trace.len());
+    assert_routes(&threads_stats, mechanism, IoModel::Threads);
+    for shards in SHARD_MATRIX {
+        let (reactor, reactor_stats) = run_one(mechanism, IoModel::Reactor, shards);
+        assert_routes(&reactor_stats, mechanism, IoModel::Reactor);
+        assert_eq!(
+            threads, reactor,
+            "transcripts diverge from the threads oracle ({mechanism:?}, {shards} shards)"
+        );
+    }
+}
+
+#[test]
+fn reactor_shard_matrix_matches_threads_backend_forwarding() {
+    shard_matrix_against_oracle(Mechanism::BackendForwarding);
+}
+
+#[test]
+fn reactor_shard_matrix_matches_threads_multiple_handoff() {
+    shard_matrix_against_oracle(Mechanism::MultipleHandoff);
+}
+
+/// The acceptor-handoff fallback (round-robin injection into the shard
+/// loops) must be observably identical to the reuseport accept path —
+/// it is the degradation mode on hosts where the shim cannot express
+/// the listener group.
+#[test]
+fn acceptor_handoff_fallback_matches_threads() {
+    let (trace, _) = workload();
+    let (threads, threads_stats) = run_one(Mechanism::BackendForwarding, IoModel::Threads, 1);
     assert_nonempty(&threads, trace.len());
     assert_routes(
         &threads_stats,
         Mechanism::BackendForwarding,
         IoModel::Threads,
     );
+    let (trace2, conns) = workload();
+    let mut cfg = config(Mechanism::BackendForwarding, IoModel::Reactor, 2);
+    cfg.force_accept_handoff = true;
+    let cluster = Cluster::start(cfg, &trace2).expect("start cluster");
+    assert_eq!(cluster.used_accept_handoff(), Some(true));
+    let reactor = play_capture(cluster.frontend_addrs(), &conns);
+    assert!(
+        cluster.quiesce(Duration::from_secs(10)),
+        "handoff: connections leaked"
+    );
+    let reactor_stats = cluster.node_stats();
+    cluster.shutdown();
     assert_routes(
         &reactor_stats,
         Mechanism::BackendForwarding,
@@ -191,20 +253,6 @@ fn reactor_matches_threads_backend_forwarding() {
     );
     assert_eq!(
         threads, reactor,
-        "transcripts diverge between io models (backend forwarding)"
-    );
-}
-
-#[test]
-fn reactor_matches_threads_multiple_handoff() {
-    let (trace, _) = workload();
-    let (threads, threads_stats) = run_one(Mechanism::MultipleHandoff, IoModel::Threads);
-    let (reactor, reactor_stats) = run_one(Mechanism::MultipleHandoff, IoModel::Reactor);
-    assert_nonempty(&threads, trace.len());
-    assert_routes(&threads_stats, Mechanism::MultipleHandoff, IoModel::Threads);
-    assert_routes(&reactor_stats, Mechanism::MultipleHandoff, IoModel::Reactor);
-    assert_eq!(
-        threads, reactor,
-        "transcripts diverge between io models (multiple handoff)"
+        "transcripts diverge under acceptor-handoff fallback"
     );
 }

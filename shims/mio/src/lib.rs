@@ -15,13 +15,22 @@
 //!   level-triggered (the `Waker`'s eventfd is the only edge-triggered
 //!   registration), which tolerates partial drains at a small cost in
 //!   redundant wakeups — the simpler contract for a reproduction.
-//! * **`net::TcpStream::connect`** performs a blocking `connect(2)` and
-//!   then switches the socket to non-blocking mode. The reactor only
-//!   dials loopback peers whose accept loops are already running, where
-//!   a blocking connect completes immediately; skipping the in-progress
-//!   connect state machine keeps the shim free of raw `socket(2)` calls.
+//! * **`net::TcpStream::connect`** is a true non-blocking connect
+//!   (`EINPROGRESS` handshake), as upstream. It must be: a reactor
+//!   shard dials peer listeners that other (or the same!) shards
+//!   accept on, and a blocking loopback connect against a full
+//!   backlog of a listener owned by the calling loop would deadlock
+//!   the loop against itself. Completion surfaces as writability;
+//!   failure as an error from the next read/write. (IPv6 only falls
+//!   back to a blocking std connect; nothing in-tree dials IPv6.)
 //! * **Linux only.** `epoll` and `eventfd` are used directly via
 //!   `extern "C"` bindings (no `libc` crate in this environment).
+//! * **`net::TcpListener::bind_reuseport`** is an extension upstream
+//!   mio does not carry (there it comes via `socket2`): a raw
+//!   `socket`/`setsockopt SO_REUSEPORT`/`bind`/`listen` sequence so the
+//!   reactor's shards can each bind their own accept socket on one
+//!   shared address. IPv4 only; callers use the error as the signal to
+//!   fall back to an acceptor handoff.
 
 #![deny(missing_docs)]
 
@@ -58,6 +67,29 @@ mod sys {
     pub const EFD_CLOEXEC: c_int = 0o2000000;
     pub const EFD_NONBLOCK: c_int = 0o4000;
 
+    pub const AF_INET: c_int = 2;
+    pub const SOCK_STREAM: c_int = 1;
+    pub const SOCK_CLOEXEC: c_int = 0o2000000;
+    pub const SOCK_NONBLOCK: c_int = 0o4000;
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_REUSEADDR: c_int = 2;
+    pub const SO_REUSEPORT: c_int = 15;
+    pub const EINPROGRESS: i32 = 115;
+    pub const EINTR: i32 = 4;
+
+    /// Kernel `struct sockaddr_in` (IPv4 only — the reuseport group bind
+    /// below is loopback-IPv4 by construction).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct SockaddrIn {
+        pub sin_family: u16,
+        /// Network byte order.
+        pub sin_port: u16,
+        /// Network byte order.
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
+
     extern "C" {
         pub fn epoll_create1(flags: c_int) -> c_int;
         pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -70,6 +102,17 @@ mod sys {
         pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
         pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
         pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+        pub fn bind(fd: c_int, addr: *const SockaddrIn, addrlen: u32) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+        pub fn connect(fd: c_int, addr: *const SockaddrIn, addrlen: u32) -> c_int;
     }
 }
 
@@ -411,6 +454,65 @@ pub mod net {
             Ok(Self::from_std(std::net::TcpListener::bind(addr)?))
         }
 
+        /// Binds a non-blocking listener on `addr` with `SO_REUSEPORT`
+        /// (and `SO_REUSEADDR`) set **before** the bind, so several
+        /// listeners — typically one per reactor shard — can share one
+        /// address and have the kernel spread incoming connections
+        /// across their accept queues. IPv4 only (the reactor binds
+        /// loopback aliases); an IPv6 address is an `InvalidInput`
+        /// error, which callers treat as "the shim can't express it"
+        /// and fall back to an acceptor handoff.
+        ///
+        /// Extension over upstream mio (which exposes reuseport via
+        /// `socket2`, unavailable offline); see `shims/README.md`.
+        pub fn bind_reuseport(addr: SocketAddr, backlog: u32) -> io::Result<TcpListener> {
+            use super::sys;
+            use std::os::fd::{FromRawFd, OwnedFd};
+
+            let SocketAddr::V4(v4) = addr else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "reuseport bind is IPv4-only in the mio shim",
+                ));
+            };
+            let raw = unsafe { sys::socket(sys::AF_INET, sys::SOCK_STREAM | sys::SOCK_CLOEXEC, 0) };
+            if raw < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // From here the fd is owned: any error path closes it.
+            let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+            let one: i32 = 1;
+            for opt in [sys::SO_REUSEADDR, sys::SO_REUSEPORT] {
+                let rc = unsafe {
+                    sys::setsockopt(
+                        raw,
+                        sys::SOL_SOCKET,
+                        opt,
+                        &one as *const i32 as *const std::os::raw::c_void,
+                        std::mem::size_of::<i32>() as u32,
+                    )
+                };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+            }
+            let sa = sys::SockaddrIn {
+                sin_family: sys::AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            let rc = unsafe { sys::bind(raw, &sa, std::mem::size_of::<sys::SockaddrIn>() as u32) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let rc = unsafe { sys::listen(raw, backlog.min(i32::MAX as u32) as i32) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self::from_std(std::net::TcpListener::from(fd)))
+        }
+
         /// Accepts one pending connection; `WouldBlock` when none is
         /// queued. The accepted stream is already non-blocking.
         pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
@@ -445,12 +547,61 @@ pub mod net {
             TcpStream { inner }
         }
 
-        /// Connects to `addr`. Deviation from upstream mio: the connect
-        /// itself is blocking (immediate on loopback, the only use here)
-        /// and the socket turns non-blocking afterwards — see the crate
-        /// docs.
+        /// Starts a **non-blocking** connect to `addr` (IPv4), like
+        /// upstream mio: the socket is created non-blocking and
+        /// `connect(2)`'s `EINPROGRESS` is success — the connection
+        /// completes in the background and the socket becomes writable
+        /// (or readable+error on failure). Callers that write before
+        /// completion see `WouldBlock` and park the bytes for the
+        /// writable event; a failed connect surfaces as an error from
+        /// the next read/write.
+        ///
+        /// This MUST NOT block even transiently: an event loop dials
+        /// peers whose accept queues it also drains — a blocking
+        /// loopback connect against that loop's own full listener
+        /// backlog would deadlock the loop against itself. (IPv6 falls
+        /// back to a blocking std connect; nothing in-tree dials IPv6.)
         pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
-            Ok(Self::from_std(std::net::TcpStream::connect(addr)?))
+            use super::sys;
+            use std::os::fd::{FromRawFd, OwnedFd};
+
+            let SocketAddr::V4(v4) = addr else {
+                return Ok(Self::from_std(std::net::TcpStream::connect(addr)?));
+            };
+            let raw = unsafe {
+                sys::socket(
+                    sys::AF_INET,
+                    sys::SOCK_STREAM | sys::SOCK_CLOEXEC | sys::SOCK_NONBLOCK,
+                    0,
+                )
+            };
+            if raw < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+            let sa = sys::SockaddrIn {
+                sin_family: sys::AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            let rc =
+                unsafe { sys::connect(raw, &sa, std::mem::size_of::<sys::SockaddrIn>() as u32) };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                // EINPROGRESS is the normal non-blocking handshake;
+                // EINTR means the kernel continues it in the background.
+                let in_progress = matches!(
+                    err.raw_os_error(),
+                    Some(code) if code == sys::EINPROGRESS || code == sys::EINTR
+                );
+                if !in_progress {
+                    return Err(err);
+                }
+            }
+            // Already non-blocking via SOCK_NONBLOCK; from_std's extra
+            // set_nonblocking is an idempotent no-op.
+            Ok(Self::from_std(std::net::TcpStream::from(fd)))
         }
 
         /// Sets `TCP_NODELAY`.
@@ -597,6 +748,75 @@ mod tests {
         assert_eq!(client.read(&mut buf).unwrap(), 0);
 
         poll.registry().deregister(&mut client).unwrap();
+    }
+
+    /// The sharded-reactor deadlock regression: a loop dials peer
+    /// listeners whose accept queues *it* drains, so `connect` must
+    /// return immediately (EINPROGRESS) even when the target's backlog
+    /// is full — the old blocking connect wedged the calling thread
+    /// until someone accepted, which for a loop dialing its own
+    /// listener was never.
+    #[test]
+    fn connect_does_not_block_on_a_full_backlog() {
+        let l = net::TcpListener::bind_reuseport("127.0.0.1:0".parse().unwrap(), 1).unwrap();
+        let addr = l.local_addr().unwrap();
+        let start = Instant::now();
+        // Dial far past the backlog from this single thread, accepting
+        // nothing.
+        let streams: Vec<_> = (0..16)
+            .map(|_| net::TcpStream::connect(addr).expect("non-blocking dial"))
+            .collect();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "connect blocked on a full backlog"
+        );
+        drop(streams);
+    }
+
+    #[test]
+    fn reuseport_group_shares_one_address() {
+        // First listener picks the port; the rest of the group binds the
+        // same concrete address. Every connection lands in exactly one
+        // member's accept queue.
+        let l0 = net::TcpListener::bind_reuseport("127.0.0.1:0".parse().unwrap(), 128).unwrap();
+        let addr = l0.local_addr().unwrap();
+        let l1 = net::TcpListener::bind_reuseport(addr, 128).unwrap();
+        assert_eq!(l1.local_addr().unwrap(), addr);
+
+        // A plain (non-reuseport) bind of the same address must still
+        // fail — the option gates the sharing.
+        assert!(std::net::TcpListener::bind(addr).is_err());
+
+        const N: usize = 32;
+        let streams: Vec<_> = (0..N)
+            .map(|_| std::net::TcpStream::connect(addr).unwrap())
+            .collect();
+        // Drain both queues; the kernel decides the split, the total is
+        // what the contract guarantees.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut accepted = 0;
+        while accepted < N && Instant::now() < deadline {
+            let mut progress = false;
+            for l in [&l0, &l1] {
+                match l.accept() {
+                    Ok(_) => {
+                        accepted += 1;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("accept failed: {e}"),
+                }
+            }
+            if !progress {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(accepted, N, "every connection reaches some group member");
+        drop(streams);
+
+        // IPv6 is out of scope: callers use the error to fall back.
+        let v6 = "[::1]:0".parse().unwrap();
+        assert!(net::TcpListener::bind_reuseport(v6, 128).is_err());
     }
 
     #[test]
