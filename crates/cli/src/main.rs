@@ -35,11 +35,13 @@ commands:
   sweep        [--flash] [--quick] [FILE]
                the full Figure 7/8 sweep over cluster sizes and configs
   demo         [--nodes N] [--policy wrr|lard|extlard] [--views N] [--reactor]
-               [--shards N]
+               [--shards N] [--coalesce] [--mad]
                boot the live loopback cluster and drive it with real HTTP
                (--reactor serves it from epoll event loops instead of the
                worker-thread pool; --shards N spreads the reactor over N
-               loops with SO_REUSEPORT accept distribution)
+               loops with SO_REUSEPORT accept distribution; --coalesce
+               single-flights concurrent misses per target and reports
+               delayed hits; --mad evicts by aggregate miss delay, LRU-MAD)
 ";
 
 fn main() {
@@ -55,7 +57,12 @@ fn main() {
 }
 
 fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::parse(argv, &["flash", "quick", "specweb", "phttp10", "reactor"])?;
+    let args = Args::parse(
+        argv,
+        &[
+            "flash", "quick", "specweb", "phttp10", "reactor", "coalesce", "mad",
+        ],
+    )?;
     match (args.pos(0), args.pos(1)) {
         (Some("trace"), Some("gen")) => trace_gen(&args),
         (Some("trace"), Some("stats")) => trace_stats(&args),
@@ -255,6 +262,12 @@ fn demo(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 IoModel::Threads
             },
             reactor_shards: args.get_or("shards", 1)?,
+            coalesce_misses: args.flag("coalesce"),
+            cache_policy: if args.flag("mad") {
+                phttp_proto::EvictPolicy::LruMad
+            } else {
+                phttp_proto::EvictPolicy::Lru
+            },
             ..ProtoConfig::default()
         },
         &trace,
@@ -284,7 +297,7 @@ fn demo(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     );
     for (i, s) in cluster.node_stats().iter().enumerate() {
         println!(
-            "  be{i}: served={:<6} hit={:>5.1}% lateral={}/{} migrations={}",
+            "  be{i}: served={:<6} hit={:>5.1}% lateral={}/{} migrations={} reads={} delayed={}",
             s.served,
             if s.served > 0 {
                 100.0 * s.hits as f64 / s.served as f64
@@ -293,7 +306,9 @@ fn demo(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             },
             s.lateral_out,
             s.lateral_in,
-            s.migrations_in
+            s.migrations_in,
+            s.disk_reads,
+            s.coalesced_waits
         );
     }
     cluster.shutdown();

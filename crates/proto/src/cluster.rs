@@ -29,6 +29,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use phttp_core::{Assignment, LardParams, Mechanism, NodeId, PolicyKind};
 use phttp_http::{Request, RequestParser, Response};
+use phttp_simcore::EvictPolicy;
 use phttp_trace::{TargetId, Trace};
 
 use crate::control::FrameDecoder;
@@ -132,6 +133,18 @@ pub struct ProtoConfig {
     /// (diagnostics/tests; normally the handoff is auto-selected only
     /// when the group bind fails). No effect under [`IoModel::Threads`].
     pub force_accept_handoff: bool,
+    /// Single-flight miss coalescing: when `true`, concurrent misses on
+    /// the same `(node, target)` share one emulated disk read (and
+    /// concurrent lateral fetches of one target from one handler share
+    /// one peer round-trip) — the extra missers park as *delayed hits*
+    /// instead of issuing redundant fetches. Response bytes are a pure
+    /// function of `(target, HTTP version)`, so transcripts are
+    /// byte-identical either way; only timing and fetch counts change.
+    pub coalesce_misses: bool,
+    /// Per-node cache eviction policy. [`EvictPolicy::Lru`] is the
+    /// paper's policy; [`EvictPolicy::LruMad`] ranks victims by
+    /// estimated aggregate miss delay per byte (delayed-hits-aware).
+    pub cache_policy: EvictPolicy,
     /// Number of loopback addresses the front-end listens on
     /// (`127.0.0.1..127.0.0.k`). HTTP/1.0 load opens one TCP connection per
     /// request; on a single loopback address pair the 4-tuple space (and
@@ -162,6 +175,8 @@ impl Default for ProtoConfig {
             reactor_shards: 1,
             peer_pool_cap: 8,
             force_accept_handoff: false,
+            coalesce_misses: false,
+            cache_policy: EvictPolicy::Lru,
             fe_listeners: 4,
         }
     }
@@ -252,6 +267,8 @@ impl Cluster {
                         peer_addrs.clone(),
                     )
                     .with_peer_pool_cap(config.peer_pool_cap)
+                    .with_coalescing(config.coalesce_misses)
+                    .with_cache_policy(config.cache_policy)
                     .with_feedback(FeedbackConfig {
                         enabled: config.cache_feedback,
                         batch: config.feedback_batch,
@@ -438,6 +455,7 @@ impl Cluster {
                         read_timeout: config.read_timeout,
                         shards,
                         peer_pool_cap: config.peer_pool_cap,
+                        coalesce: config.coalesce_misses,
                     },
                     frontend.clone(),
                     store.clone(),
@@ -839,7 +857,7 @@ fn serve_one(
             tagged.tag(&format!("be_{}", k.0));
             let (_seg, rest) = Request::untag(&tagged.uri).expect("just tagged");
             let target = node.store.lookup(rest).expect("caller verified the target");
-            match node.lateral_fetch(k, target) {
+            match node.lateral_fetch_coalesced(k, target) {
                 Ok(body) => body,
                 // Fall back to local disk if the peer path fails: the
                 // paper's prototype would surface an NFS error; degrading

@@ -8,16 +8,18 @@
 //! content is never inserted into the fetching node's cache, mirroring the
 //! paper's disabled NFS client caching.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use phttp_core::{CacheEvent, NodeId};
 use phttp_http::{Request, ResponseParser, Version};
-use phttp_simcore::lru::LruCache;
+use phttp_simcore::lru::{EvictPolicy, LruCache};
 use phttp_trace::TargetId;
 
 use crate::control::{encode, ControlMsg};
@@ -101,6 +103,52 @@ struct ControlTx {
     last_flush: Option<Instant>,
 }
 
+/// Outcome of a single-flight fetch, observed by its parked waiters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlightOutcome {
+    /// The fetch is still in flight.
+    Pending,
+    /// The leader fetched the document (for local flights, it is now in
+    /// the cache; for lateral flights, the response body is reproducible
+    /// from the store).
+    Done,
+    /// The leader's fetch failed; every waiter must fail over itself.
+    Failed,
+}
+
+/// One in-flight fetch in a single-flight table (threads I/O model): the
+/// leader completes it exactly once; waiters block on the condvar.
+#[derive(Debug)]
+struct Flight {
+    state: StdMutex<FlightOutcome>,
+    cv: Condvar,
+    /// Requests parked on this flight so far (MAD delay estimation).
+    waiters: AtomicU64,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: StdMutex::new(FlightOutcome::Pending),
+            cv: Condvar::new(),
+            waiters: AtomicU64::new(0),
+        }
+    }
+
+    fn complete(&self, outcome: FlightOutcome) {
+        *self.state.lock().expect("flight lock") = outcome;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> FlightOutcome {
+        let mut st = self.state.lock().expect("flight lock");
+        while *st == FlightOutcome::Pending {
+            st = self.cv.wait(st).expect("flight lock");
+        }
+        *st
+    }
+}
+
 /// Per-node counters (all monotonic).
 #[derive(Debug, Default)]
 pub struct NodeStats {
@@ -116,6 +164,13 @@ pub struct NodeStats {
     pub migrations_in: AtomicU64,
     /// Response payload bytes produced by this node.
     pub bytes: AtomicU64,
+    /// Emulated disk reads actually performed (misses that reached the
+    /// spindle; under coalescing, one per flight rather than per miss).
+    pub disk_reads: AtomicU64,
+    /// Requests that parked on an already-in-flight fetch for their
+    /// target — delayed hits — instead of fetching redundantly. Zero
+    /// when coalescing is off.
+    pub coalesced_waits: AtomicU64,
 }
 
 /// Snapshot of [`NodeStats`].
@@ -133,6 +188,10 @@ pub struct NodeStatsSnapshot {
     pub migrations_in: u64,
     /// Payload bytes produced.
     pub bytes: u64,
+    /// Emulated disk reads performed.
+    pub disk_reads: u64,
+    /// Requests parked on in-flight fetches (delayed hits).
+    pub coalesced_waits: u64,
 }
 
 impl NodeStats {
@@ -145,6 +204,8 @@ impl NodeStats {
             lateral_in: self.lateral_in.load(Ordering::Relaxed),
             migrations_in: self.migrations_in.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +242,16 @@ pub struct NodeState {
     /// Node side of the control session (lock order: `cache` may be held
     /// when taking `control`, never the reverse).
     control: Mutex<ControlTx>,
+    /// Single-flight miss coalescing (threads I/O model; the reactor
+    /// keeps its own per-shard flight tables).
+    coalesce: bool,
+    /// In-flight local disk fetches, keyed by target. Lock order:
+    /// `cache` may be held when taking this, never the reverse —
+    /// registering a waiter under the cache lock closes the race with
+    /// the leader's insert-then-remove completion.
+    disk_flights: StdMutex<HashMap<TargetId, Arc<Flight>>>,
+    /// In-flight lateral fetches, keyed by (remote node, target).
+    lateral_flights: StdMutex<HashMap<(usize, TargetId), Arc<Flight>>>,
 }
 
 impl NodeState {
@@ -212,6 +283,9 @@ impl NodeState {
             stats: NodeStats::default(),
             feedback,
             control: Mutex::new(ControlTx::default()),
+            coalesce: false,
+            disk_flights: StdMutex::new(HashMap::new()),
+            lateral_flights: StdMutex::new(HashMap::new()),
         }
     }
 
@@ -227,6 +301,28 @@ impl NodeState {
     /// (builder style; `Cluster::start` validates it is non-zero).
     pub fn with_peer_pool_cap(mut self, cap: usize) -> Self {
         self.peer_pool_cap = cap;
+        self
+    }
+
+    /// Enables or disables single-flight miss coalescing (builder style).
+    /// With coalescing on, concurrent misses for the same target share
+    /// one disk read (and concurrent lateral fetches for the same
+    /// (remote, target) share one peer request) instead of queueing
+    /// redundant work.
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.coalesce = on;
+        self
+    }
+
+    /// Whether single-flight miss coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+
+    /// Selects the cache victim-selection policy (builder style) — strict
+    /// LRU or the delayed-hits-aware LRU-MAD.
+    pub fn with_cache_policy(mut self, policy: EvictPolicy) -> Self {
+        self.cache.get_mut().set_policy(policy);
         self
     }
 
@@ -312,9 +408,13 @@ impl NodeState {
     /// order: `cache` → `control`), so the per-node event order on the
     /// wire is exactly the cache's own mutation order — the property
     /// that lets the dispatcher's mirror replay to the true contents.
-    fn cache_insert_reporting(&self, target: TargetId, size: u64) {
+    /// `agg_delay_us` is the aggregate miss delay of the fetch that
+    /// produced this insert (read latency times one-plus-waiters under
+    /// coalescing) — the LRU-MAD policy's victim-scoring sample; plain
+    /// LRU records and ignores it.
+    fn cache_insert_reporting(&self, target: TargetId, size: u64, agg_delay_us: u64) {
         let mut cache = self.cache.lock();
-        let admitted = cache.insert(target, size);
+        let admitted = cache.insert_with_delay(target, size, agg_delay_us);
         if !self.feedback.enabled {
             return;
         }
@@ -414,23 +514,90 @@ impl NodeState {
     /// Serves `target` from this node: cache probe, disk on miss (inserting
     /// into the cache afterwards — the OS caches what it reads), body
     /// generation. Returns the response body.
+    ///
+    /// With coalescing on, a miss first consults the single-flight table
+    /// (still under the cache lock, so the check cannot race the leader's
+    /// insert-then-remove completion): if a fetch for this target is
+    /// already in flight the request parks as a *delayed hit* and wakes
+    /// when the leader's read completes; otherwise it becomes the flight
+    /// leader and performs the one real disk read.
     pub fn serve_local(&self, target: TargetId) -> Bytes {
+        enum Role {
+            Hit,
+            Solo,
+            Leader(Arc<Flight>),
+            Waiter(Arc<Flight>),
+        }
         let size = self.store.size(target);
-        let hit = self.cache.lock().touch(target);
+        let role = {
+            let mut cache = self.cache.lock();
+            if cache.touch(target) {
+                Role::Hit
+            } else if self.coalesce {
+                let mut flights = self.disk_flights.lock().expect("flight table");
+                match flights.get(&target) {
+                    Some(f) => {
+                        f.waiters.fetch_add(1, Ordering::Relaxed);
+                        Role::Waiter(f.clone())
+                    }
+                    None => {
+                        let f = Arc::new(Flight::new());
+                        flights.insert(target, f.clone());
+                        Role::Leader(f)
+                    }
+                }
+            } else {
+                Role::Solo
+            }
+        };
         self.stats.served.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(size, Ordering::Relaxed);
-        if hit {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.disk_queue.fetch_add(1, Ordering::Relaxed);
-            {
-                let _spindle = self.disk.lock();
-                std::thread::sleep(self.disk_emu.read_time(size));
+        match role {
+            Role::Hit => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
             }
-            self.disk_queue.fetch_sub(1, Ordering::Relaxed);
-            self.cache_insert_reporting(target, size);
+            Role::Solo => {
+                let read = self.blocking_disk_read(size);
+                self.cache_insert_reporting(target, size, read.as_micros() as u64);
+            }
+            Role::Leader(f) => {
+                let read = self.blocking_disk_read(size);
+                // MAD sample: the read latency paid once, on behalf of the
+                // leader and every waiter parked so far. (Waiters joining
+                // between this load and the insert below merely undercount
+                // the estimate; they are still woken correctly.)
+                let parked = f.waiters.load(Ordering::Relaxed);
+                let agg_us = read.as_micros() as u64 * (1 + parked);
+                // Insert BEFORE retiring the flight: a concurrent probe
+                // always finds the target either cached or in flight.
+                self.cache_insert_reporting(target, size, agg_us);
+                self.disk_flights
+                    .lock()
+                    .expect("flight table")
+                    .remove(&target);
+                f.complete(FlightOutcome::Done);
+            }
+            Role::Waiter(f) => {
+                self.stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                // Local disk reads cannot fail; the outcome is always Done.
+                f.wait();
+            }
         }
         self.store.body(target)
+    }
+
+    /// The one real disk access of a miss: queue-depth accounting around
+    /// the mutex-serialized sleep spindle. Returns the emulated latency.
+    fn blocking_disk_read(&self, size: u64) -> Duration {
+        let read = self.disk_emu.read_time(size);
+        self.disk_queue.fetch_add(1, Ordering::Relaxed);
+        self.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
+        {
+            let _spindle = self.disk.lock();
+            std::thread::sleep(read);
+        }
+        self.disk_queue.fetch_sub(1, Ordering::Relaxed);
+        read
     }
 
     /// Non-blocking first half of serving `target`: probes the cache and
@@ -460,8 +627,39 @@ impl NodeState {
     /// OS caches what it reads), mirroring the tail of
     /// [`serve_local`](Self::serve_local).
     pub fn finish_disk_read(&self, target: TargetId) {
+        self.finish_disk_read_shared(target, 0);
+    }
+
+    /// [`finish_disk_read`](Self::finish_disk_read) for a coalesced
+    /// flight: `waiters` requests were parked on this read, so the cache
+    /// insert's MAD sample is the read latency times one-plus-waiters —
+    /// the aggregate delay this fetch actually cost.
+    pub fn finish_disk_read_shared(&self, target: TargetId, waiters: u64) {
         self.disk_queue.fetch_sub(1, Ordering::Relaxed);
-        self.cache_insert_reporting(target, self.store.size(target));
+        self.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
+        let size = self.store.size(target);
+        let agg_us = self.disk_emu.read_time(size).as_micros() as u64 * (1 + waiters);
+        self.cache_insert_reporting(target, size, agg_us);
+    }
+
+    /// Records a request that parked on an in-flight local fetch in the
+    /// reactor (a delayed hit): it is served — response bytes counted —
+    /// without a disk read or a cache hit of its own. The reactor's
+    /// per-shard flight table calls this where the threads model's
+    /// [`serve_local`](Self::serve_local) waiter path books itself.
+    pub fn note_coalesced_serve(&self, target: TargetId) {
+        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(self.store.size(target), Ordering::Relaxed);
+        self.stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a lateral request that parked on an in-flight lateral
+    /// fetch to the same (remote, target): only the flight leader pays
+    /// `lateral_out` and touches the wire; waiters are delayed hits.
+    pub fn note_coalesced_lateral(&self) {
+        self.stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Emulated read latency for `target` on this node's disk.
@@ -511,6 +709,69 @@ impl NodeState {
         }
     }
 
+    /// [`lateral_fetch`](Self::lateral_fetch) behind the single-flight
+    /// table (threads I/O model): concurrent fetches for the same
+    /// (remote, target) share one peer request. The leader fetches; the
+    /// waiters park and, on success, reproduce the identical body from
+    /// the store (response bytes are a pure function of the target). If
+    /// the leader's fetch fails, *every* waiter gets the error — each
+    /// caller then runs its own serve-locally failover, where the local
+    /// flight table coalesces the resulting disk reads in turn.
+    ///
+    /// With coalescing off this is exactly `lateral_fetch`.
+    pub fn lateral_fetch_coalesced(
+        &self,
+        remote: NodeId,
+        target: TargetId,
+    ) -> std::io::Result<Bytes> {
+        if !self.coalesce {
+            return self.lateral_fetch(remote, target);
+        }
+        let key = (remote.0, target);
+        // Unlike the local table there is no cache probe to serialize
+        // with, so registration needs no outer lock. A waiter that
+        // arrives just after the leader retired the flight simply starts
+        // a fresh one — an extra fetch, never a lost wakeup.
+        let leader = {
+            let mut flights = self.lateral_flights.lock().expect("flight table");
+            match flights.get(&key) {
+                Some(f) => {
+                    f.waiters.fetch_add(1, Ordering::Relaxed);
+                    Err(f.clone())
+                }
+                None => {
+                    let f = Arc::new(Flight::new());
+                    flights.insert(key, f.clone());
+                    Ok(f)
+                }
+            }
+        };
+        match leader {
+            Ok(f) => {
+                let res = self.lateral_fetch(remote, target);
+                self.lateral_flights
+                    .lock()
+                    .expect("flight table")
+                    .remove(&key);
+                f.complete(if res.is_ok() {
+                    FlightOutcome::Done
+                } else {
+                    FlightOutcome::Failed
+                });
+                res
+            }
+            Err(f) => {
+                self.stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                match f.wait() {
+                    FlightOutcome::Done => Ok(self.store.body(target)),
+                    _ => Err(std::io::Error::other(
+                        "lateral flight leader failed; waiter must fail over",
+                    )),
+                }
+            }
+        }
+    }
+
     fn take_peer_conn(&self, remote: NodeId) -> std::io::Result<TcpStream> {
         if let Some(s) = self.peer_pool[remote.0].lock().pop() {
             return Ok(s);
@@ -543,6 +804,7 @@ impl NodeState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
     fn node() -> NodeState {
@@ -662,6 +924,150 @@ mod tests {
         let got = n.lateral_fetch(NodeId(0), TargetId(0)).unwrap();
         assert_eq!(got, body);
         drop(n);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_misses_share_one_disk_read() {
+        let store = Arc::new(ContentStore::from_sizes(vec![1000, 2000]));
+        let n = Arc::new(
+            NodeState::new(
+                NodeId(0),
+                1 << 20,
+                DiskEmu {
+                    seek: Duration::from_millis(50),
+                    bytes_per_sec: 1e9,
+                },
+                store.clone(),
+                Vec::new(),
+            )
+            .with_coalescing(true),
+        );
+        let threads = 4;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let n = n.clone();
+                let b = barrier.clone();
+                std::thread::spawn(move || {
+                    b.wait();
+                    n.serve_local(TargetId(0))
+                })
+            })
+            .collect();
+        let body = store.body(TargetId(0));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), body, "every caller gets the bytes");
+        }
+        let s = n.stats.snapshot();
+        assert_eq!(s.served, threads as u64);
+        assert_eq!(
+            s.disk_reads, 1,
+            "concurrent misses for one target must share one read"
+        );
+        // Every non-leader either parked on the flight or (if it probed
+        // after completion) hit the now-populated cache.
+        assert_eq!(s.hits + s.coalesced_waits, threads as u64 - 1);
+        assert_eq!(n.disk_queue_len(), 0);
+        assert!(n.cache.lock().contains(TargetId(0)));
+    }
+
+    #[test]
+    fn coalescing_off_reads_redundantly() {
+        let n = Arc::new(node()); // coalescing off by default
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                let b = barrier.clone();
+                std::thread::spawn(move || {
+                    b.wait();
+                    n.serve_local(TargetId(2))
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = n.stats.snapshot();
+        assert_eq!(s.coalesced_waits, 0, "no parking without coalescing");
+        assert_eq!(s.disk_reads + s.hits, 2, "each request read or hit");
+    }
+
+    #[test]
+    fn lateral_flight_failure_fails_every_waiter_over() {
+        use std::net::TcpListener;
+
+        let store = Arc::new(ContentStore::from_sizes(vec![1000, 2000]));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A peer that kills every lateral connection without responding —
+        // but only after holding it open long enough for the other
+        // threads to park on the leader's flight, so the failure lands on
+        // a fully-populated flight. The accept loop is unbounded (a
+        // coalesced run makes exactly one connection); the test stops it
+        // with a flag plus a sentinel connect.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accepting = stop.clone();
+        let server = std::thread::spawn(move || {
+            while !stop_accepting.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        std::thread::sleep(Duration::from_millis(500));
+                        drop(s);
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        let n = Arc::new(
+            NodeState::new(
+                NodeId(0),
+                1 << 20,
+                DiskEmu {
+                    seek: Duration::from_micros(100),
+                    bytes_per_sec: 1e9,
+                },
+                store.clone(),
+                vec![addr],
+            )
+            .with_coalescing(true),
+        );
+        let threads = 3;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let n = n.clone();
+                let b = barrier.clone();
+                std::thread::spawn(move || {
+                    b.wait();
+                    // The failover the cluster's serve path performs:
+                    // lateral fetch, then serve locally on error.
+                    match n.lateral_fetch_coalesced(NodeId(0), TargetId(0)) {
+                        Ok(body) => (body, false),
+                        Err(_) => (n.serve_local(TargetId(0)), true),
+                    }
+                })
+            })
+            .collect();
+        let body = store.body(TargetId(0));
+        let mut failed_over = 0;
+        for h in handles {
+            let (got, fo) = h.join().unwrap();
+            assert_eq!(got, body, "failover must still produce the bytes");
+            failed_over += fo as u64;
+        }
+        assert_eq!(
+            failed_over, threads as u64,
+            "leader failure must fail over leader AND every parked waiter"
+        );
+        // Exactly one lateral fetch touched the wire: the waiters parked
+        // on the leader's flight and failed over without re-fetching.
+        assert_eq!(n.stats.snapshot().lateral_out, 1);
+        drop(n);
+        stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(addr); // unblock the accept loop
         server.join().unwrap();
     }
 

@@ -23,8 +23,22 @@ use phttp_trace::TargetId;
 
 use super::SlotRef;
 
-/// One queued or in-service emulated disk read.
+/// A request parked on another request's in-flight (or queued) read of
+/// the same target — a *delayed hit*. It is resolved with its own
+/// response when the leader's read completes; a waiter whose connection
+/// died in the meantime is dropped by the delivery generation check.
 #[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    /// The client connection (slab index + generation) awaiting the body.
+    pub conn: SlotRef,
+    /// The pipeline slot awaiting the body.
+    pub seq: u64,
+    /// HTTP version for the eventual response.
+    pub version: Version,
+}
+
+/// One queued or in-service emulated disk read.
+#[derive(Debug, Clone)]
 pub(crate) struct DiskJob {
     /// The client connection (slab index + generation) awaiting the body.
     pub conn: SlotRef,
@@ -34,6 +48,9 @@ pub(crate) struct DiskJob {
     pub target: TargetId,
     /// HTTP version for the eventual response.
     pub version: Version,
+    /// Requests coalesced onto this read (single-flight mode only;
+    /// always empty with coalescing off).
+    pub waiters: Vec<Waiter>,
 }
 
 /// Per-node FIFO disk scheduler.
@@ -44,4 +61,19 @@ pub(crate) struct DiskSched {
     pub busy: Option<DiskJob>,
     /// Reads waiting for the spindle.
     pub queue: VecDeque<DiskJob>,
+}
+
+impl DiskSched {
+    /// The in-flight or queued read of `target`, if any — the flight a
+    /// coalesced miss parks on. Linear scan: the queue is bounded by
+    /// concurrent missers on one node/shard, and the busy slot is
+    /// checked first because it is by far the likeliest match.
+    pub fn find_mut(&mut self, target: TargetId) -> Option<&mut DiskJob> {
+        if let Some(job) = self.busy.as_mut() {
+            if job.target == target {
+                return Some(job);
+            }
+        }
+        self.queue.iter_mut().find(|j| j.target == target)
+    }
 }

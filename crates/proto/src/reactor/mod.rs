@@ -85,7 +85,7 @@ mod conn;
 mod disk;
 mod peer;
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -104,7 +104,7 @@ use crate::frontend::FrontEnd;
 use crate::store::ContentStore;
 
 use conn::{ClientConn, EntryState};
-use disk::{DiskJob, DiskSched};
+use disk::{DiskJob, DiskSched, Waiter};
 use peer::{LateralJob, PeerSession};
 
 /// Token of the cross-thread waker.
@@ -187,6 +187,11 @@ pub(crate) struct ReactorConfig {
     /// Idle lateral sessions retained per peer, per shard (mirrors the
     /// thread path's per-peer pool cap).
     pub peer_pool_cap: usize,
+    /// Single-flight miss coalescing (`ProtoConfig::coalesce_misses`):
+    /// concurrent misses on one `(node, target)` park on the existing
+    /// disk flight, and concurrent lateral fetches of one
+    /// `(remote, target)` park on the existing peer round-trip.
+    pub coalesce: bool,
 }
 
 /// Live gauges of one shard, shared with the cluster for diagnostics.
@@ -395,6 +400,8 @@ pub(crate) fn spawn(
             timers: BinaryHeap::new(),
             next_timer_id: 0,
             disks: (0..nodes).map(|_| DiskSched::default()).collect(),
+            coalesce: cfg.coalesce,
+            lateral_flights: HashMap::new(),
             idle_peers: vec![Vec::new(); nodes],
             peer_addrs: peer_addrs.clone(),
             semantics,
@@ -462,6 +469,14 @@ struct Reactor {
     timers: BinaryHeap<TimerEntry>,
     next_timer_id: u64,
     disks: Vec<DiskSched>,
+    /// Single-flight coalescing enabled (`ProtoConfig::coalesce_misses`).
+    coalesce: bool,
+    /// In-flight coalesced lateral fetches this shard leads, keyed by
+    /// `(remote node, target)`: the parked waiters resolve (or fail
+    /// over) together with the flight leader. Flight scope is one
+    /// shard, like the disk schedulers — cross-shard duplicate fetches
+    /// remain possible and are the documented sharding approximation.
+    lateral_flights: HashMap<(usize, TargetId), Vec<LateralJob>>,
     /// Idle lateral-session slab indices, per peer node.
     idle_peers: Vec<Vec<usize>>,
     peer_addrs: Vec<SocketAddr>,
@@ -913,6 +928,21 @@ impl Reactor {
         target: TargetId,
         version: Version,
     ) -> EntryState {
+        // Single-flight: a read of this target already in flight (or
+        // queued) on this shard's scheduler absorbs the request as a
+        // delayed hit — no second disk read, no disk-queue depth. The
+        // flight is checked before the cache probe: within a shard the
+        // two never coexist (the completion inserts into the cache and
+        // retires the flight in one handler), and in the cross-path
+        // race (another shard or a lateral serve inserted meanwhile)
+        // parking is still correct — same bytes, one timer later.
+        if self.coalesce {
+            if let Some(flight) = self.disks[node_idx].find_mut(target) {
+                flight.waiters.push(Waiter { conn, seq, version });
+                self.fe.nodes()[node_idx].note_coalesced_serve(target);
+                return EntryState::Disk;
+            }
+        }
         if self.fe.nodes()[node_idx].begin_serve(target) {
             EntryState::Ready(ok_wire(version, self.store.body(target)))
         } else {
@@ -923,6 +953,7 @@ impl Reactor {
                     seq,
                     target,
                     version,
+                    waiters: Vec::new(),
                 },
             );
             EntryState::Disk
@@ -1026,9 +1057,25 @@ impl Reactor {
         let Some(job) = self.disks[node_idx].busy.take() else {
             return;
         };
-        self.fe.nodes()[node_idx].finish_disk_read(job.target);
-        let wire = ok_wire(job.version, self.store.body(job.target));
-        self.deliver(job.conn, job.seq, EntryState::Ready(wire));
+        // One cache insert for the whole flight; the MAD sample scales
+        // with the waiters this single read unblocked.
+        self.fe.nodes()[node_idx].finish_disk_read_shared(job.target, job.waiters.len() as u64);
+        let body = self.store.body(job.target);
+        self.deliver(
+            job.conn,
+            job.seq,
+            EntryState::Ready(ok_wire(job.version, body.clone())),
+        );
+        // Waiters whose connection died meanwhile are dropped by
+        // `deliver`'s generation check — the flight completes for the
+        // survivors either way.
+        for w in job.waiters {
+            self.deliver(
+                w.conn,
+                w.seq,
+                EntryState::Ready(ok_wire(w.version, body.clone())),
+            );
+        }
         if let Some(next) = self.disks[node_idx].queue.pop_front() {
             self.disk_start(node_idx, next);
         }
@@ -1040,16 +1087,28 @@ impl Reactor {
     /// pooled idle session; falls back to serving locally (like the
     /// thread path) if no peer session can be set up.
     fn issue_lateral(&mut self, job: LateralJob, remote: NodeId) -> EntryState {
+        // Single-flight: an in-flight fetch of this target from this
+        // remote absorbs the request — it parks with the flight and is
+        // resolved (or failed over) with the leader. Only the leader
+        // pays `lateral_out` and touches the wire.
+        if self.coalesce {
+            if let Some(waiters) = self.lateral_flights.get_mut(&(remote.0, job.target)) {
+                waiters.push(job);
+                self.fe.nodes()[job.handler].note_coalesced_lateral();
+                return EntryState::Lateral;
+            }
+        }
         self.fe.nodes()[job.handler]
             .stats
             .lateral_out
             .fetch_add(1, Ordering::Relaxed);
+        let target = job.target;
         let mut job = job;
         // Try pooled idle sessions first (newest first — most recently
         // proven alive).
         while let Some(pidx) = self.idle_peers[remote.0].pop() {
             match self.peer_send(pidx, job) {
-                Ok(()) => return EntryState::Lateral,
+                Ok(()) => return self.open_lateral_flight(remote.0, target),
                 Err(j) => job = j, // stale session released; try the next
             }
         }
@@ -1058,11 +1117,20 @@ impl Reactor {
         // service rather than strand the pipeline slot.
         match self.connect_peer(remote.0) {
             Ok(pidx) => match self.peer_send(pidx, job) {
-                Ok(()) => EntryState::Lateral,
+                Ok(()) => self.open_lateral_flight(remote.0, target),
                 Err(j) => self.lateral_fallback_state(j),
             },
             Err(_) => self.lateral_fallback_state(job),
         }
+    }
+
+    /// Registers a just-issued lateral fetch as a flight later misses
+    /// can park on (no-op with coalescing off).
+    fn open_lateral_flight(&mut self, remote: usize, target: TargetId) -> EntryState {
+        if self.coalesce {
+            self.lateral_flights.insert((remote, target), Vec::new());
+        }
+        EntryState::Lateral
     }
 
     /// The serve-locally degradation the thread path applies when the
@@ -1077,6 +1145,21 @@ impl Reactor {
     fn lateral_fallback(&mut self, job: LateralJob) {
         let state = self.lateral_fallback_state(job);
         self.deliver(job.conn, job.seq, state);
+    }
+
+    /// A flight leader's lateral fetch failed: every request parked on
+    /// the flight fails over to local service along with the leader —
+    /// none of them may strand (their fetch will never arrive) or
+    /// re-dial the peer that just failed.
+    fn fail_lateral_flight(&mut self, remote: usize, leader: LateralJob) {
+        let waiters = self
+            .lateral_flights
+            .remove(&(remote, leader.target))
+            .unwrap_or_default();
+        self.lateral_fallback(leader);
+        for w in waiters {
+            self.lateral_fallback(w);
+        }
     }
 
     fn connect_peer(&mut self, remote: usize) -> io::Result<usize> {
@@ -1183,16 +1266,28 @@ impl Reactor {
                                 };
                                 if resp.status != 200 {
                                     // Thread path: a non-200 is an error —
-                                    // serve locally and do not pool.
-                                    self.lateral_fallback(job);
+                                    // serve locally (the whole flight) and
+                                    // do not pool.
+                                    self.fail_lateral_flight(p.remote, job);
                                     return false;
                                 }
                                 let keep = resp.keep_alive();
+                                let waiters = self
+                                    .lateral_flights
+                                    .remove(&(p.remote, job.target))
+                                    .unwrap_or_default();
                                 self.deliver(
                                     job.conn,
                                     job.seq,
-                                    EntryState::Ready(ok_wire(job.version, resp.body)),
+                                    EntryState::Ready(ok_wire(job.version, resp.body.clone())),
                                 );
+                                for w in waiters {
+                                    self.deliver(
+                                        w.conn,
+                                        w.seq,
+                                        EntryState::Ready(ok_wire(w.version, resp.body.clone())),
+                                    );
+                                }
                                 // PR 2 anti-desync rule: only keep a stream
                                 // whose parser consumed exactly its response.
                                 if !keep || p.parser.buffered() != 0 {
@@ -1216,13 +1311,14 @@ impl Reactor {
     }
 
     /// Closes a lateral session; an in-flight fetch degrades to local
-    /// service exactly as the thread path's error fallback does.
+    /// service exactly as the thread path's error fallback does —
+    /// together with every request parked on its flight.
     fn release_peer(&mut self, idx: usize, mut p: PeerSession) {
         self.idle_peers[p.remote].retain(|&i| i != idx);
         let _ = self.poll.registry().deregister(&mut p.stream);
         self.free_slot(idx);
         if let Some(job) = p.job.take() {
-            self.lateral_fallback(job);
+            self.fail_lateral_flight(p.remote, job);
         }
     }
 
@@ -1294,6 +1390,9 @@ impl Reactor {
     /// unwinds (via `release_client`) before the loop thread exits, so
     /// `Cluster::shutdown` never leaves `active_connections` dangling.
     fn teardown(&mut self) {
+        // Parked lateral waiters die with their connections below; do
+        // not resurrect them as local serves during teardown.
+        self.lateral_flights.clear();
         for idx in 0..self.slots.len() {
             match self.slots[idx].val.take() {
                 Some(Slot::Client(c)) => self.release_client(idx, c),

@@ -6,7 +6,10 @@
 //! `PHTTP_IO_MODEL=threads|reactor` restricts the matrix to one model
 //! (CI runs the suite once per model); unset, every test covers both.
 //! `PHTTP_REACTOR_SHARDS=N` sets the reactor's shard count (CI adds a
-//! 2-shard leg; the default is 1).
+//! 2-shard leg; the default is 1). `PHTTP_COALESCE=1` turns on
+//! single-flight miss coalescing (CI adds a coalescing leg per model;
+//! response bytes must be identical either way, so the whole suite
+//! doubles as its regression net).
 
 use std::time::Duration;
 
@@ -49,6 +52,12 @@ fn reactor_shards(io_model: IoModel) -> usize {
     }
 }
 
+/// Whether this run coalesces misses (`PHTTP_COALESCE=1`; default off,
+/// matching `ProtoConfig::default`).
+fn coalesce() -> bool {
+    std::env::var("PHTTP_COALESCE").as_deref() == Ok("1")
+}
+
 fn config(policy: PolicyKind, nodes: usize, io_model: IoModel) -> ProtoConfig {
     ProtoConfig {
         nodes,
@@ -58,6 +67,7 @@ fn config(policy: PolicyKind, nodes: usize, io_model: IoModel) -> ProtoConfig {
         read_timeout: Duration::from_secs(5),
         io_model,
         reactor_shards: reactor_shards(io_model),
+        coalesce_misses: coalesce(),
         ..ProtoConfig::default()
     }
 }

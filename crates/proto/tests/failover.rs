@@ -53,6 +53,7 @@ fn config(io_model: IoModel) -> ProtoConfig {
         read_timeout: Duration::from_secs(5),
         io_model,
         reactor_shards: reactor_shards(io_model),
+        coalesce_misses: std::env::var("PHTTP_COALESCE").as_deref() == Ok("1"),
         ..ProtoConfig::default()
     }
 }
@@ -223,6 +224,66 @@ fn lateral_server_crash_mid_fetch_falls_back_locally() {
         assert!(
             cluster.quiesce(Duration::from_secs(10)),
             "{io:?}: a stranded pipeline slot leaked its connection"
+        );
+        cluster.shutdown();
+    }
+}
+
+/// The coalescing variant of the lateral-crash regression: with
+/// single-flight on, a killed lateral server fails the flight *leader*,
+/// and every request parked on that flight must fail over to local
+/// service with it — a waiter has no fetch of its own to fall back
+/// from, so a leader-only fallback would strand it forever. Very slow
+/// disks widen the in-flight window so flights actually accumulate
+/// waiters before the fault lands.
+#[test]
+fn lateral_crash_under_coalescing_fails_over_every_waiter() {
+    let trace = tiny_trace();
+    let workload = reconstruct(&trace, SessionConfig::default());
+    for io in io_models() {
+        let mut cfg = config(io);
+        cfg.coalesce_misses = true;
+        cfg.disk = DiskEmu {
+            seek: Duration::from_millis(8),
+            bytes_per_sec: 20.0 * 1024.0 * 1024.0,
+        };
+        cfg.cache_bytes = 512 * 1024;
+        let cluster = Cluster::start(cfg, &trace).expect("start cluster");
+        const FAULTS_PER_NODE: u64 = 3;
+        for node in cluster.frontend().nodes() {
+            node.inject_lateral_faults(FAULTS_PER_NODE);
+        }
+        let report = run_load(
+            cluster.frontend_addrs(),
+            cluster.store(),
+            &workload,
+            &LoadConfig {
+                clients: 12,
+                protocol: ClientProtocol::PHttp,
+                ..LoadConfig::default()
+            },
+        );
+        assert_eq!(report.errors, 0, "{io:?}: a client saw a bad response");
+        assert_eq!(report.requests as usize, trace.len(), "{io:?}");
+        let pending: u64 = cluster
+            .frontend()
+            .nodes()
+            .iter()
+            .map(|n| n.pending_lateral_faults())
+            .sum();
+        assert!(
+            pending < 3 * FAULTS_PER_NODE,
+            "{io:?}: no lateral server was ever killed under coalescing \
+             (pending={pending})"
+        );
+        let stats = cluster.node_stats();
+        let lateral: u64 = stats.iter().map(|s| s.lateral_out).sum();
+        assert!(lateral > 0, "{io:?}: no laterals at all");
+        // A stranded waiter would hold its connection open past the
+        // load generator's exit; quiescence proves none did.
+        assert!(
+            cluster.quiesce(Duration::from_secs(10)),
+            "{io:?}: a parked waiter leaked its connection"
         );
         cluster.shutdown();
     }

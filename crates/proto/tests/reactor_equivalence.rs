@@ -38,6 +38,13 @@ fn workload() -> (phttp_trace::Trace, ConnectionTrace) {
     (trace, conns)
 }
 
+fn config_coalesced(mechanism: Mechanism, io_model: IoModel, shards: usize) -> ProtoConfig {
+    ProtoConfig {
+        coalesce_misses: true,
+        ..config(mechanism, io_model, shards)
+    }
+}
+
 fn config(mechanism: Mechanism, io_model: IoModel, shards: usize) -> ProtoConfig {
     ProtoConfig {
         nodes: 3,
@@ -213,6 +220,48 @@ fn shard_matrix_against_oracle(mechanism: Mechanism) {
 #[test]
 fn reactor_shard_matrix_matches_threads_backend_forwarding() {
     shard_matrix_against_oracle(Mechanism::BackendForwarding);
+}
+
+/// Single-flight coalescing must be invisible on the wire: response
+/// bytes are a pure function of `(target, HTTP version)`, so with
+/// `coalesce_misses` on, the reactor at every shard count must still be
+/// byte-identical to the threads oracle *with coalescing on* — only
+/// fetch counts and timing may differ from the uncoalesced runs above.
+/// The coalesced oracle must also actually coalesce (delayed hits
+/// observed), or this leg would silently test nothing new.
+#[test]
+fn reactor_shard_matrix_matches_threads_with_coalescing() {
+    let mechanism = Mechanism::BackendForwarding;
+    let run = |io_model: IoModel, shards: usize| {
+        let (trace, conns) = workload();
+        let cluster = Cluster::start(config_coalesced(mechanism, io_model, shards), &trace)
+            .expect("start cluster");
+        let transcript = play_capture(cluster.frontend_addrs(), &conns);
+        assert!(
+            cluster.quiesce(Duration::from_secs(10)),
+            "{io_model:?}/{shards}: connections leaked under coalescing"
+        );
+        let stats = cluster.node_stats();
+        cluster.shutdown();
+        (transcript, stats)
+    };
+    let (trace, _) = workload();
+    let (threads, threads_stats) = run(IoModel::Threads, 1);
+    assert_nonempty(&threads, trace.len());
+    assert_routes(&threads_stats, mechanism, IoModel::Threads);
+    let coalesced: u64 = threads_stats.iter().map(|s| s.coalesced_waits).sum();
+    assert!(
+        coalesced > 0,
+        "oracle never coalesced a miss — widen the concurrency recipe"
+    );
+    for shards in SHARD_MATRIX {
+        let (reactor, reactor_stats) = run(IoModel::Reactor, shards);
+        assert_routes(&reactor_stats, mechanism, IoModel::Reactor);
+        assert_eq!(
+            threads, reactor,
+            "coalescing changed response bytes ({shards} shards)"
+        );
+    }
 }
 
 #[test]

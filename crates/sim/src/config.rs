@@ -2,7 +2,7 @@
 //! and workload mode.
 
 use phttp_core::{LardParams, Mechanism, PolicyKind};
-use phttp_simcore::SimDuration;
+use phttp_simcore::{EvictPolicy, SimDuration};
 use serde::{Deserialize, Serialize};
 
 use crate::costs::{DiskParams, MechanismCosts, ServerCosts};
@@ -68,6 +68,16 @@ pub struct SimConfig {
     /// intervals let more stale routing happen between reports (the
     /// staleness trade-off, see ARCHITECTURE.md "Mapping coherence").
     pub feedback_interval: SimDuration,
+    /// Single-flight miss coalescing: when `true`, concurrent misses for
+    /// the same (node, target) share one disk fetch — the first miss
+    /// becomes the flight leader and schedules the read; later misses park
+    /// as *delayed hits* and are released when the leader's read completes.
+    /// Off by default: the paper's model fetches redundantly, and the
+    /// off/on delta is the headline of the `miss_latency` bench.
+    pub coalesce_misses: bool,
+    /// Cache victim-selection policy (strict LRU, or the delayed-hits-aware
+    /// LRU-MAD — see [`EvictPolicy`]).
+    pub eviction: EvictPolicy,
 }
 
 impl SimConfig {
@@ -96,6 +106,8 @@ impl SimConfig {
             fe_speedup: 1.0,
             cache_feedback: false,
             feedback_interval: SimDuration::from_millis(100),
+            coalesce_misses: false,
+            eviction: EvictPolicy::Lru,
         };
         match label {
             "WRR" => SimConfig {
@@ -152,6 +164,18 @@ impl SimConfig {
     pub fn with_feedback(mut self, interval: SimDuration) -> SimConfig {
         self.cache_feedback = true;
         self.feedback_interval = interval;
+        self
+    }
+
+    /// Enables single-flight miss coalescing (builder style).
+    pub fn with_coalescing(mut self) -> SimConfig {
+        self.coalesce_misses = true;
+        self
+    }
+
+    /// Selects the cache victim-selection policy (builder style).
+    pub fn with_eviction(mut self, policy: EvictPolicy) -> SimConfig {
+        self.eviction = policy;
         self
     }
 
@@ -261,6 +285,17 @@ mod tests {
         let mut cfg = SimConfig::paper_config("WRR", 2);
         cfg.nodes = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn coalescing_and_eviction_builders() {
+        let cfg = SimConfig::paper_config("WRR-PHTTP", 2);
+        assert!(!cfg.coalesce_misses, "coalescing is off by default");
+        assert_eq!(cfg.eviction, EvictPolicy::Lru, "strict LRU by default");
+        let cfg = cfg.with_coalescing().with_eviction(EvictPolicy::LruMad);
+        assert!(cfg.coalesce_misses);
+        assert_eq!(cfg.eviction, EvictPolicy::LruMad);
+        cfg.validate().unwrap();
     }
 
     #[test]

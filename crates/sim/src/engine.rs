@@ -54,15 +54,25 @@ struct Backend {
     requests: u64,
     hits: u64,
     bytes: u64,
+    /// Disk reads actually issued (misses that scheduled a fetch).
+    disk_fetches: u64,
+    /// Misses parked on an already-in-flight fetch (delayed hits).
+    delayed_hits: u64,
+    /// Single-flight table: target → requests parked on the in-flight
+    /// fetch. Present keys mean "a fetch is in flight"; the flight leader
+    /// is the (conn, req) carried by the scheduled [`Ev::ReqDisk`] event.
+    /// Only populated when `coalesce_misses` is on.
+    flights: HashMap<TargetId, Vec<(u32, u16)>>,
     /// Cache admissions/evictions accumulated since the last feedback
     /// report (empty and untouched when feedback is off).
     pending_feedback: Vec<CacheEvent>,
 }
 
 impl Backend {
-    fn new(cache_bytes: u64, feedback: bool) -> Self {
+    fn new(cache_bytes: u64, feedback: bool, eviction: phttp_simcore::EvictPolicy) -> Self {
         let mut cache = LruCache::new(cache_bytes);
         cache.set_journal(feedback);
+        cache.set_policy(eviction);
         Backend {
             cpu: FifoResource::new(),
             disk: FifoResource::new(),
@@ -70,6 +80,9 @@ impl Backend {
             requests: 0,
             hits: 0,
             bytes: 0,
+            disk_fetches: 0,
+            delayed_hits: 0,
+            flights: HashMap::new(),
             pending_feedback: Vec::new(),
         }
     }
@@ -109,6 +122,9 @@ struct ConnRt {
     forwarded: Vec<bool>,
     /// Arrival time of the current batch (latency accounting).
     batch_started: SimTime,
+    /// Cache-probe instant per request of the current batch: when its
+    /// miss began, for miss-delay accounting (delayed hits included).
+    probe: Vec<SimTime>,
     /// Per-request policy connections (relaying front-end mode only).
     relay_conns: Vec<ConnId>,
 }
@@ -202,6 +218,11 @@ struct Run<'w> {
     migrations: u64,
     latency: Accumulator,
     latency_hist: Histogram,
+    /// Miss-delay distribution: for every miss (leader or parked waiter),
+    /// the time from cache probe to fetch completion.
+    miss_hist: Histogram,
+    /// Total aggregate miss delay (Σ per-miss delay, ms).
+    agg_miss_delay_ms: f64,
     is_relay: bool,
 }
 
@@ -216,7 +237,7 @@ impl<'w> Run<'w> {
             cfg.policy, semantics, cfg.nodes, cfg.lard,
         ));
         let backends = (0..cfg.nodes)
-            .map(|_| Backend::new(cfg.cache_bytes, cfg.cache_feedback))
+            .map(|_| Backend::new(cfg.cache_bytes, cfg.cache_feedback, cfg.eviction))
             .collect();
         Run {
             cfg,
@@ -241,6 +262,8 @@ impl<'w> Run<'w> {
             // 0.1 ms .. ~200 s in doubling buckets: covers cached hits
             // through deep disk queues.
             latency_hist: Histogram::exponential(0.1, 200_000.0),
+            miss_hist: Histogram::exponential(0.1, 200_000.0),
+            agg_miss_delay_ms: 0.0,
             is_relay,
         }
     }
@@ -327,6 +350,7 @@ impl<'w> Run<'w> {
                     serving: Vec::new(),
                     forwarded: Vec::new(),
                     batch_started: now,
+                    probe: Vec::new(),
                     relay_conns: Vec::new(),
                 },
             );
@@ -420,6 +444,7 @@ impl<'w> Run<'w> {
         rt.forwarded = forwarded;
         rt.relay_conns = relay_conns;
         rt.batch_started = now;
+        rt.probe = vec![now; n];
     }
 
     /// Mechanism-cost handling for one already-decided request of a batch.
@@ -494,10 +519,14 @@ impl<'w> Run<'w> {
         }
     }
 
-    /// Per-request CPU done: probe the serving node's cache.
+    /// Per-request CPU done: probe the serving node's cache. On a miss,
+    /// either schedule a disk read (becoming the flight leader) or — with
+    /// coalescing on and a fetch for this target already in flight — park
+    /// as a delayed hit to be released by the leader's [`Ev::ReqDisk`].
     fn on_req_cpu(&mut self, c: u32, r: u16, now: SimTime) {
         let (node, target) = self.request_ctx(c, r);
         let size = self.trace.size_of(target);
+        self.conns.get_mut(&c).expect("conn slot").probe[r as usize] = now;
         let be = &mut self.backends[node.0];
         be.requests += 1;
         be.bytes += size;
@@ -505,23 +534,61 @@ impl<'w> Run<'w> {
             be.hits += 1;
             let done = be.cpu.schedule(now, self.cfg.server.xmit_time(size));
             self.events.push(done, Ev::ReqXmit(c, r));
+        } else if self.cfg.coalesce_misses {
+            if let Some(waiters) = be.flights.get_mut(&target) {
+                waiters.push((c, r));
+                be.delayed_hits += 1;
+            } else {
+                be.flights.insert(target, Vec::new());
+                be.disk_fetches += 1;
+                let done = be.disk.schedule(now, self.cfg.disk.read_time(size));
+                self.events.push(done, Ev::ReqDisk(c, r));
+            }
         } else {
+            be.disk_fetches += 1;
             let done = be.disk.schedule(now, self.cfg.disk.read_time(size));
             self.events.push(done, Ev::ReqDisk(c, r));
         }
     }
 
-    /// Disk read done: the OS caches what it read; transmit follows.
+    /// Disk read done: the OS caches what it read; transmit follows — for
+    /// the flight leader and (with coalescing) every parked waiter. The
+    /// cache insert carries the flight's aggregate miss delay so LRU-MAD
+    /// can rank victims by what their next miss would cost.
     fn on_req_disk(&mut self, c: u32, r: u16, now: SimTime) {
         let (node, target) = self.request_ctx(c, r);
         let size = self.trace.size_of(target);
+        let waiters = self.backends[node.0]
+            .flights
+            .remove(&target)
+            .unwrap_or_default();
+        let mut agg_us = self.account_miss(c, r, now);
+        for &(wc, wr) in &waiters {
+            agg_us += self.account_miss(wc, wr, now);
+        }
         let be = &mut self.backends[node.0];
-        let admitted = be.cache.insert(target, size);
+        let admitted = be.cache.insert_with_delay(target, size, agg_us);
         if self.cfg.cache_feedback {
             be.record_insert(target, admitted);
         }
-        let done = be.cpu.schedule(now, self.cfg.server.xmit_time(size));
+        let xmit = self.cfg.server.xmit_time(size);
+        let done = be.cpu.schedule(now, xmit);
         self.events.push(done, Ev::ReqXmit(c, r));
+        for (wc, wr) in waiters {
+            let done = self.backends[node.0].cpu.schedule(now, xmit);
+            self.events.push(done, Ev::ReqXmit(wc, wr));
+        }
+    }
+
+    /// Records one finished miss (leader or waiter) in the miss-delay
+    /// metrics; returns its delay in µs for the flight's aggregate.
+    fn account_miss(&mut self, c: u32, r: u16, now: SimTime) -> u64 {
+        let probe = self.conns[&c].probe[r as usize];
+        let delay = now.duration_since(probe);
+        let ms = delay.as_secs_f64() * 1e3;
+        self.agg_miss_delay_ms += ms;
+        self.miss_hist.add(ms);
+        delay.as_micros()
     }
 
     /// Server transmit done: forward/relay if needed, else complete.
@@ -643,10 +710,14 @@ impl<'w> Run<'w> {
                 cpu_utilization: b.cpu.utilization(horizon),
                 disk_utilization: b.disk.utilization(horizon),
                 cache_evictions: b.cache.evictions(),
+                disk_fetches: b.disk_fetches,
+                delayed_hits: b.delayed_hits,
             })
             .collect();
         let total_requests: u64 = per_node.iter().map(|n| n.requests).sum();
         let total_hits: u64 = per_node.iter().map(|n| n.cache_hits).sum();
+        let total_fetches: u64 = per_node.iter().map(|n| n.disk_fetches).sum();
+        let total_delayed: u64 = per_node.iter().map(|n| n.delayed_hits).sum();
         Report {
             label: self.cfg.label(),
             nodes: self.cfg.nodes,
@@ -685,6 +756,11 @@ impl<'w> Run<'w> {
             believed_pairs,
             stale_mappings_removed: coherence.stale_removed,
             feedback_reports: coherence.reports,
+            disk_fetches: total_fetches,
+            delayed_hits: total_delayed,
+            agg_miss_delay_ms: self.agg_miss_delay_ms,
+            miss_p50_latency_ms: self.miss_hist.quantile(0.50).unwrap_or(0.0),
+            miss_p99_latency_ms: self.miss_hist.quantile(0.99).unwrap_or(0.0),
             per_node,
         }
     }
@@ -921,6 +997,93 @@ mod tests {
         assert_eq!(a.stale_mappings_removed, b.stale_mappings_removed);
         assert_eq!(a.feedback_reports, b.feedback_reports);
         assert_eq!(a.mapping_divergence, b.mapping_divergence);
+    }
+
+    #[test]
+    fn coalescing_dedupes_fetches_and_cuts_aggregate_delay() {
+        let trace = small_trace();
+        let run = |coalesce: bool| {
+            let mut cfg = SimConfig::paper_config("WRR-PHTTP", 1);
+            cfg.cache_bytes = 64 * 1024 * 1024; // eviction-free
+            if coalesce {
+                cfg = cfg.with_coalescing();
+            }
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let off = run(false);
+        let on = run(true);
+        // Conservation and accounting identities.
+        assert_eq!(on.requests, trace.len() as u64);
+        assert_eq!(off.delayed_hits, 0, "no parking without coalescing");
+        let on_hits: u64 = on.per_node.iter().map(|n| n.cache_hits).sum();
+        let off_hits: u64 = off.per_node.iter().map(|n| n.cache_hits).sum();
+        assert_eq!(
+            on_hits + on.delayed_hits + on.disk_fetches,
+            on.requests,
+            "every request is a hit, a delayed hit, or a fetch"
+        );
+        assert_eq!(off_hits + off.disk_fetches, off.requests);
+        // Eviction-free: each distinct target is fetched exactly once.
+        let distinct = {
+            let mut seen = std::collections::HashSet::new();
+            trace.requests().iter().map(|r| r.target).for_each(|t| {
+                seen.insert(t);
+            });
+            seen.len() as u64
+        };
+        assert_eq!(
+            on.disk_fetches, distinct,
+            "coalescing must collapse every redundant fetch"
+        );
+        assert!(off.disk_fetches >= distinct);
+        // De-duplication can only reduce total miss delay.
+        assert!(
+            on.agg_miss_delay_ms <= off.agg_miss_delay_ms + 1e-9,
+            "coalesced aggregate miss delay {} must not exceed uncoalesced {}",
+            on.agg_miss_delay_ms,
+            off.agg_miss_delay_ms
+        );
+    }
+
+    #[test]
+    fn coalescing_runs_stay_deterministic() {
+        let trace = small_trace();
+        let run = || {
+            let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3).with_coalescing();
+            cfg.cache_bytes = 2 * 1024 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.disk_fetches, b.disk_fetches);
+        assert_eq!(a.delayed_hits, b.delayed_hits);
+        assert!((a.agg_miss_delay_ms - b.agg_miss_delay_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feedback_converges_under_lru_mad() {
+        use phttp_simcore::{EvictPolicy, SimDuration};
+        let trace = small_trace();
+        // Same setup as `feedback_converges_divergence_to_zero`, but with
+        // the delayed-hits-aware policy: the mirror replays journalled
+        // victims, so coherence must be policy-independent.
+        let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3)
+            .with_feedback(SimDuration::from_millis(100))
+            .with_coalescing()
+            .with_eviction(EvictPolicy::LruMad);
+        cfg.cache_bytes = 2 * 1024 * 1024;
+        let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+        let r = Simulator::new(cfg, &trace, &workload).run();
+        assert_eq!(
+            r.mapping_divergence, 0,
+            "feedback must stay exact under LRU-MAD eviction"
+        );
+        assert!(r.stale_mappings_removed > 0, "churn must have occurred");
+        assert_eq!(r.requests, trace.len() as u64);
     }
 
     #[test]

@@ -41,4 +41,5 @@ pub use cache::LruCache;
 pub use config::{ProtocolMode, SimConfig};
 pub use costs::{DiskParams, MechanismCosts, ServerCosts};
 pub use engine::{build_workload, Simulator};
+pub use phttp_simcore::EvictPolicy;
 pub use report::{NodeReport, Report};

@@ -18,6 +18,12 @@ pub struct NodeReport {
     pub disk_utilization: f64,
     /// Cache evictions over the run.
     pub cache_evictions: u64,
+    /// Disk reads actually issued by this node (misses that scheduled a
+    /// fetch; under coalescing, one per flight, not per miss).
+    pub disk_fetches: u64,
+    /// Misses parked on an already-in-flight fetch for the same target
+    /// (delayed hits; 0 with coalescing off).
+    pub delayed_hits: u64,
 }
 
 impl NodeReport {
@@ -88,6 +94,19 @@ pub struct Report {
     /// Cache-feedback reports applied over the run (0 when feedback is
     /// off).
     pub feedback_reports: u64,
+    /// Disk reads actually issued across nodes. Without coalescing this
+    /// equals the miss count; with coalescing it is one per flight.
+    pub disk_fetches: u64,
+    /// Misses that coalesced onto an in-flight fetch (delayed hits).
+    pub delayed_hits: u64,
+    /// Aggregate miss delay: the sum over every miss (flight leaders and
+    /// parked waiters alike) of the time from cache probe to fetch
+    /// completion, in milliseconds — the quantity LRU-MAD minimizes.
+    pub agg_miss_delay_ms: f64,
+    /// Median per-miss delay, milliseconds (bucketed).
+    pub miss_p50_latency_ms: f64,
+    /// 99th-percentile per-miss delay, milliseconds.
+    pub miss_p99_latency_ms: f64,
     /// Per-node breakdown.
     pub per_node: Vec<NodeReport>,
 }

@@ -120,4 +120,89 @@ proptest! {
         let r = Simulator::new(cfg, &trace, &workload).run();
         prop_assert_eq!(r.forwarded_requests + r.migrations, 0);
     }
+
+    /// Delayed-hits accounting identity, for every mechanism, policy and
+    /// workload (evictions included): each request is exactly one of a
+    /// cache hit, a delayed hit (parked on an in-flight fetch), or a
+    /// fetch. Without coalescing, delayed hits are identically zero.
+    #[test]
+    fn coalescing_accounting_identity(trace in arb_trace(), label in arb_label(), nodes in 1usize..5) {
+        for coalesce in [false, true] {
+            let mut cfg = SimConfig::paper_config(label, nodes);
+            cfg.cache_bytes = 256 * 1024;
+            cfg.coalesce_misses = coalesce;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            let r = Simulator::new(cfg, &trace, &workload).run();
+            let hits: u64 = r.per_node.iter().map(|n| n.cache_hits).sum();
+            prop_assert_eq!(
+                hits + r.delayed_hits + r.disk_fetches,
+                r.requests,
+                "{}: hit/delayed-hit/fetch must partition the requests",
+                label
+            );
+            if !coalesce {
+                prop_assert_eq!(r.delayed_hits, 0);
+            }
+        }
+    }
+
+    /// On an eviction-free single node, coalescing is exactly "the
+    /// uncoalesced run with redundant fetches de-duplicated": every
+    /// distinct target is fetched once, every other miss becomes a delayed
+    /// hit, and de-duplication can only shrink the aggregate miss delay.
+    #[test]
+    fn coalescing_dedupes_redundant_fetches(trace in arb_trace(), phttp in any::<bool>()) {
+        let label = if phttp { "WRR-PHTTP" } else { "WRR" };
+        let run = |coalesce: bool| {
+            let mut cfg = SimConfig::paper_config(label, 1);
+            cfg.cache_bytes = u64::MAX; // eviction-free: corpus always fits
+            cfg.coalesce_misses = coalesce;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let off = run(false);
+        let on = run(true);
+        let distinct = {
+            let mut seen = std::collections::HashSet::new();
+            for r in trace.requests() {
+                seen.insert(r.target);
+            }
+            seen.len() as u64
+        };
+        prop_assert_eq!(on.disk_fetches, distinct, "one fetch per distinct target");
+        prop_assert!(off.disk_fetches >= distinct);
+        let off_hits: u64 = off.per_node.iter().map(|n| n.cache_hits).sum();
+        prop_assert_eq!(
+            off.disk_fetches - distinct,
+            off.requests - off_hits - distinct,
+            "uncoalesced redundant fetches are exactly its non-first misses"
+        );
+        prop_assert!(
+            on.agg_miss_delay_ms <= off.agg_miss_delay_ms + 1e-9,
+            "de-duplication must not increase aggregate miss delay ({} > {})",
+            on.agg_miss_delay_ms,
+            off.agg_miss_delay_ms
+        );
+    }
+
+    /// LRU-MAD is a drop-in policy: conservation and accounting hold, and
+    /// runs stay bit-for-bit deterministic.
+    #[test]
+    fn lru_mad_conserves_and_is_deterministic(trace in arb_trace(), label in arb_label(), nodes in 1usize..4) {
+        let run = || {
+            let mut cfg = SimConfig::paper_config(label, nodes)
+                .with_coalescing()
+                .with_eviction(phttp_sim::EvictPolicy::LruMad);
+            cfg.cache_bytes = 256 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.requests, trace.len() as u64);
+        prop_assert_eq!(a.bytes_delivered, trace.total_response_bytes());
+        prop_assert_eq!(a.finished_at, b.finished_at);
+        prop_assert_eq!(a.disk_fetches, b.disk_fetches);
+        prop_assert_eq!(a.delayed_hits, b.delayed_hits);
+    }
 }

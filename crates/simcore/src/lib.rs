@@ -46,7 +46,7 @@ pub mod stats;
 pub mod time;
 
 pub use dist::{Exp, LogNormal, Pareto, Zipf};
-pub use lru::LruCache;
+pub use lru::{EvictPolicy, LruCache};
 pub use queue::EventQueue;
 pub use resource::FifoResource;
 pub use stats::{Accumulator, Histogram, TimeWeighted};

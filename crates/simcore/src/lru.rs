@@ -14,10 +14,36 @@ use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
 
+/// How many entries from the LRU tail the MAD policy examines per
+/// eviction. Small and constant: recency still dominates (only cold-ish
+/// entries are candidates), the scan is O(1), and the choice is
+/// deterministic.
+pub const MAD_CANDIDATES: usize = 8;
+
+/// Victim-selection policy for [`LruCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictPolicy {
+    /// Strict LRU: always evict the tail (least recently used) entry.
+    #[default]
+    Lru,
+    /// LRU-MAD ("miss aggregate delay", after *Caching with Delayed Hits*,
+    /// SIGCOMM 2020): examine the [`MAD_CANDIDATES`] least-recently-used
+    /// entries and evict the one whose estimated next miss costs the least
+    /// aggregate delay *per cached byte*. The per-entry cost estimate is an
+    /// EWMA of the aggregate miss delay observed when the entry was last
+    /// fetched (leader fetch latency plus every coalesced waiter's wait),
+    /// fed in via [`LruCache::insert_with_delay`]. Recency still gates the
+    /// candidate set, so the policy degrades to LRU when delays are uniform.
+    LruMad,
+}
+
 #[derive(Debug, Clone)]
 struct Entry<K> {
     target: K,
     size: u64,
+    /// EWMA of observed aggregate miss delay (µs) for this entry; 0 until
+    /// a delay sample is provided. Only consulted by [`EvictPolicy::LruMad`].
+    score: u64,
     prev: usize,
     next: usize,
 }
@@ -27,6 +53,7 @@ struct Entry<K> {
 pub struct LruCache<K> {
     budget: u64,
     used: u64,
+    policy: EvictPolicy,
     map: HashMap<K, usize>,
     slab: Vec<Entry<K>>,
     free: Vec<usize>,
@@ -45,6 +72,7 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         LruCache {
             budget: budget_bytes,
             used: 0,
+            policy: EvictPolicy::Lru,
             map: HashMap::new(),
             slab: Vec::new(),
             free: Vec::new(),
@@ -53,6 +81,21 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
             evictions: 0,
             journal: None,
         }
+    }
+
+    /// Selects the victim-selection policy. Switching policy never touches
+    /// cache contents — it only changes which entry future budget pressure
+    /// evicts — so the eviction journal (and any [`drain_evictions`]
+    /// consumer replaying it) stays exact under either policy.
+    ///
+    /// [`drain_evictions`]: Self::drain_evictions
+    pub fn set_policy(&mut self, policy: EvictPolicy) {
+        self.policy = policy;
+    }
+
+    /// Returns the active victim-selection policy.
+    pub fn policy(&self) -> EvictPolicy {
+        self.policy
     }
 
     /// Turns the eviction journal on or off. While on, every entry
@@ -126,11 +169,31 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
     /// cannot hold it resident either). Re-inserting an existing target
     /// refreshes its recency and updates its size.
     pub fn insert(&mut self, target: K, size: u64) -> bool {
+        self.insert_inner(target, size, None)
+    }
+
+    /// [`insert`](Self::insert) plus a miss-delay observation: `agg_delay_us`
+    /// is the aggregate delay (µs) the miss that produced this insert cost —
+    /// the fetch latency itself plus the wait of every coalesced request
+    /// parked on the same in-flight fetch. The entry's MAD score becomes an
+    /// EWMA of these samples (`new = (old + sample) / 2` on refresh), which
+    /// [`EvictPolicy::LruMad`] uses to rank eviction victims. Under
+    /// [`EvictPolicy::Lru`] the sample is recorded but never consulted, so
+    /// the two entry points behave identically.
+    pub fn insert_with_delay(&mut self, target: K, size: u64, agg_delay_us: u64) -> bool {
+        self.insert_inner(target, size, Some(agg_delay_us))
+    }
+
+    fn insert_inner(&mut self, target: K, size: u64, delay_us: Option<u64>) -> bool {
         if let Some(&idx) = self.map.get(&target) {
             // Size update (static content rarely changes, but stay safe).
             let old = self.slab[idx].size;
             self.used = self.used - old + size;
             self.slab[idx].size = size;
+            if let Some(sample) = delay_us {
+                let old_score = self.slab[idx].score;
+                self.slab[idx].score = (old_score + sample) / 2;
+            }
             self.unlink(idx);
             self.push_front(idx);
             self.shrink_to_budget(Some(target));
@@ -143,6 +206,7 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         let idx = self.alloc(Entry {
             target,
             size,
+            score: delay_us.unwrap_or(0),
             prev: NIL,
             next: NIL,
         });
@@ -150,6 +214,12 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         self.push_front(idx);
         self.shrink_to_budget(Some(target));
         self.map.contains_key(&target)
+    }
+
+    /// The entry's current MAD score (EWMA aggregate miss delay, µs), if
+    /// cached. Diagnostic / test hook.
+    pub fn mad_score(&self, target: K) -> Option<u64> {
+        self.map.get(&target).map(|&idx| self.slab[idx].score)
     }
 
     /// Removes a target if present; returns whether it was cached.
@@ -164,13 +234,18 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         }
     }
 
-    /// Evicts least-recently-used entries until within budget, never
-    /// evicting `keep` (the entry just inserted).
+    /// Evicts entries until within budget, never evicting `keep` (the entry
+    /// just inserted) unless it is the only entry left. The victim each
+    /// round is chosen by the active [`EvictPolicy`]; victims are counted
+    /// and journalled in eviction order regardless of policy, so journal
+    /// replay (the cache-feedback mirror) stays exact.
     fn shrink_to_budget(&mut self, keep: Option<K>) {
         while self.used > self.budget {
-            let tail = self.tail;
-            debug_assert_ne!(tail, NIL, "over budget with empty cache");
-            let victim = self.slab[tail].target;
+            debug_assert_ne!(self.tail, NIL, "over budget with empty cache");
+            let victim = match self.policy {
+                EvictPolicy::Lru => self.slab[self.tail].target,
+                EvictPolicy::LruMad => self.pick_mad_victim(keep),
+            };
             if Some(victim) == keep {
                 // Only the just-inserted oversized entry remains; drop it.
                 self.remove(victim);
@@ -181,6 +256,42 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
             if let Some(journal) = self.journal.as_mut() {
                 journal.push(victim);
             }
+        }
+    }
+
+    /// LRU-MAD victim choice: among the [`MAD_CANDIDATES`] tail-most
+    /// entries (excluding `keep`), the one with the smallest estimated
+    /// aggregate miss delay per cached byte — evicting it frees the most
+    /// bytes per unit of future delay re-incurred. Ties keep the earliest
+    /// (most LRU) candidate, so uniform scores degrade to strict LRU.
+    /// Returns `keep` itself only when it is the sole entry.
+    fn pick_mad_victim(&self, keep: Option<K>) -> K {
+        let mut best: Option<usize> = None;
+        let mut idx = self.tail;
+        let mut seen = 0;
+        while idx != NIL && seen < MAD_CANDIDATES {
+            let e = &self.slab[idx];
+            if Some(e.target) != keep {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        // score/size comparison without division:
+                        // e wins iff score_e * size_b < score_b * size_e.
+                        (e.score as u128) * (self.slab[b].size as u128)
+                            < (self.slab[b].score as u128) * (e.size as u128)
+                    }
+                };
+                if better {
+                    best = Some(idx);
+                }
+            }
+            seen += 1;
+            idx = e.prev;
+        }
+        match best {
+            Some(i) => self.slab[i].target,
+            // Every candidate was `keep`: it is the only entry left.
+            None => self.slab[self.tail].target,
         }
     }
 
@@ -356,5 +467,114 @@ mod tests {
         c.insert(t(1), 1);
         assert!(c.is_empty());
         assert!(!c.touch(t(1)));
+    }
+
+    #[test]
+    fn mad_evicts_cheapest_delay_per_byte() {
+        let mut c = LruCache::new(300);
+        c.set_policy(EvictPolicy::LruMad);
+        // Same size, different miss cost: the cheap entry goes first even
+        // though the expensive one is older (more LRU).
+        c.insert_with_delay(t(1), 100, 50_000); // expensive to re-fetch
+        c.insert_with_delay(t(2), 100, 1_000); // cheap to re-fetch
+        c.insert_with_delay(t(3), 100, 20_000);
+        c.insert_with_delay(t(4), 100, 20_000); // forces one eviction
+        assert!(!c.contains(t(2)), "cheapest-delay entry must be the victim");
+        assert!(c.contains(t(1)), "high-delay entry survives despite age");
+        assert!(c.contains(t(3)));
+        assert!(c.contains(t(4)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn mad_uniform_scores_degrade_to_lru() {
+        let mut lru = LruCache::new(300);
+        let mut mad = LruCache::new(300);
+        mad.set_policy(EvictPolicy::LruMad);
+        for c in [&mut lru, &mut mad] {
+            c.insert_with_delay(t(1), 100, 10_000);
+            c.insert_with_delay(t(2), 100, 10_000);
+            c.insert_with_delay(t(3), 100, 10_000);
+            assert!(c.touch(t(1)));
+            c.insert_with_delay(t(4), 100, 10_000);
+        }
+        for i in 1..=4 {
+            assert_eq!(
+                lru.contains(t(i)),
+                mad.contains(t(i)),
+                "uniform-score MAD must match LRU on t({i})"
+            );
+        }
+        assert!(!mad.contains(t(2)), "t(2) is the LRU victim in both");
+    }
+
+    #[test]
+    fn mad_normalizes_by_size() {
+        let mut c = LruCache::new(1_000);
+        c.set_policy(EvictPolicy::LruMad);
+        // The large entry costs more in absolute delay but much less per
+        // byte — evicting it frees the most space per unit of future delay.
+        c.insert_with_delay(t(1), 800, 20_000); // 25 µs/byte
+        c.insert_with_delay(t(2), 100, 10_000); // 100 µs/byte
+        c.insert_with_delay(t(3), 500, 15_000); // forces eviction
+        assert!(!c.contains(t(1)), "large low-density entry is the victim");
+        assert!(c.contains(t(2)));
+        assert!(c.contains(t(3)));
+    }
+
+    #[test]
+    fn mad_score_is_ewma_and_candidates_respect_recency() {
+        let mut c = LruCache::new(10_000);
+        c.set_policy(EvictPolicy::LruMad);
+        assert!(c.insert_with_delay(t(1), 100, 8_000));
+        assert_eq!(c.mad_score(t(1)), Some(8_000));
+        assert!(!c.insert_with_delay(t(1), 100, 2_000), "refresh");
+        assert_eq!(c.mad_score(t(1)), Some(5_000), "(8000 + 2000) / 2");
+        // Plain insert keeps the learned score on refresh.
+        c.insert(t(1), 100);
+        assert_eq!(c.mad_score(t(1)), Some(5_000));
+        assert_eq!(c.mad_score(t(9)), None);
+
+        // An entry outside the MAD candidate window is safe no matter how
+        // cheap: only the MAD_CANDIDATES tail entries are examined.
+        let mut c = LruCache::new((MAD_CANDIDATES as u64 + 1) * 100);
+        c.set_policy(EvictPolicy::LruMad);
+        c.insert_with_delay(t(0), 100, 0); // cheapest, but will be MRU-side
+        for i in 1..=MAD_CANDIDATES as u32 {
+            c.insert_with_delay(t(i), 100, 50_000);
+        }
+        assert!(c.touch(t(0))); // move the cheap entry to the head
+        c.insert_with_delay(t(99), 100, 50_000); // forces one eviction
+        assert!(
+            c.contains(t(0)),
+            "entry outside the tail window must not be chosen"
+        );
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn mad_oversized_keep_semantics_match_lru() {
+        let mut c = LruCache::new(100);
+        c.set_policy(EvictPolicy::LruMad);
+        c.insert_with_delay(t(1), 60, 1_000);
+        // Refresh-grow beyond budget: the grown entry itself is dropped
+        // once it is the only one left, exactly like strict LRU.
+        c.insert_with_delay(t(1), 150, 1_000);
+        assert!(!c.contains(t(1)));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn mad_journals_victims_in_eviction_order() {
+        let mut c = LruCache::new(300);
+        c.set_policy(EvictPolicy::LruMad);
+        c.set_journal(true);
+        c.insert_with_delay(t(1), 100, 30_000);
+        c.insert_with_delay(t(2), 100, 1_000);
+        c.insert_with_delay(t(3), 100, 2_000);
+        c.insert_with_delay(t(4), 200, 40_000); // evicts 2 then 3 (cheapest)
+        assert_eq!(c.drain_evictions(), vec![t(2), t(3)]);
+        assert!(c.contains(t(1)));
+        assert!(c.contains(t(4)));
     }
 }
