@@ -146,11 +146,9 @@ fn bench_report(_c: &mut Criterion) {
         ));
     }
 
-    let cores = std::thread::available_parallelism()
-        .map(|x| x.get())
-        .unwrap_or(1);
+    let host = phttp_bench::host_meta_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"dispatcher_batch\",\n  \"workload\": \"extLARD, {NODES} nodes, {TARGETS} targets, busy disks; 64 pipelined batches per connection\",\n  \"baseline\": \"begin_batch + N x assign_request (per-request shard acquisition)\",\n  \"contender\": \"assign_batch (one conn-shard visit, grouped mapping-shard write locks)\",\n  \"cpu_cores\": {cores},\n  \"note\": \"single-threaded measurement: the win is pure per-op locking overhead amortization; under contention the reduced acquisition count also cuts shard hold/wait time\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"benchmark\": \"dispatcher_batch\",\n  \"workload\": \"extLARD, {NODES} nodes, {TARGETS} targets, busy disks; 64 pipelined batches per connection\",\n  \"baseline\": \"begin_batch + N x assign_request (per-request shard acquisition)\",\n  \"contender\": \"assign_batch (one conn-shard visit, grouped mapping-shard write locks)\",\n  {host},\n  \"note\": \"single-threaded measurement: the win is pure per-op locking overhead amortization; under contention the reduced acquisition count also cuts shard hold/wait time\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
     match std::fs::write(path, &json) {

@@ -254,6 +254,7 @@ fn write_report(threads: &[usize], mutex_tput: &[f64], sharded_tput: &[f64]) {
         .iter()
         .position(|&t| t == 8)
         .unwrap_or(threads.len() - 1);
+    let host = phttp_bench::host_meta_json();
     let note = if cores == 1 {
         "single-core host: threads cannot run in parallel, so the speedup \
          reflects only per-op overhead reduction; the sharded design's \
@@ -262,7 +263,7 @@ fn write_report(threads: &[usize], mutex_tput: &[f64], sharded_tput: &[f64]) {
         "multi-core host: speedup includes real parallel scaling"
     };
     let json = format!(
-        "{{\n  \"benchmark\": \"dispatcher_concurrency\",\n  \"workload\": \"extLARD lifecycle: open + batch(2) + 2 assigns + close, {NODES} nodes, {TARGETS} targets, busy disks\",\n  \"baseline\": \"parking_lot::Mutex<Dispatcher> (old frontend design)\",\n  \"contender\": \"ConcurrentDispatcher (lock-sharded, atomic loads)\",\n  \"cpu_cores\": {cores},\n  \"note\": \"{note}\",\n  \"results\": [\n{rows}\n  ],\n  \"speedup_at_8_threads\": {:.3}\n}}\n",
+        "{{\n  \"benchmark\": \"dispatcher_concurrency\",\n  \"workload\": \"extLARD lifecycle: open + batch(2) + 2 assigns + close, {NODES} nodes, {TARGETS} targets, busy disks\",\n  \"baseline\": \"parking_lot::Mutex<Dispatcher> (old frontend design)\",\n  \"contender\": \"ConcurrentDispatcher (lock-sharded, atomic loads)\",\n  {host},\n  \"note\": \"{note}\",\n  \"results\": [\n{rows}\n  ],\n  \"speedup_at_8_threads\": {:.3}\n}}\n",
         sharded_tput[eight] / mutex_tput[eight],
     );
     match std::fs::write(path, &json) {

@@ -149,8 +149,9 @@ fn bench_report(_c: &mut Criterion) {
         "open loop must diverge under churn, or the bench measures nothing"
     );
 
+    let host = phttp_bench::host_meta_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"mapping_coherence\",\n  \"workload\": \"Zipf(1.0) synthetic trace, {views} page views, 300 pages, P-HTTP, extLARD + BEforward, 4 nodes, 2 MiB caches (working set >> cache: heavy eviction churn)\",\n  \"baseline\": \"cache feedback off (open-loop mapping belief, the paper's dispatcher)\",\n  \"contender\": \"cache feedback on at {INTERVALS_MS:?} ms reporting intervals\",\n  \"metrics\": \"miss_rate (1 - aggregate hit rate); divergence = believed (target,node) pairs not actually cached at end of run, vs believed_pairs\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"benchmark\": \"mapping_coherence\",\n  {host},\n  \"workload\": \"Zipf(1.0) synthetic trace, {views} page views, 300 pages, P-HTTP, extLARD + BEforward, 4 nodes, 2 MiB caches (working set >> cache: heavy eviction churn)\",\n  \"baseline\": \"cache feedback off (open-loop mapping belief, the paper's dispatcher)\",\n  \"contender\": \"cache feedback on at {INTERVALS_MS:?} ms reporting intervals\",\n  \"metrics\": \"miss_rate (1 - aggregate hit rate); divergence = believed (target,node) pairs not actually cached at end of run, vs believed_pairs\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coherence.json");
     match std::fs::write(path, &json) {

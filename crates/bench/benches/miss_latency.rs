@@ -205,8 +205,9 @@ fn bench_report(_c: &mut Criterion) {
         mad_total / lru_total
     );
 
+    let host = phttp_bench::host_meta_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"miss_latency\",\n  \"workloads\": {{\"burst\": \"{BURST} concurrent requests for one cold 64 KiB target, 1 node, WRR-PHTTP, eviction-free cache\", \"sweep\": \"Zipf(1.0) synthetic trace, {views} page views, 300 pages, WRR-PHTTP, 1 node, 2 MiB cache (working set >> cache), disk seek swept over {SEEK_US:?} us, coalescing on\"}},\n  \"baseline\": \"coalescing off (burst) / strict-LRU eviction (sweep)\",\n  \"contender\": \"single-flight miss coalescing (burst) / LRU-MAD delayed-hits-aware eviction (sweep)\",\n  \"metrics\": \"disk_fetches; delayed_hits (misses parked on an in-flight fetch); agg_miss_delay_ms = sum over every miss of probe-to-fetch-completion delay; per-miss p50/p99\",\n  \"notes\": \"simulated clock, so results are deterministic and unaffected by the 1-core CI container; the prototype-side analogues are asserted in crates/proto/tests/coalescing.rs over real threads/reactor I/O\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"benchmark\": \"miss_latency\",\n  {host},\n  \"workloads\": {{\"burst\": \"{BURST} concurrent requests for one cold 64 KiB target, 1 node, WRR-PHTTP, eviction-free cache\", \"sweep\": \"Zipf(1.0) synthetic trace, {views} page views, 300 pages, WRR-PHTTP, 1 node, 2 MiB cache (working set >> cache), disk seek swept over {SEEK_US:?} us, coalescing on\"}},\n  \"baseline\": \"coalescing off (burst) / strict-LRU eviction (sweep)\",\n  \"contender\": \"single-flight miss coalescing (burst) / LRU-MAD delayed-hits-aware eviction (sweep)\",\n  \"metrics\": \"disk_fetches; delayed_hits (misses parked on an in-flight fetch); agg_miss_delay_ms = sum over every miss of probe-to-fetch-completion delay; per-miss p50/p99\",\n  \"notes\": \"simulated clock, so results are deterministic and unaffected by the 1-core CI container; the prototype-side analogues are asserted in crates/proto/tests/coalescing.rs over real threads/reactor I/O\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_misslatency.json");
     match std::fs::write(path, &json) {

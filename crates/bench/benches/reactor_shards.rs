@@ -156,11 +156,9 @@ fn bench_report(_c: &mut Criterion) {
         }
     }
 
-    let cores = std::thread::available_parallelism()
-        .map(|x| x.get())
-        .unwrap_or(1);
+    let host = phttp_bench::host_meta_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"reactor_shards\",\n  \"workload\": \"P-HTTP closed loop: C concurrent persistent connections x {BATCHES} pipelined batches x {BATCH_SIZE} requests, extLARD, 2 nodes, hot cache\",\n  \"baseline\": \"IoModel::Threads (pre-spawned worker thread per in-flight connection)\",\n  \"contender\": \"IoModel::Reactor at reactor_shards event loops (SO_REUSEPORT accept distribution, event-driven lateral serving)\",\n  \"cpu_cores\": {cores},\n  \"note\": \"single-core host: shards cannot run in parallel here, yet sharding still wins — the gains are structural (one SO_REUSEPORT accept queue per shard and per address, smaller per-loop slabs and event batches, lateral serving no longer queued behind one loop's client handling), not parallelism; re-run on a multi-core host for the scaling the sharding exists for — same caveat as BENCH_dispatcher.json. The reactor also runs zero per-client/per-peer-connection threads at every shard count.\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"benchmark\": \"reactor_shards\",\n  \"workload\": \"P-HTTP closed loop: C concurrent persistent connections x {BATCHES} pipelined batches x {BATCH_SIZE} requests, extLARD, 2 nodes, hot cache\",\n  \"baseline\": \"IoModel::Threads (pre-spawned worker thread per in-flight connection)\",\n  \"contender\": \"IoModel::Reactor at reactor_shards event loops (SO_REUSEPORT accept distribution, event-driven lateral serving)\",\n  {host},\n  \"note\": \"single-core host: shards cannot run in parallel here, yet sharding still wins — the gains are structural (one SO_REUSEPORT accept queue per shard and per address, smaller per-loop slabs and event batches, lateral serving no longer queued behind one loop's client handling), not parallelism; re-run on a multi-core host for the scaling the sharding exists for — same caveat as BENCH_dispatcher.json. The reactor also runs zero per-client/per-peer-connection threads at every shard count.\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shards.json");
     match std::fs::write(path, &json) {

@@ -140,11 +140,9 @@ fn bench_report(_c: &mut Criterion) {
         ));
     }
 
-    let cores = std::thread::available_parallelism()
-        .map(|x| x.get())
-        .unwrap_or(1);
+    let host = phttp_bench::host_meta_json();
     let json = format!(
-        "{{\n  \"benchmark\": \"reactor_throughput\",\n  \"workload\": \"P-HTTP closed loop: C concurrent persistent connections x {BATCHES} pipelined batches x {BATCH_SIZE} requests, extLARD, 2 nodes, hot cache\",\n  \"baseline\": \"IoModel::Threads (pre-spawned worker thread per in-flight connection)\",\n  \"contender\": \"IoModel::Reactor (single epoll-style event-loop thread)\",\n  \"cpu_cores\": {cores},\n  \"note\": \"single-core hosts cannot parallelize the worker pool, so the comparison isolates per-connection thread overhead (stacks, context switches, scheduler load) against event-loop bookkeeping; the thread model additionally pins one worker per idle persistent connection, which is the scalability wall at high C\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"benchmark\": \"reactor_throughput\",\n  \"workload\": \"P-HTTP closed loop: C concurrent persistent connections x {BATCHES} pipelined batches x {BATCH_SIZE} requests, extLARD, 2 nodes, hot cache\",\n  \"baseline\": \"IoModel::Threads (pre-spawned worker thread per in-flight connection)\",\n  \"contender\": \"IoModel::Reactor (single epoll-style event-loop thread)\",\n  {host},\n  \"note\": \"single-core hosts cannot parallelize the worker pool, so the comparison isolates per-connection thread overhead (stacks, context switches, scheduler load) against event-loop bookkeeping; the thread model additionally pins one worker per idle persistent connection, which is the scalability wall at high C\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reactor.json");
     match std::fs::write(path, &json) {

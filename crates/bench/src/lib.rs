@@ -320,6 +320,44 @@ pub fn run_sim_figure(title: &str, flash: bool, opts: &FigOpts) {
     check.finish(opts);
 }
 
+/// Host metadata stamped into every `BENCH_*.json`: the logical CPU
+/// count the run had available and the UTC date it ran, as a JSON
+/// fragment (two key/value pairs, no braces). Benchmark numbers are
+/// meaningless without at least this much provenance — the container
+/// benches run on one core, a laptop on many.
+pub fn host_meta_json() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
+    format!("\"cpu_cores\": {cores}, \"bench_date\": \"{}\"", utc_date())
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from `SystemTime` alone (no
+/// timezone database or date-crate dependency).
+pub fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Gregorian date from days since 1970-01-01 (Hinnant's civil-from-days
+/// algorithm; exact over the benchmark-relevant range).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
 /// Runs one named simulator configuration over the trace.
 pub fn run_sim(label: &str, nodes: usize, trace: &Trace, quick: bool, flash: bool) -> Report {
     let mut cfg = SimConfig::paper_config(label, nodes);
@@ -365,6 +403,21 @@ mod tests {
         assert_eq!(c.failures.len(), 1);
         // finish() without --check must not exit.
         c.finish(&FigOpts::default());
+    }
+
+    #[test]
+    fn host_meta_is_wellformed() {
+        let meta = host_meta_json();
+        assert!(meta.starts_with("\"cpu_cores\": "));
+        assert!(meta.contains("\"bench_date\": \""));
+        let date = utc_date();
+        assert_eq!(date.len(), 10, "YYYY-MM-DD: {date}");
+        assert_eq!(date.as_bytes()[4], b'-');
+        assert_eq!(date.as_bytes()[7], b'-');
+        // Known anchors for the civil-date arithmetic.
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
     }
 
     #[test]

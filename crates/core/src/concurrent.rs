@@ -49,11 +49,14 @@ use std::sync::atomic::Ordering;
 
 use phttp_trace::TargetId;
 
+use std::collections::HashMap;
+
 use crate::cost::LardParams;
 use crate::feedback::{CacheEvent, CacheMirror, CoherenceSnapshot, CoherenceStats};
 use crate::load::{LoadTracker, LOAD_UNIT};
 use crate::policy::{ForwardSemantics, MapEffect, Policy, PolicyKind};
 use crate::shard::{ConnState, ConnTable, ShardedMappingTable};
+use crate::tier::{DispatcherSnapshot, MergeOutcome};
 use crate::types::{Assignment, ConnId, NodeId};
 
 /// Largest pipelined batch [`ConcurrentDispatcher::assign_batch`] will
@@ -302,6 +305,49 @@ impl ConcurrentDispatcher {
     /// The cache-contents mirror (diagnostics/tests).
     pub fn mirror(&self) -> &CacheMirror {
         &self.mirror
+    }
+
+    /// Exports this dispatcher's tier-relevant state: **locally
+    /// charged** fixed-point loads (remote bias excluded, so exporting
+    /// and re-importing cannot double-count) and the full believed
+    /// mapping, targets ascending. Shard read locks only; the snapshot
+    /// is a consistent-enough gossip payload, not a transaction.
+    pub fn snapshot(&self) -> DispatcherSnapshot {
+        let loads = (0..self.num_nodes())
+            .map(|i| self.loads.local_fixed(NodeId(i)))
+            .collect();
+        let mut grouped: HashMap<phttp_trace::TargetId, Vec<NodeId>> = HashMap::new();
+        self.mapping
+            .for_each_pair(|t, n| grouped.entry(t).or_default().push(n));
+        let mut mapping: Vec<_> = grouped.into_iter().collect();
+        mapping.sort_by_key(|(t, _)| t.0);
+        DispatcherSnapshot { loads, mapping }
+    }
+
+    /// Materializes a peer's merged share into the local tables: each
+    /// upsert replaces the target's mapping with the owner's belief,
+    /// each removal drops it. One write-shard acquisition per target —
+    /// gossip granularity, off the dispatch hot path.
+    pub fn adopt_merge(&self, outcome: &MergeOutcome) {
+        for (target, nodes) in &outcome.upserts {
+            self.mapping.write(*target, |m| m.set_nodes(*target, nodes));
+        }
+        for target in &outcome.removals {
+            self.mapping.write(*target, |m| m.set_nodes(*target, &[]));
+        }
+    }
+
+    /// Overwrites every node's remote-load bias with the merged
+    /// tier-view figure (see [`TierView::remote_load_fixed`](crate::tier::TierView::remote_load_fixed)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remote.len() != num_nodes()`.
+    pub fn set_remote_loads(&self, remote: &[i64]) {
+        assert_eq!(remote.len(), self.num_nodes(), "remote-load length");
+        for (i, &r) in remote.iter().enumerate() {
+            self.loads.set_remote_fixed(NodeId(i), r);
+        }
     }
 
     /// Decommissions `node` for mapping purposes: drops every believed
@@ -795,6 +841,38 @@ mod tests {
     fn assign_batch_on_unknown_connection_panics() {
         let d = ext(2);
         let _ = d.assign_batch(ConnId(42), &[t(0)]);
+    }
+
+    #[test]
+    fn snapshot_and_adopt_roundtrip() {
+        let d = ext(2);
+        d.open_connection(ConnId(0), t(0));
+        d.mapping().write(t(7), |m| m.add_replica(t(7), NodeId(1)));
+        let snap = d.snapshot();
+        assert_eq!(snap.loads.iter().sum::<i64>(), LOAD_UNIT);
+        assert!(snap.mapping.iter().any(|(x, _)| *x == t(7)));
+
+        // A peer adopting the snapshot's share materializes it verbatim.
+        let peer = ext(2);
+        let outcome = MergeOutcome {
+            applied: true,
+            upserts: snap.mapping.clone(),
+            removals: vec![],
+        };
+        peer.adopt_merge(&outcome);
+        assert!(peer.mapping().read(t(7), |m| m.is_mapped(t(7), NodeId(1))));
+        peer.adopt_merge(&MergeOutcome {
+            applied: true,
+            upserts: vec![],
+            removals: vec![t(7)],
+        });
+        assert!(!peer.mapping().read(t(7), |m| m.is_known(t(7))));
+
+        // Remote bias is visible to reads but not exported back out.
+        peer.set_remote_loads(&snap.loads);
+        assert!(peer.loads().iter().sum::<f64>() > 0.9);
+        assert!(peer.snapshot().loads.iter().all(|&l| l == 0));
+        d.close_connection(ConnId(0));
     }
 
     #[test]

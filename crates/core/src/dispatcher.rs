@@ -152,6 +152,29 @@ impl Dispatcher {
         self.inner.evict_node(node);
     }
 
+    /// Exports this dispatcher's tier-relevant state (locally charged
+    /// loads + believed mapping) for gossip. See
+    /// [`ConcurrentDispatcher::snapshot`].
+    pub fn snapshot(&self) -> crate::tier::DispatcherSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Materializes a peer's merged share into the local tables. See
+    /// [`ConcurrentDispatcher::adopt_merge`].
+    pub fn adopt_merge(&mut self, outcome: &crate::tier::MergeOutcome) {
+        self.inner.adopt_merge(outcome);
+    }
+
+    /// Overwrites every node's remote-load bias with the merged
+    /// tier-view figure. See [`ConcurrentDispatcher::set_remote_loads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remote.len() != num_nodes()`.
+    pub fn set_remote_loads(&mut self, remote: &[i64]) {
+        self.inner.set_remote_loads(remote);
+    }
+
     /// Handles the first request of a new connection: picks the
     /// connection-handling node, charges it one load unit, and registers the
     /// connection.

@@ -28,7 +28,12 @@
 //!   lock, keeping the front-end's decision path off the critical
 //!   path exactly as the paper's scalability argument requires;
 //! * the **mechanism** taxonomy ([`mechanism`]): relaying front-end, TCP
-//!   single/multiple handoff, back-end forwarding, and the zero-cost ideal.
+//!   single/multiple handoff, back-end forwarding, and the zero-cost ideal;
+//! * the **tier layer** ([`tier`]): the consistent-hash [`Ring`]
+//!   partitioning target ownership across multiple front-ends, and the
+//!   serializable, commutatively mergeable dispatcher state
+//!   ([`DispatcherSnapshot`], [`StateDelta`], [`TierView`]) those
+//!   front-ends gossip on the control plane.
 //!
 //! See `ARCHITECTURE.md` at the repo root for the layering rationale and
 //! which façade each crate consumes. Every public item in this crate is
@@ -104,6 +109,7 @@ pub mod mapping;
 pub mod mechanism;
 pub mod policy;
 pub mod shard;
+pub mod tier;
 pub mod types;
 
 pub use concurrent::{ConcurrentDispatcher, DispatcherConfig};
@@ -116,4 +122,5 @@ pub use mapping::MappingTable;
 pub use mechanism::Mechanism;
 pub use policy::{ForwardSemantics, MapEffect, Policy, PolicyKind};
 pub use shard::{ShardSetMut, ShardedMappingTable};
+pub use tier::{DispatcherSnapshot, FeId, MergeOutcome, Ring, StateDelta, TierView};
 pub use types::{Assignment, ConnId, NodeId};

@@ -39,6 +39,10 @@ pub const LOAD_UNIT: i64 = 1 << 20;
 struct NodeCounters {
     load: AtomicI64,
     disk_q: AtomicUsize,
+    /// Load other front-ends of the tier report for this node (fixed
+    /// point, gossiped on the control plane). Zero outside a tier, so
+    /// single-front-end behaviour is unchanged.
+    remote: AtomicI64,
 }
 
 impl NodeCounters {
@@ -46,6 +50,7 @@ impl NodeCounters {
         NodeCounters {
             load: AtomicI64::new(0),
             disk_q: AtomicUsize::new(0),
+            remote: AtomicI64::new(0),
         }
     }
 }
@@ -75,14 +80,31 @@ impl LoadTracker {
         self.nodes.len()
     }
 
-    /// One node's load in connection units.
+    /// One node's load in connection units, including any remote bias
+    /// gossiped by tier peers (zero outside a tier).
     pub fn load(&self, node: NodeId) -> f64 {
-        self.nodes[node.0].load.load(Ordering::Relaxed) as f64 / LOAD_UNIT as f64
+        self.load_fixed(node) as f64 / LOAD_UNIT as f64
     }
 
-    /// One node's load in fixed point.
+    /// One node's load in fixed point (local charges plus remote bias).
     pub fn load_fixed(&self, node: NodeId) -> i64 {
+        let c = &self.nodes[node.0];
+        c.load.load(Ordering::Relaxed) + c.remote.load(Ordering::Relaxed)
+    }
+
+    /// One node's **locally charged** load only, in fixed point — the
+    /// part this front-end is accountable for, and the part it exports
+    /// to tier peers (exporting the merged figure would double-count).
+    pub fn local_fixed(&self, node: NodeId) -> i64 {
         self.nodes[node.0].load.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the remote-bias component for `node` with the latest
+    /// merged peer figure. An overwrite, not an accumulate: each gossip
+    /// round replaces the previous round's belief wholesale, so lost or
+    /// duplicated rounds cannot drift the bias.
+    pub fn set_remote_fixed(&self, node: NodeId, fixed: i64) {
+        self.nodes[node.0].remote.store(fixed, Ordering::Relaxed);
     }
 
     /// Snapshot of every node's load in connection units.
@@ -174,6 +196,22 @@ mod tests {
         for i in 0..4 {
             assert_eq!(t.load_fixed(NodeId(i)), 0);
         }
+    }
+
+    #[test]
+    fn remote_bias_adds_to_reads_but_not_local_accounting() {
+        let t = LoadTracker::new(2);
+        t.charge(NodeId(0), LOAD_UNIT);
+        t.set_remote_fixed(NodeId(0), 2 * LOAD_UNIT);
+        assert!((t.load(NodeId(0)) - 3.0).abs() < 1e-9);
+        assert_eq!(t.load_fixed(NodeId(0)), 3 * LOAD_UNIT);
+        assert_eq!(t.local_fixed(NodeId(0)), LOAD_UNIT);
+        // Replacement semantics: a new round overwrites, never adds.
+        t.set_remote_fixed(NodeId(0), LOAD_UNIT / 2);
+        assert_eq!(t.load_fixed(NodeId(0)), LOAD_UNIT + LOAD_UNIT / 2);
+        t.set_remote_fixed(NodeId(0), 0);
+        t.discharge(NodeId(0), LOAD_UNIT);
+        assert_eq!(t.load_fixed(NodeId(0)), 0);
     }
 
     #[test]

@@ -63,6 +63,25 @@ impl MappingTable {
         }
     }
 
+    /// Replaces the target's mapping wholesale with `nodes`
+    /// (deduplicated, order preserved); an empty set removes the entry.
+    /// This is the tier-adoption primitive: a front-end materializing a
+    /// peer's gossiped share installs the owner's belief verbatim
+    /// rather than patching its own.
+    pub fn set_nodes(&mut self, target: TargetId, nodes: &[NodeId]) {
+        if nodes.is_empty() {
+            self.map.remove(&target);
+            return;
+        }
+        let entry = self.map.entry(target).or_default();
+        entry.clear();
+        for &n in nodes {
+            if !entry.contains(&n) {
+                entry.push(n);
+            }
+        }
+    }
+
     /// Removes `node` from the target's set (e.g. on node failure).
     pub fn remove_replica(&mut self, target: TargetId, node: NodeId) {
         if let Some(entry) = self.map.get_mut(&target) {
@@ -151,6 +170,17 @@ mod tests {
         assert_eq!(m.num_targets(), 0);
         // Removing from an unknown target is a no-op.
         m.remove_replica(t(9), NodeId(3));
+    }
+
+    #[test]
+    fn set_nodes_replaces_dedupes_and_clears() {
+        let mut m = MappingTable::new();
+        m.add_replica(t(1), NodeId(0));
+        m.set_nodes(t(1), &[NodeId(2), NodeId(1), NodeId(2)]);
+        assert_eq!(m.nodes(t(1)), &[NodeId(2), NodeId(1)]);
+        m.set_nodes(t(1), &[]);
+        assert!(!m.is_known(t(1)));
+        assert_eq!(m.num_targets(), 0);
     }
 
     #[test]

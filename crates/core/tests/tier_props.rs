@@ -1,0 +1,126 @@
+//! Property tests for the front-end tier layer: consistent-hash ring
+//! rebalancing bounds and commutativity of the state merge.
+
+use phttp_core::tier::{Ring, StateDelta, TierView};
+use phttp_core::{FeId, NodeId};
+use phttp_trace::TargetId;
+use proptest::prelude::*;
+
+fn owners(ring: &Ring, targets: u32) -> Vec<FeId> {
+    (0..targets).map(|i| ring.owner(TargetId(i))).collect()
+}
+
+proptest! {
+    /// Every target always has an owner, and that owner is a member —
+    /// through arbitrary add/remove churn.
+    #[test]
+    fn no_target_is_ever_unowned(
+        initial in 1usize..6,
+        ops in proptest::collection::vec((0usize..8, proptest::strategy::any::<bool>()), 0..12),
+        probe in proptest::collection::vec(0u32..10_000, 1..50),
+    ) {
+        let mut ring = Ring::new(initial);
+        for (fe, add) in ops {
+            if add {
+                ring.add_fe(FeId(fe));
+            } else if ring.len() > 1 {
+                ring.remove_fe(FeId(fe));
+            }
+            for &t in &probe {
+                let owner = ring.owner(TargetId(t));
+                prop_assert!(
+                    ring.contains(owner),
+                    "target {t} owned by non-member {owner}"
+                );
+            }
+        }
+    }
+
+    /// Removing one front-end moves exactly the keys it owned — every
+    /// other key keeps its owner (bounded movement), and the moved keys
+    /// land on surviving members.
+    #[test]
+    fn removal_moves_only_the_removed_share(
+        members in 2usize..6,
+        victim in 0usize..6,
+        targets in 64u32..512,
+    ) {
+        prop_assume!(victim < members);
+        let mut ring = Ring::new(members);
+        let before = owners(&ring, targets);
+        ring.remove_fe(FeId(victim));
+        let after = owners(&ring, targets);
+        for (t, (b, a)) in before.iter().zip(&after).enumerate() {
+            if *b == FeId(victim) {
+                prop_assert!(ring.contains(*a), "moved key {t} landed off-ring");
+                prop_assert!(*a != FeId(victim));
+            } else {
+                prop_assert_eq!(*a, *b, "unowned-by-victim key {} moved", t);
+            }
+        }
+    }
+
+    /// Adding one front-end only moves keys *to* the newcomer: if a
+    /// key's owner changed at all, the new owner is the added member.
+    #[test]
+    fn addition_moves_keys_only_to_the_newcomer(
+        members in 1usize..6,
+        newcomer in 6usize..10,
+        targets in 64u32..512,
+    ) {
+        let mut ring = Ring::new(members);
+        let before = owners(&ring, targets);
+        ring.add_fe(FeId(newcomer));
+        let after = owners(&ring, targets);
+        for (t, (b, a)) in before.iter().zip(&after).enumerate() {
+            prop_assert!(
+                a == b || *a == FeId(newcomer),
+                "key {} moved between pre-existing members ({} -> {})", t, b, a
+            );
+        }
+    }
+
+    /// The tier merge converges to the same view regardless of delivery
+    /// order or duplication (commutative + idempotent LWW per origin).
+    #[test]
+    fn merge_is_order_independent(
+        seqs in proptest::collection::vec((1usize..5, 1u64..6), 1..16),
+        rot in 0usize..16,
+        dup in 0usize..16,
+    ) {
+        // Build deltas whose payload is a pure function of
+        // (origin, seq): a given origin's writer never publishes two
+        // different states under one sequence number, which is exactly
+        // the per-origin monotonicity the gossip protocol guarantees.
+        let deltas: Vec<StateDelta> = seqs
+            .iter()
+            .map(|&(origin, seq)| {
+                let t = (origin as u32) * 16 + seq as u32;
+                StateDelta {
+                    origin: FeId(origin),
+                    seq,
+                    loads: vec![seq as i64, origin as i64],
+                    mapping: vec![(TargetId(t), vec![NodeId((t % 2) as usize)])],
+                }
+            })
+            .collect();
+
+        let mut a = TierView::new(FeId(0), 2);
+        for d in &deltas {
+            a.merge(d);
+        }
+
+        // Rotated order plus one duplicated delivery.
+        let mut b = TierView::new(FeId(0), 2);
+        let r = rot % deltas.len();
+        for d in deltas[r..].iter().chain(&deltas[..r]) {
+            b.merge(d);
+        }
+        b.merge(&deltas[dup % deltas.len()]);
+
+        prop_assert_eq!(a.remote_load_fixed(), b.remote_load_fixed());
+        for o in 1..5 {
+            prop_assert_eq!(a.origin_seq(FeId(o)), b.origin_seq(FeId(o)));
+        }
+    }
+}

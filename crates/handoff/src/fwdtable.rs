@@ -36,30 +36,64 @@ pub enum RouteDecision {
     },
     /// The connection is mid-migration: the packet was queued.
     Buffered,
+    /// The connection is mid-migration but its buffer is at the byte
+    /// cap: the packet was **dropped**, not queued. Safe for TCP
+    /// payloads — the client retransmits — and the explicit overflow
+    /// action that keeps a stalled migration from buffering without
+    /// bound.
+    Dropped,
     /// No route: not a handed-off connection (e.g. a brand-new SYN, which
     /// the listener path handles instead).
     Unrouted,
 }
 
+/// Default cap on bytes buffered per migrating connection. One window's
+/// worth of a fast client; a migration outliving this is stalled, and
+/// TCP retransmission recovers anything dropped past it.
+pub const DEFAULT_BUFFER_CAP: usize = 256 * 1024;
+
 #[derive(Debug)]
 enum Entry {
     Active(NodeId),
-    /// Migration in flight: buffered packet payloads, in arrival order.
-    Migrating(Vec<Vec<u8>>),
+    /// Migration in flight: buffered packet payloads in arrival order,
+    /// plus their total byte size (enforces the cap without re-summing).
+    Migrating(Vec<Vec<u8>>, usize),
 }
 
 /// The forwarding table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ForwardingTable {
     routes: HashMap<ClientKey, Entry>,
+    buffer_cap: usize,
     forwarded: u64,
     buffered: u64,
+    overflow_dropped: u64,
+}
+
+impl Default for ForwardingTable {
+    fn default() -> Self {
+        ForwardingTable {
+            routes: HashMap::new(),
+            buffer_cap: DEFAULT_BUFFER_CAP,
+            forwarded: 0,
+            buffered: 0,
+            overflow_dropped: 0,
+        }
+    }
 }
 
 impl ForwardingTable {
-    /// Creates an empty table.
+    /// Creates an empty table with the [`DEFAULT_BUFFER_CAP`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Overrides the per-connection migration-buffer byte cap
+    /// (`0` disables buffering entirely: every mid-migration packet is
+    /// dropped and counted).
+    pub fn with_buffer_cap(mut self, bytes: usize) -> Self {
+        self.buffer_cap = bytes;
+        self
     }
 
     /// Installs a route after a successful handoff.
@@ -71,7 +105,7 @@ impl ForwardingTable {
     /// buffered by an interrupted migration.
     pub fn remove(&mut self, key: ClientKey) -> Vec<Vec<u8>> {
         match self.routes.remove(&key) {
-            Some(Entry::Migrating(buf)) => buf,
+            Some(Entry::Migrating(buf, _)) => buf,
             _ => Vec::new(),
         }
     }
@@ -83,7 +117,7 @@ impl ForwardingTable {
     pub fn begin_migration(&mut self, key: ClientKey) -> bool {
         match self.routes.get_mut(&key) {
             Some(e @ Entry::Active(_)) => {
-                *e = Entry::Migrating(Vec::new());
+                *e = Entry::Migrating(Vec::new(), 0);
                 true
             }
             _ => false,
@@ -95,7 +129,7 @@ impl ForwardingTable {
     /// the caller can forward them to the new owner.
     pub fn complete_migration(&mut self, key: ClientKey, node: NodeId) -> Vec<Vec<u8>> {
         match self.routes.insert(key, Entry::Active(node)) {
-            Some(Entry::Migrating(buf)) => buf,
+            Some(Entry::Migrating(buf, _)) => buf,
             _ => Vec::new(),
         }
     }
@@ -117,7 +151,12 @@ impl ForwardingTable {
                     copy_to_dispatcher: is_request,
                 }
             }
-            Some(Entry::Migrating(buf)) => {
+            Some(Entry::Migrating(buf, bytes)) => {
+                if *bytes + payload.len() > self.buffer_cap {
+                    self.overflow_dropped += 1;
+                    return RouteDecision::Dropped;
+                }
+                *bytes += payload.len();
                 buf.push(payload.to_vec());
                 self.buffered += 1;
                 RouteDecision::Buffered
@@ -152,6 +191,12 @@ impl ForwardingTable {
     /// Packets buffered during migrations so far.
     pub fn buffered(&self) -> u64 {
         self.buffered
+    }
+
+    /// Packets dropped because a migrating connection's buffer was at
+    /// its byte cap.
+    pub fn overflow_dropped(&self) -> u64 {
+        self.overflow_dropped
     }
 }
 
@@ -236,6 +281,43 @@ mod tests {
             !t.begin_migration(key(1)),
             "double migration must be refused"
         );
+    }
+
+    #[test]
+    fn migration_buffer_is_byte_capped_with_explicit_drops() {
+        // Regression: the migration buffer used to grow without bound —
+        // a stalled migration let one client pin arbitrary memory.
+        let mut t = ForwardingTable::new().with_buffer_cap(8);
+        t.install(key(1), NodeId(0));
+        t.begin_migration(key(1));
+        assert_eq!(t.route(key(1), b"12345", false), RouteDecision::Buffered);
+        assert_eq!(t.route(key(1), b"678", false), RouteDecision::Buffered);
+        // 8 bytes held: the cap is reached, further packets drop.
+        assert_eq!(t.route(key(1), b"x", false), RouteDecision::Dropped);
+        assert_eq!(t.route(key(1), b"yy", true), RouteDecision::Dropped);
+        assert_eq!(t.overflow_dropped(), 2);
+        assert_eq!(t.buffered(), 2);
+        // Replay contains exactly the packets admitted under the cap.
+        let replay = t.complete_migration(key(1), NodeId(1));
+        assert_eq!(replay, vec![b"12345".to_vec(), b"678".to_vec()]);
+        // Post-migration traffic forwards normally again.
+        assert_eq!(
+            t.route(key(1), b"after", false),
+            RouteDecision::Forward {
+                node: NodeId(1),
+                copy_to_dispatcher: false
+            }
+        );
+    }
+
+    #[test]
+    fn zero_cap_disables_buffering() {
+        let mut t = ForwardingTable::new().with_buffer_cap(0);
+        t.install(key(1), NodeId(0));
+        t.begin_migration(key(1));
+        assert_eq!(t.route(key(1), b"p", false), RouteDecision::Dropped);
+        assert!(t.complete_migration(key(1), NodeId(1)).is_empty());
+        assert_eq!(t.overflow_dropped(), 1);
     }
 
     #[test]

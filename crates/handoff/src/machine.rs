@@ -233,7 +233,12 @@ impl FeHandoff {
                 }
                 actions
             }
-            RouteDecision::Buffered | RouteDecision::Unrouted => Vec::new(),
+            // Dropped: the migration buffer hit its byte cap; the packet
+            // is discarded (TCP retransmission recovers it) rather than
+            // buffered without bound.
+            RouteDecision::Buffered | RouteDecision::Dropped | RouteDecision::Unrouted => {
+                Vec::new()
+            }
         }
     }
 

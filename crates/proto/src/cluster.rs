@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use phttp_core::{Assignment, LardParams, Mechanism, NodeId, PolicyKind};
+use phttp_core::{Assignment, ConnId, LardParams, Mechanism, NodeId, PolicyKind};
 use phttp_http::{Request, RequestParser, Response};
 use phttp_simcore::EvictPolicy;
 use phttp_trace::{TargetId, Trace};
@@ -37,6 +37,7 @@ use crate::frontend::{ConfigError, ConnGuard, FrontEnd, DEFAULT_DISK_REPORT_INTE
 use crate::node::{DiskEmu, FeedbackConfig, NodeState, NodeStatsSnapshot};
 use crate::reactor::{self, ReactorConfig, ReactorHandle, ReactorStats};
 use crate::store::ContentStore;
+use crate::tier::{client_key, Vip, DEFAULT_GOSSIP_INTERVAL};
 
 /// Which I/O model the front-end runs client connections on.
 ///
@@ -145,6 +146,21 @@ pub struct ProtoConfig {
     /// paper's policy; [`EvictPolicy::LruMad`] ranks victims by
     /// estimated aggregate miss delay per byte (delayed-hits-aware).
     pub cache_policy: EvictPolicy,
+    /// Number of front-end instances behind the VIP. With the default
+    /// of 1 the cluster is the paper's single-front-end prototype,
+    /// byte-for-byte. With more, the [`crate::tier::Vip`] routes each
+    /// new client connection to one of `front_ends` independent
+    /// [`FrontEnd`] dispatchers over real handoff control sessions,
+    /// mapping/coherence authority is partitioned across them by a
+    /// consistent-hash ring, and the instances gossip dispatcher state
+    /// peer-to-peer every [`gossip_interval`](Self::gossip_interval).
+    /// Zero is a [`ConfigError`].
+    pub front_ends: usize,
+    /// Spacing between front-end tier gossip rounds (ignored when
+    /// `front_ends == 1`). Smaller means fresher non-owner views and
+    /// more control traffic — the tier analogue of
+    /// [`feedback_interval`](Self::feedback_interval).
+    pub gossip_interval: Duration,
     /// Number of loopback addresses the front-end listens on
     /// (`127.0.0.1..127.0.0.k`). HTTP/1.0 load opens one TCP connection per
     /// request; on a single loopback address pair the 4-tuple space (and
@@ -177,6 +193,8 @@ impl Default for ProtoConfig {
             force_accept_handoff: false,
             coalesce_misses: false,
             cache_policy: EvictPolicy::Lru,
+            front_ends: 1,
+            gossip_interval: DEFAULT_GOSSIP_INTERVAL,
             fe_listeners: 4,
         }
     }
@@ -186,6 +204,11 @@ impl Default for ProtoConfig {
 pub struct Cluster {
     fe_addrs: Vec<SocketAddr>,
     frontend: Arc<FrontEnd>,
+    /// Every front-end instance (`fes[0]` is [`Cluster::frontend`]).
+    fes: Vec<Arc<FrontEnd>>,
+    /// The tier router; `None` when `front_ends == 1` — the
+    /// single-front-end cluster constructs no tier machinery at all.
+    vip: Option<Arc<Vip>>,
     store: Arc<ContentStore>,
     stop: Arc<AtomicBool>,
     accept_threads: Vec<std::thread::JoinHandle<()>>,
@@ -193,10 +216,11 @@ pub struct Cluster {
     /// Per-node control-session readers ([`IoModel::Threads`] only; the
     /// reactor drains control streams on its own poller).
     control_threads: Vec<std::thread::JoinHandle<()>>,
-    /// Feeds accepted client connections to the worker pool. `None` after
-    /// shutdown begins (or always, under [`IoModel::Reactor`]) so workers
-    /// see a closed channel and exit.
-    work_tx: Option<crossbeam::channel::Sender<TcpStream>>,
+    /// Feeds accepted client connections (with their admitted front-end
+    /// index and tier ticket) to the worker pool. `None` after shutdown
+    /// begins (or always, under [`IoModel::Reactor`]) so workers see a
+    /// closed channel and exit.
+    work_tx: Option<crossbeam::channel::Sender<(TcpStream, usize, Option<ConnId>)>>,
     /// The event-loop shards, under [`IoModel::Reactor`].
     reactor: Option<ReactorHandle>,
     /// Live reactor gauges (outlive `reactor` queries during shutdown).
@@ -231,6 +255,9 @@ impl Cluster {
         }
         if config.peer_pool_cap == 0 {
             return Err(ConfigError::ZeroPeerPoolCap);
+        }
+        if config.front_ends == 0 {
+            return Err(ConfigError::ZeroFrontEnds);
         }
         let store = Arc::new(ContentStore::from_trace(trace));
         // Catch corpora the data path cannot round-trip at construction
@@ -278,10 +305,20 @@ impl Cluster {
             })
             .collect();
 
-        let frontend = Arc::new(
-            FrontEnd::new(config.policy, config.mechanism, config.lard, nodes.clone())?
-                .with_disk_report_interval(config.disk_report_interval),
-        );
+        // The front-end tier: `front_ends` independent dispatchers over
+        // the same back-end nodes. `fes[0]` keeps the historical
+        // `frontend` role; with more than one, the Vip routes new
+        // connections across them and they gossip state peer-to-peer.
+        let fes: Vec<Arc<FrontEnd>> = (0..config.front_ends)
+            .map(|_| {
+                Ok(Arc::new(
+                    FrontEnd::new(config.policy, config.mechanism, config.lard, nodes.clone())?
+                        .with_disk_report_interval(config.disk_report_interval),
+                ))
+            })
+            .collect::<Result<_, ConfigError>>()?;
+        let frontend = fes[0].clone();
+        let vip = (config.front_ends > 1).then(|| Vip::start(fes.clone(), config.gossip_interval));
 
         // Control sessions (§7.1): one loopback stream per back-end over
         // which the node pushes framed disk-queue and cache-feedback
@@ -348,49 +385,63 @@ impl Cluster {
                 // `Cluster::shutdown` produces after setting the stop
                 // flag, or a crash EOF, which evicts the node's mappings.
                 for (node_idx, rx) in control_rx.drain(..) {
-                    let frontend = frontend.clone();
+                    let fes = fes.clone();
                     let stop = stop.clone();
                     control_threads.push(std::thread::spawn(move || {
-                        run_control_reader(rx, &frontend, NodeId(node_idx), &stop);
+                        run_control_reader(rx, &fes, NodeId(node_idx), &stop);
                     }));
                 }
                 // Client-connection worker pool: pre-spawned handlers pull
                 // accepted streams off a channel, so accepting a connection
-                // costs a channel send rather than a thread spawn.
-                let (tx, work_rx) = crossbeam::channel::unbounded::<TcpStream>();
+                // costs a channel send rather than a thread spawn. Each
+                // entry carries the front-end the Vip admitted it to (index
+                // 0 and no tier ticket when there is no tier).
+                let (tx, work_rx) =
+                    crossbeam::channel::unbounded::<(TcpStream, usize, Option<ConnId>)>();
                 worker_threads.reserve(config.workers);
                 for _ in 0..config.workers {
                     let rx = work_rx.clone();
-                    let frontend = frontend.clone();
+                    let fes = fes.clone();
+                    let vip = vip.clone();
                     let store = store.clone();
                     let timeout = config.read_timeout;
                     let migration_delay = config.migration_delay;
                     worker_threads.push(std::thread::spawn(move || {
-                        while let Ok(stream) = rx.recv() {
+                        while let Ok((stream, fe_idx, ticket)) = rx.recv() {
                             let _ = handle_client_connection(
                                 stream,
-                                &frontend,
+                                &fes[fe_idx],
                                 &store,
                                 timeout,
                                 migration_delay,
                             );
+                            // The connection has fully unwound: tell the
+                            // tier so its forwarding route is removed.
+                            if let (Some(vip), Some(conn)) = (&vip, ticket) {
+                                vip.release(fe_idx, conn);
+                            }
                         }
                     }));
                 }
                 // Front-end acceptors, all feeding the shared worker pool.
+                // With a tier, the acceptor runs the Vip admission
+                // handshake before queueing the stream (the analogue of
+                // the paper's front-end handing the TCP state to a node).
                 for fe_listener in bind_std_frontends(config.fe_listeners) {
                     let addr = fe_listener.local_addr().expect("front-end addr");
                     fe_addrs.push(addr);
                     listeners.push(addr);
                     let stop = stop.clone();
                     let tx = tx.clone();
+                    let vip = vip.clone();
                     accept_threads.push(std::thread::spawn(move || {
                         for incoming in fe_listener.incoming() {
                             if stop.load(Ordering::Relaxed) {
                                 break;
                             }
                             let Ok(stream) = incoming else { break };
-                            if tx.send(stream).is_err() {
+                            let (fe_idx, ticket) = admit_stream(vip.as_deref(), &stream);
+                            if tx.send((stream, fe_idx, ticket)).is_err() {
                                 break;
                             }
                         }
@@ -412,7 +463,11 @@ impl Cluster {
                 // kernel spreads accepts with no cross-shard traffic.
                 let mut groups: Vec<Vec<mio::net::TcpListener>> =
                     (0..shards).map(|_| Vec::new()).collect();
-                let mut handoff = config.force_accept_handoff;
+                // A front-end tier always accepts via handoff: the Vip
+                // admission handshake blocks on a control round-trip,
+                // which belongs on the acceptor threads, never inside an
+                // event loop.
+                let mut handoff = config.force_accept_handoff || vip.is_some();
                 let mut std_fe_listeners = Vec::new();
                 if shards == 1 && !handoff {
                     for l in bind_std_frontends(config.fe_listeners) {
@@ -457,7 +512,8 @@ impl Cluster {
                         peer_pool_cap: config.peer_pool_cap,
                         coalesce: config.coalesce_misses,
                     },
-                    frontend.clone(),
+                    fes.clone(),
+                    vip.clone(),
                     store.clone(),
                     groups,
                     peer_listeners,
@@ -467,19 +523,23 @@ impl Cluster {
                 .expect("start reactor event loops");
                 // Acceptor-handoff fallback: blocking acceptors hand each
                 // accepted stream to the next shard round-robin (staggered
-                // per listener so one hot address still spreads).
+                // per listener so one hot address still spreads). Under a
+                // tier this path is mandatory and the acceptor also runs
+                // the Vip admission handshake.
                 if handoff {
                     let injectors = handle.injectors();
                     for (i, fe_listener) in std_fe_listeners.into_iter().enumerate() {
                         let stop = stop.clone();
                         let injectors = injectors.clone();
+                        let vip = vip.clone();
                         accept_threads.push(std::thread::spawn(move || {
                             for (n, incoming) in fe_listener.incoming().enumerate() {
                                 if stop.load(Ordering::Relaxed) {
                                     break;
                                 }
                                 let Ok(stream) = incoming else { break };
-                                injectors[(i + n) % injectors.len()].push(stream);
+                                let (fe_idx, ticket) = admit_stream(vip.as_deref(), &stream);
+                                injectors[(i + n) % injectors.len()].push(stream, fe_idx, ticket);
                             }
                         }));
                     }
@@ -493,6 +553,8 @@ impl Cluster {
         Ok(Cluster {
             fe_addrs,
             frontend,
+            fes,
+            vip,
             store,
             stop,
             accept_threads,
@@ -530,6 +592,27 @@ impl Cluster {
         self.frontend.clone()
     }
 
+    /// Every front-end instance in the tier (`[0]` is
+    /// [`frontend`](Self::frontend); length is
+    /// [`ProtoConfig::front_ends`]).
+    pub fn front_ends(&self) -> &[Arc<FrontEnd>] {
+        &self.fes
+    }
+
+    /// The tier router, when `front_ends > 1`.
+    pub fn vip(&self) -> Option<&Arc<Vip>> {
+        self.vip.as_ref()
+    }
+
+    /// Decommissions front-end `f` (tier clusters only): new
+    /// connections stop routing to it, its ring share is re-owned by
+    /// the survivors, and its gossiped state is dropped — while its
+    /// in-flight connections drain to completion. Returns `false` with
+    /// no tier, for a dead `f`, or for the last live front-end.
+    pub fn kill_frontend(&self, f: usize) -> bool {
+        self.vip.as_ref().is_some_and(|vip| vip.kill_frontend(f))
+    }
+
     /// The content store (for building verifying clients).
     pub fn store(&self) -> &Arc<ContentStore> {
         &self.store
@@ -541,7 +624,23 @@ impl Cluster {
     /// the client's EOF and closes the connection — call this before
     /// asserting on post-traffic accounting.
     pub fn quiesce(&self, timeout: std::time::Duration) -> bool {
-        self.frontend.quiesce(timeout)
+        let deadline = std::time::Instant::now() + timeout;
+        for fe in &self.fes {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if !fe.quiesce(left) {
+                return false;
+            }
+        }
+        // Tier clusters additionally wait for every admitted
+        // connection's close notification and settle the gossiped
+        // views, so post-traffic assertions see converged state.
+        match &self.vip {
+            Some(vip) => {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                vip.quiesce(left)
+            }
+            None => true,
+        }
     }
 
     /// Live reactor gauges — registered sources and pending timers
@@ -626,6 +725,30 @@ impl Cluster {
         for t in self.control_threads.drain(..) {
             let _ = t.join();
         }
+        // The tier last: every serving path has drained, so no more
+        // admissions or releases are coming.
+        if let Some(vip) = self.vip.take() {
+            vip.shutdown();
+        }
+    }
+}
+
+/// Runs the Vip admission handshake for a freshly accepted client
+/// stream, returning the front-end to serve it on plus the tier ticket
+/// to release afterwards. Without a tier — or if every handshake fails
+/// — the connection falls through to an untracked front-end: serving
+/// beats strict bookkeeping, matching the paper's front-end which also
+/// degrades rather than refusing clients.
+fn admit_stream(vip: Option<&Vip>, stream: &TcpStream) -> (usize, Option<ConnId>) {
+    let Some(vip) = vip else {
+        return (0, None);
+    };
+    match stream.peer_addr() {
+        Ok(peer) => match vip.admit(client_key(peer)) {
+            Some((f, conn)) => (f, Some(conn)),
+            None => (vip.any_alive(), None),
+        },
+        Err(_) => (vip.any_alive(), None),
     }
 }
 
@@ -673,42 +796,55 @@ fn bind_reuseport_group(
 }
 
 /// Drains one node's control session: decodes frames and applies them
-/// to the front-end until EOF or a framing error ends the stream. An
+/// to every front-end until EOF or a framing error ends the stream —
+/// feedback describes the *node's* cache, which all front-ends in a
+/// tier dispatch against, so each keeps its own belief current. An
 /// EOF (or poisoned stream) while the cluster is **not** shutting down
 /// is a node failure: the node's believed mappings are evicted. The
 /// quiescent-flush EOF of a clean `Cluster::shutdown` never evicts —
 /// the stop flag is set before the node-side streams close.
-fn run_control_reader(mut stream: TcpStream, fe: &FrontEnd, node: NodeId, stop: &AtomicBool) {
+fn run_control_reader(
+    mut stream: TcpStream,
+    fes: &[Arc<FrontEnd>],
+    node: NodeId,
+    stop: &AtomicBool,
+) {
     let mut decoder = FrameDecoder::new();
     let mut buf = [0u8; 16 * 1024];
-    let fail = |fe: &FrontEnd| {
+    let fail = |fes: &[Arc<FrontEnd>]| {
         if !stop.load(Ordering::Relaxed) {
-            fe.evict_node(node);
+            for fe in fes {
+                fe.evict_node(node);
+            }
         }
     };
     loop {
         let n = match stream.read(&mut buf) {
             Ok(0) => {
                 // EOF: the node side closed. Crash unless shutting down.
-                fail(fe);
+                fail(fes);
                 return;
             }
             Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => {
-                fail(fe);
+                fail(fes);
                 return;
             }
         };
         decoder.feed(&buf[..n]);
         loop {
             match decoder.next() {
-                Ok(Some(msg)) => fe.apply_control(msg),
+                Ok(Some(msg)) => {
+                    for fe in fes {
+                        fe.apply_control(msg.clone());
+                    }
+                }
                 Ok(None) => break,
                 // Framing has no resync point; treat a poisoned session
                 // like a dead node.
                 Err(_) => {
-                    fail(fe);
+                    fail(fes);
                     return;
                 }
             }

@@ -14,6 +14,16 @@
 //!   which the front-end folds into its mapping belief via
 //!   [`phttp_core::ConcurrentDispatcher::apply_cache_feedback`].
 //!
+//! The front-end *tier* (multiple front-ends behind one VIP) reuses the
+//! same framing for its peer-to-peer traffic:
+//!
+//! * [`ControlMsg::Handoff`] — one `phttp-handoff` control message
+//!   ([`phttp_handoff::CtrlMsg`], carried in its own versioned wire
+//!   encoding) — the VIP↔front-end admission/close protocol;
+//! * [`ControlMsg::StateDelta`] — one front-end's gossiped share of
+//!   dispatcher state ([`phttp_core::StateDelta`]), merged into the
+//!   receiver's [`phttp_core::TierView`].
+//!
 //! Framing is `[tag: u8][len: u32 LE][payload]`, with `len` bounded by
 //! [`MAX_FRAME`] so a corrupt peer cannot make the receiver buffer
 //! unboundedly. The [`FrameDecoder`] is incremental: feed it whatever
@@ -22,7 +32,7 @@
 //! ([`IoModel::Threads`](crate::IoModel)) and as a registered readiness
 //! source on the reactor's poller ([`IoModel::Reactor`](crate::IoModel)).
 
-use phttp_core::{CacheEvent, NodeId};
+use phttp_core::{CacheEvent, NodeId, StateDelta};
 use phttp_trace::TargetId;
 
 /// Largest accepted frame payload. A feedback event costs 5 bytes, so
@@ -33,6 +43,8 @@ pub const MAX_FRAME: usize = 1 << 20;
 
 const TAG_DISK_QUEUE: u8 = 1;
 const TAG_CACHE_FEEDBACK: u8 = 2;
+const TAG_HANDOFF: u8 = 3;
+const TAG_STATE_DELTA: u8 = 4;
 const EV_ADMIT: u8 = 0;
 const EV_EVICT: u8 = 1;
 /// Frame header: tag byte plus little-endian payload length.
@@ -56,6 +68,13 @@ pub enum ControlMsg {
         /// The delta, in the order it happened.
         events: Vec<CacheEvent>,
     },
+    /// One `phttp-handoff` control message, carried in its own versioned
+    /// wire encoding as the payload. Spoken on the VIP↔front-end
+    /// admission sessions of a front-end tier.
+    Handoff(phttp_handoff::CtrlMsg),
+    /// One front-end's gossiped dispatcher-state share, merged into the
+    /// receiving peer's [`phttp_core::TierView`].
+    StateDelta(StateDelta),
 }
 
 /// Serializes one message into its wire frame.
@@ -79,6 +98,14 @@ pub fn encode(msg: &ControlMsg) -> Vec<u8> {
                 payload.extend_from_slice(&target.0.to_le_bytes());
             }
             TAG_CACHE_FEEDBACK
+        }
+        ControlMsg::Handoff(msg) => {
+            phttp_handoff::wire::encode(msg, &mut payload);
+            TAG_HANDOFF
+        }
+        ControlMsg::StateDelta(delta) => {
+            payload = delta.encode();
+            TAG_STATE_DELTA
         }
     };
     debug_assert!(payload.len() <= MAX_FRAME, "control frame over MAX_FRAME");
@@ -199,6 +226,13 @@ impl FrameDecoder {
                 }
                 Ok(ControlMsg::CacheFeedback { node, events })
             }
+            TAG_HANDOFF => match phttp_handoff::wire::decode(p) {
+                Ok((msg, used)) if used == p.len() => Ok(ControlMsg::Handoff(msg)),
+                _ => Err(DecodeError::Malformed),
+            },
+            TAG_STATE_DELTA => StateDelta::decode(p)
+                .map(ControlMsg::StateDelta)
+                .map_err(|_| DecodeError::Malformed),
             other => Err(DecodeError::BadTag(other)),
         }
     }
@@ -238,6 +272,37 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.feed(&encode(&msg));
         assert_eq!(dec.next().unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn roundtrip_handoff_and_state_delta() {
+        use phttp_core::{FeId, StateDelta};
+        let handoff = ControlMsg::Handoff(phttp_handoff::CtrlMsg::ConnClosed {
+            conn: phttp_core::ConnId(42),
+        });
+        let delta = ControlMsg::StateDelta(StateDelta {
+            origin: FeId(1),
+            seq: 7,
+            loads: vec![3, -1],
+            mapping: vec![(t(9), vec![NodeId(0), NodeId(1)])],
+        });
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode(&handoff));
+        dec.feed(&encode(&delta));
+        assert_eq!(dec.next().unwrap(), Some(handoff));
+        assert_eq!(dec.next().unwrap(), Some(delta));
+        assert_eq!(dec.next().unwrap(), None);
+
+        // Truncated inner payloads poison the stream, same as any
+        // other malformed frame.
+        for tag in [TAG_HANDOFF, TAG_STATE_DELTA] {
+            let mut dec = FrameDecoder::new();
+            let mut wire = vec![tag];
+            wire.extend_from_slice(&2u32.to_le_bytes());
+            wire.extend_from_slice(&[0, 0]);
+            dec.feed(&wire);
+            assert_eq!(dec.next(), Err(DecodeError::Malformed));
+        }
     }
 
     #[test]

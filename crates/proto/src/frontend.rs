@@ -53,6 +53,9 @@ pub enum ConfigError {
     /// silently dial a fresh peer connection, defeating the persistent
     /// lateral sessions the paper's NFS stand-in depends on.
     ZeroPeerPoolCap,
+    /// `ProtoConfig::front_ends` is zero — the cluster needs at least
+    /// one front-end instance behind the VIP.
+    ZeroFrontEnds,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -73,6 +76,9 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "reactor_shards = {shards} requires IoModel::Reactor (the thread model has no event loops to shard)"
             ),
+            ConfigError::ZeroFrontEnds => {
+                write!(f, "front_ends must be at least 1")
+            }
             ConfigError::ZeroPeerPoolCap => {
                 write!(f, "peer_pool_cap must be at least 1")
             }
@@ -247,7 +253,29 @@ impl FrontEnd {
                     self.dispatcher.apply_cache_feedback(node, &events);
                 }
             }
+            // Tier traffic (VIP admission, peer gossip) travels on its
+            // own sessions and never reaches the per-node control path.
+            ControlMsg::Handoff(_) | ControlMsg::StateDelta(_) => {}
         }
+    }
+
+    /// Serializable projection of this front-end's dispatcher state —
+    /// what it gossips to tier peers (its own loads, its full believed
+    /// mapping).
+    pub fn snapshot(&self) -> phttp_core::DispatcherSnapshot {
+        self.dispatcher.snapshot()
+    }
+
+    /// Folds a merged peer-state diff ([`phttp_core::TierView::merge`])
+    /// into the mapping belief.
+    pub fn adopt_merge(&self, outcome: &phttp_core::MergeOutcome) {
+        self.dispatcher.adopt_merge(outcome)
+    }
+
+    /// Installs the tier-gossiped remote load biases (aggregate peer
+    /// load per back-end, fixed-point).
+    pub fn set_remote_loads(&self, loads: &[i64]) {
+        self.dispatcher.set_remote_loads(loads)
     }
 
     /// Decommissions `node` for mapping purposes: drops every believed

@@ -51,6 +51,7 @@ pub mod frontend;
 pub mod node;
 pub mod reactor;
 pub mod store;
+pub mod tier;
 
 pub use client::{run_load, ClientProtocol, LoadConfig, LoadReport};
 pub use cluster::{Cluster, IoModel, ProtoConfig};
@@ -60,3 +61,4 @@ pub use node::{DiskEmu, FeedbackConfig, NodeState, NodeStatsSnapshot};
 pub use phttp_simcore::EvictPolicy;
 pub use reactor::ReactorStats;
 pub use store::ContentStore;
+pub use tier::{Vip, DEFAULT_GOSSIP_INTERVAL};

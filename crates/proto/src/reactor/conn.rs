@@ -79,6 +79,13 @@ pub(crate) struct ClientConn {
     /// `conn_id` is set; re-homed eagerly on migrate decisions). For
     /// peer-server connections, the serving node — fixed at accept.
     pub node: usize,
+    /// Which front-end instance dispatches this connection (always 0
+    /// without a tier; assigned by the Vip admission otherwise).
+    pub fe_idx: usize,
+    /// The tier-level admission ticket, released to the Vip when the
+    /// connection closes (`None` without a tier, or when the admission
+    /// handshake failed and the connection fell through untracked).
+    pub vip_conn: Option<ConnId>,
     next_seq: u64,
     /// In-order response pipeline.
     pub entries: VecDeque<Entry>,
@@ -106,6 +113,8 @@ impl ClientConn {
             peer_server: false,
             conn_id: None,
             node: 0,
+            fe_idx: 0,
+            vip_conn: None,
             next_seq: 0,
             entries: VecDeque::new(),
             out: BytesMut::new(),
@@ -122,6 +131,21 @@ impl ClientConn {
         ClientConn {
             peer_server: true,
             node,
+            ..ClientConn::new(stream)
+        }
+    }
+
+    /// A client connection admitted through the front-end tier: it
+    /// dispatches on front-end `fe_idx` and (when the admission
+    /// handshake succeeded) carries the Vip ticket to release on close.
+    pub fn admitted(
+        stream: mio::net::TcpStream,
+        fe_idx: usize,
+        vip_conn: Option<ConnId>,
+    ) -> ClientConn {
+        ClientConn {
+            fe_idx,
+            vip_conn,
             ..ClientConn::new(stream)
         }
     }

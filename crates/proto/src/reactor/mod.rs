@@ -95,13 +95,14 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use mio::{Events, Interest, Poll, Token, Waker};
 use parking_lot::Mutex;
-use phttp_core::{Assignment, ForwardSemantics, NodeId};
+use phttp_core::{Assignment, ConnId, ForwardSemantics, NodeId};
 use phttp_http::{Request, Response, Version};
 use phttp_trace::TargetId;
 
 use crate::control::FrameDecoder;
 use crate::frontend::FrontEnd;
 use crate::store::ContentStore;
+use crate::tier::Vip;
 
 use conn::{ClientConn, EntryState};
 use disk::{DiskJob, DiskSched, Waiter};
@@ -243,19 +244,26 @@ impl ReactorStats {
     }
 }
 
+/// A fallback-handoff queue entry: the accepted stream, the
+/// front-end it was admitted to, and its tier ticket.
+type InjectedConn = (std::net::TcpStream, usize, Option<ConnId>);
+/// Shared queue of fallback-handoff connections for one shard.
+type InjectorQueue = Arc<Mutex<VecDeque<InjectedConn>>>;
+
 /// Hands accepted connections to one shard (the round-robin fallback
 /// when `SO_REUSEPORT` listener groups are unavailable): the stream is
 /// queued and the shard's poller woken to register it.
 #[derive(Clone)]
 pub(crate) struct ConnInjector {
-    q: Arc<Mutex<VecDeque<std::net::TcpStream>>>,
+    q: InjectorQueue,
     waker: Arc<Waker>,
 }
 
 impl ConnInjector {
-    /// Queues `stream` for the shard and wakes its poller.
-    pub fn push(&self, stream: std::net::TcpStream) {
-        self.q.lock().push_back(stream);
+    /// Queues `stream` for the shard (tagged with the front-end the
+    /// Vip admitted it to, plus the tier ticket) and wakes its poller.
+    pub fn push(&self, stream: std::net::TcpStream, fe_idx: usize, vip_conn: Option<ConnId>) {
+        self.q.lock().push_back((stream, fe_idx, vip_conn));
         let _ = self.waker.wake();
     }
 }
@@ -300,15 +308,21 @@ impl ReactorHandle {
 /// are the back-ends' lateral-server listeners in node order and
 /// `controls` the front-end sides of the control sessions tagged with
 /// their node — both are distributed across shards by `node % shards`.
+#[allow(clippy::too_many_arguments)] // construction-time plumbing, one caller
 pub(crate) fn spawn(
     cfg: ReactorConfig,
-    fe: Arc<FrontEnd>,
+    fes: Vec<Arc<FrontEnd>>,
+    vip: Option<Arc<Vip>>,
     store: Arc<ContentStore>,
     fe_listeners: Vec<Vec<mio::net::TcpListener>>,
     peer_listeners: Vec<std::net::TcpListener>,
     controls: Vec<(usize, std::net::TcpStream)>,
     stop: Arc<AtomicBool>,
 ) -> io::Result<ReactorHandle> {
+    // `fes[0]` keeps the shared-node-access role everywhere the shard
+    // does not act for a specific connection (nodes, semantics, and
+    // peer addresses are identical across the tier's front-ends).
+    let fe = fes[0].clone();
     let shards = cfg.shards;
     debug_assert_eq!(fe_listeners.len(), shards, "one listener group per shard");
     let stats = Arc::new(ReactorStats::new(shards));
@@ -339,8 +353,7 @@ pub(crate) fn spawn(
     {
         let poll = Poll::new()?;
         let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
-        let inbox: Arc<Mutex<VecDeque<std::net::TcpStream>>> =
-            Arc::new(Mutex::new(VecDeque::new()));
+        let inbox: InjectorQueue = Arc::new(Mutex::new(VecDeque::new()));
         injectors.push(ConnInjector {
             q: inbox.clone(),
             waker: waker.clone(),
@@ -385,6 +398,8 @@ pub(crate) fn spawn(
             shard: shard_idx,
             poll,
             fe: fe.clone(),
+            fes: fes.clone(),
+            vip: vip.clone(),
             store: store.clone(),
             stop: stop.clone(),
             listeners,
@@ -442,7 +457,14 @@ struct Reactor {
     /// This shard's index (stable; used for gauge attribution).
     shard: usize,
     poll: Poll,
+    /// `fes[0]` — shared node/semantics access (identical across the
+    /// tier; per-connection dispatcher calls go through `fes` instead).
     fe: Arc<FrontEnd>,
+    /// Every front-end instance; a connection's dispatcher calls go
+    /// through `fes[c.fe_idx]` (the instance the Vip admitted it to).
+    fes: Vec<Arc<FrontEnd>>,
+    /// The tier router, for releasing admission tickets on close.
+    vip: Option<Arc<Vip>>,
     store: Arc<ContentStore>,
     stop: Arc<AtomicBool>,
     /// This shard's own front-end accept sockets (reuseport group
@@ -460,8 +482,9 @@ struct Reactor {
     controls: Vec<ControlChan>,
     /// First slab token: `control_base + controls.len()`.
     slab_base: usize,
-    /// Accepted connections handed off by fallback acceptor threads.
-    inbox: Arc<Mutex<VecDeque<std::net::TcpStream>>>,
+    /// Accepted connections handed off by fallback acceptor threads,
+    /// tagged with their admitted front-end and tier ticket.
+    inbox: InjectorQueue,
     /// Shared live-source gauges (this shard writes `shards[shard]`).
     stats: Arc<ReactorStats>,
     slots: Vec<SlabSlot>,
@@ -639,28 +662,30 @@ impl Reactor {
     /// Registers connections handed off by fallback acceptor threads.
     fn drain_inbox(&mut self) {
         loop {
-            let Some(stream) = self.inbox.lock().pop_front() else {
+            let Some((stream, fe_idx, vip_conn)) = self.inbox.lock().pop_front() else {
                 return;
             };
             let stream = mio::net::TcpStream::from_std(stream);
-            self.register_client(ClientConn::new(stream));
+            self.register_client(ClientConn::admitted(stream, fe_idx, vip_conn));
         }
     }
 
     // ---- control sessions -----------------------------------------------
 
     /// Drains one control session as far as readiness allows, applying
-    /// every decoded frame to the front-end — the reactor-side analogue
-    /// of the thread model's blocking per-node control reader. A
-    /// session that dies while the cluster is not shutting down is a
-    /// node-failure signal: the node's believed mappings are evicted.
+    /// every decoded frame to every front-end — the reactor-side
+    /// analogue of the thread model's blocking per-node control reader
+    /// (feedback describes the node's cache, which all the tier's
+    /// dispatchers decide against). A session that dies while the
+    /// cluster is not shutting down is a node-failure signal: the
+    /// node's believed mappings are evicted from every front-end.
     fn drain_control(&mut self, idx: usize) {
         // Field-split the borrows: the channel is driven mutably while
-        // frames are applied through `fe` and deregistration goes
+        // frames are applied through `fes` and deregistration goes
         // through `poll` — disjoint fields of `self`.
         let Reactor {
             controls,
-            fe,
+            fes,
             poll,
             stop,
             ..
@@ -677,7 +702,9 @@ impl Reactor {
             chan.open = false;
             let _ = poll.registry().deregister(&mut chan.stream);
             if !stop.load(Ordering::Relaxed) {
-                fe.evict_node(NodeId(chan.node));
+                for fe in fes.iter() {
+                    fe.evict_node(NodeId(chan.node));
+                }
             }
         };
         let mut buf = [0u8; 16 * 1024];
@@ -694,7 +721,11 @@ impl Reactor {
                     chan.decoder.feed(&buf[..n]);
                     loop {
                         match chan.decoder.next() {
-                            Ok(Some(msg)) => fe.apply_control(msg),
+                            Ok(Some(msg)) => {
+                                for fe in fes.iter() {
+                                    fe.apply_control(msg.clone());
+                                }
+                            }
                             Ok(None) => break,
                             Err(_) => {
                                 // Framing has no resync point; treat a
@@ -807,8 +838,8 @@ impl Reactor {
                 c.close_after_drain = true;
                 return;
             };
-            let conn = self.fe.alloc_conn();
-            let node = self.fe.open_connection(conn, target);
+            let conn = self.fes[c.fe_idx].alloc_conn();
+            let node = self.fes[c.fe_idx].open_connection(conn, target);
             c.conn_id = Some(conn);
             c.node = node.0;
             // Handoff complete: the first request is always served by the
@@ -832,7 +863,7 @@ impl Reactor {
         let targets: Vec<Option<TargetId>> =
             batch.iter().map(|r| self.store.lookup(&r.uri)).collect();
         let known: Vec<TargetId> = targets.iter().filter_map(|&t| t).collect();
-        let assignments = self.fe.assign_batch(conn, &known);
+        let assignments = self.fes[c.fe_idx].assign_batch(conn, &known);
         let mut next_assignment = assignments.into_iter();
 
         for (req, target) in batch.iter().zip(&targets) {
@@ -1004,7 +1035,12 @@ impl Reactor {
     /// disk/lateral completions for it die against the generation check.
     fn release_client(&mut self, idx: usize, mut c: ClientConn) {
         if let Some(conn) = c.conn_id {
-            self.fe.close_connection(conn);
+            self.fes[c.fe_idx].close_connection(conn);
+        }
+        // The connection has fully unwound on its front-end; hand the
+        // admission ticket back so the tier's forwarding route goes too.
+        if let (Some(vip), Some(ticket)) = (&self.vip, c.vip_conn) {
+            vip.release(c.fe_idx, ticket);
         }
         let _ = self.poll.registry().deregister(&mut c.stream);
         self.free_slot(idx);

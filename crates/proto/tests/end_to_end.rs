@@ -9,7 +9,11 @@
 //! 2-shard leg; the default is 1). `PHTTP_COALESCE=1` turns on
 //! single-flight miss coalescing (CI adds a coalescing leg per model;
 //! response bytes must be identical either way, so the whole suite
-//! doubles as its regression net).
+//! doubles as its regression net). `PHTTP_FRONT_ENDS=N` runs every
+//! cluster as an N-front-end tier behind the VIP (CI adds an `N=2`
+//! leg; responses are a pure function of target and HTTP version, so
+//! bytes must again be identical whichever front-end admits each
+//! connection).
 
 use std::time::Duration;
 
@@ -58,6 +62,17 @@ fn coalesce() -> bool {
     std::env::var("PHTTP_COALESCE").as_deref() == Ok("1")
 }
 
+/// Front-end tier size for this run (`PHTTP_FRONT_ENDS=N`; CI adds an
+/// `N=2` leg per io model so the whole suite also regresses the VIP
+/// admission, gossip, and per-front-end dispatch paths; the default of
+/// 1 is the tierless single-front-end cluster).
+fn front_ends() -> usize {
+    std::env::var("PHTTP_FRONT_ENDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 fn config(policy: PolicyKind, nodes: usize, io_model: IoModel) -> ProtoConfig {
     ProtoConfig {
         nodes,
@@ -68,6 +83,7 @@ fn config(policy: PolicyKind, nodes: usize, io_model: IoModel) -> ProtoConfig {
         io_model,
         reactor_shards: reactor_shards(io_model),
         coalesce_misses: coalesce(),
+        front_ends: front_ends(),
         ..ProtoConfig::default()
     }
 }

@@ -78,6 +78,20 @@ pub struct SimConfig {
     /// Cache victim-selection policy (strict LRU, or the delayed-hits-aware
     /// LRU-MAD — see [`EvictPolicy`]).
     pub eviction: EvictPolicy,
+    /// Number of front-end instances behind the VIP. With 1 (the default,
+    /// the paper's configuration) the model is the classic single
+    /// front-end. With more, connections are admitted round-robin across
+    /// the instances, each instance runs its own dispatcher (its own CPU,
+    /// mapping belief, and load view), and the instances exchange state
+    /// by periodic gossip: each publishes the slice of its belief it owns
+    /// on the tier's consistent-hash ring, peers adopt it, and everyone
+    /// folds the others' reported loads into a remote-load bias — the
+    /// simulator twin of the prototype's `ProtoConfig::front_ends`.
+    pub front_ends: usize,
+    /// Period of the tier gossip rounds (ignored when `front_ends == 1`).
+    /// Longer intervals let instances act on staler peer state — the
+    /// freshness/traffic trade-off the `fe_tier` bench measures.
+    pub gossip_interval: SimDuration,
 }
 
 impl SimConfig {
@@ -108,6 +122,8 @@ impl SimConfig {
             feedback_interval: SimDuration::from_millis(100),
             coalesce_misses: false,
             eviction: EvictPolicy::Lru,
+            front_ends: 1,
+            gossip_interval: SimDuration::from_millis(10),
         };
         match label {
             "WRR" => SimConfig {
@@ -179,6 +195,14 @@ impl SimConfig {
         self
     }
 
+    /// Runs a front-end tier of `front_ends` instances gossiping every
+    /// `gossip_interval` (builder style).
+    pub fn with_front_ends(mut self, front_ends: usize, gossip_interval: SimDuration) -> SimConfig {
+        self.front_ends = front_ends;
+        self.gossip_interval = gossip_interval;
+        self
+    }
+
     /// Total closed-loop window.
     pub fn window(&self) -> usize {
         self.window_per_node * self.nodes
@@ -211,6 +235,12 @@ impl SimConfig {
         }
         if self.cache_feedback && self.feedback_interval == SimDuration::ZERO {
             return Err("feedback_interval must be positive when cache_feedback is on".into());
+        }
+        if self.front_ends == 0 {
+            return Err("front_ends must be at least 1".into());
+        }
+        if self.front_ends > 1 && self.gossip_interval == SimDuration::ZERO {
+            return Err("gossip_interval must be positive when running a front-end tier".into());
         }
         self.lard.validate()
     }
@@ -285,6 +315,24 @@ mod tests {
         let mut cfg = SimConfig::paper_config("WRR", 2);
         cfg.nodes = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn front_end_tier_builder_and_validation() {
+        let cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 2);
+        assert_eq!(cfg.front_ends, 1, "single front-end by default");
+        let cfg = cfg.with_front_ends(4, SimDuration::from_millis(5));
+        assert_eq!(cfg.front_ends, 4);
+        cfg.validate().unwrap();
+
+        let mut bad = SimConfig::paper_config("WRR", 2);
+        bad.front_ends = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = SimConfig::paper_config("WRR", 2).with_front_ends(2, SimDuration::ZERO);
+        assert!(bad.validate().is_err());
+        bad.gossip_interval = SimDuration::from_millis(1);
+        bad.validate().unwrap();
     }
 
     #[test]

@@ -31,8 +31,8 @@
 use std::collections::HashMap;
 
 use phttp_core::{
-    Assignment, CacheEvent, ConnId, Dispatcher, DispatcherConfig, ForwardSemantics, Mechanism,
-    NodeId,
+    Assignment, CacheEvent, ConnId, Dispatcher, DispatcherConfig, FeId, ForwardSemantics,
+    Mechanism, NodeId, Ring, TierView,
 };
 use phttp_simcore::{Accumulator, EventQueue, FifoResource, Histogram, SimDuration, SimTime};
 use phttp_trace::{ConnectionTrace, TargetId, Trace};
@@ -109,6 +109,9 @@ impl Backend {
 struct ConnRt {
     /// Index into the workload's connection list.
     widx: usize,
+    /// Front-end instance this connection was admitted to (round-robin
+    /// across the tier; always 0 with a single front-end).
+    fe: usize,
     /// Connection-handling node (updated on migration).
     node: NodeId,
     /// Current batch index.
@@ -150,6 +153,12 @@ enum Ev {
     /// back-end's admission/eviction delta since the previous report is
     /// applied to the dispatcher's mapping belief.
     FeedbackReport,
+    /// Periodic tier gossip round (front-end tiers only): every
+    /// front-end publishes its ring-owned belief share and load figures;
+    /// the others merge, adopt, and re-bias. One deterministic
+    /// all-pairs exchange per round — the simulator's stand-in for the
+    /// prototype's pairwise gossip sessions.
+    Gossip,
 }
 
 /// The simulator. Borrowing the workload keeps multi-run sweeps cheap.
@@ -202,9 +211,24 @@ struct Run<'w> {
     trace: &'w Trace,
     workload: &'w ConnectionTrace,
     events: EventQueue<Ev>,
-    fe: FifoResource,
+    /// One CPU per front-end instance (a single-element vec in the
+    /// classic configuration).
+    fes: Vec<FifoResource>,
     backends: Vec<Backend>,
-    dispatcher: Dispatcher,
+    /// One dispatcher per front-end instance: its own mapping belief and
+    /// load view, converged only as fast as the gossip carries deltas.
+    dispatchers: Vec<Dispatcher>,
+    /// Per-front-end merged view of the peers' published state.
+    views: Vec<TierView>,
+    /// Consistent-hash ring assigning each target its owning front-end
+    /// (whose belief about that target wins at gossip time).
+    ring: Ring,
+    /// Per-front-end gossip sequence numbers.
+    gossip_seq: Vec<u64>,
+    gossip_rounds: u64,
+    /// Mapping instructions (upserts + removals) peers adopted from
+    /// gossiped deltas over the run.
+    gossip_adoptions: u64,
     conns: HashMap<u32, ConnRt>,
     next_widx: usize,
     next_slot: u32,
@@ -233,20 +257,33 @@ impl<'w> Run<'w> {
             _ => ForwardSemantics::LateralFetch,
         };
         let is_relay = cfg.mechanism == Mechanism::RelayingFrontend;
-        let dispatcher = Dispatcher::from_config(DispatcherConfig::new(
-            cfg.policy, semantics, cfg.nodes, cfg.lard,
-        ));
+        let dispatchers: Vec<Dispatcher> = (0..cfg.front_ends)
+            .map(|_| {
+                Dispatcher::from_config(DispatcherConfig::new(
+                    cfg.policy, semantics, cfg.nodes, cfg.lard,
+                ))
+            })
+            .collect();
+        let views = (0..cfg.front_ends)
+            .map(|f| TierView::new(FeId(f), cfg.nodes))
+            .collect();
+        let ring = Ring::new(cfg.front_ends);
         let backends = (0..cfg.nodes)
             .map(|_| Backend::new(cfg.cache_bytes, cfg.cache_feedback, cfg.eviction))
             .collect();
         Run {
+            fes: (0..cfg.front_ends).map(|_| FifoResource::new()).collect(),
+            gossip_seq: vec![0; cfg.front_ends],
+            gossip_rounds: 0,
+            gossip_adoptions: 0,
             cfg,
             trace,
             workload,
             events: EventQueue::with_capacity(1024),
-            fe: FifoResource::new(),
             backends,
-            dispatcher,
+            dispatchers,
+            views,
+            ring,
             conns: HashMap::new(),
             next_widx: 0,
             next_slot: 0,
@@ -281,6 +318,10 @@ impl<'w> Run<'w> {
                 Ev::FeedbackReport,
             );
         }
+        if self.cfg.front_ends > 1 {
+            self.events
+                .push(SimTime::ZERO + self.cfg.gossip_interval, Ev::Gossip);
+        }
         self.try_admit(SimTime::ZERO);
         while let Some((now, ev)) = self.events.pop() {
             match ev {
@@ -292,6 +333,7 @@ impl<'w> Run<'w> {
                 Ev::ReqFwd(c, r) => self.on_req_done(c, r, now),
                 Ev::DiskReport => self.on_disk_report(now),
                 Ev::FeedbackReport => self.on_feedback_report(now),
+                Ev::Gossip => self.on_gossip(now),
             }
         }
         self.report()
@@ -305,7 +347,12 @@ impl<'w> Run<'w> {
     fn on_disk_report(&mut self, now: SimTime) {
         for i in 0..self.cfg.nodes {
             let depth = self.backends[i].disk.queue_len(now);
-            self.dispatcher.report_disk_queue(NodeId(i), depth);
+            // Control sessions fan out to every front-end instance: the
+            // queue depth describes the *node*, which every tier member
+            // decides against (mirrors the prototype's wiring).
+            for d in &mut self.dispatchers {
+                d.report_disk_queue(NodeId(i), depth);
+            }
         }
         // Re-arm only while connections are in flight: admission is
         // eager, so `active == 0` means the workload is exhausted. (The
@@ -324,11 +371,48 @@ impl<'w> Run<'w> {
     fn on_feedback_report(&mut self, now: SimTime) {
         for i in 0..self.cfg.nodes {
             let events = std::mem::take(&mut self.backends[i].pending_feedback);
-            self.dispatcher.apply_cache_feedback(NodeId(i), &events);
+            for d in &mut self.dispatchers {
+                d.apply_cache_feedback(NodeId(i), &events);
+            }
         }
         if self.active > 0 {
             self.events
                 .push(now + self.cfg.feedback_interval, Ev::FeedbackReport);
+        }
+    }
+
+    /// One tier gossip round: every front-end publishes the slice of its
+    /// belief it owns on the ring (plus its locally charged loads), every
+    /// peer merges the delta, adopts the mapping difference, and re-biases
+    /// its load view with the summed peer loads. All-pairs in fixed index
+    /// order, so multi-front-end runs stay deterministic.
+    fn on_gossip(&mut self, now: SimTime) {
+        self.gossip_rounds += 1;
+        let m = self.cfg.front_ends;
+        for f in 0..m {
+            self.gossip_seq[f] += 1;
+            let delta =
+                self.dispatchers[f]
+                    .snapshot()
+                    .delta_for(FeId(f), self.gossip_seq[f], &self.ring);
+            for g in 0..m {
+                if g == f {
+                    continue;
+                }
+                let outcome = self.views[g].merge(&delta);
+                if outcome.applied {
+                    self.gossip_adoptions +=
+                        (outcome.upserts.len() + outcome.removals.len()) as u64;
+                    self.dispatchers[g].adopt_merge(&outcome);
+                }
+            }
+        }
+        for g in 0..m {
+            let remote = self.views[g].remote_load_fixed();
+            self.dispatchers[g].set_remote_loads(&remote);
+        }
+        if self.active > 0 {
+            self.events.push(now + self.cfg.gossip_interval, Ev::Gossip);
         }
     }
 
@@ -340,10 +424,14 @@ impl<'w> Run<'w> {
             self.active += 1;
             let slot = self.next_slot;
             self.next_slot += 1;
+            // Round-robin admission across the tier (the VIP's content-
+            // blind L4 rotation); a single front-end always gets slot 0.
+            let fe = slot as usize % self.cfg.front_ends;
             self.conns.insert(
                 slot,
                 ConnRt {
                     widx,
+                    fe,
                     node: NodeId(0),
                     batch: 0,
                     remaining: 0,
@@ -354,16 +442,18 @@ impl<'w> Run<'w> {
                     relay_conns: Vec::new(),
                 },
             );
-            let done = self
-                .fe
-                .schedule(now, self.fe_time(self.cfg.mech_costs.fe_conn_us));
+            let cost = self.fe_time(self.cfg.mech_costs.fe_conn_us);
+            let done = self.fes[fe].schedule(now, cost);
             self.events.push(done, Ev::Dispatched(slot));
         }
     }
 
     /// FE dispatch complete: run the policy and start the handoff.
     fn on_dispatched(&mut self, c: u32, now: SimTime) {
-        let widx = self.conns[&c].widx;
+        let (widx, fe) = {
+            let rt = &self.conns[&c];
+            (rt.widx, rt.fe)
+        };
         let first_target = self.workload.connections[widx].batches[0].targets[0];
 
         if self.is_relay {
@@ -374,7 +464,7 @@ impl<'w> Run<'w> {
         }
 
         let policy_conn = ConnId(c as u64);
-        let node = self.dispatcher.open_connection(policy_conn, first_target);
+        let node = self.dispatchers[fe].open_connection(policy_conn, first_target);
         self.conns.get_mut(&c).expect("conn slot").node = node;
         let handoff = SimDuration::from_micros(
             self.cfg.mech_costs.be_handoff_us + self.cfg.server.conn_establish_us,
@@ -386,9 +476,9 @@ impl<'w> Run<'w> {
     /// Starts the current batch of connection `c`: assigns every request and
     /// launches its pipeline.
     fn start_batch(&mut self, c: u32, now: SimTime) {
-        let (widx, batch_idx, conn_node) = {
+        let (widx, batch_idx, conn_node, fe) = {
             let rt = &self.conns[&c];
-            (rt.widx, rt.batch, rt.node)
+            (rt.widx, rt.batch, rt.node, rt.fe)
         };
         let batch = &self.workload.connections[widx].batches[batch_idx];
         let n = batch.targets.len();
@@ -401,7 +491,7 @@ impl<'w> Run<'w> {
         // the live one pays lock traffic per batch. `assign_batch` is
         // observably equivalent to the per-request loop it replaced.
         let assignments = if !self.is_relay && batch_idx > 0 {
-            self.dispatcher.assign_batch(policy_conn, &targets)
+            self.dispatchers[fe].assign_batch(policy_conn, &targets)
         } else {
             Vec::new()
         };
@@ -415,11 +505,10 @@ impl<'w> Run<'w> {
                 // Per-request assignment through a fresh policy connection.
                 let id = ConnId(u64::MAX - self.next_policy_conn);
                 self.next_policy_conn += 1;
-                let node = self.dispatcher.open_connection(id, target);
+                let node = self.dispatchers[fe].open_connection(id, target);
                 relay_conns.push(id);
-                let ready = self
-                    .fe
-                    .schedule(now, self.fe_time(self.cfg.mech_costs.fe_req_us));
+                let cost = self.fe_time(self.cfg.mech_costs.fe_req_us);
+                let ready = self.fes[fe].schedule(now, cost);
                 (node, false, ready)
             } else if batch_idx == 0 {
                 // The first request is always served by the handling node.
@@ -462,7 +551,10 @@ impl<'w> Run<'w> {
         assignment: Assignment,
         now: SimTime,
     ) -> (NodeId, bool, SimTime) {
-        let conn_node = self.conns[&c].node;
+        let (conn_node, fe) = {
+            let rt = &self.conns[&c];
+            (rt.node, rt.fe)
+        };
         let mc = &self.cfg.mech_costs;
 
         match (self.cfg.mechanism, assignment) {
@@ -478,9 +570,8 @@ impl<'w> Run<'w> {
                 // request is ready at the new node once its migrate-in
                 // completes (its CPU serializes migrate-in before the
                 // request's own processing).
-                let fe_done = self
-                    .fe
-                    .schedule(now, self.fe_time(mc.fe_req_us + mc.fe_migrate_us));
+                let cost = self.fe_time(mc.fe_req_us + mc.fe_migrate_us);
+                let fe_done = self.fes[fe].schedule(now, cost);
                 self.backends[conn_node.0]
                     .cpu
                     .schedule(now, SimDuration::from_micros(mc.be_migrate_out_us));
@@ -494,7 +585,8 @@ impl<'w> Run<'w> {
                 self.forwarded += 1;
                 // FE tags the request; the conn node issues the lateral
                 // request; the remote node serves it.
-                let fe_done = self.fe.schedule(now, self.fe_time(mc.fe_req_us));
+                let cost = self.fe_time(mc.fe_req_us);
+                let fe_done = self.fes[fe].schedule(now, cost);
                 let lateral_done = self.backends[conn_node.0]
                     .cpu
                     .schedule(fe_done, SimDuration::from_micros(mc.be_lateral_req_us));
@@ -510,7 +602,8 @@ impl<'w> Run<'w> {
                 // Request-granularity mechanisms still pay FE inspection.
                 let ready = match mech {
                     Mechanism::BackendForwarding | Mechanism::MultipleHandoff => {
-                        self.fe.schedule(now, self.fe_time(mc.fe_req_us))
+                        let cost = self.fe_time(mc.fe_req_us);
+                        self.fes[fe].schedule(now, cost)
                     }
                     _ => now,
                 };
@@ -605,11 +698,10 @@ impl<'w> Run<'w> {
             let done = self.backends[conn_node.0].cpu.schedule(now, cost);
             self.events.push(done, Ev::ReqFwd(c, r));
         } else if self.is_relay {
+            let fe = rt.fe;
             let chunks = size.div_ceil(512);
-            let done = self.fe.schedule(
-                now,
-                self.fe_time(self.cfg.mech_costs.fe_relay_per_512_us * chunks),
-            );
+            let cost = self.fe_time(self.cfg.mech_costs.fe_relay_per_512_us * chunks);
+            let done = self.fes[fe].schedule(now, cost);
             self.events.push(done, Ev::ReqFwd(c, r));
         } else {
             self.on_req_done(c, r, now);
@@ -629,7 +721,7 @@ impl<'w> Run<'w> {
             self.latency.add(lat_ms);
             self.latency_hist.add(lat_ms);
             if let Some(&relay_conn) = rt.relay_conns.get(r as usize) {
-                self.dispatcher.close_connection(relay_conn);
+                self.dispatchers[rt.fe].close_connection(relay_conn);
             }
             rt.remaining -= 1;
             if rt.remaining > 0 {
@@ -637,9 +729,9 @@ impl<'w> Run<'w> {
             }
         }
         // Batch complete: next batch or connection close.
-        let (widx, batch, node) = {
+        let (widx, batch, node, fe) = {
             let rt = &self.conns[&c];
-            (rt.widx, rt.batch, rt.node)
+            (rt.widx, rt.batch, rt.node, rt.fe)
         };
         if batch + 1 < self.workload.connections[widx].batches.len() {
             self.conns.get_mut(&c).expect("conn slot").batch = batch + 1;
@@ -651,7 +743,7 @@ impl<'w> Run<'w> {
                     now,
                     SimDuration::from_micros(self.cfg.server.conn_teardown_us),
                 );
-                self.dispatcher.close_connection(ConnId(c as u64));
+                self.dispatchers[fe].close_connection(ConnId(c as u64));
             }
             self.conns.remove(&c);
             self.active -= 1;
@@ -678,26 +770,42 @@ impl<'w> Run<'w> {
         if self.cfg.cache_feedback {
             for i in 0..self.cfg.nodes {
                 let events = std::mem::take(&mut self.backends[i].pending_feedback);
-                self.dispatcher.apply_cache_feedback(NodeId(i), &events);
+                for d in &mut self.dispatchers {
+                    d.apply_cache_feedback(NodeId(i), &events);
+                }
             }
         }
         // True divergence, measured against the simulated caches
         // themselves (not the dispatcher's mirror): believed pairs whose
         // target the serving node does not actually hold. Computable with
         // feedback on or off — the off/on delta is the headline of the
-        // `mapping_coherence` bench.
+        // `mapping_coherence` bench. With a front-end tier, each
+        // instance's belief is counted separately (a pair adopted by two
+        // instances is two beliefs that can each be stale).
         let mut true_divergence = 0u64;
         let mut believed_pairs = 0u64;
-        self.dispatcher.mapping().for_each_pair(|target, node| {
-            believed_pairs += 1;
-            if !self.backends[node.0].cache.contains(target) {
-                true_divergence += 1;
-            }
-        });
+        for d in &self.dispatchers {
+            d.mapping().for_each_pair(|target, node| {
+                believed_pairs += 1;
+                if !self.backends[node.0].cache.contains(target) {
+                    true_divergence += 1;
+                }
+            });
+        }
         // Counters only: the divergence/believed-pair gauges were just
         // computed from ground truth above, so the mirror-walk variant
         // (`coherence()`) would be a second full pass for nothing.
-        let coherence = self.dispatcher.coherence_counters();
+        // Summed across instances: feedback fans out to each.
+        let coherence = self
+            .dispatchers
+            .iter()
+            .map(|d| d.coherence_counters())
+            .reduce(|mut a, b| {
+                a.stale_removed += b.stale_removed;
+                a.reports += b.reports;
+                a
+            })
+            .expect("at least one front-end");
         let horizon = self.finished_at;
         let secs = horizon.as_secs_f64();
         let per_node: Vec<NodeReport> = self
@@ -747,7 +855,18 @@ impl<'w> Run<'w> {
             },
             forwarded_requests: self.forwarded,
             migrations: self.migrations,
-            fe_utilization: self.fe.utilization(horizon),
+            // The bottleneck instance: with one front-end this is *the*
+            // front-end utilization; with a tier it is the figure the
+            // scalability argument cares about.
+            fe_utilization: self
+                .fes
+                .iter()
+                .map(|fe| fe.utilization(horizon))
+                .fold(0.0, f64::max),
+            front_ends: self.cfg.front_ends,
+            per_fe_utilization: self.fes.iter().map(|fe| fe.utilization(horizon)).collect(),
+            gossip_rounds: self.gossip_rounds,
+            gossip_adoptions: self.gossip_adoptions,
             mean_latency_ms: self.latency.mean(),
             p50_latency_ms: self.latency_hist.quantile(0.50).unwrap_or(0.0),
             p95_latency_ms: self.latency_hist.quantile(0.95).unwrap_or(0.0),
@@ -1084,6 +1203,68 @@ mod tests {
         );
         assert!(r.stale_mappings_removed > 0, "churn must have occurred");
         assert_eq!(r.requests, trace.len() as u64);
+    }
+
+    #[test]
+    fn front_end_tier_conserves_requests_and_gossips() {
+        use phttp_simcore::SimDuration;
+        let trace = small_trace();
+        let run = |m: usize| {
+            let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3)
+                .with_front_ends(m, SimDuration::from_millis(5));
+            cfg.cache_bytes = 2 * 1024 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let r = run(2);
+        assert_eq!(r.requests, trace.len() as u64, "request conservation");
+        assert_eq!(r.front_ends, 2);
+        assert_eq!(r.per_fe_utilization.len(), 2);
+        assert!(
+            r.per_fe_utilization.iter().all(|&u| u > 0.0),
+            "both instances must have worked: {:?}",
+            r.per_fe_utilization
+        );
+        assert!(r.gossip_rounds > 0, "gossip must have run");
+        assert!(
+            r.gossip_adoptions > 0,
+            "peers must have adopted ring-owned beliefs"
+        );
+        // Splitting one front-end CPU's work across two instances must
+        // relieve the per-instance bottleneck.
+        let single = run(1);
+        assert_eq!(single.front_ends, 1);
+        assert_eq!(single.gossip_rounds, 0, "no gossip without a tier");
+        assert_eq!(single.per_fe_utilization, vec![single.fe_utilization]);
+        assert!(
+            r.fe_utilization < single.fe_utilization,
+            "tier bottleneck {:.3} must sit below the single instance {:.3}",
+            r.fe_utilization,
+            single.fe_utilization
+        );
+    }
+
+    #[test]
+    fn front_end_tier_runs_stay_deterministic() {
+        use phttp_simcore::SimDuration;
+        let trace = small_trace();
+        let run = || {
+            let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3)
+                .with_front_ends(4, SimDuration::from_millis(5))
+                .with_feedback(SimDuration::from_millis(100));
+            cfg.cache_bytes = 2 * 1024 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.forwarded_requests, b.forwarded_requests);
+        assert_eq!(a.gossip_rounds, b.gossip_rounds);
+        assert_eq!(a.gossip_adoptions, b.gossip_adoptions);
+        assert_eq!(a.mapping_divergence, b.mapping_divergence);
+        assert_eq!(a.per_fe_utilization, b.per_fe_utilization);
     }
 
     #[test]

@@ -67,8 +67,21 @@ pub struct Report {
     pub forwarded_requests: u64,
     /// Connection migrations (multiple handoff / zero-cost mechanisms).
     pub migrations: u64,
-    /// Front-end CPU utilization.
+    /// Front-end CPU utilization. With a front-end tier this is the
+    /// *bottleneck* instance's figure (the max over
+    /// [`per_fe_utilization`](Self::per_fe_utilization)); with one
+    /// front-end the two coincide.
     pub fe_utilization: f64,
+    /// Number of front-end instances behind the VIP (1 in the paper's
+    /// configuration).
+    pub front_ends: usize,
+    /// Per-front-end-instance CPU utilization, instance order.
+    pub per_fe_utilization: Vec<f64>,
+    /// Tier gossip rounds executed over the run (0 without a tier).
+    pub gossip_rounds: u64,
+    /// Mapping instructions (upserts + removals) front-ends adopted from
+    /// peers' gossiped deltas over the run (0 without a tier).
+    pub gossip_adoptions: u64,
     /// Mean response latency (request arrival at the serving path to last
     /// byte delivered), in milliseconds.
     pub mean_latency_ms: f64,

@@ -7,9 +7,15 @@
 //! * each property runs `ProptestConfig::cases` random cases (default 64,
 //!   `PROPTEST_CASES` env to override) seeded deterministically from the
 //!   test name — failures reproduce on re-run;
-//! * there is no shrinking: the failing case panics as-is;
+//! * shrinking is basic: greedy descent through per-strategy candidate
+//!   lists (integer ranges toward their minimum, vectors by shortening
+//!   then element-wise, tuples per-coordinate) with a bounded attempt
+//!   budget — enough to report minimal counterexamples for the ring and
+//!   merge property tests, without upstream's full simplify/complicate
+//!   lattice;
 //! * `prop_assert*` panic (upstream returns `Err`), which is equivalent
-//!   under a `#[test]` harness.
+//!   under a `#[test]` harness: the shrinker catches the panic, minimizes,
+//!   and re-panics with the minimal counterexample.
 
 pub mod strategy;
 pub mod test_runner;
@@ -113,21 +119,20 @@ macro_rules! __proptest_impl {
         fn $name() {
             let __cfg: $crate::test_runner::ProptestConfig = $cfg;
             let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            // One tuple strategy over all arguments: drawn together,
+            // shrunk together (per-coordinate substitution).
+            let __strat = ($($strat,)+);
             for __case in 0..__cfg.cases {
-                $(let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut __rng);)+
+                let __vals = $crate::strategy::Strategy::new_value(&__strat, &mut __rng);
                 // The closure gives `return Ok(())` and `prop_assume!`
-                // (early `Err(Rejected)`) somewhere to return to.
-                #[allow(clippy::redundant_closure_call)]
-                let __result = (move || -> $crate::test_runner::TestCaseResult {
+                // (early `Err(Rejected)`) somewhere to return to; it is
+                // re-run by the shrinker on candidate inputs, hence the
+                // clone per execution.
+                $crate::test_runner::check_case(&__strat, __vals, |__vals| {
+                    let ($($arg,)+) = $crate::test_runner::clone_vals(__vals);
                     $body
                     ::std::result::Result::Ok(())
-                })();
-                match __result {
-                    ::std::result::Result::Ok(()) => {}
-                    ::std::result::Result::Err(
-                        $crate::test_runner::TestCaseError::Rejected,
-                    ) => continue,
-                }
+                });
             }
         }
     )*};
@@ -182,6 +187,34 @@ mod tests {
             prop_assert!(hdr.chars().all(|c| c.is_ascii_alphabetic() || c == '-'));
             prop_assert!(val.chars().all(|c| (' '..='~').contains(&c) && c != ':'));
         }
+    }
+
+    #[test]
+    fn minimize_finds_minimal_int_counterexample() {
+        // The minimal failing value of `v >= 13` over 0..100 is exactly
+        // 13 — the greedy descent must land there from any start.
+        let strat = 0u32..100;
+        for start in [13u32, 14, 50, 99] {
+            assert_eq!(
+                crate::test_runner::minimize(&strat, start, |&v| v >= 13),
+                13
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_shrinks_vectors_structurally_and_elementwise() {
+        let strat = crate::collection::vec(0u32..10, 1..8);
+        let fails = |v: &Vec<u32>| v.iter().any(|&x| x >= 5);
+        let min = crate::test_runner::minimize(&strat, vec![3, 7, 2, 9], fails);
+        assert_eq!(min, vec![5], "expected the single minimal element");
+    }
+
+    #[test]
+    fn minimize_respects_tuple_coordinates() {
+        let strat = (0u32..100, 0u32..100);
+        let min = crate::test_runner::minimize(&strat, (40, 77), |&(a, b)| a + b >= 20);
+        assert_eq!(min, (0, 20));
     }
 
     #[test]

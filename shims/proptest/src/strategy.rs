@@ -13,6 +13,18 @@ pub trait Strategy {
     /// Draws one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing value, simplest first.
+    ///
+    /// The runner greedily descends through these while the property
+    /// keeps failing (see `test_runner::minimize`), so a strategy only
+    /// needs *sound* candidates (values it could itself have produced),
+    /// not a complete lattice. The default — no candidates — disables
+    /// shrinking for strategies where inversion is impossible
+    /// (`prop_map`) or not worth the complexity.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -34,11 +46,15 @@ pub trait Strategy {
 /// Object-safe view of [`Strategy`].
 trait DynStrategy<T> {
     fn new_value_dyn(&self, rng: &mut TestRng) -> T;
+    fn shrink_dyn(&self, v: &T) -> Vec<T>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.new_value(rng)
+    }
+    fn shrink_dyn(&self, v: &S::Value) -> Vec<S::Value> {
+        self.shrink(v)
     }
 }
 
@@ -55,6 +71,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn new_value(&self, rng: &mut TestRng) -> T {
         self.0.new_value_dyn(rng)
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        self.0.shrink_dyn(v)
     }
 }
 
@@ -163,6 +182,26 @@ impl Arbitrary for f64 {
     }
 }
 
+/// Integer shrink candidates toward `start`, simplest first: the
+/// range's own minimum, the midpoint between minimum and the failing
+/// value, and the failing value's predecessor. The midpoint gives
+/// logarithmic descent over wide ranges; the predecessor guarantees
+/// the greedy walk can always reach the true minimal counterexample.
+fn shrink_int_toward(start: i128, v: i128) -> Vec<i128> {
+    if v == start {
+        return Vec::new();
+    }
+    let mut out = vec![start];
+    let mid = start + (v - start) / 2;
+    if mid != start && mid != v {
+        out.push(mid);
+    }
+    if v - 1 != start && v - 1 != mid {
+        out.push(v - 1);
+    }
+    out
+}
+
 macro_rules! impl_strategy_int_range {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -172,6 +211,12 @@ macro_rules! impl_strategy_int_range {
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
                 self.start + rng.below(span) as $t
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int_toward(self.start as i128, *v as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -179,6 +224,12 @@ macro_rules! impl_strategy_int_range {
                 let (a, b) = (*self.start(), *self.end());
                 assert!(a <= b, "empty range strategy");
                 a + rng.below((b as u64) - (a as u64) + 1) as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int_toward(*self.start() as i128, *v as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
             }
         }
     )*};
@@ -195,10 +246,26 @@ impl Strategy for std::ops::Range<f64> {
 
 macro_rules! impl_strategy_tuple {
     ($(($($n:tt $S:ident),+))*) => {$(
-        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone,)+
+        {
             type Value = ($($S::Value,)+);
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$n.new_value(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                // Per-component substitution: shrink one coordinate at a
+                // time, a few candidates each, holding the rest fixed.
+                let mut out = Vec::new();
+                $(
+                    for c in self.$n.shrink(&v.$n).into_iter().take(4) {
+                        let mut w = v.clone();
+                        w.$n = c;
+                        out.push(w);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -256,12 +323,43 @@ pub struct VecStrategy<S> {
     pub(crate) size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.max - self.size.min) as u64;
         let len = self.size.min + rng.below(span) as usize;
         (0..len).map(|_| self.elem.new_value(rng)).collect()
+    }
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural candidates first (shorter is simpler): truncate to
+        // the minimum length, halve, then drop each element in turn.
+        if v.len() > self.size.min {
+            out.push(v[..self.size.min].to_vec());
+            let half = self.size.min.max(v.len() / 2);
+            if half < v.len() && half > self.size.min {
+                out.push(v[..half].to_vec());
+            }
+            for i in 0..v.len().min(16) {
+                let mut w = v.clone();
+                w.remove(i);
+                out.push(w);
+            }
+        }
+        // Then element-wise: a few shrink candidates per position (one
+        // alone can stall the descent when only the smallest steps —
+        // e.g. the predecessor — still fail).
+        for i in 0..v.len().min(16) {
+            for c in self.elem.shrink(&v[i]).into_iter().take(4) {
+                let mut w = v.clone();
+                w[i] = c;
+                out.push(w);
+            }
+        }
+        out
     }
 }
 

@@ -1,7 +1,12 @@
-//! Case-count configuration and the deterministic per-test RNG.
+//! Case-count configuration, the deterministic per-test RNG, and the
+//! shrinking case runner.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
+
+use crate::strategy::Strategy;
 
 /// Why a single case did not complete.
 #[derive(Debug)]
@@ -35,6 +40,93 @@ impl Default for ProptestConfig {
             .unwrap_or(64);
         ProptestConfig { cases }
     }
+}
+
+/// How one execution of the property body ended.
+enum Outcome {
+    Pass,
+    Rejected,
+    Failed(String),
+}
+
+/// Runs the body once, converting a panic into [`Outcome::Failed`]
+/// with the panic message.
+fn run_caught<V>(run: &impl Fn(&V) -> TestCaseResult, v: &V) -> Outcome {
+    match catch_unwind(AssertUnwindSafe(|| run(v))) {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(TestCaseError::Rejected)) => Outcome::Rejected,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Outcome::Failed(msg)
+        }
+    }
+}
+
+/// Greedy shrink descent: repeatedly replaces `value` with the first
+/// of the strategy's [`shrink`](Strategy::shrink) candidates on which
+/// `fails` still holds, until no candidate fails or the attempt budget
+/// runs out. Returns the (locally) minimal failing value.
+pub fn minimize<S: Strategy>(
+    strat: &S,
+    mut value: S::Value,
+    fails: impl Fn(&S::Value) -> bool,
+) -> S::Value {
+    let mut budget = 512usize;
+    'descend: loop {
+        for cand in strat.shrink(&value) {
+            if budget == 0 {
+                return value;
+            }
+            budget -= 1;
+            if fails(&cand) {
+                value = cand;
+                continue 'descend;
+            }
+        }
+        return value;
+    }
+}
+
+/// Runs one property case; on failure, shrinks the inputs to a minimal
+/// counterexample and panics with it. Re-run panics during shrinking
+/// are expected and silenced via a no-op panic hook (restored before
+/// the final report).
+pub fn check_case<S: Strategy>(
+    strat: &S,
+    value: S::Value,
+    run: impl Fn(&S::Value) -> TestCaseResult,
+) where
+    S::Value: std::fmt::Debug,
+{
+    let Outcome::Failed(first_msg) = run_caught(&run, &value) else {
+        return;
+    };
+    // Quiet the per-candidate panic spam while minimizing; anything
+    // the property rejects with `prop_assume!` does not count as a
+    // failure, so shrinking cannot escape the property's precondition.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let minimal = minimize(strat, value, |v| {
+        matches!(run_caught(&run, v), Outcome::Failed(_))
+    });
+    let msg = match run_caught(&run, &minimal) {
+        Outcome::Failed(m) => m,
+        _ => first_msg,
+    };
+    std::panic::set_hook(hook);
+    panic!("property failed; minimal counterexample: {minimal:?}\n{msg}");
+}
+
+/// Clones the drawn values for one body execution (the body consumes
+/// them by value; shrinking re-runs the body on candidate values).
+/// A free function rather than a method call so the macro expansion
+/// stays lint-clean for `Copy` value tuples.
+pub fn clone_vals<T: Clone>(v: &T) -> T {
+    v.clone()
 }
 
 /// Deterministic RNG seeded from the test's name, so a failing case

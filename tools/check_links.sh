@@ -45,7 +45,24 @@ for f in "${files[@]}"; do
             echo "$f: dangling path reference -> $path"
             fail=1
         fi
-    done < <(grep -o '`\(crates\|shims\|examples\|tools\)/[A-Za-z0-9_./-]*`' "$f" | tr -d '\`')
+    done < <(grep -o '`\(crates\|shims\|examples\|tools\|\.github\)/[A-Za-z0-9_./-]*`' "$f" | tr -d '\`')
+
+    # Backticked bench artifacts (`BENCH_*.json`): each one the docs
+    # describe must actually be committed at the repo root.
+    while IFS= read -r path; do
+        if [ ! -f "$path" ]; then
+            echo "$f: dangling bench artifact reference -> $path"
+            fail=1
+        fi
+    done < <(grep -o '`BENCH_[A-Za-z0-9_]*\.json`' "$f" | tr -d '\`')
+
+    # Backticked top-level docs (`ROADMAP.md` etc.).
+    while IFS= read -r path; do
+        if [ ! -f "$path" ]; then
+            echo "$f: dangling doc reference -> $path"
+            fail=1
+        fi
+    done < <(grep -o '`[A-Z][A-Z_]*\.md`' "$f" | tr -d '\`')
 done
 
 if [ "$fail" -ne 0 ]; then
