@@ -1,0 +1,160 @@
+//! Cluster elasticity: what a warm rejoin buys over a cold restart.
+//!
+//! A Zipf-popularity trace is run through the simulator under extended
+//! LARD with back-end forwarding and cache feedback, three times:
+//!
+//! * **baseline** — static cluster, no churn;
+//! * **cold** — node 1 is killed mid-run and rejoins with a wiped
+//!   cache (a process restart): the dispatcher learns its contents
+//!   from scratch, one miss at a time;
+//! * **warm** — the same kill and rejoin instant, but the node keeps
+//!   its cache and the `Join` handshake replays its admission journal
+//!   into every dispatcher's belief before traffic returns.
+//!
+//! The observables are recovery cost: disk fetches and aggregate hit
+//! rate over the whole run. The caches are sized eviction-free so the
+//! warm/cold delta is exactly the re-fetch cost of the wiped cache
+//! plus the beliefs the dispatchers had to relearn — not second-order
+//! eviction churn from perturbed routing.
+//!
+//! Writes `BENCH_elasticity.json` at the repo root. The criterion
+//! group additionally measures the dispatcher-side cost of one warm-up
+//! (the `Join` handshake's hot operation: absolute journal replay into
+//! mapping, mirror, and breaker).
+//!
+//! Knobs: `CRITERION_QUICK=1` shrinks the trace for smoke runs.
+
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phttp_core::{
+    CacheEvent, ConcurrentDispatcher, ForwardSemantics, LardParams, NodeId, PolicyKind,
+};
+use phttp_sim::{build_workload, ChurnAction, ChurnEvent, Report, SimConfig, Simulator};
+use phttp_simcore::SimDuration;
+use phttp_trace::{generate, SynthConfig, TargetId};
+
+const NODES: usize = 4;
+/// Simulated instants of the kill and the rejoin.
+const KILL_MS: u64 = 300;
+const REJOIN_MS: u64 = 600;
+
+fn zipf_trace(views: usize) -> phttp_trace::Trace {
+    let mut synth = SynthConfig::small();
+    synth.num_pages = 300;
+    synth.num_page_views = views;
+    synth.zipf_exponent = 1.0;
+    generate(&synth)
+}
+
+fn run_cell(trace: &phttp_trace::Trace, churn: Vec<ChurnEvent>) -> Report {
+    let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", NODES)
+        .with_feedback(SimDuration::from_millis(50))
+        .with_churn(churn);
+    // Eviction-free: the working set always fits, so the only misses
+    // are first touches and post-cold-restart re-fetches.
+    cfg.cache_bytes = 256 * 1024 * 1024;
+    let workload = build_workload(trace, cfg.protocol, phttp_trace::SessionConfig::default());
+    Simulator::new(cfg, trace, &workload).run()
+}
+
+fn churn(rejoin: ChurnAction) -> Vec<ChurnEvent> {
+    vec![
+        ChurnEvent {
+            at: SimDuration::from_millis(KILL_MS),
+            action: ChurnAction::Kill(1),
+        },
+        ChurnEvent {
+            at: SimDuration::from_millis(REJOIN_MS),
+            action: rejoin,
+        },
+    ]
+}
+
+fn bench_warm_up(c: &mut Criterion) {
+    // The Join handshake's dispatcher-side hot operation: replace a
+    // node's beliefs with a 10k-entry admission journal (absolute
+    // warm-up: evict, mirror reset, replay, breaker close).
+    let d = ConcurrentDispatcher::new(
+        PolicyKind::ExtLard,
+        ForwardSemantics::LateralFetch,
+        NODES,
+        LardParams::default(),
+    );
+    for i in 0..10_000u32 {
+        let t = TargetId(i);
+        d.mapping()
+            .write(t, |m| m.add_replica(t, NodeId(i as usize % NODES)));
+    }
+    let journal: Vec<CacheEvent> = (0..10_000u32)
+        .filter(|i| i % NODES as u32 == 1)
+        .map(|i| CacheEvent::Admit(TargetId(i)))
+        .collect();
+    let mut g = c.benchmark_group("elasticity");
+    g.bench_function("warm_up_journal_2500", |b| {
+        b.iter(|| d.warm_up(NodeId(1), criterion::black_box(&journal)));
+    });
+    g.finish();
+}
+
+fn bench_report(_c: &mut Criterion) {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    let views = if quick { 2_000 } else { 8_000 };
+    let trace = zipf_trace(views);
+
+    let mut rows = String::new();
+    let mut push_row = |label: &str, r: &Report| {
+        println!(
+            "elasticity/{label:<8} disk_fetches {:>6}  hit {:>6.2}%  mean_latency {:>7.2} ms  tput {:>8.0} req/s",
+            r.disk_fetches,
+            r.cache_hit_rate * 100.0,
+            r.mean_latency_ms,
+            r.throughput_rps,
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"cell\": \"{label}\", \"disk_fetches\": {}, \"cache_hit_rate\": {:.4}, \"mean_latency_ms\": {:.3}, \"throughput_rps\": {:.0}}}",
+            r.disk_fetches, r.cache_hit_rate, r.mean_latency_ms, r.throughput_rps,
+        ));
+    };
+
+    let baseline = run_cell(&trace, Vec::new());
+    push_row("baseline", &baseline);
+    let cold = run_cell(&trace, churn(ChurnAction::JoinCold(1)));
+    push_row("cold", &cold);
+    let warm = run_cell(&trace, churn(ChurnAction::JoinWarm(1)));
+    push_row("warm", &warm);
+
+    assert_eq!(warm.requests, trace.len() as u64);
+    assert_eq!(cold.requests, trace.len() as u64);
+    assert!(
+        cold.disk_fetches > warm.disk_fetches,
+        "a cold restart must re-fetch what a warm rejoin kept ({} <= {})",
+        cold.disk_fetches,
+        warm.disk_fetches
+    );
+    assert!(
+        cold.cache_hit_rate <= warm.cache_hit_rate + 1e-9,
+        "warm rejoin must recover at least the cold hit rate"
+    );
+    assert!(
+        warm.disk_fetches >= baseline.disk_fetches,
+        "churn cannot fetch less than an undisturbed run"
+    );
+
+    let host = phttp_bench::host_meta_json();
+    let json = format!(
+        "{{\n  \"benchmark\": \"elasticity\",\n  {host},\n  \"workload\": \"Zipf(1.0) synthetic trace, {views} page views, 300 pages, P-HTTP, extLARD + BEforward, {NODES} nodes, eviction-free caches, feedback @ 50 ms\",\n  \"baseline\": \"static cluster (no churn)\",\n  \"contender\": \"node 1 killed @ {KILL_MS} ms, rejoined @ {REJOIN_MS} ms: cold (wiped cache) vs warm (kept cache + journal replay into dispatcher beliefs)\",\n  \"metrics\": \"disk_fetches and aggregate cache_hit_rate over the whole run — the recovery cost of losing vs keeping a node's cache and its mapped beliefs\",\n  \"results\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_elasticity.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(warm_up, bench_warm_up);
+criterion_group!(report, bench_report);
+criterion_main!(warm_up, report);

@@ -53,6 +53,7 @@ use std::collections::HashMap;
 
 use crate::cost::LardParams;
 use crate::feedback::{CacheEvent, CacheMirror, CoherenceSnapshot, CoherenceStats};
+use crate::health::{HealthConfig, HealthGate};
 use crate::load::{LoadTracker, LOAD_UNIT};
 use crate::policy::{ForwardSemantics, MapEffect, Policy, PolicyKind};
 use crate::shard::{ConnState, ConnTable, ShardedMappingTable};
@@ -83,6 +84,8 @@ pub struct DispatcherConfig {
     pub mapping_shards: usize,
     /// Connection-table lock shards (rounded up to a power of two).
     pub conn_shards: usize,
+    /// Per-node circuit-breaker tuning (see [`HealthGate`]).
+    pub health: HealthConfig,
 }
 
 impl DispatcherConfig {
@@ -100,6 +103,7 @@ impl DispatcherConfig {
             params,
             mapping_shards: 32,
             conn_shards: 64,
+            health: HealthConfig::default(),
         }
     }
 
@@ -107,6 +111,12 @@ impl DispatcherConfig {
     pub fn with_shards(mut self, mapping: usize, conn: usize) -> Self {
         self.mapping_shards = mapping;
         self.conn_shards = conn;
+        self
+    }
+
+    /// Overrides the circuit-breaker tuning.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
         self
     }
 }
@@ -125,6 +135,9 @@ pub struct ConcurrentDispatcher {
     mirror: CacheMirror,
     /// Feedback counters.
     coherence: CoherenceStats,
+    /// Per-node circuit breakers, consulted between every policy
+    /// decision and the assignment it becomes.
+    health: HealthGate,
 }
 
 impl ConcurrentDispatcher {
@@ -146,6 +159,7 @@ impl ConcurrentDispatcher {
             conns: ConnTable::new(config.conn_shards),
             mirror: CacheMirror::new(config.num_nodes),
             coherence: CoherenceStats::default(),
+            health: HealthGate::new(config.num_nodes, config.health),
         }
     }
 
@@ -307,6 +321,62 @@ impl ConcurrentDispatcher {
         &self.mirror
     }
 
+    /// The per-node circuit breakers. Hosts drive cooldowns through
+    /// [`HealthGate::tick_all`] and report request outcomes through
+    /// [`HealthGate::record_success`]/[`HealthGate::record_failure`];
+    /// the dispatcher itself consults the gate on every routing
+    /// decision.
+    pub fn health(&self) -> &HealthGate {
+        &self.health
+    }
+
+    /// Sets a node's relative capacity weight (see
+    /// [`LoadTracker::set_weight`]): policies compare
+    /// capacity-normalized loads, so a weight-`w` node attracts about
+    /// `w`× the traffic of a weight-1 node at equal rawness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `weight == 0`.
+    pub fn set_node_weight(&self, node: NodeId, weight: u32) {
+        self.loads.set_weight(node, weight);
+    }
+
+    /// Warms up beliefs for a (re)joining node from its admission-report
+    /// journal — the mapping-*adding* counterpart of
+    /// [`apply_cache_feedback`](Self::apply_cache_feedback), which only
+    /// removes or confirms.
+    ///
+    /// The node's prior mirrored contents and believed mappings are
+    /// dropped first, so the call is **absolute**: afterwards the
+    /// dispatcher believes exactly what `events` fold to. Every target
+    /// whose final state is *cached* gets a believed `(target, node)`
+    /// replica installed (one write-shard acquisition per target —
+    /// join granularity, off the hot path), and the node's breaker is
+    /// reset to Closed: a freshly warmed member starts clean.
+    ///
+    /// Returns the number of believed pairs installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn warm_up(&self, node: NodeId, events: &[CacheEvent]) -> usize {
+        self.mapping.evict_node(node);
+        self.mirror.clear(node);
+        // Mirror lock released before any mapping shard is taken (the
+        // CacheMirror lock-order rule).
+        let finals = self.mirror.apply(node, events);
+        let mut installed = 0;
+        for (target, cached) in finals {
+            if cached {
+                self.mapping.write(target, |m| m.add_replica(target, node));
+                installed += 1;
+            }
+        }
+        self.health.reset(node);
+        installed
+    }
+
     /// Exports this dispatcher's tier-relevant state: **locally
     /// charged** fixed-point loads (remote bias excluded, so exporting
     /// and re-importing cannot double-count) and the full believed
@@ -362,6 +432,9 @@ impl ConcurrentDispatcher {
     pub fn evict_node(&self, node: NodeId) {
         self.mapping.evict_node(node);
         self.mirror.clear(node);
+        // A node we just declared dead must not win another pick until
+        // it either joins back (breaker reset) or serves out a probation.
+        self.health.force_open(node);
     }
 
     /// Applies a decision's mapping effect to its chosen/serving node.
@@ -396,9 +469,55 @@ impl ConcurrentDispatcher {
         }
     }
 
+    /// Health-gates a per-request decision **before** its mapping effect
+    /// is applied: a `Remote` assignment to a node whose breaker refuses
+    /// traffic degrades to serving locally with *no* mapping change.
+    ///
+    /// Gating before the effect matters for coherence: applying
+    /// `AddReplica` for a node that never receives the request would
+    /// plant a believed pair no cache event can ever confirm or remove —
+    /// permanent divergence. [`HealthGate::permitted`] (non-consuming)
+    /// keeps the optimistic-read and write-redo passes consistent;
+    /// probation permits are consumed per *connection* in
+    /// [`open_connection`](Self::open_connection), not per request.
+    fn gate_assignment(
+        &self,
+        assignment: Assignment,
+        effect: MapEffect,
+    ) -> (Assignment, MapEffect) {
+        if let Assignment::Remote(k) = assignment {
+            if !self.health.permitted(k) {
+                return (Assignment::Local, MapEffect::None);
+            }
+        }
+        (assignment, effect)
+    }
+
+    /// Finds a replacement connection-handling node after the policy's
+    /// pick was refused by its breaker: tries the remaining nodes in
+    /// ascending capacity-normalized load until one's breaker admits
+    /// ([`HealthGate::try_admit`], so a HalfOpen fallback consumes its
+    /// probation permit like any other admission). `None` when every
+    /// other node also refuses.
+    fn reroute_admit(&self, denied: NodeId) -> Option<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.num_nodes())
+            .map(NodeId)
+            .filter(|&n| n != denied)
+            .collect();
+        order.sort_by_key(|&n| (self.loads.effective_fixed(n), n.0));
+        order.into_iter().find(|&n| self.health.try_admit(n))
+    }
+
     /// Handles the first request of a new connection: picks the
-    /// connection-handling node, charges it one load unit, and registers
-    /// the connection.
+    /// connection-handling node, health-gates the pick, charges the
+    /// admitted node one load unit, and registers the connection.
+    ///
+    /// Gating consumes the breaker's admission
+    /// ([`HealthGate::try_admit`]) exactly once per connection. A
+    /// refused pick reroutes to the least-loaded node whose breaker
+    /// admits; if *every* breaker refuses, the gate fails open and the
+    /// original pick stands — a fully quarantined cluster serves
+    /// degraded rather than not at all.
     ///
     /// # Panics
     ///
@@ -406,7 +525,9 @@ impl ConcurrentDispatcher {
     pub fn open_connection(&self, conn: ConnId, first_target: TargetId) -> NodeId {
         let node = if self.policy.pick_uses_mapping() {
             // Optimistic shared pass: in steady state the pick lands on
-            // an already-mapped node and the table does not change.
+            // an already-mapped, healthy node and the table does not
+            // change. Admission is consumed only when the pass commits;
+            // a breaker refusal escalates like a table change would.
             let fast = self.mapping.read(first_target, |m| {
                 let (node, effect) = self.policy.pick_node(
                     &self.loads,
@@ -414,13 +535,17 @@ impl ConcurrentDispatcher {
                     first_target,
                     m.nodes(first_target),
                 );
-                Self::effect_is_noop(m, effect, first_target, node).then_some(node)
+                if !Self::effect_is_noop(m, effect, first_target, node) {
+                    return None;
+                }
+                self.health.try_admit(node).then_some(node)
             });
             match fast {
                 Some(node) => node,
-                // The table must change: re-decide under the exclusive
-                // lock (state may have moved between locks; the decision
-                // that gets applied is the one made under this lock).
+                // The table must change (or the pick was refused):
+                // re-decide under the exclusive lock (state may have
+                // moved between locks; the decision that gets applied is
+                // the one made under this lock).
                 None => self.mapping.write(first_target, |m| {
                     let (node, effect) = self.policy.pick_node(
                         &self.loads,
@@ -428,15 +553,33 @@ impl ConcurrentDispatcher {
                         first_target,
                         m.nodes(first_target),
                     );
-                    Self::apply_effect(m, effect, first_target, node);
-                    node
+                    if self.health.try_admit(node) {
+                        Self::apply_effect(m, effect, first_target, node);
+                        return node;
+                    }
+                    match self.reroute_admit(node) {
+                        // The fallback node will serve (and cache) the
+                        // first target: record that belief, not the
+                        // refused pick's effect.
+                        Some(alt) => {
+                            m.add_replica(first_target, alt);
+                            alt
+                        }
+                        // Fail open: no effect recorded for a node that
+                        // may never see the request.
+                        None => node,
+                    }
                 }),
             }
         } else {
             let (node, _) = self
                 .policy
                 .pick_node(&self.loads, &self.params, first_target, &[]);
-            node
+            if self.health.try_admit(node) {
+                node
+            } else {
+                self.reroute_admit(node).unwrap_or(node)
+            }
         };
         self.loads.charge(node, LOAD_UNIT);
         let prev = self.conns.with(conn, |c| {
@@ -497,6 +640,7 @@ impl ConcurrentDispatcher {
                     target,
                     m.nodes(target),
                 );
+                let (assignment, effect) = self.gate_assignment(assignment, effect);
                 let effect_node = assignment.serving_node(conn_node);
                 Self::effect_is_noop(m, effect, target, effect_node).then_some(assignment)
             });
@@ -510,6 +654,7 @@ impl ConcurrentDispatcher {
                         target,
                         m.nodes(target),
                     );
+                    let (assignment, effect) = self.gate_assignment(assignment, effect);
                     let effect_node = assignment.serving_node(conn_node);
                     Self::apply_effect(m, effect, target, effect_node);
                     assignment
@@ -639,6 +784,7 @@ impl ConcurrentDispatcher {
                         target,
                         m.nodes(target),
                     );
+                    let (assignment, effect) = self.gate_assignment(assignment, effect);
                     let effect_node = assignment.serving_node(state.node);
                     Self::apply_effect(m, effect, target, effect_node);
                     self.settle(state, batch_n, assignment);
@@ -873,6 +1019,95 @@ mod tests {
         assert!(peer.loads().iter().sum::<f64>() > 0.9);
         assert!(peer.snapshot().loads.iter().all(|&l| l == 0));
         d.close_connection(ConnId(0));
+    }
+
+    #[test]
+    fn open_connection_reroutes_around_an_open_breaker() {
+        let d = ext(2);
+        // Deterministic first pick: all-idle LARD breaks ties toward
+        // node 0. Quarantine it; the connection must land elsewhere and
+        // the mapping must record the *actual* home.
+        d.health().force_open(NodeId(0));
+        let node = d.open_connection(ConnId(0), t(5));
+        assert_eq!(node, NodeId(1));
+        assert!(d.mapping().read(t(5), |m| m.is_mapped(t(5), NodeId(1))));
+        assert!(!d.mapping().read(t(5), |m| m.is_mapped(t(5), NodeId(0))));
+        d.close_connection(ConnId(0));
+    }
+
+    #[test]
+    fn open_connection_fails_open_when_all_breakers_refuse() {
+        let d = ext(2);
+        d.health().force_open(NodeId(0));
+        d.health().force_open(NodeId(1));
+        let node = d.open_connection(ConnId(0), t(5));
+        assert_eq!(node, NodeId(0), "fail-open keeps the policy's pick");
+        // And no belief is recorded for a node that may never serve it.
+        assert!(!d.mapping().read(t(5), |m| m.is_known(t(5))));
+        d.close_connection(ConnId(0));
+    }
+
+    #[test]
+    fn remote_assignment_to_open_node_degrades_to_local_without_effect() {
+        let d = ext(2);
+        let conn_node = d.open_connection(ConnId(0), t(0));
+        let other = NodeId(1 - conn_node.0);
+        d.report_disk_queue(conn_node, 50);
+        d.mapping().write(t(1), |m| m.add_replica(t(1), other));
+        let before = d.mapping().num_replicas();
+        d.health().force_open(other);
+        d.begin_batch(ConnId(0), 1);
+        assert_eq!(d.assign_request(ConnId(0), t(1)), Assignment::Local);
+        assert_eq!(
+            d.mapping().num_replicas(),
+            before,
+            "gated decision must not leave a mapping effect behind"
+        );
+        // Batched path takes the same gate.
+        assert_eq!(
+            d.assign_batch(ConnId(0), &[t(1), t(1)]),
+            vec![Assignment::Local, Assignment::Local]
+        );
+        d.close_connection(ConnId(0));
+    }
+
+    #[test]
+    fn evict_node_trips_its_breaker() {
+        let d = ext(2);
+        d.evict_node(NodeId(0));
+        assert_eq!(
+            d.health().state(NodeId(0)),
+            crate::health::HealthState::Open
+        );
+        let node = d.open_connection(ConnId(0), t(3));
+        assert_eq!(node, NodeId(1));
+        d.close_connection(ConnId(0));
+    }
+
+    #[test]
+    fn warm_up_installs_final_cached_beliefs_and_resets_breaker() {
+        let d = ext(2);
+        let n = NodeId(1);
+        d.evict_node(n);
+        let events = vec![
+            CacheEvent::Admit(t(1)),
+            CacheEvent::Admit(t(2)),
+            CacheEvent::Evict(t(1)),
+            CacheEvent::Admit(t(3)),
+        ];
+        let installed = d.warm_up(n, &events);
+        assert_eq!(installed, 2, "t2 and t3 survive the journal fold");
+        assert!(d.mapping().read(t(2), |m| m.is_mapped(t(2), n)));
+        assert!(d.mapping().read(t(3), |m| m.is_mapped(t(3), n)));
+        assert!(!d.mapping().read(t(1), |m| m.is_mapped(t(1), n)));
+        assert_eq!(d.health().state(n), crate::health::HealthState::Closed);
+        // Mirror agrees with beliefs: warm-up introduces no divergence.
+        assert_eq!(d.mapping_divergence(), 0);
+        // Absolute semantics: a second warm-up replaces, never unions.
+        let installed = d.warm_up(n, &[CacheEvent::Admit(t(4))]);
+        assert_eq!(installed, 1);
+        assert!(!d.mapping().read(t(2), |m| m.is_mapped(t(2), n)));
+        assert_eq!(d.mapping_divergence(), 0);
     }
 
     #[test]

@@ -152,6 +152,33 @@ impl Dispatcher {
         self.inner.evict_node(node);
     }
 
+    /// Warms up beliefs for a (re)joining node from its admission-report
+    /// journal and resets its breaker. See
+    /// [`ConcurrentDispatcher::warm_up`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn warm_up(&mut self, node: NodeId, events: &[crate::feedback::CacheEvent]) -> usize {
+        self.inner.warm_up(node, events)
+    }
+
+    /// Sets a node's relative capacity weight. See
+    /// [`ConcurrentDispatcher::set_node_weight`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `weight == 0`.
+    pub fn set_node_weight(&mut self, node: NodeId, weight: u32) {
+        self.inner.set_node_weight(node, weight);
+    }
+
+    /// The per-node circuit breakers. See
+    /// [`ConcurrentDispatcher::health`].
+    pub fn health(&self) -> &crate::health::HealthGate {
+        self.inner.health()
+    }
+
     /// Exports this dispatcher's tier-relevant state (locally charged
     /// loads + believed mapping) for gossip. See
     /// [`ConcurrentDispatcher::snapshot`].

@@ -1,0 +1,441 @@
+//! Per-node health gating: the circuit breaker between policy
+//! decisions and assignment.
+//!
+//! PR 5 taught the cluster to *evict* a dead back-end's mappings; this
+//! layer decides whether a node should receive traffic at all. Every
+//! node carries a three-state breaker:
+//!
+//! ```text
+//!            fail_threshold consecutive failures
+//!   Closed ────────────────────────────────────────▶ Open
+//!     ▲                                               │
+//!     │ probation successes                           │ cooldown_ticks
+//!     │                                               ▼
+//!   HalfOpen ◀────────────────────────────────────────┘
+//!     │
+//!     └── any failure ──▶ Open (cooldown restarts)
+//! ```
+//!
+//! * **Closed** — healthy: every admission request passes.
+//! * **Open** — quarantined: no admission passes. Entered by
+//!   [`HealthGate::record_failure`] crossing the consecutive-failure
+//!   threshold, or directly by [`HealthGate::force_open`] (the
+//!   control-plane failure detector, node decommissioning, and standby
+//!   members that have not joined yet all use this).
+//! * **HalfOpen** — probation: exactly
+//!   [`HealthConfig::probation`] admissions pass
+//!   ([`HealthGate::try_admit`] hands out the permits); that many
+//!   recorded successes close the breaker, any recorded failure
+//!   re-opens it.
+//!
+//! Time is **explicit**: nothing in here reads a clock. The host calls
+//! [`HealthGate::tick`] (or [`HealthGate::tick_all`]) to advance Open
+//! cooldowns — wall-clock hosts (the prototype) tick from a timer or a
+//! test hook, the simulator ticks from its virtual-time `HealthProbe`
+//! event, and both get byte-identical breaker behaviour for the same
+//! tick sequence.
+//!
+//! The gate deliberately **fails open**: if every node is Open, the
+//! dispatcher routes to the policy's original pick rather than dropping
+//! the request — a fully-quarantined cluster serving degraded beats one
+//! serving nothing.
+
+use parking_lot::Mutex;
+
+use crate::types::NodeId;
+
+/// Breaker state of one node. See the module docs for the transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Healthy: admissions pass, consecutive failures are counted.
+    Closed,
+    /// Quarantined: no admissions pass until the cooldown elapses.
+    Open,
+    /// Probation: a bounded quota of admissions passes while the node
+    /// proves itself.
+    HalfOpen,
+}
+
+/// Circuit-breaker tuning. All fields must be at least 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive recorded failures that trip Closed → Open.
+    pub fail_threshold: u32,
+    /// [`HealthGate::tick`]s a node stays Open before probation.
+    pub cooldown_ticks: u32,
+    /// Admissions HalfOpen hands out — and the successes required to
+    /// close the breaker again.
+    pub probation: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            fail_threshold: 3,
+            cooldown_ticks: 2,
+            probation: 4,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fail_threshold == 0 {
+            return Err("health fail_threshold must be at least 1".into());
+        }
+        if self.cooldown_ticks == 0 {
+            return Err("health cooldown_ticks must be at least 1".into());
+        }
+        if self.probation == 0 {
+            return Err("health probation must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One node's breaker bookkeeping.
+#[derive(Debug)]
+struct NodeHealth {
+    state: HealthState,
+    /// Consecutive failures while Closed.
+    consecutive_failures: u32,
+    /// Ticks left before Open relaxes to HalfOpen.
+    cooldown_left: u32,
+    /// Admission permits left while HalfOpen.
+    permits_left: u32,
+    /// Successes recorded while HalfOpen.
+    successes: u32,
+}
+
+impl NodeHealth {
+    fn closed() -> Self {
+        NodeHealth {
+            state: HealthState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            permits_left: 0,
+            successes: 0,
+        }
+    }
+
+    fn open(cfg: &HealthConfig) -> Self {
+        NodeHealth {
+            state: HealthState::Open,
+            consecutive_failures: 0,
+            cooldown_left: cfg.cooldown_ticks,
+            permits_left: 0,
+            successes: 0,
+        }
+    }
+
+    fn half_open(cfg: &HealthConfig) -> Self {
+        NodeHealth {
+            state: HealthState::HalfOpen,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            permits_left: cfg.probation,
+            successes: 0,
+        }
+    }
+}
+
+/// The per-node breaker bank the dispatcher consults between the policy
+/// decision and the assignment. `&self` throughout: one small mutex per
+/// node, never held across any other lock.
+#[derive(Debug)]
+pub struct HealthGate {
+    cfg: HealthConfig,
+    nodes: Box<[Mutex<NodeHealth>]>,
+}
+
+impl HealthGate {
+    /// Creates a gate with every node Closed (healthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0` or the configuration is invalid.
+    pub fn new(num_nodes: usize, cfg: HealthConfig) -> Self {
+        assert!(num_nodes > 0, "cluster needs at least one back-end");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid health config: {e}");
+        }
+        HealthGate {
+            cfg,
+            nodes: (0..num_nodes)
+                .map(|_| Mutex::new(NodeHealth::closed()))
+                .collect(),
+        }
+    }
+
+    /// Number of gated nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configuration this gate runs.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// The node's current breaker state.
+    pub fn state(&self, node: NodeId) -> HealthState {
+        self.nodes[node.0].lock().state
+    }
+
+    /// Whether the node would currently accept an admission, without
+    /// consuming a probation permit. Used to *select among* candidates;
+    /// the winner is then committed with [`try_admit`](Self::try_admit).
+    pub fn permitted(&self, node: NodeId) -> bool {
+        let h = self.nodes[node.0].lock();
+        match h.state {
+            HealthState::Closed => true,
+            HealthState::Open => false,
+            HealthState::HalfOpen => h.permits_left > 0,
+        }
+    }
+
+    /// Admits one unit of traffic to the node if its breaker allows:
+    /// always in Closed, never in Open, and — atomically consuming one
+    /// permit — at most [`HealthConfig::probation`] times per HalfOpen
+    /// episode.
+    pub fn try_admit(&self, node: NodeId) -> bool {
+        let mut h = self.nodes[node.0].lock();
+        match h.state {
+            HealthState::Closed => true,
+            HealthState::Open => false,
+            HealthState::HalfOpen => {
+                if h.permits_left > 0 {
+                    h.permits_left -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful interaction with the node. Clears the
+    /// consecutive-failure count while Closed; while HalfOpen, counts
+    /// toward the probation successes and closes the breaker once
+    /// [`HealthConfig::probation`] of them arrive.
+    pub fn record_success(&self, node: NodeId) {
+        let mut h = self.nodes[node.0].lock();
+        match h.state {
+            HealthState::Closed => h.consecutive_failures = 0,
+            HealthState::Open => {}
+            HealthState::HalfOpen => {
+                h.successes += 1;
+                if h.successes >= self.cfg.probation {
+                    *h = NodeHealth::closed();
+                }
+            }
+        }
+    }
+
+    /// Records a failed interaction with the node. Trips Closed → Open
+    /// after [`HealthConfig::fail_threshold`] consecutive failures; a
+    /// HalfOpen failure re-opens immediately; an Open failure restarts
+    /// the cooldown.
+    pub fn record_failure(&self, node: NodeId) {
+        let mut h = self.nodes[node.0].lock();
+        match h.state {
+            HealthState::Closed => {
+                h.consecutive_failures += 1;
+                if h.consecutive_failures >= self.cfg.fail_threshold {
+                    *h = NodeHealth::open(&self.cfg);
+                }
+            }
+            HealthState::HalfOpen => *h = NodeHealth::open(&self.cfg),
+            HealthState::Open => h.cooldown_left = self.cfg.cooldown_ticks,
+        }
+    }
+
+    /// Advances one node's cooldown by one tick: an Open node whose
+    /// cooldown reaches zero enters HalfOpen with a fresh probation
+    /// quota. Closed and HalfOpen nodes are unaffected.
+    pub fn tick(&self, node: NodeId) {
+        let mut h = self.nodes[node.0].lock();
+        if h.state == HealthState::Open {
+            h.cooldown_left = h.cooldown_left.saturating_sub(1);
+            if h.cooldown_left == 0 {
+                *h = NodeHealth::half_open(&self.cfg);
+            }
+        }
+    }
+
+    /// [`tick`](Self::tick) for every node.
+    pub fn tick_all(&self) {
+        for i in 0..self.nodes.len() {
+            self.tick(NodeId(i));
+        }
+    }
+
+    /// Quarantines the node immediately (full cooldown), regardless of
+    /// its current state. The control-plane failure detector and
+    /// standby (not-yet-joined) members use this.
+    pub fn force_open(&self, node: NodeId) {
+        *self.nodes[node.0].lock() = NodeHealth::open(&self.cfg);
+    }
+
+    /// Resets the node to Closed (healthy), regardless of its current
+    /// state. A completed join handshake uses this — a freshly warmed
+    /// member starts with a clean slate.
+    pub fn reset(&self, node: NodeId) {
+        *self.nodes[node.0].lock() = NodeHealth::closed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(n: usize) -> HealthGate {
+        HealthGate::new(n, HealthConfig::default())
+    }
+
+    #[test]
+    fn starts_closed_and_admits() {
+        let g = gate(2);
+        assert_eq!(g.state(NodeId(0)), HealthState::Closed);
+        assert!(g.permitted(NodeId(0)));
+        assert!(g.try_admit(NodeId(0)));
+    }
+
+    #[test]
+    fn consecutive_failures_trip_the_breaker() {
+        let g = gate(1);
+        let n = NodeId(0);
+        g.record_failure(n);
+        g.record_failure(n);
+        assert_eq!(g.state(n), HealthState::Closed, "below threshold");
+        // A success in between resets the streak.
+        g.record_success(n);
+        g.record_failure(n);
+        g.record_failure(n);
+        assert_eq!(g.state(n), HealthState::Closed);
+        g.record_failure(n);
+        assert_eq!(g.state(n), HealthState::Open);
+        assert!(!g.try_admit(n));
+        assert!(!g.permitted(n));
+    }
+
+    #[test]
+    fn cooldown_ticks_relax_to_half_open() {
+        let g = gate(1);
+        let n = NodeId(0);
+        g.force_open(n);
+        g.tick(n);
+        assert_eq!(g.state(n), HealthState::Open, "one tick of two");
+        g.tick(n);
+        assert_eq!(g.state(n), HealthState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_the_probation_quota() {
+        let cfg = HealthConfig {
+            probation: 3,
+            ..HealthConfig::default()
+        };
+        let g = HealthGate::new(1, cfg);
+        let n = NodeId(0);
+        g.force_open(n);
+        g.tick(n);
+        g.tick(n);
+        assert_eq!(g.state(n), HealthState::HalfOpen);
+        let admitted = (0..10).filter(|_| g.try_admit(n)).count();
+        assert_eq!(admitted, 3, "exactly the probation quota passes");
+        assert!(!g.permitted(n), "quota exhausted");
+    }
+
+    #[test]
+    fn probation_successes_close_failure_reopens() {
+        let cfg = HealthConfig {
+            probation: 2,
+            cooldown_ticks: 1,
+            ..HealthConfig::default()
+        };
+        let g = HealthGate::new(2, cfg);
+        let n = NodeId(0);
+        g.force_open(n);
+        g.tick(n);
+        assert_eq!(g.state(n), HealthState::HalfOpen);
+        assert!(g.try_admit(n));
+        g.record_success(n);
+        assert_eq!(g.state(n), HealthState::HalfOpen, "one of two successes");
+        g.record_success(n);
+        assert_eq!(g.state(n), HealthState::Closed);
+
+        // The failure path: HalfOpen → Open immediately.
+        let m = NodeId(1);
+        g.force_open(m);
+        g.tick(m);
+        assert_eq!(g.state(m), HealthState::HalfOpen);
+        g.record_failure(m);
+        assert_eq!(g.state(m), HealthState::Open);
+        // And a fresh probation next episode: full quota again.
+        g.tick(m);
+        assert_eq!(g.state(m), HealthState::HalfOpen);
+        assert!(g.try_admit(m));
+        assert!(g.try_admit(m));
+        assert!(!g.try_admit(m));
+    }
+
+    #[test]
+    fn open_failure_restarts_cooldown() {
+        let cfg = HealthConfig {
+            cooldown_ticks: 2,
+            ..HealthConfig::default()
+        };
+        let g = HealthGate::new(1, cfg);
+        let n = NodeId(0);
+        g.force_open(n);
+        g.tick(n);
+        g.record_failure(n); // cooldown restarts
+        g.tick(n);
+        assert_eq!(
+            g.state(n),
+            HealthState::Open,
+            "restart must delay probation"
+        );
+        g.tick(n);
+        assert_eq!(g.state(n), HealthState::HalfOpen);
+    }
+
+    #[test]
+    fn reset_closes_from_any_state() {
+        let g = gate(1);
+        let n = NodeId(0);
+        g.force_open(n);
+        g.reset(n);
+        assert_eq!(g.state(n), HealthState::Closed);
+        assert!(g.try_admit(n));
+    }
+
+    #[test]
+    fn tick_all_covers_every_node() {
+        let cfg = HealthConfig {
+            cooldown_ticks: 1,
+            ..HealthConfig::default()
+        };
+        let g = HealthGate::new(3, cfg);
+        g.force_open(NodeId(0));
+        g.force_open(NodeId(2));
+        g.tick_all();
+        assert_eq!(g.state(NodeId(0)), HealthState::HalfOpen);
+        assert_eq!(g.state(NodeId(1)), HealthState::Closed);
+        assert_eq!(g.state(NodeId(2)), HealthState::HalfOpen);
+    }
+
+    #[test]
+    #[should_panic(expected = "probation")]
+    fn zero_probation_is_invalid() {
+        let _ = HealthGate::new(
+            1,
+            HealthConfig {
+                probation: 0,
+                ..HealthConfig::default()
+            },
+        );
+    }
+}

@@ -19,6 +19,10 @@
 //!   reports from the back-ends ([`feedback::CacheEvent`] streams) that
 //!   keep the mapping *belief* coherent with real cache contents, plus
 //!   the divergence metric that quantifies the gap;
+//! * the **health layer** ([`health`]): a per-node circuit breaker
+//!   ([`HealthGate`], Closed/Open/HalfOpen with probationary traffic)
+//!   that sits between every policy decision and the assignment it
+//!   becomes, so a failed or still-warming node never wins a pick;
 //! * the [`Dispatcher`] façade: the original single-threaded API,
 //!   driving the trace-driven simulator (`phttp-sim`);
 //! * the [`ConcurrentDispatcher`] façade: the same semantics behind
@@ -104,6 +108,7 @@ pub mod cost;
 pub mod costmodel;
 pub mod dispatcher;
 pub mod feedback;
+pub mod health;
 pub mod load;
 pub mod mapping;
 pub mod mechanism;
@@ -117,6 +122,7 @@ pub use cost::{aggregate_cost, cost_balancing, cost_locality, cost_replacement, 
 pub use costmodel::{MechanismCosts, ServerCosts};
 pub use dispatcher::Dispatcher;
 pub use feedback::{CacheEvent, CacheMirror, CoherenceSnapshot, CoherenceStats};
+pub use health::{HealthConfig, HealthGate, HealthState};
 pub use load::{LoadTracker, LOAD_UNIT};
 pub use mapping::MappingTable;
 pub use mechanism::Mechanism;

@@ -43,6 +43,11 @@ struct NodeCounters {
     /// point, gossiped on the control plane). Zero outside a tier, so
     /// single-front-end behaviour is unchanged.
     remote: AtomicI64,
+    /// Relative serving capacity (dimensionless, default 1). Policies
+    /// compare *effective* load — raw load divided by this weight — so
+    /// a weight-2 node looks half as busy per connection and naturally
+    /// attracts proportionally more traffic in a heterogeneous cluster.
+    weight: AtomicI64,
 }
 
 impl NodeCounters {
@@ -51,6 +56,7 @@ impl NodeCounters {
             load: AtomicI64::new(0),
             disk_q: AtomicUsize::new(0),
             remote: AtomicI64::new(0),
+            weight: AtomicI64::new(1),
         }
     }
 }
@@ -105,6 +111,38 @@ impl LoadTracker {
     /// duplicated rounds cannot drift the bias.
     pub fn set_remote_fixed(&self, node: NodeId, fixed: i64) {
         self.nodes[node.0].remote.store(fixed, Ordering::Relaxed);
+    }
+
+    /// Sets a node's relative capacity weight (heterogeneous clusters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight == 0` — a zero-capacity member should be kept
+    /// out of rotation by the health gate, not by a division blow-up.
+    pub fn set_weight(&self, node: NodeId, weight: u32) {
+        assert!(weight > 0, "node weight must be at least 1");
+        self.nodes[node.0]
+            .weight
+            .store(weight as i64, Ordering::Relaxed);
+    }
+
+    /// A node's relative capacity weight (1 unless configured).
+    pub fn weight(&self, node: NodeId) -> u32 {
+        self.nodes[node.0].weight.load(Ordering::Relaxed) as u32
+    }
+
+    /// Capacity-normalized load in fixed point: [`load_fixed`]
+    /// (local + remote bias) divided by the node's weight. This is the
+    /// figure policies compare when picking the least-loaded node.
+    ///
+    /// [`load_fixed`]: Self::load_fixed
+    pub fn effective_fixed(&self, node: NodeId) -> i64 {
+        self.load_fixed(node) / self.nodes[node.0].weight.load(Ordering::Relaxed)
+    }
+
+    /// Capacity-normalized load in connection units.
+    pub fn effective(&self, node: NodeId) -> f64 {
+        self.load(node) / self.nodes[node.0].weight.load(Ordering::Relaxed) as f64
     }
 
     /// Snapshot of every node's load in connection units.
@@ -226,6 +264,30 @@ mod tests {
     #[should_panic(expected = "at least one back-end")]
     fn zero_nodes_panics() {
         let _ = LoadTracker::new(0);
+    }
+
+    #[test]
+    fn weights_normalize_effective_load() {
+        let t = LoadTracker::new(2);
+        assert_eq!(t.weight(NodeId(0)), 1);
+        t.charge(NodeId(0), 4 * LOAD_UNIT);
+        t.charge(NodeId(1), 4 * LOAD_UNIT);
+        t.set_weight(NodeId(1), 4);
+        // Raw loads are equal; effective load favours the big node.
+        assert_eq!(t.load_fixed(NodeId(0)), t.load_fixed(NodeId(1)));
+        assert_eq!(t.effective_fixed(NodeId(0)), 4 * LOAD_UNIT);
+        assert_eq!(t.effective_fixed(NodeId(1)), LOAD_UNIT);
+        assert!((t.effective(NodeId(1)) - 1.0).abs() < 1e-9);
+        // Remote bias is normalized too (it is part of load_fixed).
+        t.set_remote_fixed(NodeId(1), 4 * LOAD_UNIT);
+        assert_eq!(t.effective_fixed(NodeId(1)), 2 * LOAD_UNIT);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be at least 1")]
+    fn zero_weight_panics() {
+        let t = LoadTracker::new(1);
+        t.set_weight(NodeId(0), 0);
     }
 
     #[test]

@@ -162,10 +162,10 @@ impl Policy for Wrr {
         let n = loads.num_nodes();
         let cursor = self.cursor.load(Ordering::Relaxed);
         let mut best = NodeId(cursor % n);
-        let mut best_load = loads.load_fixed(best);
+        let mut best_load = loads.effective_fixed(best);
         for i in 0..n {
             let cand = NodeId((cursor + i) % n);
-            let load = loads.load_fixed(cand);
+            let load = loads.effective_fixed(cand);
             if load < best_load {
                 best = cand;
                 best_load = load;
@@ -190,7 +190,9 @@ impl Policy for Wrr {
 
 /// Shared LARD first-request pick: argmin of the aggregate cost over
 /// all nodes, ties broken toward lower load then lower index for
-/// determinism.
+/// determinism. Loads are capacity-normalized
+/// ([`LoadTracker::effective`]) so heavier-weight nodes attract
+/// proportionally more targets in a heterogeneous cluster.
 fn lard_pick(
     loads: &LoadTracker,
     params: &LardParams,
@@ -200,7 +202,7 @@ fn lard_pick(
     let mut best_key = (f64::INFINITY, f64::INFINITY);
     for i in 0..loads.num_nodes() {
         let node = NodeId(i);
-        let load = loads.load(node);
+        let load = loads.effective(node);
         let mapped = target_nodes.contains(&node);
         let cost = aggregate_cost(load, mapped, params);
         let key = (cost, load);
@@ -306,8 +308,8 @@ impl Policy for ExtLard {
         }
         // Rule 2: evaluate cost metrics over the connection node and the
         // nodes currently caching the target (or, under the ablation knob,
-        // every node).
-        let conn_load = loads.load(conn_node);
+        // every node). Capacity-normalized loads throughout.
+        let conn_load = loads.effective(conn_node);
         let mut best = conn_node;
         let mut best_key = (
             // Not mapped to the conn node (rule 1 would have fired).
@@ -325,7 +327,7 @@ impl Policy for ExtLard {
             if cand == conn_node {
                 continue;
             }
-            let load = loads.load(cand);
+            let load = loads.effective(cand);
             let mapped = target_nodes.contains(&cand);
             let cost = aggregate_cost(load, mapped, params);
             let key = (cost, load);
@@ -373,6 +375,33 @@ mod tests {
         loads.discharge(NodeId(1), 2 * crate::load::LOAD_UNIT);
         let (n, _) = p.pick_node(&loads, &params, t(0), &[]);
         assert_eq!(n, NodeId(1));
+    }
+
+    #[test]
+    fn weights_bias_picks_toward_big_nodes() {
+        // Equal raw load, but node 1 has 4x the capacity: both WRR and
+        // the LARD pick must prefer it.
+        let loads = LoadTracker::new(2);
+        loads.set_weight(NodeId(1), 4);
+        loads.set_load_for_tests(NodeId(0), 8.0);
+        loads.set_load_for_tests(NodeId(1), 8.0);
+        let params = LardParams::default();
+        let wrr = Wrr::new();
+        let (n, _) = wrr.pick_node(&loads, &params, t(0), &[]);
+        assert_eq!(n, NodeId(1));
+        let lard = Lard;
+        let (n, _) = lard.pick_node(&loads, &params, t(0), &[]);
+        assert_eq!(n, NodeId(1));
+        // ExtLard rule 2: the weighted node wins the forwarding argmin
+        // even at a higher raw load than an unweighted alternative.
+        let loads = LoadTracker::new(3);
+        loads.set_weight(NodeId(2), 4);
+        loads.set_disk_queue(NodeId(0), 50); // busy disk at the conn node
+        loads.set_load_for_tests(NodeId(1), 8.0);
+        loads.set_load_for_tests(NodeId(2), 16.0);
+        let p = ExtLard;
+        let (a, _) = p.assign(&loads, &params, NodeId(0), t(1), &[NodeId(1), NodeId(2)]);
+        assert_eq!(a, Assignment::Remote(NodeId(2)));
     }
 
     #[test]

@@ -443,6 +443,23 @@ impl TierView {
         self.origins.get(&fe).map(|s| s.seq)
     }
 
+    /// A canonical (target-ascending) dump of the mapping share adopted
+    /// from `fe`, or `None` if no delta from `fe` has ever been merged.
+    /// Convergence tests compare these dumps for whole-view equality —
+    /// stronger than the load/seq spot-checks.
+    pub fn origin_mapping(&self, fe: FeId) -> Option<Vec<(TargetId, Vec<NodeId>)>> {
+        self.origins.get(&fe).map(|s| {
+            let mut v: Vec<_> = s.mapping.iter().map(|(&t, n)| (t, n.clone())).collect();
+            v.sort_by_key(|(t, _)| t.0);
+            v
+        })
+    }
+
+    /// The per-node loads last merged from `fe`, if any.
+    pub fn origin_loads(&self, fe: FeId) -> Option<&[i64]> {
+        self.origins.get(&fe).map(|s| s.loads.as_slice())
+    }
+
     /// Number of peer origins currently held.
     pub fn num_origins(&self) -> usize {
         self.origins.len()

@@ -19,6 +19,24 @@ enum Step {
     CloseOldest,
 }
 
+/// A scripted step for the health-gating property: workload ops
+/// interleaved with breaker churn.
+#[derive(Debug, Clone)]
+enum HealthStep {
+    /// Open a connection for a target.
+    Open(u32),
+    /// Assign one request on the most recent connection.
+    Request(u32),
+    /// Close the oldest still-open connection.
+    CloseOldest,
+    /// Force a node's breaker Open (failure-detector verdict).
+    Trip(usize),
+    /// Evict + warm-rejoin a node (resets its breaker to Closed).
+    Rejoin(usize),
+    /// Advance every Open cooldown by one tick.
+    Tick,
+}
+
 fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
     proptest::collection::vec(
         prop_oneof![(0u32..30).prop_map(Step::Open), Just(Step::CloseOldest),],
@@ -170,6 +188,108 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// Under arbitrary breaker churn (trips, resets, cooldown ticks), no
+    /// decision ever routes traffic to an `Open` node — with the one
+    /// documented exception: when *every* node refuses admission the
+    /// dispatcher fails open and keeps the policy's pick.
+    #[test]
+    fn no_assignment_ever_routes_to_an_open_node(
+        steps in proptest::collection::vec(
+            prop_oneof![
+                (0u32..20).prop_map(HealthStep::Open),
+                Just(HealthStep::CloseOldest),
+                (0usize..4).prop_map(HealthStep::Trip),
+                (0usize..4).prop_map(HealthStep::Rejoin),
+                Just(HealthStep::Tick),
+                (0u32..20).prop_map(HealthStep::Request),
+            ],
+            1..200,
+        ),
+        policy_idx in 0usize..3,
+        disk_busy in any::<bool>(),
+    ) {
+        use phttp_core::{HealthState, NodeId};
+        let policy = [PolicyKind::Wrr, PolicyKind::Lard, PolicyKind::ExtLard][policy_idx];
+        let nodes = 4usize;
+        let mut d = Dispatcher::new(policy, ForwardSemantics::LateralFetch, nodes, LardParams::default());
+        if disk_busy {
+            for i in 0..nodes {
+                d.report_disk_queue(NodeId(i), 99);
+            }
+        }
+        let mut open: std::collections::VecDeque<ConnId> = Default::default();
+        let mut next = 0u64;
+        for (i, step) in steps.iter().enumerate() {
+            match step {
+                HealthStep::Open(t) => {
+                    let id = ConnId(next);
+                    next += 1;
+                    let node = d.open_connection(id, TargetId(*t));
+                    open.push_back(id);
+                    let all_refuse = (0..nodes).all(|n| !d.health().permitted(NodeId(n)));
+                    prop_assert!(
+                        d.health().state(node) != HealthState::Open || all_refuse,
+                        "step {i}: connection landed on Open node {node:?}"
+                    );
+                }
+                HealthStep::Request(t) => {
+                    if let Some(&id) = open.back() {
+                        d.begin_batch(id, 1);
+                        if let Assignment::Remote(r) = d.assign_request(id, TargetId(*t)) {
+                            // Remote gating has no fail-open: it degrades
+                            // to Local instead, so Open is never allowed.
+                            prop_assert_ne!(
+                                d.health().state(r),
+                                HealthState::Open,
+                                "step {}: forwarded to Open node",
+                                i
+                            );
+                        }
+                    }
+                }
+                HealthStep::CloseOldest => {
+                    if let Some(id) = open.pop_front() {
+                        d.close_connection(id);
+                    }
+                }
+                HealthStep::Trip(n) => d.health().force_open(NodeId(*n)),
+                HealthStep::Rejoin(n) => {
+                    let n = NodeId(*n);
+                    d.evict_node(n);
+                    d.warm_up(n, &[]);
+                }
+                HealthStep::Tick => d.health().tick_all(),
+            }
+        }
+    }
+
+    /// A HalfOpen breaker admits exactly the probation quota, for any
+    /// quota and any (longer) burst of admission attempts, and fresh
+    /// episodes refill the quota exactly.
+    #[test]
+    fn half_open_admits_exactly_the_probation_quota(
+        probation in 1u32..12,
+        attempts in 0usize..40,
+        episodes in 1usize..4,
+    ) {
+        use phttp_core::{HealthConfig, HealthGate, HealthState, NodeId};
+        let cfg = HealthConfig { probation, cooldown_ticks: 1, ..HealthConfig::default() };
+        let g = HealthGate::new(1, cfg);
+        let n = NodeId(0);
+        for _ in 0..episodes {
+            g.force_open(n);
+            prop_assert!(!g.try_admit(n), "Open must refuse everything");
+            g.tick(n);
+            prop_assert_eq!(g.state(n), HealthState::HalfOpen);
+            let admitted = (0..attempts).filter(|_| g.try_admit(n)).count();
+            prop_assert_eq!(
+                admitted,
+                attempts.min(probation as usize),
+                "probation {} attempts {}", probation, attempts
+            );
         }
     }
 

@@ -80,27 +80,41 @@ proptest! {
         }
     }
 
-    /// The tier merge converges to the same view regardless of delivery
-    /// order or duplication (commutative + idempotent LWW per origin).
+    /// The tier merge converges to the same *whole view* regardless of
+    /// delivery order, duplication, or re-delivery of stale deltas from
+    /// any mix of origins (commutative + idempotent LWW per origin).
+    /// Equality is asserted on the canonical per-origin mapping dumps,
+    /// loads, and sequences — not just summary gauges.
     #[test]
     fn merge_is_order_independent(
-        seqs in proptest::collection::vec((1usize..5, 1u64..6), 1..16),
-        rot in 0usize..16,
-        dup in 0usize..16,
+        seqs in proptest::collection::vec((1usize..5, 1u64..6), 1..24),
+        shuffle_seed in proptest::strategy::any::<u64>(),
+        dups in proptest::collection::vec(0usize..24, 0..12),
     ) {
         // Build deltas whose payload is a pure function of
         // (origin, seq): a given origin's writer never publishes two
         // different states under one sequence number, which is exactly
         // the per-origin monotonicity the gossip protocol guarantees.
+        // Payloads vary in size, overlap across sequences (so LWW must
+        // actually replace), and include an empty node set (which the
+        // merge filters out) to exercise the removal path.
         let deltas: Vec<StateDelta> = seqs
             .iter()
             .map(|&(origin, seq)| {
-                let t = (origin as u32) * 16 + seq as u32;
+                let base = (origin as u32) * 64 + seq as u32;
+                let mut mapping = vec![
+                    (TargetId(base), vec![NodeId((base % 2) as usize)]),
+                    (TargetId(origin as u32), vec![NodeId((seq % 2) as usize), NodeId(0)]),
+                ];
+                if seq % 2 == 0 {
+                    mapping.push((TargetId(base + 1), vec![NodeId(1)]));
+                    mapping.push((TargetId(base + 2), vec![])); // filtered on merge
+                }
                 StateDelta {
                     origin: FeId(origin),
                     seq,
                     loads: vec![seq as i64, origin as i64],
-                    mapping: vec![(TargetId(t), vec![NodeId((t % 2) as usize)])],
+                    mapping,
                 }
             })
             .collect();
@@ -110,17 +124,39 @@ proptest! {
             a.merge(d);
         }
 
-        // Rotated order plus one duplicated delivery.
-        let mut b = TierView::new(FeId(0), 2);
-        let r = rot % deltas.len();
-        for d in deltas[r..].iter().chain(&deltas[..r]) {
-            b.merge(d);
+        // Fisher–Yates permutation from the proptest-chosen seed, plus
+        // arbitrary re-deliveries sprinkled in afterwards.
+        let mut state = shuffle_seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = state;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        let mut order: Vec<usize> = (0..deltas.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, (next() % (i as u64 + 1)) as usize);
         }
-        b.merge(&deltas[dup % deltas.len()]);
+        let mut b = TierView::new(FeId(0), 2);
+        for &i in &order {
+            b.merge(&deltas[i]);
+        }
+        for &d in &dups {
+            b.merge(&deltas[d % deltas.len()]);
+        }
 
         prop_assert_eq!(a.remote_load_fixed(), b.remote_load_fixed());
+        prop_assert_eq!(a.num_origins(), b.num_origins());
         for o in 1..5 {
-            prop_assert_eq!(a.origin_seq(FeId(o)), b.origin_seq(FeId(o)));
+            let fe = FeId(o);
+            prop_assert_eq!(a.origin_seq(fe), b.origin_seq(fe));
+            prop_assert_eq!(a.origin_loads(fe), b.origin_loads(fe), "loads diverge at {}", fe);
+            prop_assert_eq!(
+                a.origin_mapping(fe),
+                b.origin_mapping(fe),
+                "adopted mapping diverges at {}", fe
+            );
         }
     }
 }

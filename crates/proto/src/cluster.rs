@@ -161,6 +161,28 @@ pub struct ProtoConfig {
     /// more control traffic — the tier analogue of
     /// [`feedback_interval`](Self::feedback_interval).
     pub gossip_interval: Duration,
+    /// Extra back-end slots allocated — listeners bound, peer addresses
+    /// known to every node, dispatcher slots reserved — but **not**
+    /// serving at start: their circuit breakers begin `Open` on every
+    /// front-end (absent equals unhealthy) and no mapping ever refers
+    /// to them. [`Cluster::join_node`] brings one into the serving set
+    /// at runtime via the control-plane `Join` handshake.
+    pub standby_nodes: usize,
+    /// Relative per-node serving capacities, indexed by node slot over
+    /// `nodes + standby_nodes`. Policies normalize load by weight, so a
+    /// weight-2 node carries roughly twice a weight-1 node's share.
+    /// Empty means homogeneous (all 1). Non-empty but wrong length or
+    /// containing a zero is a [`ConfigError`].
+    pub node_weights: Vec<u32>,
+    /// Circuit-breaker parameters for the per-node health gates on
+    /// every front-end (trip threshold, cooldown, probation quota).
+    pub health: phttp_core::HealthConfig,
+    /// Spacing between breaker cooldown ticks: every interval, each
+    /// front-end's `Open` breakers advance one tick toward `HalfOpen`
+    /// probation. `Duration::ZERO` disables the timer — breakers then
+    /// only relax through an explicit [`Cluster::join_node`] handshake
+    /// or a test's own [`FrontEnd::health_tick`] calls.
+    pub health_tick_interval: Duration,
     /// Number of loopback addresses the front-end listens on
     /// (`127.0.0.1..127.0.0.k`). HTTP/1.0 load opens one TCP connection per
     /// request; on a single loopback address pair the 4-tuple space (and
@@ -195,6 +217,10 @@ impl Default for ProtoConfig {
             cache_policy: EvictPolicy::Lru,
             front_ends: 1,
             gossip_interval: DEFAULT_GOSSIP_INTERVAL,
+            standby_nodes: 0,
+            node_weights: Vec::new(),
+            health: phttp_core::HealthConfig::default(),
+            health_tick_interval: Duration::from_millis(25),
             fe_listeners: 4,
         }
     }
@@ -230,6 +256,18 @@ pub struct Cluster {
     accept_handoff: Option<bool>,
     peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     listeners: Vec<SocketAddr>,
+    /// Whether the control plane exists (`ProtoConfig::cache_feedback`):
+    /// with it, joins travel the wire; without, they apply in-process.
+    cache_feedback: bool,
+    /// Resolved per-slot capacity weights (all 1 when homogeneous).
+    weights: Vec<u32>,
+    /// Control-session readers installed by [`join_node`](Self::join_node)
+    /// after start (both I/O models use a blocking reader thread for
+    /// dynamically joined nodes — see ARCHITECTURE.md), joined at
+    /// shutdown.
+    dynamic_control_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The periodic breaker cooldown ticker, if enabled.
+    health_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Cluster {
@@ -259,6 +297,24 @@ impl Cluster {
         if config.front_ends == 0 {
             return Err(ConfigError::ZeroFrontEnds);
         }
+        let total_nodes = config.nodes + config.standby_nodes;
+        if !config.node_weights.is_empty() && config.node_weights.len() != total_nodes {
+            return Err(ConfigError::NodeWeightsMismatch {
+                expected: total_nodes,
+                got: config.node_weights.len(),
+            });
+        }
+        if let Some(node) = config.node_weights.iter().position(|&w| w == 0) {
+            return Err(ConfigError::ZeroNodeWeight { node });
+        }
+        if config.health.validate().is_err() {
+            return Err(ConfigError::InvalidHealthConfig);
+        }
+        let weights = if config.node_weights.is_empty() {
+            vec![1; total_nodes]
+        } else {
+            config.node_weights.clone()
+        };
         let store = Arc::new(ContentStore::from_trace(trace));
         // Catch corpora the data path cannot round-trip at construction
         // time: a document past the parsers' MAX_BODY bound would be
@@ -274,8 +330,10 @@ impl Cluster {
         let peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
 
-        // Bind every peer listener first so all addresses are known.
-        let peer_listeners: Vec<TcpListener> = (0..config.nodes)
+        // Bind every peer listener first so all addresses are known —
+        // standby slots included, so a later join changes no node's view
+        // of its peers.
+        let peer_listeners: Vec<TcpListener> = (0..total_nodes)
             .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind peer listener"))
             .collect();
         let peer_addrs: Vec<SocketAddr> = peer_listeners
@@ -283,7 +341,7 @@ impl Cluster {
             .map(|l| l.local_addr().expect("peer addr"))
             .collect();
 
-        let nodes: Vec<Arc<NodeState>> = (0..config.nodes)
+        let nodes: Vec<Arc<NodeState>> = (0..total_nodes)
             .map(|i| {
                 Arc::new(
                     NodeState::new(
@@ -312,12 +370,30 @@ impl Cluster {
         let fes: Vec<Arc<FrontEnd>> = (0..config.front_ends)
             .map(|_| {
                 Ok(Arc::new(
-                    FrontEnd::new(config.policy, config.mechanism, config.lard, nodes.clone())?
-                        .with_disk_report_interval(config.disk_report_interval),
+                    FrontEnd::with_health(
+                        config.policy,
+                        config.mechanism,
+                        config.lard,
+                        config.health,
+                        nodes.clone(),
+                    )?
+                    .with_disk_report_interval(config.disk_report_interval),
                 ))
             })
             .collect::<Result<_, ConfigError>>()?;
         let frontend = fes[0].clone();
+        // Capacity weights and standby gating: a standby slot is part of
+        // nobody's serving set until its Join handshake — its breaker
+        // starts Open on every front-end, so no policy decision can
+        // route there (absent equals unhealthy).
+        for fe in &fes {
+            for (i, &w) in weights.iter().enumerate() {
+                fe.set_node_weight(NodeId(i), w);
+            }
+            for i in config.nodes..total_nodes {
+                fe.health().force_open(NodeId(i));
+            }
+        }
         let vip = (config.front_ends > 1).then(|| Vip::start(fes.clone(), config.gossip_interval));
 
         // Control sessions (§7.1): one loopback stream per back-end over
@@ -332,7 +408,9 @@ impl Cluster {
         if config.cache_feedback {
             let ctl_listener = TcpListener::bind("127.0.0.1:0").expect("bind control listener");
             let ctl_addr = ctl_listener.local_addr().expect("control addr");
-            for (i, node) in nodes.iter().enumerate() {
+            // Serving nodes only: a standby slot gets its session from
+            // its Join handshake.
+            for (i, node) in nodes.iter().enumerate().take(config.nodes) {
                 let tx = TcpStream::connect(ctl_addr).expect("connect control session");
                 let (rx, _) = ctl_listener.accept().expect("accept control session");
                 node.attach_control(tx);
@@ -550,6 +628,33 @@ impl Cluster {
             }
         }
 
+        // Breaker cooldown timer: Open breakers advance toward HalfOpen
+        // probation once per interval, on every front-end.
+        let health_thread = (config.health_tick_interval > Duration::ZERO).then(|| {
+            let fes = fes.clone();
+            let stop = stop.clone();
+            let interval = config.health_tick_interval;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval.min(Duration::from_millis(5)));
+                    // Accumulate short sleeps up to the interval so
+                    // shutdown never waits out a long tick.
+                    let mut slept = interval.min(Duration::from_millis(5));
+                    while slept < interval && !stop.load(Ordering::Relaxed) {
+                        let step = (interval - slept).min(Duration::from_millis(5));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for fe in &fes {
+                        fe.health_tick();
+                    }
+                }
+            })
+        });
+
         Ok(Cluster {
             fe_addrs,
             frontend,
@@ -566,6 +671,10 @@ impl Cluster {
             accept_handoff,
             peer_threads,
             listeners,
+            cache_feedback: config.cache_feedback,
+            weights,
+            dynamic_control_threads: Mutex::new(Vec::new()),
+            health_thread,
         })
     }
 
@@ -616,6 +725,124 @@ impl Cluster {
     /// The content store (for building verifying clients).
     pub fn store(&self) -> &Arc<ContentStore> {
         &self.store
+    }
+
+    /// Brings back-end slot `i` into the serving set via the
+    /// control-plane `Join` handshake: a fresh control session is
+    /// installed whose **first frame** is the node's Join announcement —
+    /// slot, capacity weight, and its warm-cache journal — so every
+    /// front-end warms its mapping belief from the journal, installs
+    /// the weight, and closes the node's breaker *before* any feedback
+    /// traffic follows on the same stream. With the control plane
+    /// disabled ([`ProtoConfig::cache_feedback`] off) the handshake is
+    /// applied in-process instead.
+    ///
+    /// Works for standby slots (first join) and for killed nodes
+    /// (rejoin; see [`rejoin_node_warm`](Self::rejoin_node_warm) and
+    /// [`rejoin_node_cold`](Self::rejoin_node_cold)). The node's
+    /// listeners run from cluster start either way — joining is a
+    /// control-plane admission, not a process launch.
+    ///
+    /// Dynamically installed sessions are drained by a dedicated
+    /// blocking reader thread under **both** I/O models (the reactor's
+    /// registered control sources are fixed at spawn; see
+    /// ARCHITECTURE.md). Returns `false` for an out-of-range slot.
+    pub fn join_node(&self, i: usize) -> bool {
+        let nodes = self.frontend.nodes();
+        if i >= nodes.len() {
+            return false;
+        }
+        let node = nodes[i].clone();
+        if !self.cache_feedback {
+            let msg = node.join_msg(self.weights[i]);
+            for fe in &self.fes {
+                fe.apply_control(msg.clone());
+            }
+            return true;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind join control listener");
+        let addr = listener.local_addr().expect("join control addr");
+        let tx = TcpStream::connect(addr).expect("connect join control session");
+        let (rx, _) = listener.accept().expect("accept join control session");
+        // Snapshot, announce, and install the session atomically: the
+        // node keeps serving in-flight connections throughout its down
+        // window, and an admission slipping between a detached snapshot
+        // and the session install would be dropped by the session-less
+        // flush path — cached content invisible to every mirror.
+        node.attach_control_with_join(tx, self.weights[i])
+            .expect("write join announcement");
+        let fes = self.fes.clone();
+        let stop = self.stop.clone();
+        let handle = std::thread::spawn(move || run_control_reader(rx, &fes, NodeId(i), &stop));
+        self.dynamic_control_threads.lock().push(handle);
+        true
+    }
+
+    /// Kills back-end slot `i` as the failure detector sees it: the
+    /// node side of its control session closes, every front-end's
+    /// reader observes the EOF, evicts the node's mappings, and trips
+    /// its breaker. Blocks until the breaker is `Open` on every
+    /// front-end (so a subsequent rejoin cannot race the eviction);
+    /// returns `false` if that does not happen within two seconds —
+    /// e.g. the slot never had a session and was never serving. The
+    /// node's listeners keep running; with the control plane disabled
+    /// the eviction is applied in-process instead.
+    pub fn kill_node(&self, i: usize) -> bool {
+        let nodes = self.frontend.nodes();
+        if i >= nodes.len() {
+            return false;
+        }
+        if !self.cache_feedback {
+            for fe in &self.fes {
+                fe.evict_node(NodeId(i));
+            }
+            return true;
+        }
+        nodes[i].close_control();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let all_open = self
+                .fes
+                .iter()
+                .all(|fe| fe.health().state(NodeId(i)) == phttp_core::HealthState::Open);
+            if all_open {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Rejoins a killed node **warm**: its cache survived (the process
+    /// restarted, memory did not), so the Join handshake replays the
+    /// cache contents and front-ends route at it with beliefs already
+    /// hot. Returns `false` for an out-of-range slot.
+    pub fn rejoin_node_warm(&self, i: usize) -> bool {
+        self.join_node(i)
+    }
+
+    /// Rejoins a killed node **cold**: the machine rebooted, so the
+    /// cache is wiped first and the Join handshake carries an empty
+    /// journal — front-ends re-learn its contents from feedback as it
+    /// refills. Returns `false` for an out-of-range slot.
+    pub fn rejoin_node_cold(&self, i: usize) -> bool {
+        let nodes = self.frontend.nodes();
+        if i >= nodes.len() {
+            return false;
+        }
+        nodes[i].reset_cache();
+        self.join_node(i)
+    }
+
+    /// Advances every front-end's Open breakers one cooldown tick (the
+    /// periodic timer does this automatically unless
+    /// [`ProtoConfig::health_tick_interval`] is zero).
+    pub fn health_tick(&self) {
+        for fe in &self.fes {
+            fe.health_tick();
+        }
     }
 
     /// Waits (up to `timeout`) for every client connection's policy state
@@ -723,6 +950,15 @@ impl Cluster {
             node.close_control();
         }
         for t in self.control_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Dynamically joined nodes' readers exit on the same quiescent
+        // EOF (their node-side streams closed above with the rest).
+        let dynamic: Vec<_> = std::mem::take(&mut *self.dynamic_control_threads.lock());
+        for t in dynamic {
+            let _ = t.join();
+        }
+        if let Some(t) = self.health_thread.take() {
             let _ = t.join();
         }
         // The tier last: every serving path has drained, so no more

@@ -24,6 +24,13 @@
 //!   dispatcher state ([`phttp_core::StateDelta`]), merged into the
 //!   receiver's [`phttp_core::TierView`].
 //!
+//! Cluster elasticity adds one more back-end→front-end message:
+//!
+//! * [`ControlMsg::Join`] — a node announcing itself (or rejoining after
+//!   a restart), carrying its relative capacity weight and a replay of
+//!   its cache-admission journal so the dispatcher can warm its mapping
+//!   beliefs before routing traffic at the newcomer.
+//!
 //! Framing is `[tag: u8][len: u32 LE][payload]`, with `len` bounded by
 //! [`MAX_FRAME`] so a corrupt peer cannot make the receiver buffer
 //! unboundedly. The [`FrameDecoder`] is incremental: feed it whatever
@@ -45,6 +52,7 @@ const TAG_DISK_QUEUE: u8 = 1;
 const TAG_CACHE_FEEDBACK: u8 = 2;
 const TAG_HANDOFF: u8 = 3;
 const TAG_STATE_DELTA: u8 = 4;
+const TAG_JOIN: u8 = 5;
 const EV_ADMIT: u8 = 0;
 const EV_EVICT: u8 = 1;
 /// Frame header: tag byte plus little-endian payload length.
@@ -75,6 +83,33 @@ pub enum ControlMsg {
     /// One front-end's gossiped dispatcher-state share, merged into the
     /// receiving peer's [`phttp_core::TierView`].
     StateDelta(StateDelta),
+    /// A node announcing itself on a fresh control session: its slot,
+    /// capacity weight, and a journal replay of its current cache
+    /// contents (oldest first) for dispatcher warm-up.
+    Join {
+        /// Joining node.
+        node: NodeId,
+        /// Relative serving capacity (≥ 1; 1 = baseline).
+        weight: u32,
+        /// Cache journal to warm the mapping belief from. Empty for a
+        /// cold (freshly wiped) join.
+        events: Vec<CacheEvent>,
+    },
+}
+
+/// Appends `[count: u32 LE]` followed by 5 bytes per event — the shared
+/// journal encoding of [`ControlMsg::CacheFeedback`] and
+/// [`ControlMsg::Join`].
+fn encode_events(events: &[CacheEvent], payload: &mut Vec<u8>) {
+    payload.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for ev in events {
+        let (t, target) = match ev {
+            CacheEvent::Admit(t) => (EV_ADMIT, t),
+            CacheEvent::Evict(t) => (EV_EVICT, t),
+        };
+        payload.push(t);
+        payload.extend_from_slice(&target.0.to_le_bytes());
+    }
 }
 
 /// Serializes one message into its wire frame.
@@ -88,16 +123,18 @@ pub fn encode(msg: &ControlMsg) -> Vec<u8> {
         }
         ControlMsg::CacheFeedback { node, events } => {
             payload.extend_from_slice(&(node.0 as u32).to_le_bytes());
-            payload.extend_from_slice(&(events.len() as u32).to_le_bytes());
-            for ev in events {
-                let (t, target) = match ev {
-                    CacheEvent::Admit(t) => (EV_ADMIT, t),
-                    CacheEvent::Evict(t) => (EV_EVICT, t),
-                };
-                payload.push(t);
-                payload.extend_from_slice(&target.0.to_le_bytes());
-            }
+            encode_events(events, &mut payload);
             TAG_CACHE_FEEDBACK
+        }
+        ControlMsg::Join {
+            node,
+            weight,
+            events,
+        } => {
+            payload.extend_from_slice(&(node.0 as u32).to_le_bytes());
+            payload.extend_from_slice(&weight.to_le_bytes());
+            encode_events(events, &mut payload);
+            TAG_JOIN
         }
         ControlMsg::Handoff(msg) => {
             phttp_handoff::wire::encode(msg, &mut payload);
@@ -210,21 +247,21 @@ impl FrameDecoder {
             }
             TAG_CACHE_FEEDBACK => {
                 let node = NodeId(u32_at(0)? as usize);
-                let count = u32_at(4)? as usize;
-                if p.len() != 8 + count * 5 {
+                let events = Self::decode_events(p, 4)?;
+                Ok(ControlMsg::CacheFeedback { node, events })
+            }
+            TAG_JOIN => {
+                let node = NodeId(u32_at(0)? as usize);
+                let weight = u32_at(4)?;
+                if weight == 0 {
                     return Err(DecodeError::Malformed);
                 }
-                let mut events = Vec::with_capacity(count);
-                for i in 0..count {
-                    let off = 8 + i * 5;
-                    let target = TargetId(u32_at(off + 1)?);
-                    events.push(match p[off] {
-                        EV_ADMIT => CacheEvent::Admit(target),
-                        EV_EVICT => CacheEvent::Evict(target),
-                        _ => return Err(DecodeError::Malformed),
-                    });
-                }
-                Ok(ControlMsg::CacheFeedback { node, events })
+                let events = Self::decode_events(p, 8)?;
+                Ok(ControlMsg::Join {
+                    node,
+                    weight,
+                    events,
+                })
             }
             TAG_HANDOFF => match phttp_handoff::wire::decode(p) {
                 Ok((msg, used)) if used == p.len() => Ok(ControlMsg::Handoff(msg)),
@@ -235,6 +272,34 @@ impl FrameDecoder {
                 .map_err(|_| DecodeError::Malformed),
             other => Err(DecodeError::BadTag(other)),
         }
+    }
+
+    /// Parses the shared `[count][5 bytes per event]` journal encoding
+    /// starting at byte `off`, requiring it to consume the payload
+    /// exactly.
+    fn decode_events(p: &[u8], off: usize) -> Result<Vec<CacheEvent>, DecodeError> {
+        let count_bytes = p.get(off..off + 4).ok_or(DecodeError::Malformed)?;
+        let count = u32::from_le_bytes([
+            count_bytes[0],
+            count_bytes[1],
+            count_bytes[2],
+            count_bytes[3],
+        ]) as usize;
+        if p.len() != off + 4 + count * 5 {
+            return Err(DecodeError::Malformed);
+        }
+        let mut events = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = off + 4 + i * 5;
+            let t = p.get(at + 1..at + 5).ok_or(DecodeError::Malformed)?;
+            let target = TargetId(u32::from_le_bytes([t[0], t[1], t[2], t[3]]));
+            events.push(match p[at] {
+                EV_ADMIT => CacheEvent::Admit(target),
+                EV_EVICT => CacheEvent::Evict(target),
+                _ => return Err(DecodeError::Malformed),
+            });
+        }
+        Ok(events)
     }
 }
 
@@ -272,6 +337,36 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.feed(&encode(&msg));
         assert_eq!(dec.next().unwrap(), Some(msg));
+    }
+
+    #[test]
+    fn roundtrip_join() {
+        let msg = ControlMsg::Join {
+            node: NodeId(2),
+            weight: 4,
+            events: vec![CacheEvent::Admit(t(3)), CacheEvent::Admit(t(8))],
+        };
+        let cold = ControlMsg::Join {
+            node: NodeId(0),
+            weight: 1,
+            events: vec![],
+        };
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode(&msg));
+        dec.feed(&encode(&cold));
+        assert_eq!(dec.next().unwrap(), Some(msg));
+        assert_eq!(dec.next().unwrap(), Some(cold));
+        assert_eq!(dec.next().unwrap(), None);
+
+        // A zero weight is meaningless (division by capacity) and
+        // poisons the stream.
+        let mut dec = FrameDecoder::new();
+        let mut wire = vec![TAG_JOIN, 12, 0, 0, 0];
+        wire.extend_from_slice(&1u32.to_le_bytes()); // node
+        wire.extend_from_slice(&0u32.to_le_bytes()); // weight 0
+        wire.extend_from_slice(&0u32.to_le_bytes()); // no events
+        dec.feed(&wire);
+        assert_eq!(dec.next(), Err(DecodeError::Malformed));
     }
 
     #[test]

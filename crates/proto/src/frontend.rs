@@ -56,6 +56,23 @@ pub enum ConfigError {
     /// `ProtoConfig::front_ends` is zero — the cluster needs at least
     /// one front-end instance behind the VIP.
     ZeroFrontEnds,
+    /// `ProtoConfig::node_weights` is non-empty but its length does not
+    /// cover every back-end slot (serving plus standby).
+    NodeWeightsMismatch {
+        /// Slots the cluster allocates.
+        expected: usize,
+        /// Weights the config supplied.
+        got: usize,
+    },
+    /// A `ProtoConfig::node_weights` entry is zero — a node with no
+    /// capacity cannot be normalized against.
+    ZeroNodeWeight {
+        /// The offending slot.
+        node: usize,
+    },
+    /// `ProtoConfig::health` has a zero threshold, cooldown, or
+    /// probation quota (each must be at least 1).
+    InvalidHealthConfig,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -81,6 +98,19 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroPeerPoolCap => {
                 write!(f, "peer_pool_cap must be at least 1")
+            }
+            ConfigError::NodeWeightsMismatch { expected, got } => write!(
+                f,
+                "node_weights has {got} entries but the cluster allocates {expected} back-end slots"
+            ),
+            ConfigError::ZeroNodeWeight { node } => {
+                write!(f, "node_weights[{node}] is zero; weights must be at least 1")
+            }
+            ConfigError::InvalidHealthConfig => {
+                write!(
+                    f,
+                    "health config fields (fail_threshold, cooldown_ticks, probation) must all be at least 1"
+                )
             }
         }
     }
@@ -114,6 +144,9 @@ pub struct FrontEnd {
     /// Nodes evicted by the control-plane failure detector (see
     /// [`evict_node`](Self::evict_node)).
     node_evictions: AtomicU64,
+    /// Nodes admitted (or re-admitted) through the control-plane
+    /// [`ControlMsg::Join`] handshake.
+    node_joins: AtomicU64,
 }
 
 impl FrontEnd {
@@ -129,6 +162,29 @@ impl FrontEnd {
         params: LardParams,
         nodes: Vec<Arc<NodeState>>,
     ) -> Result<Self, ConfigError> {
+        Self::with_health(
+            policy,
+            mechanism,
+            params,
+            phttp_core::HealthConfig::default(),
+            nodes,
+        )
+    }
+
+    /// [`new`](Self::new) with explicit circuit-breaker parameters for
+    /// the per-node health gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `health` is invalid (`Cluster::start` validates it
+    /// first and reports a [`ConfigError`] instead).
+    pub fn with_health(
+        policy: PolicyKind,
+        mechanism: Mechanism,
+        params: LardParams,
+        health: phttp_core::HealthConfig,
+        nodes: Vec<Arc<NodeState>>,
+    ) -> Result<Self, ConfigError> {
         let semantics = match mechanism {
             Mechanism::BackendForwarding | Mechanism::SingleHandoff => {
                 ForwardSemantics::LateralFetch
@@ -136,12 +192,9 @@ impl FrontEnd {
             Mechanism::MultipleHandoff => ForwardSemantics::Migrate,
             other => return Err(ConfigError::UnsupportedMechanism(other)),
         };
-        let dispatcher = ConcurrentDispatcher::from_config(DispatcherConfig::new(
-            policy,
-            semantics,
-            nodes.len(),
-            params,
-        ));
+        let dispatcher = ConcurrentDispatcher::from_config(
+            DispatcherConfig::new(policy, semantics, nodes.len(), params).with_health(health),
+        );
         Ok(FrontEnd {
             dispatcher,
             nodes,
@@ -150,6 +203,7 @@ impl FrontEnd {
             started: Instant::now(),
             last_disk_report: AtomicU64::new(NEVER),
             node_evictions: AtomicU64::new(0),
+            node_joins: AtomicU64::new(0),
         })
     }
 
@@ -253,6 +307,21 @@ impl FrontEnd {
                     self.dispatcher.apply_cache_feedback(node, &events);
                 }
             }
+            ControlMsg::Join {
+                node,
+                weight,
+                events,
+            } => {
+                if node.0 < self.nodes.len() && weight > 0 {
+                    self.node_joins.fetch_add(1, Ordering::Relaxed);
+                    self.dispatcher.set_node_weight(node, weight);
+                    // Warm-up installs the journal's net cache contents
+                    // as mapping beliefs and closes the node's breaker,
+                    // so the first real decision can already route at
+                    // the newcomer's warm cache.
+                    self.dispatcher.warm_up(node, &events);
+                }
+            }
             // Tier traffic (VIP admission, peer gossip) travels on its
             // own sessions and never reaches the per-node control path.
             ControlMsg::Handoff(_) | ControlMsg::StateDelta(_) => {}
@@ -299,6 +368,31 @@ impl FrontEnd {
     /// (0 across any clean cluster lifetime).
     pub fn node_evictions(&self) -> u64 {
         self.node_evictions.load(Ordering::Relaxed)
+    }
+
+    /// How many [`ControlMsg::Join`] handshakes this front-end has
+    /// admitted (initial joins and post-restart rejoins alike).
+    pub fn node_joins(&self) -> u64 {
+        self.node_joins.load(Ordering::Relaxed)
+    }
+
+    /// The per-node circuit breakers gating this front-end's routing.
+    pub fn health(&self) -> &phttp_core::HealthGate {
+        self.dispatcher.health()
+    }
+
+    /// Advances every Open breaker's cooldown by one tick (the cluster's
+    /// periodic health timer calls this; Open nodes relax to HalfOpen
+    /// probation once their cooldown elapses).
+    pub fn health_tick(&self) {
+        self.dispatcher.health().tick_all();
+    }
+
+    /// Overrides one back-end's relative capacity weight.
+    pub fn set_node_weight(&self, node: NodeId, weight: u32) {
+        if node.0 < self.nodes.len() && weight > 0 {
+            self.dispatcher.set_node_weight(node, weight);
+        }
     }
 
     /// Coherence counters plus the divergence/believed-pair gauges
@@ -521,6 +615,46 @@ mod tests {
         let c2 = fe.alloc_conn();
         let n2 = fe.open_connection(c2, TargetId(3));
         assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn join_control_message_warms_mapping_and_closes_breaker() {
+        use phttp_core::{CacheEvent, HealthState};
+        let fe = fe(PolicyKind::ExtLard, 3);
+        let node = NodeId(2);
+        // Node died: failure detector evicts it and trips its breaker.
+        fe.evict_node(node);
+        assert_eq!(fe.health().state(node), HealthState::Open);
+
+        // It rejoins with a warm cache journal: t5 admitted, t6
+        // admitted-then-evicted.
+        fe.apply_control(ControlMsg::Join {
+            node,
+            weight: 3,
+            events: vec![
+                CacheEvent::Admit(TargetId(5)),
+                CacheEvent::Admit(TargetId(6)),
+                CacheEvent::Evict(TargetId(6)),
+            ],
+        });
+        assert_eq!(fe.node_joins(), 1);
+        assert_eq!(fe.health().state(node), HealthState::Closed);
+        assert!(fe.mapping().nodes(TargetId(5)).contains(&node));
+        assert!(!fe.mapping().nodes(TargetId(6)).contains(&node));
+        assert_eq!(fe.mapping_divergence(), 0, "warm-up must stay coherent");
+
+        // Out-of-range slots and zero weights are ignored, not applied.
+        fe.apply_control(ControlMsg::Join {
+            node: NodeId(9),
+            weight: 1,
+            events: vec![],
+        });
+        fe.apply_control(ControlMsg::Join {
+            node,
+            weight: 0,
+            events: vec![],
+        });
+        assert_eq!(fe.node_joins(), 1);
     }
 
     #[test]

@@ -367,6 +367,49 @@ impl NodeState {
         self.control.lock().stream = Some(stream);
     }
 
+    /// Atomically snapshots the cache, writes the [`ControlMsg::Join`]
+    /// announcement on `stream`, and installs it as the control
+    /// session. Holding the cache and control locks (in that order —
+    /// the same order `cache_insert_reporting` takes them) across all
+    /// three steps guarantees that every cache event generated after
+    /// the snapshot is ordered *after* the `Join` frame on the wire,
+    /// and that no stale pre-snapshot event survives to contradict it.
+    /// Without this, an admission landing between a detached
+    /// [`join_msg`](Self::join_msg) snapshot and
+    /// [`attach_control`](Self::attach_control) is silently dropped by
+    /// the session-less flush path, leaving the target cached but
+    /// absent from every mirror — a mapping divergence that no later
+    /// cache hit ever repairs.
+    pub fn attach_control_with_join(
+        &self,
+        mut stream: TcpStream,
+        weight: u32,
+    ) -> std::io::Result<()> {
+        let cache = self.cache.lock();
+        let mut tx = self.control.lock();
+        let events = cache
+            .contents_lru_order()
+            .into_iter()
+            .map(|(t, _)| CacheEvent::Admit(t))
+            .collect();
+        drop(cache);
+        // Down-window residue describes states the snapshot supersedes.
+        tx.pending.clear();
+        tx.outbuf.clear();
+        let msg = ControlMsg::Join {
+            node: self.id,
+            weight,
+            events,
+        };
+        let _ = stream.set_nodelay(true);
+        // Announce while the stream is still blocking (the control
+        // session flips non-blocking for the node's feedback writes).
+        stream.write_all(&encode(&msg))?;
+        stream.set_nonblocking(true)?;
+        tx.stream = Some(stream);
+        Ok(())
+    }
+
     /// Drops the node side of the control session; the front-end's
     /// reader observes EOF. Called by `Cluster::shutdown` so blocking
     /// control readers unwind without timeouts.
@@ -502,6 +545,43 @@ impl NodeState {
         if dead || outbuf.len() > MAX_CONTROL_BACKLOG {
             *stream = None;
             outbuf.clear();
+        }
+    }
+
+    /// Wipes the cache — a node restarting with cold memory — keeping
+    /// its configuration, and drops any pending feedback events (they
+    /// describe contents that no longer exist; the rejoin handshake's
+    /// [`join_msg`](Self::join_msg) supersedes them).
+    pub fn reset_cache(&self) {
+        let mut cache = self.cache.lock();
+        cache.clear();
+        let mut tx = self.control.lock();
+        drop(cache);
+        tx.pending.clear();
+        tx.outbuf.clear();
+    }
+
+    /// The current cache contents as an admission journal, least
+    /// recently used first — replaying it through the dispatcher's
+    /// mirror rebuilds the belief exactly, recency included. The warm
+    /// half of the `Join` handshake.
+    pub fn cache_snapshot_events(&self) -> Vec<CacheEvent> {
+        self.cache
+            .lock()
+            .contents_lru_order()
+            .into_iter()
+            .map(|(t, _)| CacheEvent::Admit(t))
+            .collect()
+    }
+
+    /// Builds this node's [`ControlMsg::Join`] announcement: slot,
+    /// capacity weight, and the warm-cache journal (empty after
+    /// [`reset_cache`](Self::reset_cache) — a cold join).
+    pub fn join_msg(&self, weight: u32) -> ControlMsg {
+        ControlMsg::Join {
+            node: self.id,
+            weight,
+            events: self.cache_snapshot_events(),
         }
     }
 
@@ -869,6 +949,40 @@ mod tests {
         m.serve_local(TargetId(0));
         m.serve_local(TargetId(0));
         assert_eq!(m.stats.snapshot(), s);
+    }
+
+    #[test]
+    fn join_msg_snapshots_cache_and_reset_makes_it_cold() {
+        let n = node(); // 4096-byte cache
+        n.serve_local(TargetId(0)); // 1000
+        n.serve_local(TargetId(1)); // 2000
+        match n.join_msg(2) {
+            ControlMsg::Join {
+                node,
+                weight,
+                events,
+            } => {
+                assert_eq!(node, NodeId(0));
+                assert_eq!(weight, 2);
+                assert_eq!(
+                    events,
+                    vec![
+                        CacheEvent::Admit(TargetId(0)),
+                        CacheEvent::Admit(TargetId(1))
+                    ]
+                );
+            }
+            other => panic!("expected Join, got {other:?}"),
+        }
+        n.reset_cache();
+        assert!(n.cache.lock().is_empty());
+        match n.join_msg(1) {
+            ControlMsg::Join { events, .. } => assert!(events.is_empty(), "cold join"),
+            other => panic!("expected Join, got {other:?}"),
+        }
+        // The wiped cache keeps working (and journalling) afterwards.
+        n.serve_local(TargetId(2));
+        assert!(n.cache.lock().contains(TargetId(2)));
     }
 
     #[test]

@@ -386,7 +386,22 @@ impl Vip {
             let refused = acts
                 .iter()
                 .any(|a| matches!(a, Action::ConnectionClosed { .. }));
-            return if refused { None } else { Some(conn) };
+            if refused {
+                return None;
+            }
+            // Re-check liveness *after* the ack: `kill_frontend` may
+            // have decommissioned `f` between the round-robin pick and
+            // the ack arriving, and the route just installed would
+            // then track a front-end the tier no longer admits to.
+            // Unwind it (close in the machine, release on the
+            // endpoint) and report failure so `admit` retries the
+            // handshake on a surviving front-end.
+            if !self.alive[f].load(Ordering::SeqCst) {
+                drop(guard);
+                self.abandon_admit(f, conn);
+                return None;
+            }
+            return Some(conn);
         }
     }
 
@@ -418,8 +433,11 @@ impl Vip {
     /// from every survivor's view. In-flight connections keep draining
     /// on `f`'s still-running instance — a control-plane
     /// decommission, not a process kill — so no admitted request is
-    /// lost. Returns `false` if `f` was already dead or is the last
-    /// live front-end.
+    /// lost. A handshake whose ack races this decommission is unwound
+    /// by `admit_to`'s post-ack liveness re-check
+    /// and retried on a survivor, so the forwarding table never leaks
+    /// a route to `f`. Returns `false` if `f` was already dead or is
+    /// the last live front-end.
     pub fn kill_frontend(&self, f: usize) -> bool {
         let live = (0..self.fes.len())
             .filter(|&g| self.alive[g].load(Ordering::Relaxed))
@@ -802,6 +820,56 @@ mod tests {
         // Cannot kill down to zero.
         assert!(vip.kill_frontend(0));
         assert!(!vip.kill_frontend(2), "last front-end must survive");
+        vip.shutdown();
+    }
+
+    /// Regression for the `kill_frontend` vs in-flight admission race:
+    /// a handshake whose ack lands after the decommission must be
+    /// unwound and retried, never left as a tracked route pointing at
+    /// the dead front-end. An admission storm races two kills; once
+    /// the storm stops and every admitted connection is released, the
+    /// forwarding table must drain to zero.
+    #[test]
+    fn concurrent_kill_never_leaks_tracked_routes() {
+        let (vip, _fes) = tier(3, 2);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for w in 0..4u16 {
+            let vip = vip.clone();
+            let stop = stop.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut port = 42_000 + w * 4_000;
+                while !stop.load(Ordering::Relaxed) {
+                    port = port.wrapping_add(1).max(1024);
+                    if let Some((f, conn)) = vip.admit(key(port)) {
+                        vip.release(f, conn);
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(vip.kill_frontend(1));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(vip.kill_frontend(0));
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().expect("admission worker");
+        }
+        let drained = vip.quiesce(Duration::from_secs(5));
+        assert!(
+            drained,
+            "tracked routes must drain to zero after concurrent kills; \
+             still tracking {}",
+            vip.tracked()
+        );
+        // Fresh admissions land only on the lone survivor.
+        for p in 0..4 {
+            let (f, conn) = vip.admit(key(61_000 + p)).expect("survivor admits");
+            assert_eq!(f, 2, "admission landed on a decommissioned front-end");
+            vip.release(f, conn);
+        }
+        assert!(vip.quiesce(Duration::from_secs(2)));
         vip.shutdown();
     }
 }

@@ -27,6 +27,42 @@ impl ProtocolMode {
     }
 }
 
+/// A scheduled cluster-membership change (the simulator twin of the
+/// prototype's `Cluster::kill_node` / `rejoin_node_*` chaos API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnAction {
+    /// Decommission the node: every front-end instance drops its beliefs
+    /// about it and trips its circuit breaker (the control-session EOF
+    /// path). In-flight requests drain; the node's cache keeps its
+    /// contents, but it stops reporting until it rejoins.
+    Kill(usize),
+    /// The node rejoins announcing its surviving cache contents — the
+    /// dispatchers' beliefs are warmed from the snapshot before the node
+    /// takes traffic.
+    JoinWarm(usize),
+    /// The node rejoins freshly wiped: its cache is cleared and the join
+    /// carries an empty journal (a replacement machine, not a restart).
+    JoinCold(usize),
+}
+
+impl ChurnAction {
+    /// The node index the action applies to.
+    pub fn node(self) -> usize {
+        match self {
+            ChurnAction::Kill(n) | ChurnAction::JoinWarm(n) | ChurnAction::JoinCold(n) => n,
+        }
+    }
+}
+
+/// One entry of a churn schedule: what happens, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Simulated instant the change takes effect.
+    pub at: SimDuration,
+    /// The membership change.
+    pub action: ChurnAction,
+}
+
 /// Full configuration of one simulated run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -92,6 +128,11 @@ pub struct SimConfig {
     /// Longer intervals let instances act on staler peer state — the
     /// freshness/traffic trade-off the `fe_tier` bench measures.
     pub gossip_interval: SimDuration,
+    /// Scheduled membership churn (kills and warm/cold rejoins), applied
+    /// at the given simulated instants. Empty by default — the paper's
+    /// cluster is static; churn is what the elasticity bench and the
+    /// chaos conservation properties exercise.
+    pub churn: Vec<ChurnEvent>,
 }
 
 impl SimConfig {
@@ -124,6 +165,7 @@ impl SimConfig {
             eviction: EvictPolicy::Lru,
             front_ends: 1,
             gossip_interval: SimDuration::from_millis(10),
+            churn: Vec::new(),
         };
         match label {
             "WRR" => SimConfig {
@@ -195,6 +237,13 @@ impl SimConfig {
         self
     }
 
+    /// Schedules cluster-membership churn (builder style). Events apply
+    /// at their simulated instants in the order given for equal times.
+    pub fn with_churn(mut self, churn: Vec<ChurnEvent>) -> SimConfig {
+        self.churn = churn;
+        self
+    }
+
     /// Runs a front-end tier of `front_ends` instances gossiping every
     /// `gossip_interval` (builder style).
     pub fn with_front_ends(mut self, front_ends: usize, gossip_interval: SimDuration) -> SimConfig {
@@ -241,6 +290,15 @@ impl SimConfig {
         }
         if self.front_ends > 1 && self.gossip_interval == SimDuration::ZERO {
             return Err("gossip_interval must be positive when running a front-end tier".into());
+        }
+        for ev in &self.churn {
+            if ev.action.node() >= self.nodes {
+                return Err(format!(
+                    "churn event targets node {} but the cluster has {} nodes",
+                    ev.action.node(),
+                    self.nodes
+                ));
+            }
         }
         self.lard.validate()
     }
@@ -344,6 +402,30 @@ mod tests {
         assert!(cfg.coalesce_misses);
         assert_eq!(cfg.eviction, EvictPolicy::LruMad);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn churn_builder_and_validation() {
+        use phttp_simcore::SimDuration;
+        let cfg = SimConfig::paper_config("WRR", 2);
+        assert!(cfg.churn.is_empty(), "static cluster by default");
+        let cfg = cfg.with_churn(vec![
+            ChurnEvent {
+                at: SimDuration::from_millis(10),
+                action: ChurnAction::Kill(1),
+            },
+            ChurnEvent {
+                at: SimDuration::from_millis(20),
+                action: ChurnAction::JoinWarm(1),
+            },
+        ]);
+        cfg.validate().unwrap();
+
+        let bad = SimConfig::paper_config("WRR", 2).with_churn(vec![ChurnEvent {
+            at: SimDuration::from_millis(1),
+            action: ChurnAction::JoinCold(2),
+        }]);
+        assert!(bad.validate().is_err(), "out-of-range churn node");
     }
 
     #[test]

@@ -38,13 +38,19 @@ use phttp_simcore::{Accumulator, EventQueue, FifoResource, Histogram, SimDuratio
 use phttp_trace::{ConnectionTrace, TargetId, Trace};
 
 use crate::cache::LruCache;
-use crate::config::{ProtocolMode, SimConfig};
+use crate::config::{ChurnAction, ProtocolMode, SimConfig};
 use crate::costs::CostTimes;
 use crate::report::{NodeReport, Report};
 
 /// Control-session disk-queue reporting period (paper §7.1: queue lengths
 /// are conveyed to the front-end over the control sessions).
 const DISK_REPORT_INTERVAL: SimDuration = SimDuration::from_millis(100);
+
+/// Health-probe period: how often each dispatcher's circuit breakers
+/// tick (Open → HalfOpen after the configured cooldown). Only armed
+/// when the run has a churn schedule — a static cluster never trips a
+/// breaker.
+const HEALTH_PROBE_INTERVAL: SimDuration = SimDuration::from_millis(50);
 
 /// One simulated back-end node.
 struct Backend {
@@ -66,6 +72,10 @@ struct Backend {
     /// Cache admissions/evictions accumulated since the last feedback
     /// report (empty and untouched when feedback is off).
     pending_feedback: Vec<CacheEvent>,
+    /// Whether the node's control session is up. A killed node stops
+    /// reporting (disk queues, cache feedback) until it rejoins — the
+    /// simulator twin of the prototype's closed control stream.
+    session_up: bool,
 }
 
 impl Backend {
@@ -84,6 +94,7 @@ impl Backend {
             delayed_hits: 0,
             flights: HashMap::new(),
             pending_feedback: Vec::new(),
+            session_up: true,
         }
     }
 
@@ -159,6 +170,11 @@ enum Ev {
     /// all-pairs exchange per round — the simulator's stand-in for the
     /// prototype's pairwise gossip sessions.
     Gossip,
+    /// Periodic breaker tick (churn runs only): every dispatcher's
+    /// health gate advances its cooldowns (Open → HalfOpen).
+    HealthProbe,
+    /// Scheduled membership change: index into the churn schedule.
+    Churn(u32),
 }
 
 /// The simulator. Borrowing the workload keeps multi-run sweeps cheap.
@@ -322,6 +338,13 @@ impl<'w> Run<'w> {
             self.events
                 .push(SimTime::ZERO + self.cfg.gossip_interval, Ev::Gossip);
         }
+        if !self.cfg.churn.is_empty() {
+            for (i, ev) in self.cfg.churn.iter().enumerate() {
+                self.events.push(SimTime::ZERO + ev.at, Ev::Churn(i as u32));
+            }
+            self.events
+                .push(SimTime::ZERO + HEALTH_PROBE_INTERVAL, Ev::HealthProbe);
+        }
         self.try_admit(SimTime::ZERO);
         while let Some((now, ev)) = self.events.pop() {
             match ev {
@@ -334,6 +357,8 @@ impl<'w> Run<'w> {
                 Ev::DiskReport => self.on_disk_report(now),
                 Ev::FeedbackReport => self.on_feedback_report(now),
                 Ev::Gossip => self.on_gossip(now),
+                Ev::HealthProbe => self.on_health_probe(now),
+                Ev::Churn(i) => self.on_churn(i),
             }
         }
         self.report()
@@ -346,6 +371,9 @@ impl<'w> Run<'w> {
     /// removes a systematic idle-disk bias from the extended-LARD heuristic.
     fn on_disk_report(&mut self, now: SimTime) {
         for i in 0..self.cfg.nodes {
+            if !self.backends[i].session_up {
+                continue; // killed: no control session to report over
+            }
             let depth = self.backends[i].disk.queue_len(now);
             // Control sessions fan out to every front-end instance: the
             // queue depth describes the *node*, which every tier member
@@ -370,6 +398,9 @@ impl<'w> Run<'w> {
     /// batched, per-shard application the live prototype pays.
     fn on_feedback_report(&mut self, now: SimTime) {
         for i in 0..self.cfg.nodes {
+            if !self.backends[i].session_up {
+                continue; // killed: deltas cannot reach the dispatchers
+            }
             let events = std::mem::take(&mut self.backends[i].pending_feedback);
             for d in &mut self.dispatchers {
                 d.apply_cache_feedback(NodeId(i), &events);
@@ -413,6 +444,69 @@ impl<'w> Run<'w> {
         }
         if self.active > 0 {
             self.events.push(now + self.cfg.gossip_interval, Ev::Gossip);
+        }
+    }
+
+    /// Breaker tick: every dispatcher's health gate advances its
+    /// cooldowns so tripped nodes move Open → HalfOpen and probation
+    /// probes can close them again.
+    fn on_health_probe(&mut self, now: SimTime) {
+        for d in &self.dispatchers {
+            d.health().tick_all();
+        }
+        if self.active > 0 {
+            self.events
+                .push(now + HEALTH_PROBE_INTERVAL, Ev::HealthProbe);
+        }
+    }
+
+    /// One scheduled membership change from the churn schedule.
+    ///
+    /// * Kill: every dispatcher decommissions the node (beliefs dropped,
+    ///   breaker forced Open) and its control session goes down. The
+    ///   backend keeps draining whatever was already assigned to it —
+    ///   the prototype's graceful decommission, so request conservation
+    ///   survives arbitrary schedules.
+    /// * JoinWarm: the node's surviving cache contents are snapshotted
+    ///   into Admit events and replayed through every dispatcher's
+    ///   warm-up path (absolute re-seed + breaker reset).
+    /// * JoinCold: the cache is wiped first; the join carries an empty
+    ///   journal, so dispatchers start from a blank belief.
+    fn on_churn(&mut self, idx: u32) {
+        match self.cfg.churn[idx as usize].action {
+            ChurnAction::Kill(n) => {
+                let be = &mut self.backends[n];
+                be.session_up = false;
+                be.pending_feedback.clear();
+                for d in &mut self.dispatchers {
+                    d.evict_node(NodeId(n));
+                }
+            }
+            ChurnAction::JoinWarm(n) => {
+                let events: Vec<CacheEvent> = self.backends[n]
+                    .cache
+                    .contents_lru_order()
+                    .into_iter()
+                    .map(|(t, _)| CacheEvent::Admit(t))
+                    .collect();
+                self.rejoin(n, &events);
+            }
+            ChurnAction::JoinCold(n) => {
+                self.backends[n].cache.clear();
+                self.rejoin(n, &[]);
+            }
+        }
+    }
+
+    /// Brings node `n` back: control session up, stale unreported deltas
+    /// dropped (the join snapshot supersedes them), and every dispatcher
+    /// warmed from `events`.
+    fn rejoin(&mut self, n: usize, events: &[CacheEvent]) {
+        let be = &mut self.backends[n];
+        be.session_up = true;
+        be.pending_feedback.clear();
+        for d in &mut self.dispatchers {
+            d.warm_up(NodeId(n), events);
         }
     }
 
@@ -769,6 +863,9 @@ impl<'w> Run<'w> {
         // has no "after", so flush here).
         if self.cfg.cache_feedback {
             for i in 0..self.cfg.nodes {
+                if !self.backends[i].session_up {
+                    continue; // still killed at run end: nothing reaches anyone
+                }
                 let events = std::mem::take(&mut self.backends[i].pending_feedback);
                 for d in &mut self.dispatchers {
                     d.apply_cache_feedback(NodeId(i), &events);
@@ -1265,6 +1362,91 @@ mod tests {
         assert_eq!(a.gossip_adoptions, b.gossip_adoptions);
         assert_eq!(a.mapping_divergence, b.mapping_divergence);
         assert_eq!(a.per_fe_utilization, b.per_fe_utilization);
+    }
+
+    #[test]
+    fn churn_conserves_requests_and_stays_deterministic() {
+        use crate::config::{ChurnAction, ChurnEvent};
+        let trace = small_trace();
+        let run = || {
+            let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3)
+                .with_feedback(SimDuration::from_millis(100))
+                .with_churn(vec![
+                    ChurnEvent {
+                        at: SimDuration::from_millis(200),
+                        action: ChurnAction::Kill(1),
+                    },
+                    ChurnEvent {
+                        at: SimDuration::from_millis(600),
+                        action: ChurnAction::JoinWarm(1),
+                    },
+                    ChurnEvent {
+                        at: SimDuration::from_millis(900),
+                        action: ChurnAction::Kill(2),
+                    },
+                    ChurnEvent {
+                        at: SimDuration::from_millis(1400),
+                        action: ChurnAction::JoinCold(2),
+                    },
+                ]);
+            cfg.cache_bytes = 2 * 1024 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let a = run();
+        assert_eq!(
+            a.requests,
+            trace.len() as u64,
+            "churn must not lose or duplicate requests"
+        );
+        let served: u64 = a.per_node.iter().map(|n| n.requests).sum();
+        assert_eq!(served, a.requests);
+        let b = run();
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.mapping_divergence, b.mapping_divergence);
+        assert_eq!(a.per_node.len(), b.per_node.len());
+        for (x, y) in a.per_node.iter().zip(&b.per_node) {
+            assert_eq!(x.requests, y.requests);
+            assert_eq!(x.cache_hits, y.cache_hits);
+        }
+    }
+
+    #[test]
+    fn warm_rejoin_recovers_better_than_cold() {
+        use crate::config::{ChurnAction, ChurnEvent};
+        let trace = small_trace();
+        let run = |rejoin: ChurnAction| {
+            let mut cfg = SimConfig::paper_config("BEforward-extLARD-PHTTP", 3)
+                .with_feedback(SimDuration::from_millis(100))
+                .with_churn(vec![
+                    ChurnEvent {
+                        at: SimDuration::from_millis(300),
+                        action: ChurnAction::Kill(1),
+                    },
+                    ChurnEvent {
+                        at: SimDuration::from_millis(500),
+                        action: rejoin,
+                    },
+                ]);
+            // Eviction-free: with capacity pressure the warm/cold gap
+            // drowns in second-order eviction churn; without it the
+            // wiped cache's re-fetches are the only difference.
+            cfg.cache_bytes = 64 * 1024 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let warm = run(ChurnAction::JoinWarm(1));
+        let cold = run(ChurnAction::JoinCold(1));
+        assert_eq!(warm.requests, trace.len() as u64);
+        assert_eq!(cold.requests, trace.len() as u64);
+        // A wiped cache has to re-fetch what the warm rejoin kept.
+        assert!(
+            cold.disk_fetches > warm.disk_fetches,
+            "cold rejoin fetched {} <= warm {}",
+            cold.disk_fetches,
+            warm.disk_fetches
+        );
+        assert!(cold.cache_hit_rate <= warm.cache_hit_rate + 1e-9);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod engine;
 pub mod report;
 
 pub use cache::LruCache;
-pub use config::{ProtocolMode, SimConfig};
+pub use config::{ChurnAction, ChurnEvent, ProtocolMode, SimConfig};
 pub use costs::{DiskParams, MechanismCosts, ServerCosts};
 pub use engine::{build_workload, Simulator};
 pub use phttp_simcore::EvictPolicy;

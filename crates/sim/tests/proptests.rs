@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use phttp_sim::{build_workload, SimConfig, Simulator};
-use phttp_simcore::SimTime;
+use phttp_sim::{build_workload, ChurnAction, ChurnEvent, SimConfig, Simulator};
+use phttp_simcore::{SimDuration, SimTime};
 use phttp_trace::{ClientId, Request, SessionConfig, TargetId, Trace};
 
 /// Strategy: a small random trace (corpus of 12 targets, up to 120 requests).
@@ -183,6 +183,48 @@ proptest! {
             on.agg_miss_delay_ms,
             off.agg_miss_delay_ms
         );
+    }
+
+    /// Request conservation survives arbitrary membership churn: random
+    /// schedules of kills and warm/cold rejoins (including nonsense like
+    /// double kills and joins of never-killed nodes) must never lose or
+    /// duplicate a request, and churned runs stay deterministic.
+    #[test]
+    fn churn_conserves_requests(
+        trace in arb_trace(),
+        label in arb_label(),
+        nodes in 2usize..5,
+        schedule in proptest::collection::vec(
+            (0u64..3_000, 0usize..4, 0u8..3),
+            0..6,
+        ),
+    ) {
+        let churn: Vec<ChurnEvent> = schedule
+            .iter()
+            .map(|&(at_ms, node, kind)| ChurnEvent {
+                at: SimDuration::from_millis(at_ms),
+                action: match kind {
+                    0 => ChurnAction::Kill(node % nodes),
+                    1 => ChurnAction::JoinWarm(node % nodes),
+                    _ => ChurnAction::JoinCold(node % nodes),
+                },
+            })
+            .collect();
+        let run = || {
+            let mut cfg = SimConfig::paper_config(label, nodes)
+                .with_churn(churn.clone());
+            cfg.cache_bytes = 256 * 1024;
+            let workload = build_workload(&trace, cfg.protocol, SessionConfig::default());
+            Simulator::new(cfg, &trace, &workload).run()
+        };
+        let a = run();
+        prop_assert_eq!(a.requests, trace.len() as u64, "{}", label);
+        let served: u64 = a.per_node.iter().map(|n| n.requests).sum();
+        prop_assert_eq!(served, a.requests);
+        prop_assert_eq!(a.bytes_delivered, trace.total_response_bytes());
+        let b = run();
+        prop_assert_eq!(a.finished_at, b.finished_at);
+        prop_assert_eq!(a.disk_fetches, b.disk_fetches);
     }
 
     /// LRU-MAD is a drop-in policy: conservation and accounting hold, and

@@ -222,6 +222,40 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         self.map.get(&target).map(|&idx| self.slab[idx].score)
     }
 
+    /// The cached entries as `(target, size)` pairs in **admission
+    /// order** (least recently used first, most recently used last).
+    /// Replaying these through `insert` rebuilds an identical cache —
+    /// the snapshot a warm-rejoining node sends in its `Join` handshake
+    /// so front-ends can rebuild beliefs without re-learning. O(len);
+    /// join granularity, not hot path.
+    pub fn contents_lru_order(&self) -> Vec<(K, u64)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            let e = &self.slab[idx];
+            out.push((e.target, e.size));
+            idx = e.prev;
+        }
+        out
+    }
+
+    /// Empties the cache — a node restarting with cold memory — while
+    /// preserving its configuration (budget, policy, journal enablement).
+    /// The wipe is the owner's own action, so nothing is journalled and
+    /// any undrained journal entries are discarded with the contents
+    /// they describe.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.used = 0;
+        if let Some(j) = self.journal.as_mut() {
+            j.clear();
+        }
+    }
+
     /// Removes a target if present; returns whether it was cached.
     pub fn remove(&mut self, target: K) -> bool {
         if let Some(idx) = self.map.remove(&target) {
@@ -459,6 +493,56 @@ mod tests {
         // Explicit removes are the owner's own action: not journalled.
         assert!(c.remove(t(6)));
         assert!(c.drain_evictions().is_empty());
+    }
+
+    #[test]
+    fn contents_enumerate_lru_to_mru_and_replay_identically() {
+        let mut c = LruCache::new(400);
+        c.insert(t(1), 100);
+        c.insert(t(2), 100);
+        c.insert(t(3), 100);
+        assert!(c.touch(t(1))); // recency now 2, 3, 1
+        assert_eq!(
+            c.contents_lru_order(),
+            vec![(t(2), 100), (t(3), 100), (t(1), 100)]
+        );
+        // Replaying the snapshot into a fresh cache reproduces contents
+        // AND recency: the same subsequent insert evicts the same victim.
+        let mut replayed = LruCache::new(400);
+        for (k, size) in c.contents_lru_order() {
+            replayed.insert(k, size);
+        }
+        for fresh in [&mut c, &mut replayed] {
+            fresh.insert(t(4), 200); // over budget: evicts the LRU, t(2)
+            assert!(!fresh.contains(t(2)));
+            assert!(fresh.contains(t(1)));
+            assert!(fresh.contains(t(3)));
+        }
+        assert!(LruCache::<u32>::new(10).contents_lru_order().is_empty());
+    }
+
+    #[test]
+    fn clear_wipes_contents_but_keeps_configuration() {
+        let mut c = LruCache::new(250);
+        c.set_policy(EvictPolicy::LruMad);
+        c.set_journal(true);
+        c.insert(t(1), 100);
+        c.insert(t(2), 100);
+        c.insert(t(3), 100); // evicts t(1) into the journal
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.budget(), 250);
+        assert_eq!(c.policy(), EvictPolicy::LruMad);
+        assert!(c.contents_lru_order().is_empty());
+        assert!(
+            c.drain_evictions().is_empty(),
+            "a wipe discards undrained journal entries"
+        );
+        // Still fully usable, journal included.
+        c.insert(t(4), 200);
+        c.insert(t(5), 100); // evicts t(4)
+        assert_eq!(c.drain_evictions(), vec![t(4)]);
     }
 
     #[test]
