@@ -1,0 +1,171 @@
+//! Zero-copy write-out vs the copying baseline, in bytes per second.
+//!
+//! The same large-file workload — `C` concurrent persistent connections
+//! pipelining multi-hundred-KiB-to-multi-MiB responses over a fully
+//! cached corpus on one node — is served twice per io model: once with
+//! `zero_copy: true` (responses stage as `(head, shared Bytes slice)`
+//! pairs and leave via gathered `writev`, the body never copied after
+//! the store synthesizes it) and once with `zero_copy: false` (each
+//! response flattened into one contiguous buffer first — one extra
+//! allocation plus one body memcpy per response, exactly the pre-PR
+//! data path). Single node so no lateral traffic: the knob is the only
+//! difference between the runs, in both io models.
+//!
+//! Reported metric is payload bytes per wall-clock second (the serving
+//! path is byte-identical either way — `large_body` proves it — so
+//! bytes/sec is directly comparable). Writes `BENCH_zerocopy.json` at
+//! the repo root.
+
+#![allow(missing_docs)]
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phttp_core::PolicyKind;
+use phttp_proto::{run_load, ClientProtocol, Cluster, DiskEmu, IoModel, LoadConfig, ProtoConfig};
+use phttp_simcore::SimTime;
+use phttp_trace::{Batch, Connection, ConnectionTrace, Trace};
+
+const MIB: u64 = 1024 * 1024;
+
+/// Large-file corpus, hot in cache after the first touch.
+const SIZES: [u64; 5] = [2 * MIB, MIB, MIB / 2, 256 * 1024, 192 * 1024];
+
+/// Pipelined batches per connection.
+const BATCHES: usize = 4;
+/// Requests per pipelined batch.
+const BATCH_SIZE: usize = 2;
+
+fn corpus_trace() -> Trace {
+    Trace::new(Vec::new(), SIZES.to_vec())
+}
+
+/// `conns` persistent connections pipelining large responses.
+fn workload(conns: usize) -> ConnectionTrace {
+    let connections = (0..conns)
+        .map(|c| Connection {
+            client: phttp_trace::ClientId(c as u32),
+            batches: (0..BATCHES)
+                .map(|b| Batch {
+                    time: SimTime::ZERO,
+                    targets: (0..BATCH_SIZE)
+                        .map(|r| {
+                            let mix = (c * 13 + b * 5 + r) as u32;
+                            phttp_trace::TargetId(mix % SIZES.len() as u32)
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect();
+    ConnectionTrace { connections }
+}
+
+/// `shards == 0` encodes the threads baseline.
+fn proto_config(shards: usize, conns: usize, zero_copy: bool) -> ProtoConfig {
+    ProtoConfig {
+        // One node: every request serves locally, so the zero_copy knob
+        // is the only variable between the paired runs.
+        nodes: 1,
+        policy: PolicyKind::ExtLard,
+        cache_bytes: 16 * MIB,
+        disk: DiskEmu {
+            seek: Duration::from_micros(100),
+            bytes_per_sec: 400.0 * MIB as f64,
+        },
+        read_timeout: Duration::from_secs(20),
+        io_model: if shards == 0 {
+            IoModel::Threads
+        } else {
+            IoModel::Reactor
+        },
+        reactor_shards: shards.max(1),
+        workers: conns + 8,
+        fe_listeners: 4,
+        zero_copy,
+        ..ProtoConfig::default()
+    }
+}
+
+/// Payload bytes per second serving the workload once.
+fn bytes_per_sec(shards: usize, conns: usize, zero_copy: bool) -> f64 {
+    let trace = corpus_trace();
+    let load = workload(conns);
+    let cluster =
+        Cluster::start(proto_config(shards, conns, zero_copy), &trace).expect("start cluster");
+    let report = run_load(
+        cluster.frontend_addrs(),
+        cluster.store(),
+        &load,
+        &LoadConfig {
+            clients: conns,
+            protocol: ClientProtocol::PHttp,
+            verify: false, // measure serving, not the verifier
+            read_timeout: Duration::from_secs(30),
+        },
+    );
+    cluster.shutdown();
+    assert_eq!(report.errors, 0, "zerocopy bench: load errors");
+    assert_eq!(report.requests as usize, conns * BATCHES * BATCH_SIZE);
+    report.bytes as f64 / report.elapsed.as_secs_f64()
+}
+
+fn bench_zerocopy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zerocopy");
+    g.sample_size(5); // cluster start/stop dominates an iteration
+    for zero_copy in [true, false] {
+        let label = if zero_copy { "zerocopy" } else { "copying" };
+        g.bench_function(&format!("reactor2/c16/{label}"), |b| {
+            b.iter(|| criterion::black_box(bytes_per_sec(2, 16, zero_copy)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_report(_c: &mut Criterion) {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    let conns = if quick { 16 } else { 32 };
+    let reps = if quick { 1 } else { 3 };
+    // `(label, shards)`: 0 is the threads model.
+    let models: &[(&str, usize)] = &[("threads", 0), ("reactor1", 1), ("reactor2", 2)];
+
+    let mut rows = String::new();
+    let mut first = true;
+    for &(label, shards) in models {
+        let best = |zero_copy: bool| {
+            (0..reps)
+                .map(|_| bytes_per_sec(shards, conns, zero_copy))
+                .fold(0.0f64, f64::max)
+        };
+        let copying = best(false);
+        let zerocopy = best(true);
+        let ratio = zerocopy / copying;
+        println!(
+            "zerocopy/{label:<9} c{conns}   zero-copy {:>8.1} MiB/s   copying {:>8.1} MiB/s   ratio {ratio:>5.2}x",
+            zerocopy / MIB as f64,
+            copying / MIB as f64,
+        );
+        if !first {
+            rows.push_str(",\n");
+        }
+        first = false;
+        rows.push_str(&format!(
+            "    {{\"model\": \"{label}\", \"connections\": {conns}, \"zerocopy_bytes_per_sec\": {zerocopy:.0}, \"copying_bytes_per_sec\": {copying:.0}, \"zerocopy_over_copying\": {ratio:.3}}}"
+        ));
+    }
+
+    let host = phttp_bench::host_meta_json();
+    let json = format!(
+        "{{\n  \"benchmark\": \"zerocopy\",\n  \"workload\": \"P-HTTP closed loop: C concurrent persistent connections x {BATCHES} pipelined batches x {BATCH_SIZE} requests over a hot {} MiB large-file corpus (bodies 192 KiB - 2 MiB), extLARD, 1 node\",\n  \"baseline\": \"zero_copy: false — every response flattened into a contiguous buffer before write-out (one allocation + one body memcpy per response)\",\n  \"contender\": \"zero_copy: true — responses staged as (head, refcounted Bytes slice) pairs, written by gathered writev straight from the cache slice\",\n  {host},\n  \"metric\": \"payload bytes per wall-clock second, best of {reps}\",\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        SIZES.iter().sum::<u64>() / MIB,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_zerocopy.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(zerocopy, bench_zerocopy);
+criterion_group!(report, bench_report);
+criterion_main!(zerocopy, report);

@@ -214,6 +214,24 @@ impl Response {
         }
     }
 
+    /// The serialized head of a `200 OK` whose body is `len` bytes long,
+    /// without materializing the body: byte-identical to
+    /// `Response::ok(version, body).head_bytes()` for any `body` of that
+    /// length. The streaming splice path sends this head to the client
+    /// before the body has arrived from the peer.
+    pub fn ok_head(version: Version, len: usize) -> Bytes {
+        let mut headers = Headers::new();
+        headers.set("Content-Length", len.to_string());
+        let resp = Response {
+            version,
+            status: 200,
+            reason: "OK".to_owned(),
+            headers,
+            body: Bytes::new(),
+        };
+        resp.head_bytes()
+    }
+
     /// Builds an error response with a short text body.
     pub fn error(version: Version, status: u16, reason: &str) -> Self {
         let body = Bytes::from(format!("{status} {reason}\n"));
@@ -238,8 +256,12 @@ impl Response {
         keep_alive(self.version, &self.headers)
     }
 
-    /// Serializes the response onto `buf`.
-    pub fn encode(&self, buf: &mut BytesMut) {
+    /// Serializes the head only — status line, headers, and the blank
+    /// line — onto `buf`. The zero-copy write path serializes the head
+    /// once and pairs it with a shared body slice instead of copying
+    /// the body into a contiguous wire buffer; [`encode`](Self::encode)
+    /// is defined in terms of this, so the two can never diverge.
+    pub fn encode_head(&self, buf: &mut BytesMut) {
         buf.put_slice(self.version.as_str().as_bytes());
         buf.put_u8(b' ');
         buf.put_slice(self.status.to_string().as_bytes());
@@ -248,6 +270,19 @@ impl Response {
         buf.put_slice(b"\r\n");
         self.headers.encode(buf);
         buf.put_slice(b"\r\n");
+    }
+
+    /// The serialized head as its own buffer (see
+    /// [`encode_head`](Self::encode_head)).
+    pub fn head_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode_head(&mut buf);
+        buf.freeze()
+    }
+
+    /// Serializes the response onto `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        self.encode_head(buf);
         buf.put_slice(&self.body);
     }
 
@@ -325,6 +360,27 @@ mod tests {
         let wire = r.to_bytes();
         assert!(wire.starts_with(b"HTTP/1.1 200 OK\r\n"));
         assert!(wire.ends_with(b"\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn head_plus_body_is_exactly_to_bytes() {
+        let r = Response::ok(Version::Http11, Bytes::from_static(b"payload"));
+        let head = r.head_bytes();
+        assert!(head.ends_with(b"\r\n\r\n"));
+        let mut glued = head.to_vec();
+        glued.extend_from_slice(&r.body);
+        assert_eq!(&glued[..], &r.to_bytes()[..], "head ‖ body == wire form");
+    }
+
+    #[test]
+    fn ok_head_matches_full_response_head() {
+        for version in [Version::Http10, Version::Http11] {
+            for len in [0usize, 1, 5, 1024, 3 * 1024 * 1024] {
+                let body = Bytes::from(vec![0x5au8; len]);
+                let full = Response::ok(version, body).head_bytes();
+                assert_eq!(&Response::ok_head(version, len)[..], &full[..]);
+            }
+        }
     }
 
     #[test]

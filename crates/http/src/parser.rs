@@ -195,6 +195,32 @@ impl RequestParser {
     }
 }
 
+/// A parsed response head whose body may still be in flight — the
+/// streaming consumption mode ([`ResponseParser::next_head`] +
+/// [`ResponseParser::take_body`]) used when the consumer forwards body
+/// bytes as they arrive instead of waiting for the full message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// HTTP version from the status line.
+    pub version: Version,
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Response headers.
+    pub headers: Headers,
+    /// Declared body length (`Content-Length`, 0 when absent).
+    pub body_len: usize,
+}
+
+impl ResponseHead {
+    /// Whether the sender intends to keep the connection open (same
+    /// rule as [`Response::keep_alive`](crate::Response::keep_alive)).
+    pub fn keep_alive(&self) -> bool {
+        crate::message::keep_alive(self.version, &self.headers)
+    }
+}
+
 /// Incremental response parser (client side).
 #[derive(Debug, Default)]
 pub struct ResponseParser {
@@ -257,6 +283,58 @@ impl ResponseParser {
             headers,
             body,
         }))
+    }
+
+    /// Attempts to parse — and *consume* — the next response head without
+    /// waiting for its body: the streaming mode. On `Some`, the head is
+    /// gone from the buffer and the caller owns draining exactly
+    /// [`body_len`](ResponseHead::body_len) body bytes via
+    /// [`take_body`](Self::take_body) before parsing another head.
+    /// Returns `Ok(None)` when the head is still incomplete.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_head(&mut self) -> Result<Option<ResponseHead>, ParseError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD {
+                return Err(ParseError::HeadTooLarge);
+            }
+            return Ok(None);
+        };
+        if head_end > MAX_HEAD {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let head = std::str::from_utf8(&self.buf[..head_end - 4])
+            .map_err(|_| ParseError::BadStartLine("non-utf8 head".into()))?;
+        let (start, rest) = head.split_once("\r\n").unwrap_or((head, ""));
+        let mut parts = start.splitn(3, ' ');
+        let version_tok = parts
+            .next()
+            .ok_or_else(|| ParseError::BadStartLine(start.to_owned()))?;
+        let version = Version::parse(version_tok)
+            .ok_or_else(|| ParseError::BadVersion(version_tok.into()))?;
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseError::BadStartLine(start.to_owned()))?;
+        let reason = parts.next().unwrap_or("").to_owned();
+        let headers = parse_headers(rest)?;
+        let body_len = content_length(&headers)?;
+        self.buf.advance(head_end);
+        Ok(Some(ResponseHead {
+            version,
+            status,
+            reason,
+            headers,
+            body_len,
+        }))
+    }
+
+    /// Removes and returns up to `max` buffered bytes — the body-chunk
+    /// reader paired with [`next_head`](Self::next_head). The caller is
+    /// responsible for capping `max` at the head's remaining body length
+    /// so pipelined next-response bytes are not consumed as body.
+    pub fn take_body(&mut self, max: usize) -> Bytes {
+        let n = max.min(self.buf.len());
+        self.buf.split_to(n).freeze()
     }
 }
 
@@ -389,6 +467,42 @@ mod tests {
         assert_eq!(parsed.status, 200);
         assert_eq!(parsed.body.len(), 2048);
         assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn streaming_head_then_body_chunks() {
+        let body: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        let resp = Response::ok(Version::Http11, Bytes::from(body.clone()));
+        let wire = resp.to_bytes();
+        let split = wire.len() - 4000;
+        let mut p = ResponseParser::new();
+        p.feed(&wire[..20]);
+        assert!(p.next_head().unwrap().is_none(), "head incomplete");
+        p.feed(&wire[20..split]);
+        let head = p.next_head().unwrap().unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(head.body_len, 5000);
+        assert!(head.keep_alive());
+        // Drain body bytes as they arrive, capped at the declared length.
+        let mut got = Vec::new();
+        let mut remaining = head.body_len;
+        let c = p.take_body(remaining);
+        remaining -= c.len();
+        got.extend_from_slice(&c);
+        assert!(remaining > 0, "first window held only part of the body");
+        // The tail arrives with a pipelined second response behind it.
+        p.feed(&wire[split..]);
+        p.feed(&Response::not_found(Version::Http11).to_bytes());
+        while remaining > 0 {
+            let c = p.take_body(remaining);
+            assert!(!c.is_empty());
+            remaining -= c.len();
+            got.extend_from_slice(&c);
+        }
+        assert_eq!(got, body, "chunks reassemble the exact body");
+        // The cap protected the pipelined response; it parses intact.
+        assert_eq!(p.next().unwrap().unwrap().status, 404);
+        assert_eq!(p.buffered(), 0);
     }
 
     #[test]

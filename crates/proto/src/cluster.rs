@@ -183,6 +183,15 @@ pub struct ProtoConfig {
     /// only relax through an explicit [`Cluster::join_node`] handshake
     /// or a test's own [`FrontEnd::health_tick`] calls.
     pub health_tick_interval: Duration,
+    /// Zero-copy response write-out (default `true`): responses go to
+    /// the socket as a serialized head plus the *shared* body slice —
+    /// the cache's own allocation, refcount-bumped, never copied —
+    /// gathered in one vectored write. When `false`, every response is
+    /// flattened into a fresh contiguous wire buffer first (one body
+    /// memcpy per response): the historical behaviour, kept as the
+    /// copying baseline `BENCH_zerocopy.json` quantifies against.
+    /// Response bytes are identical either way, in both I/O models.
+    pub zero_copy: bool,
     /// Number of loopback addresses the front-end listens on
     /// (`127.0.0.1..127.0.0.k`). HTTP/1.0 load opens one TCP connection per
     /// request; on a single loopback address pair the 4-tuple space (and
@@ -221,6 +230,7 @@ impl Default for ProtoConfig {
             node_weights: Vec::new(),
             health: phttp_core::HealthConfig::default(),
             health_tick_interval: Duration::from_millis(25),
+            zero_copy: true,
             fe_listeners: 4,
         }
     }
@@ -443,6 +453,7 @@ impl Cluster {
                     let stop = stop.clone();
                     let threads = peer_threads.clone();
                     let timeout = config.read_timeout;
+                    let zero_copy = config.zero_copy;
                     accept_threads.push(std::thread::spawn(move || {
                         for incoming in listener.incoming() {
                             if stop.load(Ordering::Relaxed) {
@@ -451,7 +462,7 @@ impl Cluster {
                             let Ok(stream) = incoming else { break };
                             let node = node.clone();
                             let handle = std::thread::spawn(move || {
-                                let _ = serve_peer_connection(stream, &node, timeout);
+                                let _ = serve_peer_connection(stream, &node, timeout, zero_copy);
                             });
                             threads.lock().push(handle);
                         }
@@ -484,6 +495,7 @@ impl Cluster {
                     let store = store.clone();
                     let timeout = config.read_timeout;
                     let migration_delay = config.migration_delay;
+                    let zero_copy = config.zero_copy;
                     worker_threads.push(std::thread::spawn(move || {
                         while let Ok((stream, fe_idx, ticket)) = rx.recv() {
                             let _ = handle_client_connection(
@@ -492,6 +504,7 @@ impl Cluster {
                                 &store,
                                 timeout,
                                 migration_delay,
+                                zero_copy,
                             );
                             // The connection has fully unwound: tell the
                             // tier so its forwarding route is removed.
@@ -589,6 +602,7 @@ impl Cluster {
                         shards,
                         peer_pool_cap: config.peer_pool_cap,
                         coalesce: config.coalesce_misses,
+                        zero_copy: config.zero_copy,
                     },
                     fes.clone(),
                     vip.clone(),
@@ -1088,6 +1102,54 @@ fn run_control_reader(
     }
 }
 
+/// Writes one response to a blocking socket. With `zero_copy`, the
+/// serialized head and the shared body slice are gathered into a single
+/// `writev` — the body is written straight out of the cache's (or the
+/// store's) allocation, resuming mid-iovec on partial writes. Without
+/// it, the response is flattened into one contiguous buffer first and
+/// written whole — the copying baseline.
+fn write_response(stream: &mut TcpStream, resp: &Response, zero_copy: bool) -> std::io::Result<()> {
+    if !zero_copy {
+        return stream.write_all(&resp.to_bytes());
+    }
+    let head = resp.head_bytes();
+    let mut segs: [&[u8]; 2] = [&head, &resp.body];
+    let mut idx = 0;
+    while idx < segs.len() {
+        if segs[idx].is_empty() {
+            idx += 1;
+            continue;
+        }
+        let bufs: Vec<std::io::IoSlice<'_>> = segs[idx..]
+            .iter()
+            .map(|s| std::io::IoSlice::new(s))
+            .collect();
+        match stream.write_vectored(&bufs) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted no bytes",
+                ))
+            }
+            Ok(mut n) => {
+                // Partial write: advance through the segments, possibly
+                // landing mid-segment; the next call resumes there.
+                while n > 0 {
+                    let take = n.min(segs[idx].len());
+                    segs[idx] = &segs[idx][take..];
+                    n -= take;
+                    if segs[idx].is_empty() {
+                        idx += 1;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Reads at least one request (blocking), then drains whatever else has
 /// already arrived — the handler's estimate of a pipelined batch, matching
 /// the front-end's packet-arrival batch estimate in the paper.
@@ -1116,6 +1178,7 @@ fn handle_client_connection(
     store: &ContentStore,
     timeout: Duration,
     migration_delay: Duration,
+    zero_copy: bool,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
@@ -1128,8 +1191,7 @@ fn handle_client_connection(
     }
     let first = first_batch.remove(0);
     let Some(first_target) = store.lookup(&first.uri) else {
-        let resp = Response::not_found(first.version);
-        stream.write_all(&resp.to_bytes())?;
+        write_response(&mut stream, &Response::not_found(first.version), zero_copy)?;
         return Ok(());
     };
 
@@ -1139,7 +1201,7 @@ fn handle_client_connection(
     let mut node = fe.nodes()[node_id.0].clone();
 
     // Handoff complete: this thread is now the back-end connection handler.
-    let keep = serve_one(&mut stream, &node, &first, Assignment::Local)?;
+    let keep = serve_one(&mut stream, &node, &first, Assignment::Local, zero_copy)?;
     if !keep {
         return Ok(());
     }
@@ -1176,8 +1238,7 @@ fn handle_client_connection(
         let mut next_assignment = assignments.into_iter();
         for (req, target) in batch.iter().zip(&targets) {
             if target.is_none() {
-                let resp = Response::not_found(req.version);
-                stream.write_all(&resp.to_bytes())?;
+                write_response(&mut stream, &Response::not_found(req.version), zero_copy)?;
                 continue;
             }
             let mut assignment = next_assignment.next().expect("one assignment per target");
@@ -1197,7 +1258,7 @@ fn handle_client_connection(
                     assignment = Assignment::Local;
                 }
             }
-            let keep = serve_one(&mut stream, &node, req, assignment)?;
+            let keep = serve_one(&mut stream, &node, req, assignment, zero_copy)?;
             if !keep {
                 return Ok(());
             }
@@ -1213,6 +1274,7 @@ fn serve_one(
     node: &NodeState,
     req: &Request,
     assignment: Assignment,
+    zero_copy: bool,
 ) -> std::io::Result<bool> {
     let body = match assignment {
         Assignment::Local => {
@@ -1238,8 +1300,9 @@ fn serve_one(
             }
         }
     };
-    let resp = Response::ok(req.version, body);
-    stream.write_all(&resp.to_bytes())?;
+    // `body` is a clone of the cache's slice (or the store's fresh
+    // allocation); the zero-copy write sends it without flattening.
+    write_response(stream, &Response::ok(req.version, body), zero_copy)?;
     Ok(req.keep_alive())
 }
 
@@ -1248,6 +1311,7 @@ fn serve_peer_connection(
     mut stream: TcpStream,
     node: &NodeState,
     timeout: Duration,
+    zero_copy: bool,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
@@ -1282,7 +1346,7 @@ fn serve_peer_connection(
                 }
                 None => Response::not_found(req.version),
             };
-            stream.write_all(&resp.to_bytes())?;
+            write_response(&mut stream, &resp, zero_copy)?;
         }
     }
 }

@@ -214,8 +214,12 @@ impl NodeStats {
 pub struct NodeState {
     /// This node's index.
     pub id: NodeId,
-    /// Main-memory file cache.
-    pub cache: Mutex<LruCache<TargetId>>,
+    /// Main-memory file cache. Entries carry the body as a refcounted
+    /// [`Bytes`] slice, so a hit clones a handle (O(1)) instead of
+    /// regenerating the document; the cache is the body's sole long-term
+    /// owner — serve paths hold extra handles only while bytes are in
+    /// flight toward a socket.
+    pub cache: Mutex<LruCache<TargetId, Bytes>>,
     /// Serializes disk reads (one spindle per node).
     disk: Mutex<()>,
     /// Number of requests queued on or holding the disk.
@@ -267,7 +271,7 @@ impl NodeState {
             .map(|_| Mutex::new(Vec::new()))
             .collect();
         let feedback = FeedbackConfig::default();
-        let mut cache = LruCache::new(cache_bytes);
+        let mut cache: LruCache<TargetId, Bytes> = LruCache::new(cache_bytes);
         cache.set_journal(feedback.enabled);
         NodeState {
             id,
@@ -454,10 +458,11 @@ impl NodeState {
     /// `agg_delay_us` is the aggregate miss delay of the fetch that
     /// produced this insert (read latency times one-plus-waiters under
     /// coalescing) — the LRU-MAD policy's victim-scoring sample; plain
-    /// LRU records and ignores it.
-    fn cache_insert_reporting(&self, target: TargetId, size: u64, agg_delay_us: u64) {
+    /// LRU records and ignores it. `body` is the just-read document
+    /// slice the cache takes (shared) ownership of.
+    fn cache_insert_reporting(&self, target: TargetId, size: u64, agg_delay_us: u64, body: Bytes) {
         let mut cache = self.cache.lock();
-        let admitted = cache.insert_with_delay(target, size, agg_delay_us);
+        let admitted = cache.insert_valued_with_delay(target, size, body, agg_delay_us);
         if !self.feedback.enabled {
             return;
         }
@@ -603,7 +608,8 @@ impl NodeState {
     /// leader and performs the one real disk read.
     pub fn serve_local(&self, target: TargetId) -> Bytes {
         enum Role {
-            Hit,
+            /// Cached: the body slice cloned out under the cache lock.
+            Hit(Option<Bytes>),
             Solo,
             Leader(Arc<Flight>),
             Waiter(Arc<Flight>),
@@ -612,7 +618,7 @@ impl NodeState {
         let role = {
             let mut cache = self.cache.lock();
             if cache.touch(target) {
-                Role::Hit
+                Role::Hit(cache.get(target).cloned())
             } else if self.coalesce {
                 let mut flights = self.disk_flights.lock().expect("flight table");
                 match flights.get(&target) {
@@ -633,12 +639,19 @@ impl NodeState {
         self.stats.served.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(size, Ordering::Relaxed);
         match role {
-            Role::Hit => {
+            Role::Hit(cached) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                // A hit serves the cache's own slice — no regeneration, no
+                // copy. The fallback covers metadata-only entries, which
+                // the serve path never creates (every admission below
+                // carries its body).
+                cached.unwrap_or_else(|| self.store.body(target))
             }
             Role::Solo => {
                 let read = self.blocking_disk_read(size);
-                self.cache_insert_reporting(target, size, read.as_micros() as u64);
+                let body = self.store.body(target);
+                self.cache_insert_reporting(target, size, read.as_micros() as u64, body.clone());
+                body
             }
             Role::Leader(f) => {
                 let read = self.blocking_disk_read(size);
@@ -648,22 +661,32 @@ impl NodeState {
                 // the estimate; they are still woken correctly.)
                 let parked = f.waiters.load(Ordering::Relaxed);
                 let agg_us = read.as_micros() as u64 * (1 + parked);
+                let body = self.store.body(target);
                 // Insert BEFORE retiring the flight: a concurrent probe
                 // always finds the target either cached or in flight.
-                self.cache_insert_reporting(target, size, agg_us);
+                self.cache_insert_reporting(target, size, agg_us, body.clone());
                 self.disk_flights
                     .lock()
                     .expect("flight table")
                     .remove(&target);
                 f.complete(FlightOutcome::Done);
+                body
             }
             Role::Waiter(f) => {
                 self.stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
                 // Local disk reads cannot fail; the outcome is always Done.
                 f.wait();
+                // The leader admits before retiring the flight, so the
+                // slice is normally still cached; eviction in the gap
+                // falls back to regeneration (bodies are a pure function
+                // of the target, so the bytes are identical either way).
+                self.cache
+                    .lock()
+                    .get(target)
+                    .cloned()
+                    .unwrap_or_else(|| self.store.body(target))
             }
         }
-        self.store.body(target)
     }
 
     /// The one real disk access of a miss: queue-depth accounting around
@@ -690,36 +713,76 @@ impl NodeState {
     /// the read completes. The event-driven reactor uses this pair where
     /// the thread path calls the blocking [`serve_local`](Self::serve_local).
     pub fn begin_serve(&self, target: TargetId) -> bool {
+        self.begin_serve_body(target).is_some()
+    }
+
+    /// [`begin_serve`](Self::begin_serve) that, on a hit, also hands out
+    /// the body: a clone of the cached slice (zero-copy; the rare
+    /// metadata-only entry regenerates). `None` is a miss with the
+    /// disk-queue depth already incremented, exactly as `begin_serve`.
+    pub fn begin_serve_body(&self, target: TargetId) -> Option<Bytes> {
         let size = self.store.size(target);
-        let hit = self.cache.lock().touch(target);
+        let cached = {
+            let mut cache = self.cache.lock();
+            if cache.touch(target) {
+                Some(cache.get(target).cloned())
+            } else {
+                None
+            }
+        };
         self.stats.served.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(size, Ordering::Relaxed);
-        if hit {
-            self.stats.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.disk_queue.fetch_add(1, Ordering::Relaxed);
+        match cached {
+            Some(body) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body.unwrap_or_else(|| self.store.body(target)))
+            }
+            None => {
+                self.disk_queue.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        hit
     }
 
     /// Completes a miss started by [`begin_serve`](Self::begin_serve):
     /// pops the disk queue and inserts the document into the cache (the
     /// OS caches what it reads), mirroring the tail of
-    /// [`serve_local`](Self::serve_local).
-    pub fn finish_disk_read(&self, target: TargetId) {
-        self.finish_disk_read_shared(target, 0);
+    /// [`serve_local`](Self::serve_local). Returns the body so callers
+    /// serve the very slice the cache now owns.
+    pub fn finish_disk_read(&self, target: TargetId) -> Bytes {
+        self.finish_disk_read_shared(target, 0)
     }
 
     /// [`finish_disk_read`](Self::finish_disk_read) for a coalesced
     /// flight: `waiters` requests were parked on this read, so the cache
     /// insert's MAD sample is the read latency times one-plus-waiters —
     /// the aggregate delay this fetch actually cost.
-    pub fn finish_disk_read_shared(&self, target: TargetId, waiters: u64) {
+    pub fn finish_disk_read_shared(&self, target: TargetId, waiters: u64) -> Bytes {
         self.disk_queue.fetch_sub(1, Ordering::Relaxed);
         self.stats.disk_reads.fetch_add(1, Ordering::Relaxed);
         let size = self.store.size(target);
         let agg_us = self.disk_emu.read_time(size).as_micros() as u64 * (1 + waiters);
-        self.cache_insert_reporting(target, size, agg_us);
+        let body = self.store.body(target);
+        self.cache_insert_reporting(target, size, agg_us, body.clone());
+        body
+    }
+
+    /// A clone of the cached body slice for `target`, if present, without
+    /// touching recency (delayed-hit delivery is not an access of its own).
+    pub fn cached_body(&self, target: TargetId) -> Option<Bytes> {
+        self.cache.lock().get(target).cloned()
+    }
+
+    /// Refcount-hygiene audit: the strong count of every cached body
+    /// slice. With the node quiescent (no response in flight), every
+    /// count must be exactly 1 — the cache as sole owner. A higher count
+    /// on an idle node means a serve path leaked a handle.
+    pub fn cached_body_refcounts(&self) -> Vec<(TargetId, usize)> {
+        self.cache
+            .lock()
+            .iter_values()
+            .map(|(t, b)| (t, b.strong_count()))
+            .collect()
     }
 
     /// Records a request that parked on an in-flight local fetch in the
@@ -983,6 +1046,36 @@ mod tests {
         // The wiped cache keeps working (and journalling) afterwards.
         n.serve_local(TargetId(2));
         assert!(n.cache.lock().contains(TargetId(2)));
+    }
+
+    #[test]
+    fn hits_serve_the_cached_slice_and_release_it() {
+        let n = node();
+        let t = TargetId(1);
+        // Miss admits the body; the returned slice shares the cache's
+        // allocation (strong count 2: cache + this handle).
+        let b1 = n.serve_local(t);
+        assert_eq!(b1.strong_count(), 2, "miss shares the admitted slice");
+        // A hit clones the cache's slice — same allocation, no copy.
+        let b2 = n.serve_local(t);
+        assert!(std::ptr::eq(&b1[0], &b2[0]), "hit aliases the cached body");
+        assert_eq!(b1.strong_count(), 3);
+        drop(b1);
+        drop(b2);
+        // With no response in flight the cache is sole owner again.
+        assert_eq!(n.cached_body_refcounts(), vec![(t, 1)]);
+        // The split reactor primitives hand out the same slice.
+        let b3 = n.begin_serve_body(t).expect("cached => hit");
+        assert_eq!(b3.strong_count(), 2);
+        assert!(n.cached_body(t).is_some());
+        drop(b3);
+        assert!(n.cached_body_refcounts().iter().all(|&(_, c)| c == 1));
+        // And a split-path miss returns the very slice it admitted.
+        let b4 = n.finish_disk_read({
+            assert!(n.begin_serve_body(TargetId(0)).is_none());
+            TargetId(0)
+        });
+        assert_eq!(b4.strong_count(), 2);
     }
 
     #[test]

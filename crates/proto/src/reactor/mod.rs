@@ -104,9 +104,9 @@ use crate::frontend::FrontEnd;
 use crate::store::ContentStore;
 use crate::tier::Vip;
 
-use conn::{ClientConn, EntryState};
+use conn::{ClientConn, Entry, EntryState, StreamEntry, HIGH_WATER};
 use disk::{DiskJob, DiskSched, Waiter};
-use peer::{LateralJob, PeerSession};
+use peer::{LateralJob, PeerSession, StreamIn};
 
 /// Token of the cross-thread waker.
 const WAKER: Token = Token(0);
@@ -193,6 +193,11 @@ pub(crate) struct ReactorConfig {
     /// disk flight, and concurrent lateral fetches of one
     /// `(remote, target)` park on the existing peer round-trip.
     pub coalesce: bool,
+    /// Zero-copy staging (`ProtoConfig::zero_copy`): responses stage as
+    /// head + shared body slice; `false` flattens each response into a
+    /// contiguous buffer first (the copying baseline). Lateral splices
+    /// are inherently zero-copy and ignore the knob.
+    pub zero_copy: bool,
 }
 
 /// Live gauges of one shard, shared with the cluster for diagnostics.
@@ -203,6 +208,11 @@ struct ShardGauges {
     sources: AtomicUsize,
     /// Entries in the timer heap as of the last loop iteration.
     timers: AtomicUsize,
+    /// Response bytes staged unsent across this shard's output queues,
+    /// each queued slice charged once however many clones of its
+    /// allocation exist elsewhere (mirrored by `conn::OutQueue`). In an
+    /// `Arc` because every connection's queue holds a handle.
+    pending_body_bytes: Arc<AtomicUsize>,
 }
 
 /// Aggregate live-source/timer gauges across every reactor shard —
@@ -241,6 +251,18 @@ impl ReactorStats {
     /// Number of reactor shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Response bytes staged in output queues but not yet accepted by
+    /// any socket, across all shards. Shared body slices are charged
+    /// once per queue entry, not per clone — with zero-copy staging the
+    /// gauge measures genuine backlog, not allocation fan-out. Drains
+    /// to zero with the sources once traffic stops.
+    pub fn pending_body_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pending_body_bytes.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -416,8 +438,10 @@ pub(crate) fn spawn(
             next_timer_id: 0,
             disks: (0..nodes).map(|_| DiskSched::default()).collect(),
             coalesce: cfg.coalesce,
+            zero_copy: cfg.zero_copy,
             lateral_flights: HashMap::new(),
             idle_peers: vec![Vec::new(); nodes],
+            pending_pumps: Vec::new(),
             peer_addrs: peer_addrs.clone(),
             semantics,
             migration_delay: cfg.migration_delay,
@@ -494,6 +518,8 @@ struct Reactor {
     disks: Vec<DiskSched>,
     /// Single-flight coalescing enabled (`ProtoConfig::coalesce_misses`).
     coalesce: bool,
+    /// Zero-copy staging enabled (`ProtoConfig::zero_copy`).
+    zero_copy: bool,
     /// In-flight coalesced lateral fetches this shard leads, keyed by
     /// `(remote node, target)`: the parked waiters resolve (or fail
     /// over) together with the flight leader. Flight scope is one
@@ -502,6 +528,13 @@ struct Reactor {
     lateral_flights: HashMap<(usize, TargetId), Vec<LateralJob>>,
     /// Idle lateral-session slab indices, per peer node.
     idle_peers: Vec<Vec<usize>>,
+    /// Lateral sessions to drive after the current event finishes: a
+    /// session that paused its reads (splice backpressure) cannot wake
+    /// itself, and the client drain that frees the room may run while
+    /// the client slot is checked out — driving the session inline
+    /// there could re-enter that checkout, so it is queued instead and
+    /// drained from the loop, where no slot is held.
+    pending_pumps: Vec<usize>,
     peer_addrs: Vec<SocketAddr>,
     semantics: ForwardSemantics,
     migration_delay: Duration,
@@ -510,12 +543,45 @@ struct Reactor {
     last_sweep: Instant,
 }
 
-fn ok_wire(version: Version, body: Bytes) -> Bytes {
-    Response::ok(version, body).to_bytes()
+/// A complete `200 OK` staged for write-out. With `zero_copy` (the
+/// default) the entry holds the serialized head plus the *shared* body
+/// slice — the body is never copied into a contiguous wire buffer;
+/// `writev` gathers the pair at send time. Without it the response is
+/// flattened whole first (one body memcpy — the copying baseline the
+/// zerocopy bench quantifies). The wire bytes are identical either way.
+fn ok_state(version: Version, body: Bytes, zero_copy: bool) -> EntryState {
+    let resp = Response::ok(version, body);
+    if zero_copy {
+        EntryState::Ready(resp.head_bytes(), resp.body)
+    } else {
+        EntryState::Ready(resp.to_bytes(), Bytes::new())
+    }
 }
 
-fn not_found_wire(version: Version) -> Bytes {
-    Response::not_found(version).to_bytes()
+/// A `404 Not Found` staging pair.
+fn not_found_state(version: Version) -> EntryState {
+    let resp = Response::not_found(version);
+    EntryState::Ready(resp.head_bytes(), resp.body)
+}
+
+/// What a [`Reactor::pump_peer`] pass concluded about a session.
+enum Pump {
+    /// Buffered bytes exhausted; read more from the socket.
+    More,
+    /// The splice target is full: stop reading until the client drains.
+    Paused,
+    /// The session must close.
+    Dead,
+}
+
+/// Capacity of a splice target (see [`Reactor::splice_room`]).
+enum Room {
+    /// Up to this many more bytes may be appended now.
+    Available(usize),
+    /// The entry's chunk buffer is at `HIGH_WATER`; pause the feed.
+    Blocked,
+    /// The client (or its streaming entry) is gone; discard the bytes.
+    Gone,
 }
 
 impl Reactor {
@@ -549,6 +615,7 @@ impl Reactor {
             }
             self.drain_inbox();
             self.fire_timers();
+            self.drain_pumps();
             self.maybe_sweep_idle();
             self.stats.shards[self.shard]
                 .timers
@@ -610,10 +677,19 @@ impl Reactor {
 
     // ---- accept ---------------------------------------------------------
 
+    /// The shard's `pending_body_bytes` handle a new connection's output
+    /// queue mirrors itself into.
+    fn body_gauge(&self) -> Arc<AtomicUsize> {
+        self.stats.shards[self.shard].pending_body_bytes.clone()
+    }
+
     fn accept_all(&mut self, listener: usize) {
         loop {
             match self.listeners[listener].accept() {
-                Ok((stream, _)) => self.register_client(ClientConn::new(stream)),
+                Ok((stream, _)) => {
+                    let gauge = self.body_gauge();
+                    self.register_client(ClientConn::new(stream, gauge));
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => break, // transient accept failure; retry on next event
@@ -628,7 +704,8 @@ impl Reactor {
             match self.peer_listeners[idx].1.accept() {
                 Ok((stream, _)) => {
                     let node = self.peer_listeners[idx].0;
-                    self.register_client(ClientConn::peer_server(stream, node));
+                    let gauge = self.body_gauge();
+                    self.register_client(ClientConn::peer_server(stream, node, gauge));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -666,7 +743,8 @@ impl Reactor {
                 return;
             };
             let stream = mio::net::TcpStream::from_std(stream);
-            self.register_client(ClientConn::admitted(stream, fe_idx, vip_conn));
+            let gauge = self.body_gauge();
+            self.register_client(ClientConn::admitted(stream, fe_idx, vip_conn, gauge));
         }
     }
 
@@ -834,7 +912,7 @@ impl Reactor {
             let first = batch.remove(0);
             let Some(target) = self.store.lookup(&first.uri) else {
                 let seq = c.alloc_seq();
-                c.push_entry(seq, EntryState::Ready(not_found_wire(first.version)));
+                c.push_entry(seq, not_found_state(first.version));
                 c.close_after_drain = true;
                 return;
             };
@@ -869,7 +947,7 @@ impl Reactor {
         for (req, target) in batch.iter().zip(&targets) {
             let Some(target) = *target else {
                 let seq = c.alloc_seq();
-                c.push_entry(seq, EntryState::Ready(not_found_wire(req.version)));
+                c.push_entry(seq, not_found_state(req.version));
                 continue;
             };
             let assignment = next_assignment.next().expect("one assignment per target");
@@ -924,7 +1002,7 @@ impl Reactor {
         for req in batch {
             let Some(target) = self.store.lookup(&req.uri) else {
                 let seq = c.alloc_seq();
-                c.push_entry(seq, EntryState::Ready(not_found_wire(req.version)));
+                c.push_entry(seq, not_found_state(req.version));
                 continue;
             };
             if self.fe.nodes()[node_idx].take_lateral_fault() {
@@ -974,8 +1052,11 @@ impl Reactor {
                 return EntryState::Disk;
             }
         }
-        if self.fe.nodes()[node_idx].begin_serve(target) {
-            EntryState::Ready(ok_wire(version, self.store.body(target)))
+        // A hit serves the cache's own slice (a refcount bump, not a
+        // copy); the store fallback inside `begin_serve_body` covers
+        // the raced-eviction window.
+        if let Some(body) = self.fe.nodes()[node_idx].begin_serve_body(target) {
+            ok_state(version, body, self.zero_copy)
         } else {
             self.disk_enqueue(
                 node_idx,
@@ -1006,6 +1087,24 @@ impl Reactor {
                 break; // socket would block; WRITABLE interest below
             }
         }
+        // If the front entry is a splice with room again, re-arm its
+        // feeding session — it pauses its own reads on backpressure and
+        // cannot wake itself when the client drains.
+        let resume = match c.entries.front() {
+            Some(Entry {
+                state: EntryState::Streaming(s),
+                ..
+            }) if !s.finished_receiving()
+                && s.buffered < HIGH_WATER
+                && c.out.len() < HIGH_WATER =>
+            {
+                Some(s.peer)
+            }
+            _ => None,
+        };
+        if let Some(peer) = resume {
+            self.queue_pump(peer);
+        }
         if (c.close_after_drain || c.eof) && c.drained() {
             return false;
         }
@@ -1034,6 +1133,15 @@ impl Reactor {
     /// connection exactly once and frees the slab entry. Outstanding
     /// disk/lateral completions for it die against the generation check.
     fn release_client(&mut self, idx: usize, mut c: ClientConn) {
+        // Splices feeding this connection may have paused their reads
+        // waiting for it to drain; wake them so they run their streams
+        // dry (discarding against the bumped generation) and retire
+        // their flights instead of idling disarmed forever.
+        for e in c.entries.iter() {
+            if let EntryState::Streaming(s) = &e.state {
+                self.queue_pump(s.peer);
+            }
+        }
         if let Some(conn) = c.conn_id {
             self.fes[c.fe_idx].close_connection(conn);
         }
@@ -1094,13 +1202,15 @@ impl Reactor {
             return;
         };
         // One cache insert for the whole flight; the MAD sample scales
-        // with the waiters this single read unblocked.
-        self.fe.nodes()[node_idx].finish_disk_read_shared(job.target, job.waiters.len() as u64);
-        let body = self.store.body(job.target);
+        // with the waiters this single read unblocked. Leader and
+        // waiters all serve clones of the slice that was just admitted
+        // to the cache — one allocation for the entire flight.
+        let body =
+            self.fe.nodes()[node_idx].finish_disk_read_shared(job.target, job.waiters.len() as u64);
         self.deliver(
             job.conn,
             job.seq,
-            EntryState::Ready(ok_wire(job.version, body.clone())),
+            ok_state(job.version, body.clone(), self.zero_copy),
         );
         // Waiters whose connection died meanwhile are dropped by
         // `deliver`'s generation check — the flight completes for the
@@ -1109,7 +1219,7 @@ impl Reactor {
             self.deliver(
                 w.conn,
                 w.seq,
-                EntryState::Ready(ok_wire(w.version, body.clone())),
+                ok_state(w.version, body.clone(), self.zero_copy),
             );
         }
         if let Some(next) = self.disks[node_idx].queue.pop_front() {
@@ -1280,9 +1390,10 @@ impl Reactor {
         Ok(())
     }
 
-    /// Handles readiness on a lateral session. Returns liveness; a dead
-    /// session's in-flight job falls back to local service in
-    /// [`release_peer`].
+    /// Handles readiness on a lateral session: flushes pending request
+    /// bytes, then alternates pumping buffered response bytes toward
+    /// the client with socket reads. Returns liveness; a dead session's
+    /// in-flight job falls back to local service in [`release_peer`].
     fn drive_peer(&mut self, idx: usize, p: &mut PeerSession) -> bool {
         p.last_activity = Instant::now();
         if self.flush_peer(idx, p).is_err() {
@@ -1290,55 +1401,14 @@ impl Reactor {
         }
         let mut buf = [0u8; 16 * 1024];
         loop {
+            match self.pump_peer(idx, p) {
+                Pump::Dead => return false,
+                Pump::Paused => return self.pause_peer(idx, p),
+                Pump::More => {}
+            }
             match p.stream.read(&mut buf) {
                 Ok(0) => return false, // peer closed (idle timeout or death)
-                Ok(n) => {
-                    p.parser.feed(&buf[..n]);
-                    loop {
-                        match p.parser.next() {
-                            Ok(Some(resp)) => {
-                                let Some(job) = p.job.take() else {
-                                    return false; // unsolicited response: poisoned stream
-                                };
-                                if resp.status != 200 {
-                                    // Thread path: a non-200 is an error —
-                                    // serve locally (the whole flight) and
-                                    // do not pool.
-                                    self.fail_lateral_flight(p.remote, job);
-                                    return false;
-                                }
-                                let keep = resp.keep_alive();
-                                let waiters = self
-                                    .lateral_flights
-                                    .remove(&(p.remote, job.target))
-                                    .unwrap_or_default();
-                                self.deliver(
-                                    job.conn,
-                                    job.seq,
-                                    EntryState::Ready(ok_wire(job.version, resp.body.clone())),
-                                );
-                                for w in waiters {
-                                    self.deliver(
-                                        w.conn,
-                                        w.seq,
-                                        EntryState::Ready(ok_wire(w.version, resp.body.clone())),
-                                    );
-                                }
-                                // PR 2 anti-desync rule: only keep a stream
-                                // whose parser consumed exactly its response.
-                                if !keep || p.parser.buffered() != 0 {
-                                    return false;
-                                }
-                                if self.idle_peers[p.remote].len() >= self.peer_pool_cap {
-                                    return false;
-                                }
-                                self.idle_peers[p.remote].push(idx);
-                            }
-                            Ok(None) => break,
-                            Err(_) => return false, // garbage from peer
-                        }
-                    }
-                }
+                Ok(n) => p.parser.feed(&buf[..n]),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => return false,
@@ -1346,15 +1416,304 @@ impl Reactor {
         }
     }
 
+    /// Consumes the session's parser-buffered response bytes: a `200`
+    /// head opens a splice toward the flight leader (the client's
+    /// response head goes out before any body byte has arrived), body
+    /// bytes splice through as shared slices as they surface, and a
+    /// completed stream retires the flight and maybe pools the session.
+    fn pump_peer(&mut self, idx: usize, p: &mut PeerSession) -> Pump {
+        loop {
+            if let Some(st) = p.stream_in.as_mut() {
+                if st.remaining > 0 {
+                    if p.parser.buffered() == 0 {
+                        return Pump::More;
+                    }
+                    let job = p.job.expect("stream implies job");
+                    match self.splice_room(job.conn, job.seq) {
+                        Room::Available(room) => {
+                            let chunk = p.parser.take_body(st.remaining.min(room));
+                            st.remaining -= chunk.len();
+                            self.splice_chunk(job.conn, job.seq, chunk);
+                        }
+                        Room::Blocked => return Pump::Paused,
+                        Room::Gone => {
+                            // The client died mid-stream: keep draining
+                            // the response (discarded) so the session
+                            // itself stays usable and its flight retires.
+                            let chunk = p.parser.take_body(st.remaining);
+                            st.remaining -= chunk.len();
+                        }
+                    }
+                    continue;
+                }
+                // Every body byte has arrived: the stream is done.
+                let st = p.stream_in.take().expect("checked above");
+                let job = p.job.take().expect("stream implies job");
+                self.finish_stream(p.remote, job);
+                // PR 2 anti-desync rule: only keep a stream whose
+                // parser consumed exactly its response.
+                if !st.keep || p.parser.buffered() != 0 {
+                    return Pump::Dead;
+                }
+                if self.idle_peers[p.remote].len() >= self.peer_pool_cap {
+                    return Pump::Dead;
+                }
+                self.idle_peers[p.remote].push(idx);
+                continue;
+            }
+            if p.job.is_none() {
+                // Pooled/idle: any unsolicited byte poisons the stream.
+                return if p.parser.buffered() == 0 {
+                    Pump::More
+                } else {
+                    Pump::Dead
+                };
+            }
+            match p.parser.next_head() {
+                Ok(Some(head)) => {
+                    if head.status != 200 {
+                        // Thread path: a non-200 is an error — serve
+                        // locally (the whole flight) and do not pool.
+                        let job = p.job.take().expect("checked above");
+                        self.fail_lateral_flight(p.remote, job);
+                        return Pump::Dead;
+                    }
+                    let job = *p.job.as_ref().expect("checked above");
+                    p.stream_in = Some(StreamIn {
+                        remaining: head.body_len,
+                        keep: head.keep_alive(),
+                    });
+                    let me = self.slot_ref(idx);
+                    self.begin_splice(me, job, head.body_len);
+                }
+                Ok(None) => return Pump::More,
+                // Garbage from the peer; the flight fails over in
+                // `release_peer` (`stream_in` is still `None`).
+                Err(_) => return Pump::Dead,
+            }
+        }
+    }
+
+    /// Parks a session whose splice target is full: reads stay disarmed
+    /// until the draining client queues a pump. Returns liveness.
+    fn pause_peer(&mut self, idx: usize, p: &mut PeerSession) -> bool {
+        let want = if p.out.is_empty() {
+            Interest::NONE
+        } else {
+            Interest::WRITABLE
+        };
+        if want != p.interest {
+            if self
+                .poll
+                .registry()
+                .reregister(&mut p.stream, Token(self.slab_base + idx), want)
+                .is_err()
+            {
+                return false;
+            }
+            p.interest = want;
+        }
+        true
+    }
+
+    /// Queues a lateral session for a drive pass once the current event
+    /// finishes (driving it inline could re-enter a checked-out slot).
+    fn queue_pump(&mut self, peer: SlotRef) {
+        let Some(slab) = self.slots.get(peer.idx) else {
+            return;
+        };
+        if slab.gen != peer.gen {
+            return;
+        }
+        if !self.pending_pumps.contains(&peer.idx) {
+            self.pending_pumps.push(peer.idx);
+        }
+    }
+
+    /// Drives every queued session from the loop, where no slot is
+    /// checked out. `flush_peer` at the head of the drive re-arms the
+    /// paused reads; stale indices die against the slab checkout.
+    fn drain_pumps(&mut self) {
+        while let Some(idx) = self.pending_pumps.pop() {
+            self.handle_slot(idx);
+        }
+    }
+
+    /// Opens a splice: resolves the flight leader's pipeline slot to a
+    /// streaming entry whose first staged chunk is the client's
+    /// serialized response head — on the wire before the body exists on
+    /// this node.
+    fn begin_splice(&mut self, session: SlotRef, job: LateralJob, body_len: usize) {
+        let head = Response::ok_head(job.version, body_len);
+        self.deliver(
+            job.conn,
+            job.seq,
+            EntryState::Streaming(StreamEntry::begin(head, body_len, session)),
+        );
+    }
+
+    /// How many more spliced bytes the leader's entry can absorb.
+    fn splice_room(&self, conn: SlotRef, seq: u64) -> Room {
+        let Some(slab) = self.slots.get(conn.idx) else {
+            return Room::Gone;
+        };
+        if slab.gen != conn.gen {
+            return Room::Gone;
+        }
+        let Some(Slot::Client(c)) = slab.val.as_ref() else {
+            return Room::Gone;
+        };
+        let Some(front_seq) = c.entries.front().map(|e| e.seq) else {
+            return Room::Gone;
+        };
+        let Some(off) = seq.checked_sub(front_seq) else {
+            return Room::Gone;
+        };
+        match c.entries.get(off as usize).map(|e| &e.state) {
+            Some(EntryState::Streaming(s)) => {
+                let room = HIGH_WATER.saturating_sub(s.buffered);
+                if room == 0 {
+                    Room::Blocked
+                } else {
+                    Room::Available(room)
+                }
+            }
+            _ => Room::Gone,
+        }
+    }
+
+    /// Appends a received body slice to the leader's streaming entry
+    /// and pushes the connection forward (stage + write + interests).
+    fn splice_chunk(&mut self, conn: SlotRef, seq: u64, chunk: Bytes) {
+        let Some(slab) = self.slots.get_mut(conn.idx) else {
+            return;
+        };
+        if slab.gen != conn.gen {
+            return;
+        }
+        let Some(slot) = slab.val.take() else {
+            return;
+        };
+        match slot {
+            Slot::Client(mut c) => {
+                if let Some(front_seq) = c.entries.front().map(|e| e.seq) {
+                    if let Some(off) = seq.checked_sub(front_seq) {
+                        if let Some(Entry {
+                            state: EntryState::Streaming(s),
+                            ..
+                        }) = c.entries.get_mut(off as usize)
+                        {
+                            s.push_body(chunk);
+                        }
+                    }
+                }
+                if self.advance_client(conn.idx, &mut c) {
+                    self.slots[conn.idx].val = Some(Slot::Client(c));
+                } else {
+                    self.release_client(conn.idx, c);
+                }
+            }
+            other => {
+                self.slots[conn.idx].val = Some(other);
+            }
+        }
+    }
+
+    /// A spliced response has fully arrived: retire the flight and
+    /// resolve any parked waiters. Waiters never saw the stream, but
+    /// bodies are pure functions of the target, so their copy is
+    /// generated locally — one allocation shared across all of them —
+    /// instead of being accumulated from the wire.
+    fn finish_stream(&mut self, remote: usize, job: LateralJob) {
+        let waiters = self
+            .lateral_flights
+            .remove(&(remote, job.target))
+            .unwrap_or_default();
+        if waiters.is_empty() {
+            return;
+        }
+        let body = self.store.body(job.target);
+        for w in waiters {
+            self.deliver(
+                w.conn,
+                w.seq,
+                ok_state(w.version, body.clone(), self.zero_copy),
+            );
+        }
+    }
+
+    /// Mid-stream peer death: the leader cannot fall back to a fresh
+    /// local response — its head and a body prefix are already on the
+    /// wire — so the remainder is synthesized from the local store
+    /// (bodies are pure functions of the target: the spliced prefix
+    /// plus the synthesized suffix is byte-identical to either source
+    /// alone). Parked waiters saw nothing and fail over normally.
+    fn abort_stream(&mut self, remote: usize, leader: LateralJob) {
+        let waiters = self
+            .lateral_flights
+            .remove(&(remote, leader.target))
+            .unwrap_or_default();
+        self.complete_stream_locally(leader);
+        for w in waiters {
+            self.lateral_fallback(w);
+        }
+    }
+
+    /// Completes a truncated splice from the store (see
+    /// [`abort_stream`](Self::abort_stream)).
+    fn complete_stream_locally(&mut self, job: LateralJob) {
+        let Some(slab) = self.slots.get_mut(job.conn.idx) else {
+            return;
+        };
+        if slab.gen != job.conn.gen {
+            return;
+        }
+        let Some(slot) = slab.val.take() else {
+            return;
+        };
+        match slot {
+            Slot::Client(mut c) => {
+                if let Some(front_seq) = c.entries.front().map(|e| e.seq) {
+                    if let Some(off) = job.seq.checked_sub(front_seq) {
+                        if let Some(Entry {
+                            state: EntryState::Streaming(s),
+                            ..
+                        }) = c.entries.get_mut(off as usize)
+                        {
+                            if !s.finished_receiving() {
+                                let rest = self.store.body(job.target).slice(s.pushed..);
+                                s.push_body(rest);
+                            }
+                        }
+                    }
+                }
+                if self.advance_client(job.conn.idx, &mut c) {
+                    self.slots[job.conn.idx].val = Some(Slot::Client(c));
+                } else {
+                    self.release_client(job.conn.idx, c);
+                }
+            }
+            other => {
+                self.slots[job.conn.idx].val = Some(other);
+            }
+        }
+    }
+
     /// Closes a lateral session; an in-flight fetch degrades to local
     /// service exactly as the thread path's error fallback does —
-    /// together with every request parked on its flight.
+    /// together with every request parked on its flight. A fetch that
+    /// died *mid-splice* instead completes the leader from the store
+    /// ([`abort_stream`](Self::abort_stream)): its response prefix is
+    /// already on the wire.
     fn release_peer(&mut self, idx: usize, mut p: PeerSession) {
         self.idle_peers[p.remote].retain(|&i| i != idx);
         let _ = self.poll.registry().deregister(&mut p.stream);
         self.free_slot(idx);
         if let Some(job) = p.job.take() {
-            self.fail_lateral_flight(p.remote, job);
+            match p.stream_in.take() {
+                Some(_) => self.abort_stream(p.remote, job),
+                None => self.fail_lateral_flight(p.remote, job),
+            }
         }
     }
 

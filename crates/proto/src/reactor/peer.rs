@@ -35,6 +35,17 @@ pub(crate) struct LateralJob {
     pub handler: usize,
 }
 
+/// Streaming-receive state of an in-flight fetch: set once the 200
+/// head has been parsed and splicing toward the client has begun.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StreamIn {
+    /// Body bytes still expected from the peer.
+    pub remaining: usize,
+    /// Whether the peer's response allows keeping the session
+    /// (pool eligibility at completion).
+    pub keep: bool,
+}
+
 /// A non-blocking persistent connection to one peer's lateral server.
 pub(crate) struct PeerSession {
     pub stream: mio::net::TcpStream,
@@ -45,6 +56,9 @@ pub(crate) struct PeerSession {
     pub remote: usize,
     /// The single in-flight fetch, if any.
     pub job: Option<LateralJob>,
+    /// Set while the in-flight fetch's body is being spliced through
+    /// to the client as it arrives.
+    pub stream_in: Option<StreamIn>,
     /// Interests currently registered with the poller.
     pub interest: Interest,
     /// Last time the session carried a fetch, for the idle sweep: a
@@ -62,6 +76,7 @@ impl PeerSession {
             out: BytesMut::new(),
             remote,
             job: None,
+            stream_in: None,
             interest: Interest::READABLE,
             last_activity: Instant::now(),
         }

@@ -38,24 +38,36 @@ pub enum EvictPolicy {
 }
 
 #[derive(Debug, Clone)]
-struct Entry<K> {
+struct Entry<K, V> {
     target: K,
     size: u64,
     /// EWMA of observed aggregate miss delay (µs) for this entry; 0 until
     /// a delay sample is provided. Only consulted by [`EvictPolicy::LruMad`].
     score: u64,
+    /// The cached payload, if the owner caches one (see
+    /// [`LruCache::insert_valued`]). Metadata-only entries — the
+    /// simulator's, and any admitted through the plain
+    /// [`LruCache::insert`] — carry `None`.
+    value: Option<V>,
     prev: usize,
     next: usize,
 }
 
 /// A strict-LRU cache of keyed entries with a byte budget.
+///
+/// Generic over an optional per-entry payload `V` (default `()` — the
+/// simulator and the dispatcher's mirrors track metadata only). The
+/// prototype's nodes instantiate `V = bytes::Bytes` so the cache is the
+/// sole long-term owner of each cached body slice: a hit hands out an
+/// O(1) refcounted clone instead of regenerating a fresh copy, and an
+/// eviction drops the last owner.
 #[derive(Debug, Clone)]
-pub struct LruCache<K> {
+pub struct LruCache<K, V = ()> {
     budget: u64,
     used: u64,
     policy: EvictPolicy,
     map: HashMap<K, usize>,
-    slab: Vec<Entry<K>>,
+    slab: Vec<Entry<K, V>>,
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
@@ -66,7 +78,7 @@ pub struct LruCache<K> {
     journal: Option<Vec<K>>,
 }
 
-impl<K: Copy + Eq + Hash> LruCache<K> {
+impl<K: Copy + Eq + Hash, V> LruCache<K, V> {
     /// Creates a cache holding at most `budget_bytes` of content.
     pub fn new(budget_bytes: u64) -> Self {
         LruCache {
@@ -155,6 +167,34 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         }
     }
 
+    /// Like [`touch`](Self::touch), but also returns a borrow of the
+    /// entry's cached payload (a hit on a valued cache). `None` when
+    /// the target is absent **or** cached metadata-only; either way
+    /// recency is updated iff the target is present.
+    pub fn touch_value(&mut self, target: K) -> Option<&V> {
+        let &idx = self.map.get(&target)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        self.slab[idx].value.as_ref()
+    }
+
+    /// The entry's cached payload without updating recency.
+    pub fn get(&self, target: K) -> Option<&V> {
+        self.map
+            .get(&target)
+            .and_then(|&idx| self.slab[idx].value.as_ref())
+    }
+
+    /// Every cached `(target, payload)` pair, in no particular order,
+    /// skipping metadata-only entries. O(len) — diagnostics and the
+    /// refcount-hygiene audit, not the serve path.
+    pub fn iter_values(&self) -> impl Iterator<Item = (K, &V)> {
+        self.map.values().filter_map(|&idx| {
+            let e = &self.slab[idx];
+            e.value.as_ref().map(|v| (e.target, v))
+        })
+    }
+
     /// Returns `true` if the target is cached without updating recency.
     pub fn contains(&self, target: K) -> bool {
         self.map.contains_key(&target)
@@ -169,7 +209,28 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
     /// cannot hold it resident either). Re-inserting an existing target
     /// refreshes its recency and updates its size.
     pub fn insert(&mut self, target: K, size: u64) -> bool {
-        self.insert_inner(target, size, None)
+        self.insert_inner(target, size, None, None)
+    }
+
+    /// [`insert`](Self::insert) carrying the cached payload itself —
+    /// the zero-copy serve path's entry point: the cache becomes the
+    /// long-term owner of the body slice, and hits clone the refcount
+    /// instead of the bytes. Refreshing an existing entry replaces its
+    /// payload (same target ⇒ same content; the old slice drops).
+    pub fn insert_valued(&mut self, target: K, size: u64, value: V) -> bool {
+        self.insert_inner(target, size, None, Some(value))
+    }
+
+    /// [`insert_valued`](Self::insert_valued) plus a miss-delay
+    /// observation (see [`insert_with_delay`](Self::insert_with_delay)).
+    pub fn insert_valued_with_delay(
+        &mut self,
+        target: K,
+        size: u64,
+        value: V,
+        agg_delay_us: u64,
+    ) -> bool {
+        self.insert_inner(target, size, Some(agg_delay_us), Some(value))
     }
 
     /// [`insert`](Self::insert) plus a miss-delay observation: `agg_delay_us`
@@ -181,10 +242,16 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
     /// [`EvictPolicy::Lru`] the sample is recorded but never consulted, so
     /// the two entry points behave identically.
     pub fn insert_with_delay(&mut self, target: K, size: u64, agg_delay_us: u64) -> bool {
-        self.insert_inner(target, size, Some(agg_delay_us))
+        self.insert_inner(target, size, Some(agg_delay_us), None)
     }
 
-    fn insert_inner(&mut self, target: K, size: u64, delay_us: Option<u64>) -> bool {
+    fn insert_inner(
+        &mut self,
+        target: K,
+        size: u64,
+        delay_us: Option<u64>,
+        value: Option<V>,
+    ) -> bool {
         if let Some(&idx) = self.map.get(&target) {
             // Size update (static content rarely changes, but stay safe).
             let old = self.slab[idx].size;
@@ -193,6 +260,11 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
             if let Some(sample) = delay_us {
                 let old_score = self.slab[idx].score;
                 self.slab[idx].score = (old_score + sample) / 2;
+            }
+            if value.is_some() {
+                // A metadata-only refresh keeps whatever payload the
+                // entry already owns; a valued refresh replaces it.
+                self.slab[idx].value = value;
             }
             self.unlink(idx);
             self.push_front(idx);
@@ -207,6 +279,7 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
             target,
             size,
             score: delay_us.unwrap_or(0),
+            value,
             prev: NIL,
             next: NIL,
         });
@@ -261,6 +334,10 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         if let Some(idx) = self.map.remove(&target) {
             self.used -= self.slab[idx].size;
             self.unlink(idx);
+            // Drop the payload now, not when the slot is next reused —
+            // an evicted body slice must release its refcount with the
+            // eviction (the refcount-hygiene invariant).
+            self.slab[idx].value = None;
             self.free.push(idx);
             true
         } else {
@@ -329,7 +406,7 @@ impl<K: Copy + Eq + Hash> LruCache<K> {
         }
     }
 
-    fn alloc(&mut self, e: Entry<K>) -> usize {
+    fn alloc(&mut self, e: Entry<K, V>) -> usize {
         if let Some(idx) = self.free.pop() {
             self.slab[idx] = e;
             idx
@@ -378,7 +455,7 @@ mod tests {
 
     #[test]
     fn insert_then_touch_hits() {
-        let mut c = LruCache::new(1000);
+        let mut c: LruCache<u32> = LruCache::new(1000);
         c.insert(t(1), 100);
         assert!(c.touch(t(1)));
         assert!(!c.touch(t(2)));
@@ -388,7 +465,7 @@ mod tests {
 
     #[test]
     fn evicts_least_recently_used_first() {
-        let mut c = LruCache::new(300);
+        let mut c: LruCache<u32> = LruCache::new(300);
         c.insert(t(1), 100);
         c.insert(t(2), 100);
         c.insert(t(3), 100);
@@ -404,7 +481,7 @@ mod tests {
 
     #[test]
     fn never_exceeds_budget() {
-        let mut c = LruCache::new(250);
+        let mut c: LruCache<u32> = LruCache::new(250);
         for i in 0..100 {
             c.insert(t(i), 40);
             assert!(c.used() <= 250, "used {} over budget", c.used());
@@ -414,7 +491,7 @@ mod tests {
 
     #[test]
     fn oversized_target_is_not_cached() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<u32> = LruCache::new(100);
         c.insert(t(1), 50);
         c.insert(t(2), 500);
         assert!(!c.contains(t(2)));
@@ -424,7 +501,7 @@ mod tests {
 
     #[test]
     fn reinsert_updates_size_and_recency() {
-        let mut c = LruCache::new(300);
+        let mut c: LruCache<u32> = LruCache::new(300);
         c.insert(t(1), 100);
         c.insert(t(2), 100);
         c.insert(t(1), 150); // refresh + grow
@@ -436,7 +513,7 @@ mod tests {
 
     #[test]
     fn remove_returns_presence() {
-        let mut c = LruCache::new(300);
+        let mut c: LruCache<u32> = LruCache::new(300);
         c.insert(t(1), 100);
         assert!(c.remove(t(1)));
         assert!(!c.remove(t(1)));
@@ -446,7 +523,7 @@ mod tests {
 
     #[test]
     fn slab_reuse_after_removals() {
-        let mut c = LruCache::new(1_000);
+        let mut c: LruCache<u32> = LruCache::new(1_000);
         for round in 0..10 {
             for i in 0..10 {
                 c.insert(t(round * 10 + i), 100);
@@ -459,7 +536,7 @@ mod tests {
 
     #[test]
     fn insert_reports_new_admissions_only() {
-        let mut c = LruCache::new(300);
+        let mut c: LruCache<u32> = LruCache::new(300);
         assert!(c.insert(t(1), 100), "first insert is an admission");
         assert!(!c.insert(t(1), 100), "refresh is not an admission");
         assert!(
@@ -471,7 +548,7 @@ mod tests {
 
     #[test]
     fn journal_records_evictions_in_order() {
-        let mut c = LruCache::new(300);
+        let mut c: LruCache<u32> = LruCache::new(300);
         // Journal off by default: evictions are not recorded.
         c.insert(t(1), 100);
         c.insert(t(2), 100);
@@ -497,7 +574,7 @@ mod tests {
 
     #[test]
     fn contents_enumerate_lru_to_mru_and_replay_identically() {
-        let mut c = LruCache::new(400);
+        let mut c: LruCache<u32> = LruCache::new(400);
         c.insert(t(1), 100);
         c.insert(t(2), 100);
         c.insert(t(3), 100);
@@ -508,7 +585,7 @@ mod tests {
         );
         // Replaying the snapshot into a fresh cache reproduces contents
         // AND recency: the same subsequent insert evicts the same victim.
-        let mut replayed = LruCache::new(400);
+        let mut replayed: LruCache<u32> = LruCache::new(400);
         for (k, size) in c.contents_lru_order() {
             replayed.insert(k, size);
         }
@@ -523,7 +600,7 @@ mod tests {
 
     #[test]
     fn clear_wipes_contents_but_keeps_configuration() {
-        let mut c = LruCache::new(250);
+        let mut c: LruCache<u32> = LruCache::new(250);
         c.set_policy(EvictPolicy::LruMad);
         c.set_journal(true);
         c.insert(t(1), 100);
@@ -547,7 +624,7 @@ mod tests {
 
     #[test]
     fn zero_budget_caches_nothing() {
-        let mut c = LruCache::new(0);
+        let mut c: LruCache<u32> = LruCache::new(0);
         c.insert(t(1), 1);
         assert!(c.is_empty());
         assert!(!c.touch(t(1)));
@@ -555,7 +632,7 @@ mod tests {
 
     #[test]
     fn mad_evicts_cheapest_delay_per_byte() {
-        let mut c = LruCache::new(300);
+        let mut c: LruCache<u32> = LruCache::new(300);
         c.set_policy(EvictPolicy::LruMad);
         // Same size, different miss cost: the cheap entry goes first even
         // though the expensive one is older (more LRU).
@@ -572,8 +649,8 @@ mod tests {
 
     #[test]
     fn mad_uniform_scores_degrade_to_lru() {
-        let mut lru = LruCache::new(300);
-        let mut mad = LruCache::new(300);
+        let mut lru: LruCache<u32> = LruCache::new(300);
+        let mut mad: LruCache<u32> = LruCache::new(300);
         mad.set_policy(EvictPolicy::LruMad);
         for c in [&mut lru, &mut mad] {
             c.insert_with_delay(t(1), 100, 10_000);
@@ -594,7 +671,7 @@ mod tests {
 
     #[test]
     fn mad_normalizes_by_size() {
-        let mut c = LruCache::new(1_000);
+        let mut c: LruCache<u32> = LruCache::new(1_000);
         c.set_policy(EvictPolicy::LruMad);
         // The large entry costs more in absolute delay but much less per
         // byte — evicting it frees the most space per unit of future delay.
@@ -608,7 +685,7 @@ mod tests {
 
     #[test]
     fn mad_score_is_ewma_and_candidates_respect_recency() {
-        let mut c = LruCache::new(10_000);
+        let mut c: LruCache<u32> = LruCache::new(10_000);
         c.set_policy(EvictPolicy::LruMad);
         assert!(c.insert_with_delay(t(1), 100, 8_000));
         assert_eq!(c.mad_score(t(1)), Some(8_000));
@@ -621,7 +698,7 @@ mod tests {
 
         // An entry outside the MAD candidate window is safe no matter how
         // cheap: only the MAD_CANDIDATES tail entries are examined.
-        let mut c = LruCache::new((MAD_CANDIDATES as u64 + 1) * 100);
+        let mut c: LruCache<u32> = LruCache::new((MAD_CANDIDATES as u64 + 1) * 100);
         c.set_policy(EvictPolicy::LruMad);
         c.insert_with_delay(t(0), 100, 0); // cheapest, but will be MRU-side
         for i in 1..=MAD_CANDIDATES as u32 {
@@ -638,7 +715,7 @@ mod tests {
 
     #[test]
     fn mad_oversized_keep_semantics_match_lru() {
-        let mut c = LruCache::new(100);
+        let mut c: LruCache<u32> = LruCache::new(100);
         c.set_policy(EvictPolicy::LruMad);
         c.insert_with_delay(t(1), 60, 1_000);
         // Refresh-grow beyond budget: the grown entry itself is dropped
@@ -649,8 +726,59 @@ mod tests {
     }
 
     #[test]
+    fn valued_entries_hand_out_payloads_and_drop_on_eviction() {
+        use std::rc::Rc;
+        let mut c: LruCache<u32, Rc<Vec<u8>>> = LruCache::new(300);
+        let body = Rc::new(vec![7u8; 100]);
+        assert!(c.insert_valued(t(1), 100, body.clone()));
+        assert_eq!(Rc::strong_count(&body), 2, "cache holds one owner");
+        // A hit is a refcount clone of the cached payload, not a copy.
+        let hit = c.touch_value(t(1)).expect("valued hit").clone();
+        assert!(Rc::ptr_eq(&hit, &body));
+        drop(hit);
+        // get() reads without recency; metadata-only entries read None.
+        assert!(c.get(t(1)).is_some());
+        c.insert(t(2), 100);
+        assert!(c.get(t(2)).is_none(), "plain insert carries no payload");
+        assert!(c.touch_value(t(2)).is_none());
+        assert!(c.touch(t(2)), "metadata-only entry still hits");
+        // iter_values enumerates only valued entries.
+        assert_eq!(c.iter_values().count(), 1);
+        // Eviction releases the cache's ownership immediately.
+        c.insert_valued(t(3), 150, Rc::new(vec![0u8; 150]));
+        c.insert_valued(t(4), 100, Rc::new(vec![0u8; 100])); // evicts t(1)
+        assert!(!c.contains(t(1)));
+        assert_eq!(Rc::strong_count(&body), 1, "eviction dropped the payload");
+        // Explicit remove too.
+        let b3 = c.get(t(3)).unwrap().clone();
+        assert_eq!(Rc::strong_count(&b3), 2);
+        assert!(c.remove(t(3)));
+        assert_eq!(Rc::strong_count(&b3), 1, "remove dropped the payload");
+    }
+
+    #[test]
+    fn valued_refresh_replaces_but_metadata_refresh_keeps() {
+        use std::rc::Rc;
+        let mut c: LruCache<u32, Rc<u32>> = LruCache::new(1000);
+        let v1 = Rc::new(11);
+        c.insert_valued(t(1), 100, v1.clone());
+        // Metadata-only refresh (the feedback path) keeps the payload.
+        c.insert(t(1), 100);
+        assert!(Rc::ptr_eq(c.get(t(1)).unwrap(), &v1));
+        // Valued refresh replaces it and drops the old owner.
+        c.insert_valued_with_delay(t(1), 100, Rc::new(22), 5_000);
+        assert_eq!(Rc::strong_count(&v1), 1);
+        assert_eq!(**c.get(t(1)).unwrap(), 22);
+        assert_eq!(c.mad_score(t(1)), Some(2_500), "(0 + 5000) / 2");
+        // clear() drops every payload with the contents.
+        let v2 = c.get(t(1)).unwrap().clone();
+        c.clear();
+        assert_eq!(Rc::strong_count(&v2), 1);
+    }
+
+    #[test]
     fn mad_journals_victims_in_eviction_order() {
-        let mut c = LruCache::new(300);
+        let mut c: LruCache<u32> = LruCache::new(300);
         c.set_policy(EvictPolicy::LruMad);
         c.set_journal(true);
         c.insert_with_delay(t(1), 100, 30_000);

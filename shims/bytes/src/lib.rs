@@ -45,13 +45,49 @@ impl Bytes {
     }
 
     /// A sub-range sharing the same allocation.
-    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let range = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        }..match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
         assert!(range.start <= range.end && range.end <= self.len());
         Bytes {
             data: self.data.clone(),
             start: self.start + range.start,
             end: self.start + range.end,
         }
+    }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the
+    /// rest. Both halves share the original allocation (no copy), like
+    /// upstream `Bytes::split_to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// How many `Bytes` handles share this allocation (upstream exposes
+    /// this only indirectly via `try_into_mut`; the reproduction needs
+    /// it directly as the refcount-hygiene observability hook: a cache
+    /// that is the sole owner of a body reads 1 here).
+    pub fn strong_count(&self) -> usize {
+        Arc::strong_count(&self.data)
     }
 }
 
@@ -278,6 +314,67 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(&a[..], &[1, 2, 3]);
         assert_eq!(a.slice(1..3), Bytes::from(vec![2, 3]));
+    }
+
+    // The next three tests pin the aliasing semantics the upstream
+    // `bytes` crate documents: `clone`, `slice`, and `split_to` are all
+    // O(1) views over one shared allocation — no copies — and dropping
+    // views releases ownership until the last one frees the data.
+
+    #[test]
+    fn clone_and_slice_share_one_allocation() {
+        let a = Bytes::from(vec![9u8; 64]);
+        assert_eq!(a.strong_count(), 1, "fresh buffer has one owner");
+        let b = a.clone();
+        let c = a.slice(8..32);
+        assert_eq!(a.strong_count(), 3, "clone and slice are views, not copies");
+        assert_eq!(b.strong_count(), 3);
+        assert_eq!(c.strong_count(), 3);
+        // Views alias the same memory, not equal-but-separate copies.
+        assert!(std::ptr::eq(&a[8], &c[0]));
+        assert!(std::ptr::eq(&a[0], &b[0]));
+        drop(b);
+        drop(c);
+        assert_eq!(a.strong_count(), 1, "dropping views releases ownership");
+    }
+
+    #[test]
+    fn split_to_is_zero_copy_and_exact() {
+        let mut rest = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let head = rest.split_to(40);
+        assert_eq!(head.len(), 40);
+        assert_eq!(rest.len(), 60);
+        assert_eq!(&head[..], &(0u8..40).collect::<Vec<u8>>()[..]);
+        assert_eq!(&rest[..], &(40u8..100).collect::<Vec<u8>>()[..]);
+        // Both halves alias the original allocation.
+        assert_eq!(head.strong_count(), 2);
+        assert_eq!(
+            &head[39] as *const u8 as usize + 1,
+            &rest[0] as *const u8 as usize,
+            "halves are adjacent views of one allocation"
+        );
+        // Degenerate splits: empty head, then the whole remainder.
+        let empty = rest.split_to(0);
+        assert!(empty.is_empty());
+        let all = rest.split_to(rest.len());
+        assert!(rest.is_empty());
+        assert_eq!(all.len(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn bytes_split_to_past_end_panics() {
+        let mut b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.split_to(4);
+    }
+
+    #[test]
+    fn slice_of_slice_composes_offsets() {
+        let a = Bytes::from((0u8..50).collect::<Vec<u8>>());
+        let mid = a.slice(10..40);
+        let inner = mid.slice(5..10);
+        assert_eq!(&inner[..], &[15, 16, 17, 18, 19]);
+        assert_eq!(a.strong_count(), 3);
     }
 
     #[test]
