@@ -31,7 +31,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
 use phttp_trace::TargetId;
 
 use crate::types::NodeId;
@@ -126,7 +126,9 @@ impl CacheMirror {
     /// An empty mirror for `num_nodes` back-ends.
     pub fn new(num_nodes: usize) -> Self {
         CacheMirror {
-            nodes: (0..num_nodes).map(|_| Mutex::new(HashSet::new())).collect(),
+            nodes: (0..num_nodes)
+                .map(|n| Mutex::new_classed(LockClass::mirror(n as u32), HashSet::new()))
+                .collect(),
         }
     }
 

@@ -40,7 +40,7 @@
 //! the request — a fully-quarantined cluster serving degraded beats one
 //! serving nothing.
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
 
 use crate::types::NodeId;
 
@@ -163,7 +163,7 @@ impl HealthGate {
         HealthGate {
             cfg,
             nodes: (0..num_nodes)
-                .map(|_| Mutex::new(NodeHealth::closed()))
+                .map(|n| Mutex::new_classed(LockClass::health(n as u32), NodeHealth::closed()))
                 .collect(),
         }
     }

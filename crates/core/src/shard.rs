@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+use parking_lot::{LockClass, Mutex, RwLock, RwLockWriteGuard};
 use phttp_trace::TargetId;
 
 use crate::mapping::MappingTable;
@@ -37,7 +37,11 @@ impl ShardedMappingTable {
     pub fn new(shards: usize) -> Self {
         let n = shard_count(shards);
         ShardedMappingTable {
-            shards: (0..n).map(|_| RwLock::new(MappingTable::new())).collect(),
+            shards: (0..n)
+                .map(|i| {
+                    RwLock::new_classed(LockClass::mapping_shard(i as u32), MappingTable::new())
+                })
+                .collect(),
             mask: n - 1,
         }
     }
@@ -52,6 +56,7 @@ impl ShardedMappingTable {
     }
 
     /// Runs `f` with shared access to `target`'s shard.
+    #[track_caller]
     pub fn read<R>(&self, target: TargetId, f: impl FnOnce(&MappingTable) -> R) -> R {
         f(&self.shard(target).read())
     }
@@ -59,6 +64,7 @@ impl ShardedMappingTable {
     /// Runs `f` with exclusive access to `target`'s shard. Holding the
     /// lock across a decision *and* its mapping update is what keeps
     /// per-target policy decisions atomic without any global lock.
+    #[track_caller]
     pub fn write<R>(&self, target: TargetId, f: impl FnOnce(&mut MappingTable) -> R) -> R {
         f(&mut self.shard(target).write())
     }
@@ -142,7 +148,10 @@ impl ShardedMappingTable {
     /// Ascending index order is the workspace's multi-shard lock order;
     /// every code path that holds more than one mapping shard at a time
     /// must acquire in this order (see ARCHITECTURE.md, "Batched
-    /// dispatch"), which makes cross-batch deadlock impossible.
+    /// dispatch"), which makes cross-batch deadlock impossible — and
+    /// which lockcheck enforces (the `MappingShard` group is
+    /// index-ordered: non-ascending acquisition panics).
+    #[track_caller]
     pub fn write_set<R>(
         &self,
         targets: &[TargetId],
@@ -220,7 +229,9 @@ impl ConnTable {
     pub fn new(shards: usize) -> Self {
         let n = shard_count(shards);
         ConnTable {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n)
+                .map(|i| Mutex::new_classed(LockClass::conn_shard(i as u32), HashMap::new()))
+                .collect(),
             mask: n - 1,
         }
     }
@@ -230,6 +241,7 @@ impl ConnTable {
     }
 
     /// Runs `f` with exclusive access to `conn`'s shard map.
+    #[track_caller]
     pub fn with<R>(&self, conn: ConnId, f: impl FnOnce(&mut HashMap<ConnId, ConnState>) -> R) -> R {
         f(&mut self.shard(conn).lock())
     }

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
 use phttp_core::{Assignment, ConnId, LardParams, Mechanism, NodeId, PolicyKind};
 use phttp_http::{Request, RequestParser, Response};
 use phttp_simcore::EvictPolicy;
@@ -337,8 +337,9 @@ impl Cluster {
             return Err(ConfigError::TargetExceedsBodyLimit { size });
         }
         let stop = Arc::new(AtomicBool::new(false));
-        let peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        let peer_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(
+            Mutex::new_classed(LockClass::other("peer-threads"), Vec::new()),
+        );
 
         // Bind every peer listener first so all addresses are known —
         // standby slots included, so a later join changes no node's view
@@ -687,7 +688,10 @@ impl Cluster {
             listeners,
             cache_feedback: config.cache_feedback,
             weights,
-            dynamic_control_threads: Mutex::new(Vec::new()),
+            dynamic_control_threads: Mutex::new_classed(
+                LockClass::other("dynamic-control-threads"),
+                Vec::new(),
+            ),
             health_thread,
         })
     }

@@ -12,11 +12,11 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, LockClass, Mutex};
 use phttp_core::{CacheEvent, NodeId};
 use phttp_http::{Request, ResponseParser, Version};
 use phttp_simcore::lru::{EvictPolicy, LruCache};
@@ -120,7 +120,7 @@ enum FlightOutcome {
 /// leader completes it exactly once; waiters block on the condvar.
 #[derive(Debug)]
 struct Flight {
-    state: StdMutex<FlightOutcome>,
+    state: Mutex<FlightOutcome>,
     cv: Condvar,
     /// Requests parked on this flight so far (MAD delay estimation).
     waiters: AtomicU64,
@@ -129,21 +129,21 @@ struct Flight {
 impl Flight {
     fn new() -> Self {
         Flight {
-            state: StdMutex::new(FlightOutcome::Pending),
+            state: Mutex::new_classed(LockClass::flight(), FlightOutcome::Pending),
             cv: Condvar::new(),
             waiters: AtomicU64::new(0),
         }
     }
 
     fn complete(&self, outcome: FlightOutcome) {
-        *self.state.lock().expect("flight lock") = outcome;
+        *self.state.lock() = outcome;
         self.cv.notify_all();
     }
 
     fn wait(&self) -> FlightOutcome {
-        let mut st = self.state.lock().expect("flight lock");
+        let mut st = self.state.lock();
         while *st == FlightOutcome::Pending {
-            st = self.cv.wait(st).expect("flight lock");
+            self.cv.wait(&mut st);
         }
         *st
     }
@@ -253,9 +253,9 @@ pub struct NodeState {
     /// `cache` may be held when taking this, never the reverse —
     /// registering a waiter under the cache lock closes the race with
     /// the leader's insert-then-remove completion.
-    disk_flights: StdMutex<HashMap<TargetId, Arc<Flight>>>,
+    disk_flights: Mutex<HashMap<TargetId, Arc<Flight>>>,
     /// In-flight lateral fetches, keyed by (remote node, target).
-    lateral_flights: StdMutex<HashMap<(usize, TargetId), Arc<Flight>>>,
+    lateral_flights: Mutex<HashMap<(usize, TargetId), Arc<Flight>>>,
 }
 
 impl NodeState {
@@ -267,16 +267,17 @@ impl NodeState {
         store: std::sync::Arc<ContentStore>,
         peer_addrs: Vec<SocketAddr>,
     ) -> Self {
+        let nid = id.0 as u32;
         let peer_pool = (0..peer_addrs.len())
-            .map(|_| Mutex::new(Vec::new()))
+            .map(|p| Mutex::new_classed(LockClass::peer_pool(p as u32), Vec::new()))
             .collect();
         let feedback = FeedbackConfig::default();
         let mut cache: LruCache<TargetId, Bytes> = LruCache::new(cache_bytes);
         cache.set_journal(feedback.enabled);
         NodeState {
             id,
-            cache: Mutex::new(cache),
-            disk: Mutex::new(()),
+            cache: Mutex::new_classed(LockClass::cache(nid), cache),
+            disk: Mutex::new_classed(LockClass::disk_spindle(nid), ()),
             disk_queue: AtomicUsize::new(0),
             disk_emu,
             store,
@@ -286,10 +287,10 @@ impl NodeState {
             lateral_faults: AtomicI64::new(0),
             stats: NodeStats::default(),
             feedback,
-            control: Mutex::new(ControlTx::default()),
+            control: Mutex::new_classed(LockClass::control(nid), ControlTx::default()),
             coalesce: false,
-            disk_flights: StdMutex::new(HashMap::new()),
-            lateral_flights: StdMutex::new(HashMap::new()),
+            disk_flights: Mutex::new_classed(LockClass::disk_flights(nid), HashMap::new()),
+            lateral_flights: Mutex::new_classed(LockClass::lateral_flights(nid), HashMap::new()),
         }
     }
 
@@ -620,7 +621,7 @@ impl NodeState {
             if cache.touch(target) {
                 Role::Hit(cache.get(target).cloned())
             } else if self.coalesce {
-                let mut flights = self.disk_flights.lock().expect("flight table");
+                let mut flights = self.disk_flights.lock();
                 match flights.get(&target) {
                     Some(f) => {
                         f.waiters.fetch_add(1, Ordering::Relaxed);
@@ -665,10 +666,7 @@ impl NodeState {
                 // Insert BEFORE retiring the flight: a concurrent probe
                 // always finds the target either cached or in flight.
                 self.cache_insert_reporting(target, size, agg_us, body.clone());
-                self.disk_flights
-                    .lock()
-                    .expect("flight table")
-                    .remove(&target);
+                self.disk_flights.lock().remove(&target);
                 f.complete(FlightOutcome::Done);
                 body
             }
@@ -876,7 +874,7 @@ impl NodeState {
         // arrives just after the leader retired the flight simply starts
         // a fresh one — an extra fetch, never a lost wakeup.
         let leader = {
-            let mut flights = self.lateral_flights.lock().expect("flight table");
+            let mut flights = self.lateral_flights.lock();
             match flights.get(&key) {
                 Some(f) => {
                     f.waiters.fetch_add(1, Ordering::Relaxed);
@@ -892,10 +890,7 @@ impl NodeState {
         match leader {
             Ok(f) => {
                 let res = self.lateral_fetch(remote, target);
-                self.lateral_flights
-                    .lock()
-                    .expect("flight table")
-                    .remove(&key);
+                self.lateral_flights.lock().remove(&key);
                 f.complete(if res.is_ok() {
                     FlightOutcome::Done
                 } else {

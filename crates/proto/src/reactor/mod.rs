@@ -94,7 +94,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use mio::{Events, Interest, Poll, Token, Waker};
-use parking_lot::Mutex;
+use parking_lot::{LockClass, Mutex};
 use phttp_core::{Assignment, ConnId, ForwardSemantics, NodeId};
 use phttp_http::{Request, Response, Version};
 use phttp_trace::TargetId;
@@ -375,7 +375,10 @@ pub(crate) fn spawn(
     {
         let poll = Poll::new()?;
         let waker = Arc::new(Waker::new(poll.registry(), WAKER)?);
-        let inbox: InjectorQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let inbox: InjectorQueue = Arc::new(Mutex::new_classed(
+            LockClass::other("accept-inbox"),
+            VecDeque::new(),
+        ));
         injectors.push(ConnInjector {
             q: inbox.clone(),
             waker: waker.clone(),

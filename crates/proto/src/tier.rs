@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{LockClass, Mutex, RwLock};
 use phttp_core::{ConnId, FeId, NodeId, Ring, TierView};
 use phttp_handoff::machine::{Action, BeHandoff, FeHandoff};
 use phttp_handoff::messages::{CtrlMsg, TcpHandoffState};
@@ -178,12 +178,15 @@ impl Vip {
             session_readers.push((f, vip_side.try_clone().expect("clone tier stream"), ack_tx));
             endpoint_readers.push((f, fe_side.try_clone().expect("clone tier stream")));
             sessions.push(AdmitSession {
-                admit_lock: Mutex::new(()),
-                write: Mutex::new(vip_side),
+                admit_lock: Mutex::new_classed(LockClass::admit_session(f as u32), ()),
+                write: Mutex::new_classed(LockClass::session_write(f as u32), vip_side),
                 ack_rx,
             });
             endpoints.push(Arc::new(Endpoint {
-                be: Mutex::new((BeHandoff::new(NodeId(f), 0), fe_side)),
+                be: Mutex::new_classed(
+                    LockClass::be_endpoint(f as u32),
+                    (BeHandoff::new(NodeId(f), 0), fe_side),
+                ),
             }));
         }
 
@@ -201,23 +204,29 @@ impl Vip {
                 // `f`'s deltas there, and symmetrically.
                 gossip_readers.push((g, end_g.try_clone().expect("clone tier stream")));
                 gossip_readers.push((f, end_f.try_clone().expect("clone tier stream")));
-                gossip_tx[f][g] = Some(Mutex::new(end_f));
-                gossip_tx[g][f] = Some(Mutex::new(end_g));
+                // Classed by receiving peer; the publish loop takes tx
+                // locks one at a time, so no two GossipTx instances are
+                // ever held together.
+                gossip_tx[f][g] = Some(Mutex::new_classed(LockClass::gossip_tx(g as u32), end_f));
+                gossip_tx[g][f] = Some(Mutex::new_classed(LockClass::gossip_tx(f as u32), end_g));
             }
         }
 
         let num_nodes = fes[0].nodes().len();
         let vip = Arc::new(Vip {
             alive: (0..m).map(|_| AtomicBool::new(true)).collect(),
-            ring: RwLock::new(Ring::new(m)),
-            machine: Mutex::new(FeHandoff::new()),
+            ring: RwLock::new_classed(LockClass::ring(), Ring::new(m)),
+            machine: Mutex::new_classed(LockClass::vip_machine(), FeHandoff::new()),
             sessions,
             endpoints,
             tiers: (0..m)
                 .map(|f| FeTier {
-                    view: Mutex::new(TierView::new(FeId(f), num_nodes)),
+                    view: Mutex::new_classed(
+                        LockClass::tier_view(f as u32),
+                        TierView::new(FeId(f), num_nodes),
+                    ),
                     seq: AtomicU64::new(0),
-                    publish: Mutex::new(()),
+                    publish: Mutex::new_classed(LockClass::gossip_publish(f as u32), ()),
                     admitted: AtomicU64::new(0),
                 })
                 .collect(),
@@ -227,8 +236,11 @@ impl Vip {
             handoffs: AtomicU64::new(0),
             fe_kills: AtomicU64::new(0),
             stop: Arc::new(AtomicBool::new(false)),
-            threads: Mutex::new(Vec::new()),
-            shutdown_streams: Mutex::new(shutdown_streams),
+            threads: Mutex::new_classed(LockClass::other("vip-threads"), Vec::new()),
+            shutdown_streams: Mutex::new_classed(
+                LockClass::other("vip-shutdown-streams"),
+                shutdown_streams,
+            ),
             fes,
         });
 

@@ -95,10 +95,10 @@ fn play_one(addr: SocketAddr, conn: &phttp_trace::Connection) -> Vec<Vec<u8>> {
 fn play_capture(addrs: &[SocketAddr], workload: &ConnectionTrace) -> Vec<Vec<Vec<u8>>> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let cursor = AtomicUsize::new(0);
-    let transcript: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = workload
+    let transcript: Vec<parking_lot::Mutex<Vec<Vec<u8>>>> = workload
         .connections
         .iter()
-        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
         .collect();
     std::thread::scope(|scope| {
         for _ in 0..8 {
@@ -107,14 +107,11 @@ fn play_capture(addrs: &[SocketAddr], workload: &ConnectionTrace) -> Vec<Vec<Vec
                 let Some(conn) = workload.connections.get(i) else {
                     break;
                 };
-                *transcript[i].lock().unwrap() = play_one(addrs[i % addrs.len()], conn);
+                *transcript[i].lock() = play_one(addrs[i % addrs.len()], conn);
             });
         }
     });
-    transcript
-        .into_iter()
-        .map(|m| m.into_inner().unwrap())
-        .collect()
+    transcript.into_iter().map(|m| m.into_inner()).collect()
 }
 
 fn run_tier(io_model: IoModel, front_ends: usize) -> Vec<Vec<Vec<u8>>> {
@@ -204,10 +201,10 @@ fn kill_one_frontend_drains_without_loss() {
     let halfway = conns.connections.len() / 2;
     use std::sync::atomic::{AtomicUsize, Ordering};
     let cursor = AtomicUsize::new(0);
-    let transcript: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = conns
+    let transcript: Vec<parking_lot::Mutex<Vec<Vec<u8>>>> = conns
         .connections
         .iter()
-        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
         .collect();
     let mut killed = false;
     std::thread::scope(|scope| {
@@ -217,7 +214,7 @@ fn kill_one_frontend_drains_without_loss() {
                 let Some(conn) = conns.connections.get(i) else {
                     break;
                 };
-                *transcript[i].lock().unwrap() = play_one(addrs[i % addrs.len()], conn);
+                *transcript[i].lock() = play_one(addrs[i % addrs.len()], conn);
             });
         }
         // Let the players get connections in flight on both front-ends,
@@ -251,7 +248,7 @@ fn kill_one_frontend_drains_without_loss() {
     // directly, including every connection the dead front-end was
     // still draining when it was decommissioned.
     for (conn, got) in conns.connections.iter().zip(&transcript) {
-        let got = got.lock().unwrap();
+        let got = got.lock();
         let want: Vec<Vec<u8>> = conn
             .batches
             .iter()

@@ -154,10 +154,10 @@ fn play_capture(
     store: &ContentStore,
 ) -> Vec<Vec<Vec<u8>>> {
     let cursor = AtomicUsize::new(0);
-    let transcript: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = workload
+    let transcript: Vec<parking_lot::Mutex<Vec<Vec<u8>>>> = workload
         .connections
         .iter()
-        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
         .collect();
     std::thread::scope(|scope| {
         for _ in 0..8 {
@@ -166,14 +166,11 @@ fn play_capture(
                 let Some(conn) = workload.connections.get(i) else {
                     break;
                 };
-                *transcript[i].lock().unwrap() = play_one(addrs[i % addrs.len()], conn, store);
+                *transcript[i].lock() = play_one(addrs[i % addrs.len()], conn, store);
             });
         }
     });
-    transcript
-        .into_iter()
-        .map(|m| m.into_inner().unwrap())
-        .collect()
+    transcript.into_iter().map(|m| m.into_inner()).collect()
 }
 
 /// One matrix cell: serve the workload, capture transcripts, prove the

@@ -105,10 +105,10 @@ fn play_one(addr: SocketAddr, conn: &phttp_trace::Connection) -> Vec<Vec<u8>> {
 fn play_capture(addrs: &[SocketAddr], workload: &ConnectionTrace) -> Vec<Vec<Vec<u8>>> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let cursor = AtomicUsize::new(0);
-    let transcript: Vec<std::sync::Mutex<Vec<Vec<u8>>>> = workload
+    let transcript: Vec<parking_lot::Mutex<Vec<Vec<u8>>>> = workload
         .connections
         .iter()
-        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
         .collect();
     std::thread::scope(|scope| {
         for _ in 0..8 {
@@ -117,14 +117,11 @@ fn play_capture(addrs: &[SocketAddr], workload: &ConnectionTrace) -> Vec<Vec<Vec
                 let Some(conn) = workload.connections.get(i) else {
                     break;
                 };
-                *transcript[i].lock().unwrap() = play_one(addrs[i % addrs.len()], conn);
+                *transcript[i].lock() = play_one(addrs[i % addrs.len()], conn);
             });
         }
     });
-    transcript
-        .into_iter()
-        .map(|m| m.into_inner().unwrap())
-        .collect()
+    transcript.into_iter().map(|m| m.into_inner()).collect()
 }
 
 fn run_one(

@@ -277,6 +277,8 @@ impl Registry {
             events,
             data: token.0 as u64,
         };
+        // SAFETY: plain FFI call; `ev` is a live stack value for the
+        // duration of the call and the kernel validates both fds.
         let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -332,10 +334,13 @@ pub struct Poll {
 impl Poll {
     /// Creates a fresh `epoll` instance.
     pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain FFI call taking no pointers.
         let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
         }
+        // SAFETY: `fd` was just returned open by epoll_create1, nothing
+        // else owns it, and OwnedFd becomes its sole closer.
         let ep = unsafe { OwnedFd::from_raw_fd(fd) };
         Ok(Poll {
             registry: Registry { epfd: fd },
@@ -363,6 +368,9 @@ impl Poll {
             }
         };
         loop {
+            // SAFETY: `buf` is a live, exclusively borrowed allocation
+            // of `buf.len()` EpollEvent slots; the kernel writes at most
+            // that many entries and `rc` reports how many are valid.
             let rc = unsafe {
                 sys::epoll_wait(
                     self.ep.as_raw_fd(),
@@ -394,10 +402,13 @@ pub struct Waker {
 impl Waker {
     /// Creates a waker delivering events under `token`.
     pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        // SAFETY: plain FFI call taking no pointers.
         let raw = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
         if raw < 0 {
             return Err(io::Error::last_os_error());
         }
+        // SAFETY: `raw` was just returned open by eventfd, nothing else
+        // owns it, and OwnedFd becomes its sole closer.
         let fd = unsafe { OwnedFd::from_raw_fd(raw) };
         registry.ctl(
             sys::EPOLL_CTL_ADD,
@@ -412,6 +423,9 @@ impl Waker {
     /// saturated eventfd counter means a wake is already pending).
     pub fn wake(&self) -> io::Result<()> {
         let one: u64 = 1;
+        // SAFETY: the source pointer addresses `one`, a live stack u64,
+        // and the length is exactly its 8 bytes; the fd is owned by
+        // `self` and stays open across the call.
         let rc = unsafe {
             sys::write(
                 self.fd.as_raw_fd(),
@@ -433,6 +447,9 @@ impl Waker {
     /// harmless, and useful in tests.
     pub fn clear(&self) {
         let mut buf = 0u64;
+        // SAFETY: the destination pointer addresses `buf`, a live,
+        // exclusively borrowed stack u64, and the length is exactly its
+        // 8 bytes; an eventfd read writes either 8 bytes or nothing.
         unsafe {
             sys::read(
                 self.fd.as_raw_fd(),
@@ -497,14 +514,20 @@ pub mod net {
                     "reuseport bind is IPv4-only in the mio shim",
                 ));
             };
+            // SAFETY: plain FFI call taking no pointers.
             let raw = unsafe { sys::socket(sys::AF_INET, sys::SOCK_STREAM | sys::SOCK_CLOEXEC, 0) };
             if raw < 0 {
                 return Err(io::Error::last_os_error());
             }
-            // From here the fd is owned: any error path closes it.
+            // SAFETY: `raw` was just returned open by socket(2) and
+            // nothing else owns it. From here the fd is owned: any
+            // error path closes it via OwnedFd's Drop.
             let fd = unsafe { OwnedFd::from_raw_fd(raw) };
             let one: i32 = 1;
             for opt in [sys::SO_REUSEADDR, sys::SO_REUSEPORT] {
+                // SAFETY: the option pointer addresses `one`, a live
+                // stack i32, with optlen exactly its size; `raw` stays
+                // open (owned by `fd`) across the call.
                 let rc = unsafe {
                     sys::setsockopt(
                         raw,
@@ -524,10 +547,15 @@ pub mod net {
                 sin_addr: u32::from_ne_bytes(v4.ip().octets()),
                 sin_zero: [0; 8],
             };
+            // SAFETY: `sa` is a live, correctly sized SockaddrIn for
+            // the duration of the call; `raw` stays open (owned by
+            // `fd`).
             let rc = unsafe { sys::bind(raw, &sa, std::mem::size_of::<sys::SockaddrIn>() as u32) };
             if rc < 0 {
                 return Err(io::Error::last_os_error());
             }
+            // SAFETY: plain FFI call taking no pointers; `raw` stays
+            // open (owned by `fd`).
             let rc = unsafe { sys::listen(raw, backlog.min(i32::MAX as u32) as i32) };
             if rc < 0 {
                 return Err(io::Error::last_os_error());
@@ -590,6 +618,7 @@ pub mod net {
             let SocketAddr::V4(v4) = addr else {
                 return Ok(Self::from_std(std::net::TcpStream::connect(addr)?));
             };
+            // SAFETY: plain FFI call taking no pointers.
             let raw = unsafe {
                 sys::socket(
                     sys::AF_INET,
@@ -600,6 +629,9 @@ pub mod net {
             if raw < 0 {
                 return Err(io::Error::last_os_error());
             }
+            // SAFETY: `raw` was just returned open by socket(2),
+            // nothing else owns it, and OwnedFd becomes its sole
+            // closer (error paths below close via Drop).
             let fd = unsafe { OwnedFd::from_raw_fd(raw) };
             let sa = sys::SockaddrIn {
                 sin_family: sys::AF_INET as u16,
@@ -607,6 +639,9 @@ pub mod net {
                 sin_addr: u32::from_ne_bytes(v4.ip().octets()),
                 sin_zero: [0; 8],
             };
+            // SAFETY: `sa` is a live, correctly sized SockaddrIn for
+            // the duration of the call; `raw` stays open (owned by
+            // `fd`).
             let rc =
                 unsafe { sys::connect(raw, &sa, std::mem::size_of::<sys::SockaddrIn>() as u32) };
             if rc < 0 {

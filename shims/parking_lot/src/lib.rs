@@ -1,87 +1,273 @@
-//! Workspace shim for `parking_lot`: non-poisoning `Mutex` and `RwLock`
-//! built on `std::sync`. A panic while holding a guard does not poison the
-//! lock — subsequent lockers recover the inner value, matching upstream
-//! parking_lot semantics closely enough for this project's use.
+//! Workspace shim for `parking_lot`: non-poisoning `Mutex`, `RwLock`
+//! and `Condvar` built on `std::sync`. A panic while holding a guard
+//! does not poison the lock — subsequent lockers recover the inner
+//! value, matching upstream parking_lot semantics closely enough for
+//! this project's use.
+//!
+//! Under the `lockcheck` cargo feature every blocking acquisition,
+//! release, and condvar wait is reported to the [`lockcheck`] checker
+//! together with the lock's [`LockClass`] (registered via
+//! [`Mutex::new_classed`] / [`RwLock::new_classed`]) and the caller's
+//! source location, so lock-order inversions panic with a two-site
+//! witness the moment they are *observed* — not only when they happen
+//! to deadlock. Locks built with plain `new` carry
+//! [`LockClass::UNCLASSED`] and are tracked but exempt from the rules.
 
-use std::sync::{self, MutexGuard as StdMutexGuard};
+use std::sync::{self, Condvar as StdCondvar, MutexGuard as StdMutexGuard};
 use std::sync::{RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard};
+
+pub use lockcheck::{LockClass, LockGroup};
+
+#[cfg(feature = "lockcheck")]
+use std::panic::Location;
 
 /// Mutual exclusion primitive; `lock` never returns a poison error.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    class: LockClass,
+    inner: sync::Mutex<T>,
+}
 
 /// RAII guard for [`Mutex`].
-pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+///
+/// The inner std guard lives in an `Option` solely so [`Condvar::wait`]
+/// can hand it to `std::sync::Condvar` (whose `wait` consumes and
+/// returns guards) while the caller keeps borrowing this wrapper; it is
+/// `None` only inside that window, during which the guard is mutably
+/// borrowed and cannot be dereferenced.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<StdMutexGuard<'a, T>>,
+    class: LockClass,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard lent to Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard lent to Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            #[cfg(feature = "lockcheck")]
+            lockcheck::on_release(self.class);
+        }
+        let _ = self.class;
+    }
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new unclassed mutex (exempt from lock-order rules).
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Self::new_classed(LockClass::UNCLASSED, value)
+    }
+
+    /// Creates a new mutex registered under `class` for lock-order
+    /// checking.
+    pub const fn new_classed(class: LockClass, value: T) -> Self {
+        Mutex {
+            class,
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Panics in other
     /// holders do not poison the lock.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_acquire(self.class, Location::caller());
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            class: self.class,
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_acquire_try(self.class, Location::caller());
+        Some(MutexGuard {
+            inner: Some(g),
+            class: self.class,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Condition variable paired with [`Mutex`], parking_lot style: `wait`
+/// takes the guard by `&mut` instead of consuming it.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified;
+    /// the mutex is re-acquired before returning. Under `lockcheck` the
+    /// guard's class is popped from the held set for the park and
+    /// re-checked/re-pushed on wake (the re-acquisition participates in
+    /// lock ordering like any other blocking acquisition).
+    #[track_caller]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard
+            .inner
+            .take()
+            .expect("guard already lent to Condvar::wait");
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_wait_release(guard.class);
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_wait_reacquire(guard.class, Location::caller());
+        guard.inner = Some(inner);
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
 /// Reader-writer lock; `read`/`write` never return poison errors.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    class: LockClass,
+    inner: sync::RwLock<T>,
+}
 
 /// RAII read guard for [`RwLock`].
-pub type RwLockReadGuard<'a, T> = StdReadGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: StdReadGuard<'a, T>,
+    class: LockClass,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_release(self.class);
+        let _ = self.class;
+    }
+}
+
 /// RAII write guard for [`RwLock`].
-pub type RwLockWriteGuard<'a, T> = StdWriteGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: StdWriteGuard<'a, T>,
+    class: LockClass,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_release(self.class);
+        let _ = self.class;
+    }
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new reader-writer lock.
+    /// Creates a new unclassed reader-writer lock (exempt from
+    /// lock-order rules).
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        Self::new_classed(LockClass::UNCLASSED, value)
+    }
+
+    /// Creates a new reader-writer lock registered under `class` for
+    /// lock-order checking.
+    pub const fn new_classed(class: LockClass, value: T) -> Self {
+        RwLock {
+            class,
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_acquire(self.class, Location::caller());
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            class: self.class,
+        }
     }
 
     /// Acquires exclusive write access.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "lockcheck")]
+        lockcheck::on_acquire(self.class, Location::caller());
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            class: self.class,
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -116,5 +302,34 @@ mod tests {
         .join();
         // No poisoning: the value is still reachable.
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(7);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 7);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+            *g
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_one();
+        }
+        assert!(waiter.join().unwrap());
     }
 }

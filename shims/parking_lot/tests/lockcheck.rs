@@ -1,0 +1,108 @@
+//! Integration tests for the shim's lockcheck instrumentation: a
+//! deliberate two-thread lock-order inversion caught *without* a
+//! deadlock, and condvar held-set bookkeeping across `wait`.
+//!
+//! Only meaningful with the checker compiled in:
+//! `cargo test -p parking_lot --features lockcheck`.
+#![cfg(feature = "lockcheck")]
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, LockClass, Mutex};
+
+/// Two classes acquired in both orders by two threads. The first thread
+/// nests `outer → inner` and exits; the second nests `inner → outer`
+/// *after the first has finished*, so no interleaving of the two could
+/// ever deadlock — the inversion is caught from the order graph alone,
+/// and the panic names both acquisition sites of the recorded edge plus
+/// the acquiring site.
+#[test]
+fn inversion_on_two_threads_panics_with_both_sites() {
+    let outer = Arc::new(Mutex::new_classed(LockClass::other("it-inv-outer"), ()));
+    let inner = Arc::new(Mutex::new_classed(LockClass::other("it-inv-inner"), ()));
+
+    let (o2, i2) = (outer.clone(), inner.clone());
+    let first_sites = std::thread::spawn(move || {
+        let outer_line = line!() + 1;
+        let _g_outer = o2.lock();
+        let inner_line = line!() + 1;
+        let _g_inner = i2.lock();
+        (outer_line, inner_line)
+    })
+    .join()
+    .expect("legal nesting does not panic");
+
+    // Inverse order on this thread. The inner lock is free (the first
+    // thread is gone), so without the checker this would succeed
+    // silently and the deadlock would stay latent until two threads hit
+    // both orders concurrently.
+    let _g_inner = inner.lock();
+    let acquiring_line = line!() + 2;
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _g_outer = outer.lock();
+    }))
+    .expect_err("inverted acquisition must panic under lockcheck");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("lockcheck panics with a String payload");
+
+    assert!(msg.contains("lock-order inversion"), "{msg}");
+    assert!(
+        msg.contains("it-inv-outer(0)") && msg.contains("it-inv-inner(0)"),
+        "{msg}"
+    );
+    // The witness names this (acquiring) site, the held inner lock's
+    // site, and both sites of the first thread's recorded edge.
+    let this_file = "lockcheck.rs";
+    for line in [first_sites.0, first_sites.1, acquiring_line] {
+        assert!(
+            msg.contains(&format!("{this_file}:{line}")),
+            "witness must name {this_file}:{line}:\n{msg}"
+        );
+    }
+}
+
+/// `Condvar::wait` pops the guard's class from the held set while the
+/// thread is parked and re-pushes it exactly once on wake. (If the pop
+/// were missing, the re-acquire would panic as a recursive acquisition;
+/// if the re-push doubled, the final held set would show two entries.)
+#[test]
+fn condvar_wait_pops_and_repushes_held_set() {
+    let pair = Arc::new((
+        Mutex::new_classed(LockClass::other("it-cv"), false),
+        Condvar::new(),
+    ));
+    let pair2 = pair.clone();
+    let waiter = std::thread::spawn(move || {
+        let (m, cv) = &*pair2;
+        let mut g = m.lock();
+        let before = lockcheck::held_names();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        let after = lockcheck::held_names();
+        drop(g);
+        let end = lockcheck::held_names();
+        (before, after, end)
+    });
+
+    {
+        let (m, cv) = &*pair;
+        // Taking the same mutex here proves the waiter's wait released
+        // it; this thread's held set is independent (thread-local), so
+        // no recursion trips.
+        let mut g = m.lock();
+        *g = true;
+        drop(g);
+        cv.notify_one();
+    }
+
+    let (before, after, end) = waiter.join().expect("waiter must not panic");
+    assert_eq!(before, vec!["it-cv(0)".to_string()], "held while locked");
+    assert_eq!(
+        after,
+        vec!["it-cv(0)".to_string()],
+        "re-pushed exactly once after the wait re-acquired"
+    );
+    assert!(end.is_empty(), "released on guard drop");
+}

@@ -45,7 +45,7 @@ for f in "${files[@]}"; do
             echo "$f: dangling path reference -> $path"
             fail=1
         fi
-    done < <(grep -o '`\(crates\|shims\|examples\|tools\|\.github\)/[A-Za-z0-9_./-]*`' "$f" | tr -d '\`')
+    done < <(grep -o '`\(crates\|shims\|examples\|tools\|src\|tests\|\.github\)/[A-Za-z0-9_./-]*`' "$f" | tr -d '\`')
 
     # Backticked bench artifacts (`BENCH_*.json`): each one the docs
     # describe must actually be committed at the repo root.

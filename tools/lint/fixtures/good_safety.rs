@@ -1,0 +1,33 @@
+// Lint fixture (never compiled): every unsafe block is annotated, in
+// each of the accepted positions — same line, comment block directly
+// above, and comment block above a wrapped statement.
+
+pub fn same_line(fd: i32) -> i32 {
+    let rc = unsafe { libc_close(fd) }; // SAFETY: fd is owned by the caller.
+    rc
+}
+
+pub fn block_above(fd: i32) -> u64 {
+    let mut buf = 0u64;
+    // The read target is a live stack value.
+    // SAFETY: the pointer addresses `buf` for exactly 8 bytes.
+    unsafe {
+        libc_read(fd, &mut buf as *mut u64 as *mut u8, 8);
+    }
+    buf
+}
+
+pub fn wrapped_statement(fd: i32) -> i64 {
+    // SAFETY: plain FFI call taking no pointers.
+    let rc =
+        unsafe { libc_close(fd) };
+    rc as i64
+}
+
+pub unsafe fn libc_read(_fd: i32, _buf: *mut u8, _n: usize) -> isize {
+    0
+}
+
+pub unsafe fn libc_close(_fd: i32) -> i32 {
+    0
+}

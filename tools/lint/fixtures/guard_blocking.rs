@@ -1,0 +1,27 @@
+// Lint fixture (never compiled): statements that bind a lock guard and
+// call a deny-listed blocking syscall in the same statement — two
+// findings; the separated forms below are allowed.
+
+pub fn bad_write(conns: &Table, id: u64, buf: &[u8]) {
+    conns.lock().get_mut(&id).stream.write_all(buf).unwrap(); // finding 1
+}
+
+pub fn bad_rwlock_accept(listeners: &Listeners) {
+    let _conn = listeners.write().primary.accept().unwrap(); // finding 2
+}
+
+pub fn ok_guard_released_first(conns: &Table, id: u64, buf: &[u8]) {
+    // The guard's critical section ends at the block; the blocking call
+    // is a separate statement.
+    let mut stream = { conns.lock().take_stream(&id) };
+    stream.write_all(buf).unwrap();
+}
+
+pub fn ok_plain_io(stream: &mut Stream, buf: &mut [u8]) {
+    stream.read_exact(buf).unwrap();
+}
+
+pub fn ok_io_write_with_args(stream: &mut Stream, buf: &[u8]) {
+    // `.write(buf)` is io::Write, not RwLock::write() — no guard here.
+    let _n = stream.write(buf).unwrap();
+}

@@ -1,0 +1,26 @@
+// Lint fixture (never compiled): two unsafe blocks with no SAFETY
+// comment — both must trip the safety-comment rule when the file is
+// treated as living under shims/.
+
+pub fn read_one(fd: i32) -> u64 {
+    let mut buf = 0u64;
+    unsafe {
+        libc_read(fd, &mut buf as *mut u64 as *mut u8, 8);
+    }
+    buf
+}
+
+pub fn wrapped_statement(fd: i32) -> i64 {
+    let rc =
+        unsafe { libc_close(fd) };
+    rc as i64
+}
+
+// An `unsafe fn` declaration is not an unsafe *block* — out of scope.
+pub unsafe fn libc_read(_fd: i32, _buf: *mut u8, _n: usize) -> isize {
+    0
+}
+
+pub unsafe fn libc_close(_fd: i32) -> i32 {
+    0
+}

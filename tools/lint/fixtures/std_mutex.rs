@@ -1,0 +1,25 @@
+// Lint fixture (never compiled): std::sync lock types outside test
+// code — three live findings; the #[cfg(test)] module at the bottom
+// and the commented/string occurrences are exempt.
+
+use std::sync::{Arc, Mutex as StdMutex}; // finding 1: grouped + renamed
+
+pub struct Holder {
+    slot: std::sync::RwLock<u32>, // finding 2: fully qualified
+    cv: std::sync::Condvar,       // finding 3: condvar
+    ok: Arc<u32>,
+}
+
+// A comment mentioning std::sync::Mutex is not a finding.
+pub const DOC: &str = "std::sync::Mutex in a string is not a finding";
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex; // exempt: test-only code
+
+    #[test]
+    fn collector() {
+        let m = Mutex::new(0);
+        *m.lock().unwrap() += 1;
+    }
+}
